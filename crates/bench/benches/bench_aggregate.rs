@@ -1,0 +1,28 @@
+//! E10: the parts-explosion aggregation program (Section 6) over random part
+//! hierarchies of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hilog_engine::aggregate::{evaluate_aggregate_program, parts_explosion_program};
+use hilog_engine::horn::EvalOptions;
+use hilog_workloads::random_part_hierarchy;
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_parts_explosion");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [16usize, 64, 128] {
+        let hierarchy = random_part_hierarchy(n, n / 2, 3);
+        let program = parts_explosion_program(&[("m", "parts")], &hierarchy.as_facts("parts"));
+        group.bench_with_input(BenchmarkId::new("parts", n), &program, |b, p| {
+            b.iter(|| {
+                evaluate_aggregate_program(p, EvalOptions::default()).unwrap().model.true_atoms().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate);
+criterion_main!(benches);

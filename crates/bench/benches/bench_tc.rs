@@ -1,0 +1,28 @@
+//! E1: the generic HiLog transitive closure (Example 2.1) — least-model
+//! evaluation time as the base relation grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hilog_engine::horn::{least_model, EvalOptions, NegationMode};
+use hilog_workloads::{chain, generic_closure_program, random_dag};
+
+fn bench_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_generic_tc");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [16usize, 64, 128] {
+        let chain_program = generic_closure_program(&[("e", chain(n))]);
+        group.bench_with_input(BenchmarkId::new("chain", n), &chain_program, |b, p| {
+            b.iter(|| least_model(p, NegationMode::Forbid, EvalOptions::default()).unwrap().len())
+        });
+        let dag_program = generic_closure_program(&[("e", random_dag(n, 2.0, 7))]);
+        group.bench_with_input(BenchmarkId::new("dag", n), &dag_program, |b, p| {
+            b.iter(|| least_model(p, NegationMode::Forbid, EvalOptions::default()).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc);
+criterion_main!(benches);

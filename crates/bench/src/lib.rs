@@ -1,0 +1,120 @@
+//! # hilog-bench
+//!
+//! Shared helpers for the benchmark harness and the `experiments` binary that
+//! regenerates every row of EXPERIMENTS.md.
+//!
+//! The paper ("On Negation in HiLog", PODS 1991 / JLP 1994) is a theory paper
+//! with no measurement tables; the experiments here measure the artifacts it
+//! defines — the well-founded construction, the Figure 1 modular
+//! stratification procedure, the magic-sets/query-directed evaluation, the
+//! universal-relation transformation and the parts-explosion aggregation —
+//! on synthetic workloads, and check the qualitative claims (who wins, what
+//! is preserved, what terminates) that the paper does make.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// One measured row of an experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Experiment identifier (E1..E11, matching DESIGN.md / EXPERIMENTS.md).
+    pub experiment: String,
+    /// Workload description (e.g. "chain n=256").
+    pub workload: String,
+    /// Name of the quantity being reported.
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit of the value.
+    pub unit: String,
+}
+
+impl Measurement {
+    /// Creates a measurement row.
+    pub fn new(
+        experiment: &str,
+        workload: impl Into<String>,
+        metric: &str,
+        value: f64,
+        unit: &str,
+    ) -> Self {
+        Measurement {
+            experiment: experiment.to_string(),
+            workload: workload.into(),
+            metric: metric.to_string(),
+            value,
+            unit: unit.to_string(),
+        }
+    }
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs a closure `repeats` times and returns the median duration (simple and
+/// robust enough for the experiment summary; the Criterion benches do the
+/// statistically careful measurements).
+pub fn median_time(repeats: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..repeats.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Formats a table of measurements as GitHub-flavoured markdown.
+pub fn to_markdown(rows: &[Measurement]) -> String {
+    let mut out = String::from("| experiment | workload | metric | value | unit |\n");
+    out.push_str("|---|---|---|---:|---|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {} |\n",
+            r.experiment, r.workload, r.metric, r.value, r.unit
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_serialises() {
+        let m = Measurement::new("E7", "chain n=64", "speedup", 12.5, "x");
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"experiment\":\"E7\""));
+    }
+
+    #[test]
+    fn markdown_table_has_one_row_per_measurement() {
+        let rows = vec![
+            Measurement::new("E1", "a", "time", 1.0, "ms"),
+            Measurement::new("E2", "b", "time", 2.0, "ms"),
+        ];
+        let md = to_markdown(&rows);
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn timing_helpers_return_plausible_values() {
+        let (value, d) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(d.as_nanos() > 0);
+        let m = median_time(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(m.as_nanos() > 0);
+    }
+}

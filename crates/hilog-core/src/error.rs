@@ -1,0 +1,43 @@
+//! Error types shared by the core crate.
+
+use std::fmt;
+
+/// Errors produced by core-level operations (arithmetic evaluation,
+/// transformation preconditions, and so on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An arithmetic expression could not be evaluated to an integer
+    /// (unbound variable, non-numeric leaf, unknown operator, overflow or
+    /// division by zero).
+    Arithmetic(String),
+    /// A builtin literal was used with insufficiently instantiated arguments.
+    Uninstantiated(String),
+    /// A transformation's precondition was violated (e.g. the universal
+    /// relation transformation applied to a program containing reserved
+    /// symbols).
+    Precondition(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            CoreError::Uninstantiated(msg) => write!(f, "uninstantiated builtin: {msg}"),
+            CoreError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::Arithmetic("x".into()).to_string().contains("arithmetic"));
+        assert!(CoreError::Uninstantiated("x".into()).to_string().contains("uninstantiated"));
+        assert!(CoreError::Precondition("x".into()).to_string().contains("precondition"));
+    }
+}

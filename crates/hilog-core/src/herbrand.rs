@@ -1,0 +1,462 @@
+//! Herbrand universe machinery.
+//!
+//! Section 2 of the paper: "The Herbrand universe of a program depends only
+//! upon the symbols appearing in the program and not on their arities. ...
+//! From those symbols, all possible terms of all arities can be constructed.
+//! The Herbrand universe will be a countably infinite set in general."  In
+//! HiLog the Herbrand base and universe coincide.
+//!
+//! Because the full HiLog universe is infinite whenever at least one symbol
+//! exists, this module provides a *bounded* enumerator ([`HerbrandUniverse`])
+//! parameterised by [`HerbrandBounds`] (maximum term depth, application
+//! arity, and total term count).  The engine uses bounded enumeration when a
+//! definition must be exercised literally (e.g. checking that "new" atoms are
+//! false under growing bounds); practical evaluation of (strongly)
+//! range-restricted programs instead uses relevant instantiation and never
+//! materialises the universe.
+//!
+//! The module also extracts the vocabulary split of a *normal* program
+//! (predicate symbols vs constant / function symbols), needed to build the
+//! conventional first-order Herbrand universe that Theorems 4.1 and 4.2
+//! compare against.
+
+use crate::literal::Literal;
+use crate::program::Program;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::collections::BTreeSet;
+
+/// The symbols (and integer constants) of a program, together with the
+/// normal-program role split.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    /// Every symbol appearing in the program.
+    pub symbols: BTreeSet<Symbol>,
+    /// Integer constants appearing in the program.
+    pub integers: BTreeSet<i64>,
+    /// Symbols that occur in predicate-name position (outermost functor of a
+    /// head or body atom).  For a normal program these are its predicate
+    /// symbols.
+    pub predicate_symbols: BTreeSet<Symbol>,
+    /// Symbols that occur inside argument positions (constants and function
+    /// symbols of a normal program).
+    pub argument_symbols: BTreeSet<Symbol>,
+    /// Symbols that occur as the functor of a non-atomic argument term
+    /// (function symbols of a normal program).
+    pub function_symbols: BTreeSet<Symbol>,
+}
+
+impl Vocabulary {
+    /// Extracts the vocabulary of a program.
+    pub fn of_program(program: &Program) -> Vocabulary {
+        let mut vocab = Vocabulary {
+            symbols: program.symbols(),
+            integers: program.integers(),
+            ..Vocabulary::default()
+        };
+        let record_atom = |atom: &Term, vocab: &mut Vocabulary| {
+            // The outermost functor of the predicate name.
+            if let Term::Sym(s) = atom.outermost_functor() {
+                vocab.predicate_symbols.insert(s.clone());
+            }
+            // Symbols inside the name below the outermost functor also count
+            // as argument symbols (e.g. `e` in `tc(e)(a,b)`).
+            let mut name = atom.name();
+            while let Term::App(inner, args) = name {
+                for a in args {
+                    Self::record_argument(a, vocab);
+                }
+                name = inner;
+            }
+            for a in atom.args() {
+                Self::record_argument(a, vocab);
+            }
+        };
+        for rule in program.iter() {
+            record_atom(&rule.head, &mut vocab);
+            for lit in &rule.body {
+                match lit {
+                    Literal::Pos(a) | Literal::Neg(a) => record_atom(a, &mut vocab),
+                    Literal::Builtin(b) => {
+                        Self::record_argument(&b.left, &mut vocab);
+                        Self::record_argument(&b.right, &mut vocab);
+                    }
+                    Literal::Aggregate(a) => {
+                        Self::record_argument(&a.result, &mut vocab);
+                        Self::record_argument(&a.value, &mut vocab);
+                        record_atom(&a.pattern, &mut vocab);
+                    }
+                }
+            }
+        }
+        vocab
+    }
+
+    fn record_argument(term: &Term, vocab: &mut Vocabulary) {
+        match term {
+            Term::Sym(s) => {
+                vocab.argument_symbols.insert(s.clone());
+            }
+            Term::Int(_) | Term::Var(_) => {}
+            Term::App(name, args) => {
+                if let Term::Sym(s) = &**name {
+                    vocab.function_symbols.insert(s.clone());
+                    vocab.argument_symbols.insert(s.clone());
+                }
+                for a in args {
+                    Self::record_argument(a, vocab);
+                }
+            }
+        }
+    }
+
+    /// The constants of the normal Herbrand universe: argument symbols that
+    /// are not used as function symbols, plus integer constants.
+    ///
+    /// Footnote 3 of the paper notes that a normal program with *no*
+    /// constants behaves anomalously (the universal query problem); callers
+    /// may wish to add a padding constant in that case, as Van Gelder, Ross
+    /// and Schlipf suggest.
+    pub fn normal_constants(&self) -> Vec<Term> {
+        let mut out: Vec<Term> = self
+            .argument_symbols
+            .iter()
+            .filter(|s| !self.function_symbols.contains(*s))
+            .map(|s| Term::Sym(s.clone()))
+            .collect();
+        out.extend(self.integers.iter().map(|i| Term::Int(*i)));
+        out
+    }
+
+    /// All symbols as leaf terms (the generators of the HiLog universe),
+    /// including integer constants.
+    pub fn hilog_leaves(&self) -> Vec<Term> {
+        let mut out: Vec<Term> =
+            self.symbols.iter().map(|s| Term::Sym(s.clone())).collect();
+        out.extend(self.integers.iter().map(|i| Term::Int(*i)));
+        out
+    }
+
+    /// Returns `true` if the symbol appears in the vocabulary.
+    pub fn contains(&self, symbol: &Symbol) -> bool {
+        self.symbols.contains(symbol)
+    }
+
+    /// Returns `true` if the ground term is *generated by* this vocabulary:
+    /// every symbol occurring in it belongs to the vocabulary.  This is the
+    /// notion used throughout Section 5 ("atoms with name generated by P").
+    pub fn generates(&self, term: &Term) -> bool {
+        term.symbols().iter().all(|s| self.symbols.contains(s))
+    }
+}
+
+/// Bounds for enumerating a finite slice of the (infinite) HiLog Herbrand
+/// universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HerbrandBounds {
+    /// Maximum term depth (leaves have depth 1).
+    pub max_depth: usize,
+    /// Maximum arity of generated applications.
+    pub max_arity: usize,
+    /// Hard cap on the number of generated terms.
+    pub max_terms: usize,
+}
+
+impl Default for HerbrandBounds {
+    fn default() -> Self {
+        HerbrandBounds { max_depth: 2, max_arity: 2, max_terms: 2_000 }
+    }
+}
+
+impl HerbrandBounds {
+    /// Convenience constructor.
+    pub fn new(max_depth: usize, max_arity: usize, max_terms: usize) -> Self {
+        HerbrandBounds { max_depth, max_arity, max_terms }
+    }
+}
+
+/// A finite, enumerated slice of a Herbrand universe.
+#[derive(Debug, Clone)]
+pub struct HerbrandUniverse {
+    terms: Vec<Term>,
+    bounds: HerbrandBounds,
+    truncated: bool,
+}
+
+impl HerbrandUniverse {
+    /// Enumerates the HiLog Herbrand universe generated by the program's
+    /// symbols, up to the given bounds.  Terms are produced in
+    /// depth-then-size order, starting from the leaf symbols.
+    ///
+    /// The enumeration follows Definition 2.1 exactly: at each round, every
+    /// already-generated term may serve both as a *name* and as an
+    /// *argument*, and applications of every arity `0..=max_arity` are
+    /// produced.
+    pub fn hilog(program: &Program, bounds: HerbrandBounds) -> HerbrandUniverse {
+        let vocab = Vocabulary::of_program(program);
+        Self::hilog_from_leaves(vocab.hilog_leaves(), bounds)
+    }
+
+    /// Enumerates the HiLog universe generated by an explicit leaf set.
+    pub fn hilog_from_leaves(leaves: Vec<Term>, bounds: HerbrandBounds) -> HerbrandUniverse {
+        let mut terms: Vec<Term> = Vec::new();
+        let mut seen: BTreeSet<Term> = BTreeSet::new();
+        let mut truncated = false;
+        for leaf in leaves {
+            if seen.insert(leaf.clone()) {
+                terms.push(leaf);
+            }
+        }
+        let mut frontier: Vec<Term> = terms.clone();
+        for _depth in 1..bounds.max_depth {
+            if terms.len() >= bounds.max_terms {
+                truncated = true;
+                break;
+            }
+            let mut next = Vec::new();
+            // Names and arguments range over everything generated so far; to
+            // keep the enumeration finite per round we pair the new frontier
+            // against the full set.
+            let pool = terms.clone();
+            'outer: for name in pool.iter() {
+                for arity in 0..=bounds.max_arity {
+                    let mut idx = vec![0usize; arity];
+                    loop {
+                        let args: Vec<Term> = idx.iter().map(|&i| pool[i].clone()).collect();
+                        let t = Term::app(name.clone(), args);
+                        if seen.insert(t.clone()) {
+                            next.push(t.clone());
+                            terms.push(t);
+                            if terms.len() >= bounds.max_terms {
+                                truncated = true;
+                                break 'outer;
+                            }
+                        }
+                        // Advance the mixed-radix counter.
+                        let mut k = 0;
+                        loop {
+                            if k == arity {
+                                break;
+                            }
+                            idx[k] += 1;
+                            if idx[k] < pool.len() {
+                                break;
+                            }
+                            idx[k] = 0;
+                            k += 1;
+                        }
+                        if k == arity {
+                            break;
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        let _ = frontier;
+        HerbrandUniverse { terms, bounds, truncated }
+    }
+
+    /// Enumerates the *normal* Herbrand universe of a program: constants plus
+    /// (if function symbols are present) nested first-order terms up to the
+    /// depth bound.
+    pub fn normal(program: &Program, bounds: HerbrandBounds) -> HerbrandUniverse {
+        let vocab = Vocabulary::of_program(program);
+        let constants = vocab.normal_constants();
+        let functions: Vec<Symbol> = vocab.function_symbols.iter().cloned().collect();
+        let mut terms: Vec<Term> = Vec::new();
+        let mut seen: BTreeSet<Term> = BTreeSet::new();
+        let mut truncated = false;
+        for c in constants {
+            if seen.insert(c.clone()) {
+                terms.push(c);
+            }
+        }
+        if !functions.is_empty() {
+            for _depth in 1..bounds.max_depth {
+                if terms.len() >= bounds.max_terms {
+                    truncated = true;
+                    break;
+                }
+                let pool = terms.clone();
+                let mut added = false;
+                'outer: for f in &functions {
+                    for arity in 1..=bounds.max_arity {
+                        let mut idx = vec![0usize; arity];
+                        loop {
+                            let args: Vec<Term> = idx.iter().map(|&i| pool[i].clone()).collect();
+                            let t = Term::apps(f.name(), args);
+                            if seen.insert(t.clone()) {
+                                terms.push(t);
+                                added = true;
+                                if terms.len() >= bounds.max_terms {
+                                    truncated = true;
+                                    break 'outer;
+                                }
+                            }
+                            let mut k = 0;
+                            loop {
+                                if k == arity {
+                                    break;
+                                }
+                                idx[k] += 1;
+                                if idx[k] < pool.len() {
+                                    break;
+                                }
+                                idx[k] = 0;
+                                k += 1;
+                            }
+                            if k == arity {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !added {
+                    break;
+                }
+            }
+        }
+        HerbrandUniverse { terms, bounds, truncated }
+    }
+
+    /// The enumerated terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of enumerated terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the universe slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The bounds used for enumeration.
+    pub fn bounds(&self) -> HerbrandBounds {
+        self.bounds
+    }
+
+    /// Returns `true` if enumeration stopped because `max_terms` was reached
+    /// (so the slice is a strict prefix of the full universe at these depth /
+    /// arity bounds).
+    pub fn was_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Returns `true` if the term belongs to the enumerated slice.
+    pub fn contains(&self, term: &Term) -> bool {
+        self.terms.contains(term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+
+    fn example_4_1() -> Program {
+        // p :- not q(X).   q(a).
+        Program::from_rules(vec![
+            Rule::new(
+                Term::sym("p"),
+                vec![Literal::neg(Term::apps("q", vec![Term::var("X")]))],
+            ),
+            Rule::fact(Term::apps("q", vec![Term::sym("a")])),
+        ])
+    }
+
+    #[test]
+    fn vocabulary_role_split() {
+        let vocab = Vocabulary::of_program(&example_4_1());
+        let preds: Vec<&str> = vocab.predicate_symbols.iter().map(|s| s.name()).collect();
+        let args: Vec<&str> = vocab.argument_symbols.iter().map(|s| s.name()).collect();
+        assert_eq!(preds, vec!["p", "q"]);
+        assert_eq!(args, vec!["a"]);
+        assert!(vocab.function_symbols.is_empty());
+    }
+
+    #[test]
+    fn normal_universe_of_example_4_1_is_singleton() {
+        // "The normal Herbrand universe is the singleton set {a}" (Example 4.1).
+        let u = HerbrandUniverse::normal(&example_4_1(), HerbrandBounds::default());
+        assert_eq!(u.len(), 1);
+        assert!(u.contains(&Term::sym("a")));
+    }
+
+    #[test]
+    fn hilog_universe_contains_non_normal_terms() {
+        // In the HiLog case there are other substitutions, such as X/p or
+        // X/a(a, p) (Example 4.1).
+        let u = HerbrandUniverse::hilog(&example_4_1(), HerbrandBounds::new(2, 2, 10_000));
+        assert!(u.contains(&Term::sym("p")));
+        assert!(u.contains(&Term::sym("a")));
+        assert!(u.contains(&Term::apps("a", vec![Term::sym("a"), Term::sym("p")])));
+        // p used as a name applied to q:
+        assert!(u.contains(&Term::apps("p", vec![Term::sym("q")])));
+    }
+
+    #[test]
+    fn hilog_universe_grows_with_depth() {
+        let p = example_4_1();
+        let small = HerbrandUniverse::hilog(&p, HerbrandBounds::new(1, 2, 10_000));
+        let medium = HerbrandUniverse::hilog(&p, HerbrandBounds::new(2, 1, 10_000));
+        assert_eq!(small.len(), 3); // p, q, a
+        assert!(medium.len() > small.len());
+        for t in small.terms() {
+            assert!(medium.contains(t));
+        }
+    }
+
+    #[test]
+    fn hilog_universe_respects_term_cap() {
+        let u = HerbrandUniverse::hilog(&example_4_1(), HerbrandBounds::new(4, 3, 50));
+        assert!(u.len() <= 50);
+        assert!(u.was_truncated());
+    }
+
+    #[test]
+    fn normal_universe_with_function_symbols_nests() {
+        // p(f(a)) gives constants {a} and function {f}; depth 3 yields f(f(a)).
+        let p = Program::from_rules(vec![Rule::fact(Term::apps(
+            "p",
+            vec![Term::apps("f", vec![Term::sym("a")])],
+        ))]);
+        let u = HerbrandUniverse::normal(&p, HerbrandBounds::new(3, 1, 1000));
+        assert!(u.contains(&Term::sym("a")));
+        assert!(u.contains(&Term::apps("f", vec![Term::sym("a")])));
+        assert!(u.contains(&Term::apps("f", vec![Term::apps("f", vec![Term::sym("a")])])));
+    }
+
+    #[test]
+    fn generates_checks_symbol_closure() {
+        let vocab = Vocabulary::of_program(&example_4_1());
+        assert!(vocab.generates(&Term::apps("q", vec![Term::sym("a")])));
+        assert!(!vocab.generates(&Term::apps("q", vec![Term::sym("zebra")])));
+    }
+
+    #[test]
+    fn zero_ary_applications_are_enumerated() {
+        let u = HerbrandUniverse::hilog(&example_4_1(), HerbrandBounds::new(2, 0, 1000));
+        // Depth-2, arity-0 terms are the p()-style applications of footnote 1.
+        assert!(u.contains(&Term::apps("p", vec![])));
+    }
+
+    #[test]
+    fn integers_become_constants() {
+        let p = Program::from_rules(vec![Rule::fact(Term::apps(
+            "part",
+            vec![Term::sym("wheel"), Term::int(2)],
+        ))]);
+        let vocab = Vocabulary::of_program(&p);
+        assert!(vocab.normal_constants().contains(&Term::int(2)));
+        let u = HerbrandUniverse::hilog(&p, HerbrandBounds::new(1, 1, 100));
+        assert!(u.contains(&Term::int(2)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Substitutions over HiLog terms.
+//!
+//! A substitution maps variables to terms.  Because HiLog variables may
+//! occur in predicate-name position, applying a substitution can turn a
+//! variable-named atom such as `G(X, Y)` into `move1(a, b)` — this is the
+//! mechanism by which Figure 1's procedure and the magic-sets evaluation bind
+//! predicate names at run time.
+
+use crate::term::{Term, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A (simultaneous) substitution from variables to terms.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: BTreeMap<Var, Term>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// Builds a substitution from an explicit list of bindings.
+    pub fn from_bindings(bindings: impl IntoIterator<Item = (Var, Term)>) -> Self {
+        Substitution { map: bindings.into_iter().collect() }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a variable's binding (not followed transitively).
+    pub fn get(&self, var: &Var) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Returns `true` if the variable is bound.
+    pub fn contains(&self, var: &Var) -> bool {
+        self.map.contains_key(var)
+    }
+
+    /// Binds `var` to `term`, replacing any previous binding.
+    pub fn bind(&mut self, var: Var, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    /// Removes the binding for `var`, if any.
+    pub fn unbind(&mut self, var: &Var) {
+        self.map.remove(var);
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Term)> {
+        self.map.iter()
+    }
+
+    /// Resolves a variable through chains of variable-to-variable bindings,
+    /// returning the final binding applied to this substitution.
+    pub fn walk(&self, var: &Var) -> Option<Term> {
+        let mut current = self.map.get(var)?;
+        // Follow variable chains, guarding against accidental cycles.
+        let mut steps = 0usize;
+        loop {
+            match current {
+                Term::Var(v) => {
+                    if let Some(next) = self.map.get(v) {
+                        steps += 1;
+                        if steps > self.map.len() {
+                            // A cycle of variable bindings; return as-is.
+                            return Some(self.apply(current));
+                        }
+                        current = next;
+                    } else {
+                        return Some(current.clone());
+                    }
+                }
+                _ => return Some(self.apply(current)),
+            }
+        }
+    }
+
+    /// Applies the substitution to a term, replacing bound variables by their
+    /// (recursively substituted) bindings.
+    pub fn apply(&self, term: &Term) -> Term {
+        if self.map.is_empty() {
+            return term.clone();
+        }
+        self.apply_inner(term, 0)
+    }
+
+    fn apply_inner(&self, term: &Term, depth: usize) -> Term {
+        // Depth guard: bindings produced by unification with occurs check are
+        // acyclic, so this is defensive only.
+        const MAX_DEPTH: usize = 10_000;
+        match term {
+            Term::Var(v) => match self.map.get(v) {
+                Some(t) if depth < MAX_DEPTH && t != term => self.apply_inner(t, depth + 1),
+                Some(t) => t.clone(),
+                None => term.clone(),
+            },
+            Term::Sym(_) | Term::Int(_) => term.clone(),
+            Term::App(name, args) => Term::App(
+                Box::new(self.apply_inner(name, depth)),
+                args.iter().map(|a| self.apply_inner(a, depth)).collect(),
+            ),
+        }
+    }
+
+    /// Composes `self` with `other`: the result behaves like applying `self`
+    /// first and then `other`.
+    pub fn compose(&self, other: &Substitution) -> Substitution {
+        let mut map = BTreeMap::new();
+        for (v, t) in &self.map {
+            map.insert(v.clone(), other.apply(t));
+        }
+        for (v, t) in &other.map {
+            map.entry(v.clone()).or_insert_with(|| t.clone());
+        }
+        Substitution { map }
+    }
+
+    /// Restricts the substitution to the given variables.
+    pub fn restrict(&self, vars: &[Var]) -> Substitution {
+        Substitution {
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .map(|(v, t)| (v.clone(), t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if every binding is to a ground term.
+    pub fn is_ground(&self) -> bool {
+        self.map.values().all(Term::is_ground)
+    }
+}
+
+impl fmt::Debug for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Var, Term)> for Substitution {
+    fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
+        Substitution { map: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_replaces_variables_in_name_position() {
+        // G(X, Y) with G -> move1, X -> a  becomes  move1(a, Y)
+        let atom = Term::app(Term::var("G"), vec![Term::var("X"), Term::var("Y")]);
+        let theta = Substitution::from_bindings([
+            (Var::new("G"), Term::sym("move1")),
+            (Var::new("X"), Term::sym("a")),
+        ]);
+        assert_eq!(theta.apply(&atom).to_string(), "move1(a, Y)");
+    }
+
+    #[test]
+    fn apply_is_recursive_through_bindings() {
+        // X -> f(Y), Y -> a : applying to X yields f(a).
+        let theta = Substitution::from_bindings([
+            (Var::new("X"), Term::apps("f", vec![Term::var("Y")])),
+            (Var::new("Y"), Term::sym("a")),
+        ]);
+        assert_eq!(theta.apply(&Term::var("X")).to_string(), "f(a)");
+    }
+
+    #[test]
+    fn compose_applies_left_then_right() {
+        let s1 = Substitution::from_bindings([(Var::new("X"), Term::var("Y"))]);
+        let s2 = Substitution::from_bindings([(Var::new("Y"), Term::sym("a"))]);
+        let c = s1.compose(&s2);
+        assert_eq!(c.apply(&Term::var("X")), Term::sym("a"));
+        assert_eq!(c.apply(&Term::var("Y")), Term::sym("a"));
+    }
+
+    #[test]
+    fn restrict_keeps_only_requested_vars() {
+        let theta = Substitution::from_bindings([
+            (Var::new("X"), Term::sym("a")),
+            (Var::new("Y"), Term::sym("b")),
+        ]);
+        let r = theta.restrict(&[Var::new("X")]);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Var::new("X")));
+        assert!(!r.contains(&Var::new("Y")));
+    }
+
+    #[test]
+    fn walk_follows_variable_chains() {
+        let theta = Substitution::from_bindings([
+            (Var::new("X"), Term::var("Y")),
+            (Var::new("Y"), Term::var("Z")),
+            (Var::new("Z"), Term::sym("c")),
+        ]);
+        assert_eq!(theta.walk(&Var::new("X")), Some(Term::sym("c")));
+        assert_eq!(theta.walk(&Var::new("W")), None);
+    }
+
+    #[test]
+    fn groundness_of_substitution() {
+        let g = Substitution::from_bindings([(Var::new("X"), Term::sym("a"))]);
+        assert!(g.is_ground());
+        let ng = Substitution::from_bindings([(Var::new("X"), Term::var("Y"))]);
+        assert!(!ng.is_ground());
+    }
+
+    #[test]
+    fn display_format() {
+        let theta = Substitution::from_bindings([(Var::new("X"), Term::sym("a"))]);
+        assert_eq!(theta.to_string(), "{X -> a}");
+    }
+}

@@ -1,0 +1,155 @@
+//! HiLog symbols.
+//!
+//! In HiLog there is no distinction between predicate, function and constant
+//! symbols (Section 2 of the paper): a single pool of *symbols* is used in
+//! every role, and every symbol may be applied at every arity.  A [`Symbol`]
+//! is therefore just an immutable, cheaply clonable name.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned, immutable HiLog symbol.
+///
+/// Symbols are cheap to clone (an [`Arc`] bump) and compare by their textual
+/// name.  Equality, ordering and hashing are all derived from the name, so a
+/// symbol created twice from the same string behaves identically regardless
+/// of provenance.
+///
+/// ```
+/// use hilog_core::Symbol;
+/// let a = Symbol::new("tc");
+/// let b = Symbol::new("tc");
+/// assert_eq!(a, b);
+/// assert_eq!(a.name(), "tc");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the textual name of the symbol.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns `true` if the symbol requires quoting in concrete syntax,
+    /// i.e. it does not match `[a-z][A-Za-z0-9_]*`.
+    pub fn needs_quoting(&self) -> bool {
+        let mut chars = self.0.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {
+                !chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+            }
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.needs_quoting() {
+            write!(f, "'{}'", self.0.replace('\'', "\\'"))
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_is_by_name() {
+        assert_eq!(Symbol::new("move"), Symbol::new("move"));
+        assert_ne!(Symbol::new("move"), Symbol::new("move1"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Symbol::new("winning");
+        let b = a.clone();
+        assert_eq!(a, b);
+        // Both point at the same allocation.
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn hash_set_membership() {
+        let mut set = HashSet::new();
+        set.insert(Symbol::new("game"));
+        assert!(set.contains(&Symbol::new("game")));
+        assert!(!set.contains(&Symbol::new("games")));
+    }
+
+    #[test]
+    fn display_plain_and_quoted() {
+        assert_eq!(Symbol::new("tc").to_string(), "tc");
+        assert_eq!(Symbol::new("Tc").to_string(), "'Tc'");
+        assert_eq!(Symbol::new("hello world").to_string(), "'hello world'");
+        assert_eq!(Symbol::new("x_1").to_string(), "x_1");
+    }
+
+    #[test]
+    fn needs_quoting_rules() {
+        assert!(!Symbol::new("abc").needs_quoting());
+        assert!(!Symbol::new("a1_b").needs_quoting());
+        assert!(Symbol::new("1abc").needs_quoting());
+        assert!(Symbol::new("Abc").needs_quoting());
+        assert!(Symbol::new("a-b").needs_quoting());
+        assert!(Symbol::new("").needs_quoting());
+    }
+
+    #[test]
+    fn borrow_as_str() {
+        let s = Symbol::new("assoc");
+        let set: HashSet<Symbol> = [s.clone()].into_iter().collect();
+        assert!(set.contains("assoc"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [Symbol::new("b"), Symbol::new("a"), Symbol::new("c")];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|s| s.name().to_string()).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+    }
+}

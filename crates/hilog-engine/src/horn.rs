@@ -1,0 +1,445 @@
+//! Least models of definite (negation-free) programs, and the atom store /
+//! join machinery shared with the grounder.
+//!
+//! Section 2 of the paper: a negation-free HiLog program — for instance the
+//! image of a program under the universal-relation transformation — is a Horn
+//! program whose least model gives its semantics.  The least model is
+//! computed bottom-up by semi-naive iteration; the same join machinery drives
+//! the *relevant instantiation* used to ground programs with negation.
+
+use crate::error::EngineError;
+use hilog_core::literal::Literal;
+use hilog_core::program::Program;
+use hilog_core::rule::Rule;
+use hilog_core::subst::Substitution;
+use hilog_core::term::Term;
+use hilog_core::unify::match_with;
+use std::collections::{BTreeSet, HashMap};
+
+/// Resource limits for bottom-up evaluation.  They exist because HiLog
+/// Herbrand universes are infinite: a non-range-restricted program (or a
+/// range-restricted one with recursively applied function symbols, as the
+/// paper notes at the end of Section 6.1) may not have a finite relevant
+/// instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Maximum number of distinct derived atoms before aborting.
+    pub max_atoms: usize,
+    /// Maximum number of semi-naive rounds before aborting.
+    pub max_rounds: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { max_atoms: 500_000, max_rounds: 100_000 }
+    }
+}
+
+impl EvalOptions {
+    /// Options with a small atom budget, useful in tests of divergence.
+    pub fn with_max_atoms(max_atoms: usize) -> Self {
+        EvalOptions { max_atoms, ..EvalOptions::default() }
+    }
+}
+
+/// How to treat negative literals during a positive (over-approximating)
+/// computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegationMode {
+    /// Ignore negative literals (treat them as true).  This yields the
+    /// over-approximation of the true-or-undefined atoms used for relevant
+    /// instantiation (Observation 5.1 justifies that atoms outside it are
+    /// false for range-restricted programs).
+    Ignore,
+    /// Reject programs containing negative literals.
+    Forbid,
+}
+
+/// A set of ground atoms indexed by `(predicate name, arity)` for fast
+/// candidate lookup during joins.
+#[derive(Debug, Clone, Default)]
+pub struct AtomStore {
+    atoms: BTreeSet<Term>,
+    by_key: HashMap<(Term, Option<usize>), Vec<Term>>,
+}
+
+impl AtomStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        AtomStore::default()
+    }
+
+    /// Builds a store from an iterator of ground atoms.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Term>) -> Self {
+        let mut store = AtomStore::new();
+        for a in atoms {
+            store.insert(a);
+        }
+        store
+    }
+
+    fn key_of(atom: &Term) -> (Term, Option<usize>) {
+        (atom.name().clone(), atom.arity())
+    }
+
+    /// Inserts a ground atom; returns `true` if it was new.
+    pub fn insert(&mut self, atom: Term) -> bool {
+        debug_assert!(atom.is_ground(), "AtomStore::insert of non-ground atom {atom}");
+        if self.atoms.insert(atom.clone()) {
+            self.by_key.entry(Self::key_of(&atom)).or_default().push(atom);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if the atom is present.
+    pub fn contains(&self, atom: &Term) -> bool {
+        self.atoms.contains(atom)
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over all atoms.
+    pub fn iter(&self) -> impl Iterator<Item = &Term> {
+        self.atoms.iter()
+    }
+
+    /// The full atom set.
+    pub fn atoms(&self) -> &BTreeSet<Term> {
+        &self.atoms
+    }
+
+    /// Candidate atoms that could match the given (possibly partially
+    /// instantiated) pattern: if the pattern's predicate name is ground the
+    /// lookup is by `(name, arity)`; otherwise every atom of the right arity
+    /// is a candidate (a variable predicate name can match anything of that
+    /// arity).
+    pub fn candidates<'a>(&'a self, pattern: &Term) -> Box<dyn Iterator<Item = &'a Term> + 'a> {
+        let arity = pattern.arity();
+        if pattern.name().is_ground() {
+            match self.by_key.get(&(pattern.name().clone(), arity)) {
+                Some(v) => Box::new(v.iter()),
+                None => Box::new(std::iter::empty()),
+            }
+        } else {
+            Box::new(self.atoms.iter().filter(move |a| a.arity() == arity))
+        }
+    }
+}
+
+/// Extends the substitutions in `seeds` by matching `pattern` against the
+/// atoms of `store`, returning every successful extension.
+pub fn extend_by_matching(
+    seeds: Vec<Substitution>,
+    pattern: &Term,
+    store: &AtomStore,
+) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    for theta in seeds {
+        let instantiated = theta.apply(pattern);
+        if instantiated.is_ground() {
+            if store.contains(&instantiated) {
+                out.push(theta);
+            }
+            continue;
+        }
+        for candidate in store.candidates(&instantiated) {
+            let mut extended = theta.clone();
+            if match_with(&instantiated, candidate, &mut extended) {
+                out.push(extended);
+            }
+        }
+    }
+    out
+}
+
+/// Joins the body of a rule against an atom store, producing every
+/// substitution under which all positive atoms are in the store and all
+/// builtins succeed.  Negative literals are handled according to `mode`;
+/// aggregates are rejected (they have a dedicated evaluator).
+///
+/// When `delta` is `Some((store, index))`, the positive literal at position
+/// `index` (counting positive literals only) draws its candidates from the
+/// delta store instead — the semi-naive restriction.
+pub fn join_body(
+    rule: &Rule,
+    store: &AtomStore,
+    delta: Option<(&AtomStore, usize)>,
+    mode: NegationMode,
+) -> Result<Vec<Substitution>, EngineError> {
+    let mut thetas = vec![Substitution::new()];
+    let mut positive_index = 0usize;
+    for lit in &rule.body {
+        if thetas.is_empty() {
+            return Ok(thetas);
+        }
+        match lit {
+            Literal::Pos(atom) => {
+                let use_store = match delta {
+                    Some((delta_store, idx)) if idx == positive_index => delta_store,
+                    _ => store,
+                };
+                thetas = extend_by_matching(thetas, atom, use_store);
+                positive_index += 1;
+            }
+            Literal::Neg(_) => match mode {
+                NegationMode::Ignore => {}
+                NegationMode::Forbid => {
+                    return Err(EngineError::Unsupported(format!(
+                        "negative literal `{lit}` in a definite-program computation"
+                    )))
+                }
+            },
+            Literal::Builtin(b) => {
+                let mut next = Vec::with_capacity(thetas.len());
+                for mut theta in thetas {
+                    match b.eval(&mut theta) {
+                        Ok(true) => next.push(theta),
+                        Ok(false) => {}
+                        Err(e) => return Err(EngineError::Core(e)),
+                    }
+                }
+                thetas = next;
+            }
+            Literal::Aggregate(_) => {
+                return Err(EngineError::Unsupported(
+                    "aggregate literals are evaluated by the aggregation evaluator, not the grounder"
+                        .into(),
+                ))
+            }
+        }
+    }
+    Ok(thetas)
+}
+
+/// Computes the least model of a definite program by semi-naive bottom-up
+/// evaluation.  With [`NegationMode::Ignore`] the result over-approximates
+/// the true-or-undefined atoms of any model of the full program (negative
+/// literals are treated as true); with [`NegationMode::Forbid`] the program
+/// must be negation-free and the result is its least Herbrand model.
+pub fn least_model(
+    program: &Program,
+    mode: NegationMode,
+    opts: EvalOptions,
+) -> Result<AtomStore, EngineError> {
+    let mut store = AtomStore::new();
+    let mut delta = AtomStore::new();
+
+    // Round 0: facts and rules whose positive body is empty.
+    for rule in program.iter() {
+        let positives = rule.positive_atoms().count();
+        if positives == 0 {
+            for theta in join_body(rule, &store, None, mode)? {
+                let head = theta.apply(&rule.head);
+                if !head.is_ground() {
+                    return Err(EngineError::Floundering(format!(
+                        "rule `{rule}` derives the non-ground head `{head}`; the program is not \
+                         range restricted (Definition 5.5) so bottom-up evaluation cannot bind it"
+                    )));
+                }
+                if store.insert(head.clone()) {
+                    delta.insert(head);
+                }
+            }
+        }
+    }
+
+    let mut rounds = 0usize;
+    while !delta.is_empty() {
+        rounds += 1;
+        if rounds > opts.max_rounds {
+            return Err(EngineError::LimitExceeded(format!(
+                "least-model computation exceeded {} rounds",
+                opts.max_rounds
+            )));
+        }
+        let mut next_delta = AtomStore::new();
+        for rule in program.iter() {
+            let positives = rule.positive_atoms().count();
+            for delta_idx in 0..positives {
+                for theta in join_body(rule, &store, Some((&delta, delta_idx)), mode)? {
+                    let head = theta.apply(&rule.head);
+                    if !head.is_ground() {
+                        return Err(EngineError::Floundering(format!(
+                            "rule `{rule}` derives the non-ground head `{head}`"
+                        )));
+                    }
+                    if !store.contains(&head) {
+                        if store.len() >= opts.max_atoms {
+                            return Err(EngineError::LimitExceeded(format!(
+                                "least-model computation exceeded {} atoms",
+                                opts.max_atoms
+                            )));
+                        }
+                        store.insert(head.clone());
+                        next_delta.insert(head);
+                    }
+                }
+            }
+        }
+        delta = next_delta;
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilog_syntax::parse_program;
+
+    fn lm(text: &str) -> AtomStore {
+        least_model(&parse_program(text).unwrap(), NegationMode::Forbid, EvalOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn least_model_of_facts() {
+        let m = lm("move(a, b). move(b, c).");
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&Term::apps("move", vec![Term::sym("a"), Term::sym("b")])));
+    }
+
+    #[test]
+    fn transitive_closure_of_chain() {
+        let m = lm("tc(X, Y) :- edge(X, Y).\n\
+                    tc(X, Y) :- edge(X, Z), tc(Z, Y).\n\
+                    edge(a, b). edge(b, c). edge(c, d).");
+        // 3 edges + 6 tc facts.
+        assert_eq!(m.len(), 9);
+        assert!(m.contains(&Term::apps("tc", vec![Term::sym("a"), Term::sym("d")])));
+        assert!(!m.contains(&Term::apps("tc", vec![Term::sym("d"), Term::sym("a")])));
+    }
+
+    #[test]
+    fn generic_hilog_transitive_closure() {
+        // Example 2.1 with a bound relation name.
+        let m = lm("tc(G)(X, Y) :- graph(G), G(X, Y).\n\
+                    tc(G)(X, Y) :- graph(G), G(X, Z), tc(G)(Z, Y).\n\
+                    graph(e). e(a, b). e(b, c).");
+        let tc_e = |x: &str, y: &str| {
+            Term::app(
+                Term::apps("tc", vec![Term::sym("e")]),
+                vec![Term::sym(x), Term::sym(y)],
+            )
+        };
+        assert!(m.contains(&tc_e("a", "b")));
+        assert!(m.contains(&tc_e("a", "c")));
+        assert!(m.contains(&tc_e("b", "c")));
+        assert!(!m.contains(&tc_e("c", "a")));
+    }
+
+    #[test]
+    fn maplist_bottom_up_is_infinite_and_hits_the_atom_budget() {
+        // Example 2.2 has recursively applied constructors (`cons`), so — as
+        // the end of Section 6.1 warns for programs with recursively applied
+        // function symbols — its bottom-up relevant instantiation is
+        // infinite: ever longer lists keep being derived.  The engine detects
+        // this through the atom budget; the query-directed evaluator in
+        // `magic_eval` is the right tool for maplist (see its tests).
+        let p = parse_program(
+            "maplist(F)([], []) :- fun(F).\n\
+             maplist(F)([X | R], [Y | Z]) :- F(X, Y), maplist(F)(R, Z).\n\
+             fun(double).\n\
+             double(one, two). double(two, four).",
+        )
+        .unwrap();
+        let r = least_model(&p, NegationMode::Forbid, EvalOptions::with_max_atoms(300));
+        assert!(matches!(r, Err(EngineError::LimitExceeded(_))));
+    }
+
+    #[test]
+    fn unguarded_maplist_flounders() {
+        // The literal Example 2.2 base case has the variable F in its head
+        // name; bottom-up evaluation cannot bind it and reports floundering.
+        let p = parse_program("maplist(F)([], []).").unwrap();
+        assert!(matches!(
+            least_model(&p, NegationMode::Forbid, EvalOptions::default()),
+            Err(EngineError::Floundering(_))
+        ));
+    }
+
+    #[test]
+    fn builtins_participate_in_joins() {
+        let m = lm("cost(a, 3). cost(b, 5).\n\
+                    total(X, N) :- cost(X, P), N is P * 2.\n\
+                    cheap(X) :- cost(X, P), P < 4.");
+        assert!(m.contains(&Term::apps("total", vec![Term::sym("a"), Term::int(6)])));
+        assert!(m.contains(&Term::apps("cheap", vec![Term::sym("a")])));
+        assert!(!m.contains(&Term::apps("cheap", vec![Term::sym("b")])));
+    }
+
+    #[test]
+    fn variable_predicate_names_join_against_all_atoms() {
+        // p :- X(Y), Y(X).  (Example 5.1) — no derivation without facts, one
+        // with the facts q(r), r(q).
+        let without = least_model(
+            &parse_program("p :- X(Y), Y(X).").unwrap(),
+            NegationMode::Forbid,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(!without.contains(&Term::sym("p")));
+        let with = lm("p :- X(Y), Y(X). q(r). r(q).");
+        assert!(with.contains(&Term::sym("p")));
+    }
+
+    #[test]
+    fn negation_mode_controls_negative_literals() {
+        let p = parse_program("p :- q, not r. q.").unwrap();
+        assert!(matches!(
+            least_model(&p, NegationMode::Forbid, EvalOptions::default()),
+            Err(EngineError::Unsupported(_))
+        ));
+        let m = least_model(&p, NegationMode::Ignore, EvalOptions::default()).unwrap();
+        assert!(m.contains(&Term::sym("p")));
+    }
+
+    #[test]
+    fn floundering_is_reported() {
+        // A fact with a variable cannot be grounded bottom-up.
+        let p = parse_program("p(X, X, a).").unwrap();
+        assert!(matches!(
+            least_model(&p, NegationMode::Forbid, EvalOptions::default()),
+            Err(EngineError::Floundering(_))
+        ));
+    }
+
+    #[test]
+    fn atom_limit_stops_runaway_programs() {
+        // nat(s(X)) :- nat(X). generates unboundedly many atoms.
+        let p = parse_program("nat(z). nat(s(X)) :- nat(X).").unwrap();
+        let r = least_model(&p, NegationMode::Forbid, EvalOptions::with_max_atoms(50));
+        assert!(matches!(r, Err(EngineError::LimitExceeded(_))));
+    }
+
+    #[test]
+    fn atom_store_candidates_by_name_and_arity() {
+        let mut store = AtomStore::new();
+        store.insert(Term::apps("move", vec![Term::sym("a"), Term::sym("b")]));
+        store.insert(Term::apps("move", vec![Term::sym("b"), Term::sym("c")]));
+        store.insert(Term::apps("game", vec![Term::sym("move1")]));
+        let pat = Term::apps("move", vec![Term::var("X"), Term::var("Y")]);
+        assert_eq!(store.candidates(&pat).count(), 2);
+        let var_name = Term::app(Term::var("G"), vec![Term::var("X"), Term::var("Y")]);
+        assert_eq!(store.candidates(&var_name).count(), 2);
+        let unary = Term::app(Term::var("G"), vec![Term::var("X")]);
+        assert_eq!(store.candidates(&unary).count(), 1);
+    }
+
+    #[test]
+    fn duplicate_insertion_is_idempotent() {
+        let mut store = AtomStore::new();
+        assert!(store.insert(Term::sym("p")));
+        assert!(!store.insert(Term::sym("p")));
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,708 @@
+//! Query-directed evaluation for modularly stratified HiLog programs.
+//!
+//! Section 6.1 uses the magic-sets rewriting to evaluate queries bottom-up
+//! while only ever touching atoms relevant to the query.  As documented in
+//! DESIGN.md, this crate realises the *evaluation* side of that method with a
+//! memoising, query/subquery engine: subgoals are tabled, answers are
+//! computed to a fixpoint, and a negative (or aggregate) subgoal is handled
+//! by *completely settling* its own subquery first — which is exactly what
+//! modular stratification guarantees to be possible, and exactly what the
+//! dp/dn/□ machinery of Ross [16] arranges in the rewritten program.  The
+//! relevance behaviour (irrelevant parts of the database are never visited)
+//! is the same, which is what experiment E7 measures.
+//!
+//! When the evaluator detects that settling a negative subgoal requires a
+//! subgoal that is still being evaluated higher up the chain — a negative
+//! dependency cycle at the instance level, as in Example 6.4 — it reports
+//! [`EngineError::NotModularlyStratified`], mirroring the paper's remark that
+//! the magic-sets method "would notice the negative dependency of `p(a)` on
+//! itself ... and not get as far as checking `p(b)`".
+//!
+//! Subgoals must have ground predicate names and ground negative subgoals at
+//! selection time (the program must not *flounder*, footnote 10); the
+//! left-to-right subgoal order of the source rules is the sideways
+//! information passing strategy.
+
+use crate::error::EngineError;
+use crate::horn::EvalOptions;
+use hilog_core::literal::{AggregateFunc, Literal};
+use hilog_core::program::Program;
+use hilog_core::rule::{Query, Rule};
+use hilog_core::subst::Substitution;
+use hilog_core::term::{Term, Var};
+use hilog_core::unify::{match_with, unify_with};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Statistics collected during query evaluation, used by the benchmarks to
+/// show the relevance advantage of query-directed evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of distinct tabled subgoals.
+    pub subqueries: usize,
+    /// Number of answers derived across all tables.
+    pub answers: usize,
+    /// Number of rule-body expansions attempted.
+    pub rule_applications: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    pattern: Term,
+    answers: BTreeSet<Term>,
+    complete: bool,
+}
+
+/// A memoising query/subquery evaluator over a fixed program.
+#[derive(Debug)]
+pub struct QueryEvaluator<'p> {
+    program: &'p Program,
+    opts: EvalOptions,
+    tables: HashMap<String, Table>,
+    rename_counter: u32,
+    stats: EvalStats,
+    /// Rule indices grouped by the (ground) outermost functor and arity of
+    /// their head, so that a subgoal only considers rules that could match it
+    /// (the discrimination the magic predicates provide in the rewritten
+    /// program).
+    rules_by_head: HashMap<(Term, Option<usize>), Vec<usize>>,
+    /// Rules whose head outermost functor is a variable: candidates for every
+    /// subgoal.
+    wildcard_rules: Vec<usize>,
+}
+
+impl<'p> QueryEvaluator<'p> {
+    /// Creates an evaluator for the program.
+    pub fn new(program: &'p Program, opts: EvalOptions) -> Self {
+        let mut rules_by_head: HashMap<(Term, Option<usize>), Vec<usize>> = HashMap::new();
+        let mut wildcard_rules = Vec::new();
+        for (i, rule) in program.iter().enumerate() {
+            let functor = rule.head.outermost_functor();
+            if functor.is_ground() {
+                rules_by_head
+                    .entry((functor.clone(), rule.head.arity()))
+                    .or_default()
+                    .push(i);
+            } else {
+                wildcard_rules.push(i);
+            }
+        }
+        QueryEvaluator {
+            program,
+            opts,
+            tables: HashMap::new(),
+            rename_counter: 0,
+            stats: EvalStats::default(),
+            rules_by_head,
+            wildcard_rules,
+        }
+    }
+
+    /// The rule indices that could match a subgoal with the given pattern.
+    fn candidate_rules(&self, pattern: &Term) -> Vec<usize> {
+        let functor = pattern.outermost_functor();
+        if !functor.is_ground() {
+            return (0..self.program.len()).collect();
+        }
+        let mut out: Vec<usize> = self
+            .rules_by_head
+            .get(&(functor.clone(), pattern.arity()))
+            .cloned()
+            .unwrap_or_default();
+        out.extend(self.wildcard_rules.iter().copied());
+        out.sort_unstable();
+        out
+    }
+
+    /// Evaluation statistics so far.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            subqueries: self.tables.len(),
+            answers: self.tables.values().map(|t| t.answers.len()).sum(),
+            rule_applications: self.stats.rule_applications,
+        }
+    }
+
+    /// Answers a single-atom subgoal: returns all ground instances of
+    /// `pattern` that are true in the well-founded model of the program.
+    pub fn solve_atom(&mut self, pattern: &Term) -> Result<Vec<Term>, EngineError> {
+        let key = self.evaluate_completely(pattern, &mut Vec::new())?;
+        Ok(self.tables[&key].answers.iter().cloned().collect())
+    }
+
+    /// Answers a query (a conjunction of literals), returning one
+    /// substitution of the query's variables per answer.
+    pub fn answer_query(&mut self, query: &Query) -> Result<Vec<Substitution>, EngineError> {
+        let vars = query.variables();
+        // Wrap the query in an auxiliary rule so conjunctions and negative
+        // literals are handled uniformly (the `answer` rule of Section 5).
+        let head = Term::apps(
+            "__query_answer",
+            vars.iter().map(|v| Term::Var(v.clone())).collect(),
+        );
+        let rule = Rule::new(head.clone(), query.literals.clone());
+        let mut extended = self.program.clone();
+        extended.push(rule);
+        let mut sub = QueryEvaluator::new(&extended, self.opts);
+        let answers = sub.solve_atom(&head)?;
+        self.stats.rule_applications += sub.stats().rule_applications;
+        let mut out = Vec::new();
+        for answer in answers {
+            let mut theta = Substitution::new();
+            if match_with(&head, &answer, &mut theta) {
+                out.push(theta.restrict(&vars));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if the ground atom is true in the well-founded model.
+    pub fn holds(&mut self, atom: &Term) -> Result<bool, EngineError> {
+        if !atom.is_ground() {
+            return Err(EngineError::Floundering(format!(
+                "holds() requires a ground atom, got `{atom}`"
+            )));
+        }
+        let answers = self.solve_atom(atom)?;
+        Ok(answers.iter().any(|a| a == atom))
+    }
+
+    /// Canonical key for a subgoal pattern: variables are renamed in order of
+    /// first occurrence so that variants share a table.
+    fn normalize(&self, pattern: &Term) -> (String, Term) {
+        let vars = pattern.variables();
+        let theta: Substitution = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), Term::var(format!("_N{i}"))))
+            .collect();
+        let normalized = theta.apply(pattern);
+        (normalized.to_string(), normalized)
+    }
+
+    fn fresh_generation(&mut self) -> u32 {
+        self.rename_counter += 1;
+        self.rename_counter
+    }
+
+    /// Ensures the table for `pattern` exists and is complete, evaluating the
+    /// subgoal (and, recursively, everything it needs) to a fixpoint.
+    ///
+    /// `in_progress` tracks the subgoal keys currently being settled; a
+    /// request to *completely* settle a key that is already in progress is a
+    /// negative dependency cycle and the program is rejected as not
+    /// modularly stratified.
+    fn evaluate_completely(
+        &mut self,
+        pattern: &Term,
+        in_progress: &mut Vec<String>,
+    ) -> Result<String, EngineError> {
+        if !pattern.name().is_ground() && pattern.is_var() {
+            return Err(EngineError::Floundering(format!(
+                "subgoal `{pattern}` is an unbound variable"
+            )));
+        }
+        let (key, normalized) = self.normalize(pattern);
+        if let Some(table) = self.tables.get(&key) {
+            if table.complete {
+                return Ok(key);
+            }
+            // The subgoal is already being settled further up the negation
+            // chain: a dependency cycle through negation at the instance
+            // level (Example 6.4).  A merely *incomplete* table that is not
+            // an ancestor (it belongs to an enclosing positive fixpoint) is
+            // fine — we saturate it here, which only brings its completion
+            // forward.
+            if in_progress.contains(&key) {
+                return Err(EngineError::NotModularlyStratified(format!(
+                    "the subgoal `{normalized}` depends on itself through negation or aggregation \
+                     (cf. Example 6.4)"
+                )));
+            }
+        } else {
+            self.tables.insert(
+                key.clone(),
+                Table { pattern: normalized.clone(), answers: BTreeSet::new(), complete: false },
+            );
+        }
+        in_progress.push(key.clone());
+
+        // The set of subgoal keys whose fixpoint this evaluation owns.  New
+        // positive subgoals encountered during expansion join the scope.
+        let mut scope: Vec<String> = vec![key.clone()];
+        loop {
+            let mut changed = false;
+            let mut i = 0;
+            while i < scope.len() {
+                let subgoal_key = scope[i].clone();
+                i += 1;
+                changed |= self.expand(&subgoal_key, &mut scope, in_progress)?;
+            }
+            if !changed {
+                break;
+            }
+            let total_answers: usize = self.tables.values().map(|t| t.answers.len()).sum();
+            if total_answers > self.opts.max_atoms {
+                return Err(EngineError::LimitExceeded(format!(
+                    "query evaluation derived more than {} answers",
+                    self.opts.max_atoms
+                )));
+            }
+        }
+        for k in &scope {
+            if let Some(t) = self.tables.get_mut(k) {
+                t.complete = true;
+            }
+        }
+        in_progress.pop();
+        Ok(key)
+    }
+
+    /// Registers (or finds) the table for a positive subgoal encountered
+    /// during expansion, adding it to the evaluation scope if it is new.
+    fn table_for_positive(
+        &mut self,
+        pattern: &Term,
+        scope: &mut Vec<String>,
+        in_progress: &[String],
+    ) -> Result<String, EngineError> {
+        let (key, normalized) = self.normalize(pattern);
+        if let Some(table) = self.tables.get(&key) {
+            if !table.complete && !scope.contains(&key) {
+                // The subgoal is being settled in an enclosing evaluation
+                // whose completion transitively needs *this* evaluation:
+                // a dependency cycle through negation.
+                if in_progress.contains(&key) {
+                    return Err(EngineError::NotModularlyStratified(format!(
+                        "the subgoal `{normalized}` is needed (through negation) while it is \
+                         still being settled"
+                    )));
+                }
+                scope.push(key.clone());
+            }
+            return Ok(key);
+        }
+        self.tables.insert(
+            key.clone(),
+            Table { pattern: normalized, answers: BTreeSet::new(), complete: false },
+        );
+        scope.push(key.clone());
+        Ok(key)
+    }
+
+    /// One expansion pass over all rules whose head unifies with the
+    /// subgoal's pattern.  Returns `true` if any new answer was derived.
+    fn expand(
+        &mut self,
+        subgoal_key: &str,
+        scope: &mut Vec<String>,
+        in_progress: &mut Vec<String>,
+    ) -> Result<bool, EngineError> {
+        let pattern = self.tables[subgoal_key].pattern.clone();
+        let mut derived: Vec<Term> = Vec::new();
+        for rule_index in self.candidate_rules(&pattern) {
+            let rule = &self.program.rules[rule_index];
+            let generation = self.fresh_generation();
+            let renamed = rule.rename(generation);
+            let mut theta = Substitution::new();
+            if !unify_with(&renamed.head, &pattern, &mut theta) {
+                continue;
+            }
+            self.stats.rule_applications += 1;
+            let mut branches = vec![theta];
+            for lit in &renamed.body {
+                if branches.is_empty() {
+                    break;
+                }
+                let mut next = Vec::new();
+                for theta in branches {
+                    match lit {
+                        Literal::Pos(atom) => {
+                            let instantiated = theta.apply(atom);
+                            if !instantiated.name().is_ground() && instantiated.is_var() {
+                                return Err(EngineError::Floundering(format!(
+                                    "positive subgoal `{instantiated}` is an unbound variable \
+                                     when selected"
+                                )));
+                            }
+                            let key =
+                                self.table_for_positive(&instantiated, scope, in_progress)?;
+                            let answers: Vec<Term> =
+                                self.tables[&key].answers.iter().cloned().collect();
+                            for answer in answers {
+                                let mut extended = theta.clone();
+                                if unify_with(&instantiated, &answer, &mut extended) {
+                                    next.push(extended);
+                                }
+                            }
+                        }
+                        Literal::Neg(atom) => {
+                            let instantiated = theta.apply(atom);
+                            if !instantiated.is_ground() {
+                                return Err(EngineError::Floundering(format!(
+                                    "negative subgoal `not {instantiated}` is selected while \
+                                     non-ground (the rule order flounders, footnote 10)"
+                                )));
+                            }
+                            let key = self.evaluate_completely(&instantiated, in_progress)?;
+                            let is_true =
+                                self.tables[&key].answers.contains(&instantiated);
+                            if !is_true {
+                                next.push(theta);
+                            }
+                        }
+                        Literal::Builtin(b) => {
+                            let mut extended = theta.clone();
+                            match b.eval(&mut extended) {
+                                Ok(true) => next.push(extended),
+                                Ok(false) => {}
+                                Err(e) => return Err(EngineError::Core(e)),
+                            }
+                        }
+                        Literal::Aggregate(agg) => {
+                            let instantiated_pattern = theta.apply(&agg.pattern);
+                            let key =
+                                self.evaluate_completely(&instantiated_pattern, in_progress)?;
+                            let answers: Vec<Term> =
+                                self.tables[&key].answers.iter().cloned().collect();
+                            // Group by the pattern variables that occur
+                            // outside the aggregate literal.
+                            let mut outside: Vec<Var> = renamed.head.variables();
+                            for other in renamed.body.iter().filter(|l| *l != lit) {
+                                outside.extend(other.variables());
+                            }
+                            let value_vars = agg.value.variables();
+                            let group_vars: Vec<Var> = agg
+                                .pattern
+                                .variables()
+                                .into_iter()
+                                .filter(|v| outside.contains(v) && !value_vars.contains(v))
+                                .collect();
+                            let mut groups: BTreeMap<Vec<(Var, Term)>, Vec<i64>> = BTreeMap::new();
+                            for answer in answers {
+                                let mut m = Substitution::new();
+                                if match_with(&instantiated_pattern, &answer, &mut m) {
+                                    let k: Vec<(Var, Term)> = group_vars
+                                        .iter()
+                                        .map(|v| (v.clone(), m.apply(&Term::Var(v.clone()))))
+                                        .collect();
+                                    if let Term::Int(i) = m.apply(&theta.apply(&agg.value)) {
+                                        groups.entry(k).or_default().push(i);
+                                    }
+                                }
+                            }
+                            for (group_key, values) in groups {
+                                let result = match agg.func {
+                                    AggregateFunc::Sum => values.iter().sum(),
+                                    AggregateFunc::Count => values.len() as i64,
+                                    AggregateFunc::Min => {
+                                        values.iter().copied().min().unwrap_or(0)
+                                    }
+                                    AggregateFunc::Max => {
+                                        values.iter().copied().max().unwrap_or(0)
+                                    }
+                                };
+                                let mut extended = theta.clone();
+                                let mut ok = true;
+                                for (v, t) in &group_key {
+                                    if !unify_with(&Term::Var(v.clone()), t, &mut extended) {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                if ok
+                                    && unify_with(
+                                        &agg.result,
+                                        &Term::Int(result),
+                                        &mut extended,
+                                    )
+                                {
+                                    next.push(extended);
+                                }
+                            }
+                        }
+                    }
+                }
+                branches = next;
+            }
+            for theta in branches {
+                let answer = theta.apply(&renamed.head);
+                if answer.is_ground() {
+                    derived.push(answer);
+                } else {
+                    return Err(EngineError::Floundering(format!(
+                        "rule `{rule}` produced the non-ground answer `{answer}`"
+                    )));
+                }
+            }
+        }
+        let table = self.tables.get_mut(subgoal_key).expect("table exists");
+        let before = table.answers.len();
+        for d in derived {
+            // Only keep instances of the subgoal pattern.
+            let mut m = Substitution::new();
+            if match_with(&table.pattern, &d, &mut m) {
+                table.answers.insert(d);
+            }
+        }
+        Ok(table.answers.len() != before)
+    }
+}
+
+/// Convenience function: answers a query against a program with a fresh
+/// evaluator, returning the substitutions and the evaluation statistics.
+pub fn answer_query(
+    program: &Program,
+    query: &Query,
+    opts: EvalOptions,
+) -> Result<(Vec<Substitution>, EvalStats), EngineError> {
+    let mut evaluator = QueryEvaluator::new(program, opts);
+    let answers = evaluator.answer_query(query)?;
+    let stats = evaluator.stats();
+    Ok((answers, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilog_syntax::{parse_program, parse_query, parse_term};
+
+    fn game(n: usize) -> Program {
+        // A chain game a0 -> a1 -> ... -> an.
+        let mut text = String::from("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n");
+        text.push_str("game(move1).\n");
+        for i in 0..n {
+            text.push_str(&format!("move1(p{}, p{}).\n", i, i + 1));
+        }
+        parse_program(&text).unwrap()
+    }
+
+    #[test]
+    fn ground_query_on_the_game_program() {
+        let program = game(4);
+        let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
+        // p3 can move to the dead end p4, so p3 is winning; p4 is not.
+        assert!(ev.holds(&parse_term("winning(move1)(p3)").unwrap()).unwrap());
+        assert!(!ev.holds(&parse_term("winning(move1)(p4)").unwrap()).unwrap());
+        // Positions alternate along the chain.
+        assert!(!ev.holds(&parse_term("winning(move1)(p2)").unwrap()).unwrap());
+        assert!(ev.holds(&parse_term("winning(move1)(p1)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn open_query_enumerates_answers() {
+        let program = game(4);
+        let (answers, _) = answer_query(
+            &program,
+            &parse_query("?- winning(move1)(X).").unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        let xs: BTreeSet<String> = answers
+            .iter()
+            .map(|s| s.apply(&Term::var("X")).to_string())
+            .collect();
+        assert_eq!(xs, ["p1".to_string(), "p3".to_string()].into_iter().collect());
+    }
+
+    #[test]
+    fn query_with_variable_predicate_name() {
+        // ?- game(M), winning(M)(p1). binds the game name first, as the
+        // strongly range-restricted discipline requires.
+        let program = game(2);
+        let (answers, _) = answer_query(
+            &program,
+            &parse_query("?- game(M), winning(M)(X).").unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(!answers.is_empty());
+        for a in &answers {
+            assert_eq!(a.apply(&Term::var("M")).to_string(), "move1");
+        }
+    }
+
+    #[test]
+    fn agreement_with_bottom_up_wfs() {
+        let program = game(6);
+        let wfm = crate::wfs::well_founded_model(&program, EvalOptions::default()).unwrap();
+        let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
+        for i in 0..=6 {
+            let atom = parse_term(&format!("winning(move1)(p{i})")).unwrap();
+            assert_eq!(
+                ev.holds(&atom).unwrap(),
+                wfm.is_true(&atom),
+                "disagreement on winning(move1)(p{i})"
+            );
+        }
+    }
+
+    #[test]
+    fn relevance_point_query_does_not_touch_other_games() {
+        // Two games; querying one should not table subgoals of the other.
+        let program = parse_program(
+            "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+             game(move1). game(move2).\n\
+             move1(a, b). move1(b, c).\n\
+             move2(x1, x2). move2(x2, x3). move2(x3, x4).",
+        )
+        .unwrap();
+        let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
+        assert!(!ev.holds(&parse_term("winning(move1)(a)").unwrap()).unwrap());
+        let stats = ev.stats();
+        // No table mentions move2 positions.
+        assert!(
+            !ev.tables.keys().any(|k| k.contains("move2(x")),
+            "irrelevant subgoals were tabled: {:?}",
+            ev.tables.keys().collect::<Vec<_>>()
+        );
+        assert!(stats.subqueries > 0);
+    }
+
+    #[test]
+    fn positive_recursion_is_tabled_to_fixpoint() {
+        // Generic transitive closure with a bound relation name.
+        let program = parse_program(
+            "tc(G)(X, Y) :- graph(G), G(X, Y).\n\
+             tc(G)(X, Y) :- graph(G), G(X, Z), tc(G)(Z, Y).\n\
+             graph(e). e(a, b). e(b, c). e(c, d).",
+        )
+        .unwrap();
+        let (answers, _) = answer_query(
+            &program,
+            &parse_query("?- tc(e)(a, Y).").unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        let ys: BTreeSet<String> =
+            answers.iter().map(|s| s.apply(&Term::var("Y")).to_string()).collect();
+        assert_eq!(
+            ys,
+            ["b".to_string(), "c".to_string(), "d".to_string()].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn maplist_example_2_2_evaluates_top_down() {
+        // Example 2.2: the query-directed evaluator handles maplist, which
+        // bottom-up evaluation cannot (its relevant instantiation is
+        // infinite — see the horn module's maplist test).
+        let program = parse_program(
+            "maplist(F)([], []) :- fun(F).\n\
+             maplist(F)([X | R], [Y | Z]) :- F(X, Y), maplist(F)(R, Z).\n\
+             fun(double).\n\
+             double(one, two). double(two, four).",
+        )
+        .unwrap();
+        let (answers, _) = answer_query(
+            &program,
+            &parse_query("?- maplist(double)([one, two], L).").unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].apply(&Term::var("L")).to_string(), "[two, four]");
+        // maplist also runs "backwards": which input list doubles to
+        // [two, four]?
+        let (back, _) = answer_query(
+            &program,
+            &parse_query("?- maplist(double)(In, [two, four]).").unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].apply(&Term::var("In")).to_string(), "[one, two]");
+    }
+
+    #[test]
+    fn example_6_4_self_dependency_is_rejected_when_encountered() {
+        // Example 6.4 is not modularly stratified: the instantiated rule
+        // p(a) :- t(a, b, a, p), not p(b), not p(a) makes p(a) depend
+        // negatively on itself.  Whether the sequential evaluator actually
+        // *reaches* that dependency depends on the left-to-right subgoal
+        // order (the method of Section 6.1 is "modular stratification from
+        // left to right").  With `not p(Z)` selected first the cycle is hit
+        // and the program is rejected, exactly as the paper describes
+        // ("notice the negative dependency of p(a) on itself ... and not get
+        // as far as checking p(b)").
+        let reordered = parse_program(
+            "p(X) :- t(X, Y, Z, P), not p(Z), not p(Y).\n\
+             t(a, b, a, p).\n\
+             t(c, a, b, p).\n\
+             p(b) :- t(X, Y, b, P).",
+        )
+        .unwrap();
+        let mut ev = QueryEvaluator::new(&reordered, EvalOptions::default());
+        let err = ev.holds(&parse_term("p(a)").unwrap()).unwrap_err();
+        assert!(matches!(err, EngineError::NotModularlyStratified(_)));
+
+        // With the paper's original literal order, the offending branch is
+        // killed by `not p(b)` before `not p(a)` is selected, so the
+        // evaluator happens to terminate with the correct well-founded
+        // values — a conservative improvement over the paper's method, which
+        // gives up.  The Figure 1 procedure still classifies the program as
+        // not modularly stratified (see the modular module's tests).
+        let original = parse_program(
+            "p(X) :- t(X, Y, Z, P), not p(Y), not p(Z).\n\
+             t(a, b, a, p).\n\
+             t(c, a, b, p).\n\
+             p(b) :- t(X, Y, b, P).",
+        )
+        .unwrap();
+        let mut ev2 = QueryEvaluator::new(&original, EvalOptions::default());
+        assert!(!ev2.holds(&parse_term("p(a)").unwrap()).unwrap());
+        assert!(ev2.holds(&parse_term("p(b)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn floundering_negative_subgoal_is_reported() {
+        let program = parse_program("p(X) :- not q(X, Y), r(X). r(a). q(a, b).").unwrap();
+        let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
+        let err = ev.holds(&parse_term("p(a)").unwrap()).unwrap_err();
+        assert!(matches!(err, EngineError::Floundering(_)));
+    }
+
+    #[test]
+    fn builtins_in_rule_bodies() {
+        let program = parse_program(
+            "price(X, N) :- base(X, P), N is P * 2.\n\
+             cheap(X) :- price(X, N), N < 10.\n\
+             base(a, 3). base(b, 7).",
+        )
+        .unwrap();
+        let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
+        assert!(ev.holds(&parse_term("cheap(a)").unwrap()).unwrap());
+        assert!(!ev.holds(&parse_term("cheap(b)").unwrap()).unwrap());
+        assert!(ev.holds(&parse_term("price(b, 14)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn aggregates_via_query_evaluation() {
+        // A one-level sum: total(X, N) where N sums the quantities of X's
+        // direct parts.
+        let program = parse_program(
+            "total(X, N) :- item(X), N = sum(P, part(X, Y, P)).\n\
+             item(bike).\n\
+             part(bike, wheel, 2). part(bike, frame, 1).",
+        )
+        .unwrap();
+        let (answers, _) = answer_query(
+            &program,
+            &parse_query("?- total(bike, N).").unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].apply(&Term::var("N")), Term::int(3));
+    }
+
+    #[test]
+    fn stats_reflect_work_done() {
+        let program = game(8);
+        let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
+        ev.holds(&parse_term("winning(move1)(p0)").unwrap()).unwrap();
+        let stats = ev.stats();
+        assert!(stats.subqueries >= 8);
+        assert!(stats.rule_applications > 0);
+        assert!(stats.answers > 0);
+    }
+}

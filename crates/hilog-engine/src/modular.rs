@@ -1,0 +1,603 @@
+//! Modular stratification for HiLog — the Figure 1 procedure.
+//!
+//! Section 6 of the paper generalises the modularly stratified programs of
+//! Ross [16] to HiLog.  Because predicate names may contain variables, the
+//! strongly connected components of the program cannot be computed a priori
+//! (Example 6.2); instead the Figure 1 procedure settles the *lowest*
+//! components one at a time:
+//!
+//! 1. partition the remaining rules into those with variables in the head
+//!    predicate name (`R_v`) and the rest (`R_g`);
+//! 2. reject if a ground-headed rule's head predicate is already settled
+//!    (the conservative treatment of Example 6.5), or if `R_g` is empty;
+//! 3. build the dependency graph over the *ground* predicate names of the
+//!    remaining rules, with edges from each ground-headed rule's head to the
+//!    ground names in its body;
+//! 4. let `T` be the names in components with no outgoing edge;
+//! 5. the rules with heads in `T` must contain no variable predicate names
+//!    and must be locally stratified once instantiated; compute their (total)
+//!    well-founded model `M_T`;
+//! 6. add `T` to the settled set, merge `M_T` into the accumulated model and
+//!    replace the remaining rules by their *HiLog reduction* modulo the model
+//!    (Definition 6.5); repeat.
+//!
+//! If the procedure terminates with no rules left, the program is modularly
+//! stratified for HiLog and the accumulated model is its total well-founded
+//! model, which is also its unique stable model (Theorem 6.1).
+//!
+//! For normal programs the procedure specialises to modular stratification in
+//! the sense of Definition 6.4 (Lemma 6.2); [`modularly_stratified_normal`]
+//! exposes that entry point.
+
+use crate::error::EngineError;
+use crate::grounder::relevant_ground;
+use crate::horn::EvalOptions;
+use crate::wfs::well_founded_of_ground;
+use hilog_core::analysis::{ground_predicate_name, DependencyGraph, EdgeSign};
+use hilog_core::interpretation::Model;
+use hilog_core::literal::{AggregateFunc, Literal};
+use hilog_core::program::Program;
+use hilog_core::rule::Rule;
+use hilog_core::subst::Substitution;
+use hilog_core::term::Term;
+use hilog_core::unify::match_with;
+use std::collections::BTreeSet;
+
+/// The result of running the Figure 1 procedure.
+#[derive(Debug, Clone)]
+pub struct ModularOutcome {
+    /// `true` if the program is modularly stratified for HiLog.
+    pub modularly_stratified: bool,
+    /// The accumulated (total) well-founded model when stratified.
+    pub model: Option<Model>,
+    /// Human-readable reason for rejection.
+    pub reason: Option<String>,
+    /// The sets of predicate names settled at each round, in order.
+    pub rounds: Vec<Vec<Term>>,
+}
+
+impl ModularOutcome {
+    fn accepted(model: Model, rounds: Vec<Vec<Term>>) -> Self {
+        ModularOutcome { modularly_stratified: true, model: Some(model), reason: None, rounds }
+    }
+
+    fn rejected(reason: String, rounds: Vec<Vec<Term>>) -> Self {
+        ModularOutcome { modularly_stratified: false, model: None, reason: Some(reason), rounds }
+    }
+}
+
+/// Runs the Figure 1 procedure on a HiLog program.
+///
+/// The program should be strongly range restricted (Definition 6.6 assumes
+/// it); programs that flounder during instantiation are rejected with the
+/// floundering message as the reason rather than raising an error, since
+/// Figure 1 treats every failure of its side conditions as "not modularly
+/// stratified".
+pub fn modularly_stratified_hilog(
+    program: &Program,
+    opts: EvalOptions,
+) -> Result<ModularOutcome, EngineError> {
+    let mut remaining: Vec<Rule> = program.rules.clone();
+    let mut settled: BTreeSet<Term> = BTreeSet::new();
+    let mut model = Model::empty();
+    let mut rounds: Vec<Vec<Term>> = Vec::new();
+    let mut guard = 0usize;
+
+    while !remaining.is_empty() {
+        guard += 1;
+        if guard > opts.max_rounds {
+            return Err(EngineError::LimitExceeded(format!(
+                "Figure 1 procedure exceeded {} rounds",
+                opts.max_rounds
+            )));
+        }
+
+        // Step 1: partition by groundness of the head predicate name.
+        let (ground_headed, variable_headed): (Vec<&Rule>, Vec<&Rule>) =
+            remaining.iter().partition(|r| r.head.name().is_ground());
+
+        // Step 2: conflicts with already-settled names, or nothing to settle.
+        for rule in &ground_headed {
+            let name = rule.head.name().clone();
+            if settled.contains(&name) {
+                return Ok(ModularOutcome::rejected(
+                    format!(
+                        "rule `{rule}` has head predicate `{name}` which was already settled \
+                         (a variable head name was instantiated too late, cf. Example 6.5)"
+                    ),
+                    rounds,
+                ));
+            }
+        }
+        if ground_headed.is_empty() {
+            return Ok(ModularOutcome::rejected(
+                format!(
+                    "no rules with ground head predicate names remain ({} variable-headed rules \
+                     cannot be instantiated)",
+                    variable_headed.len()
+                ),
+                rounds,
+            ));
+        }
+
+        // Step 3: dependency graph over ground predicate names of R.
+        let mut graph = DependencyGraph::new();
+        for rule in &remaining {
+            for atom in std::iter::once(&rule.head).chain(rule.body.iter().filter_map(|l| match l {
+                Literal::Pos(a) | Literal::Neg(a) => Some(a),
+                Literal::Aggregate(a) => Some(&a.pattern),
+                Literal::Builtin(_) => None,
+            })) {
+                if let Some(name) = ground_predicate_name(atom) {
+                    graph.add_node(name);
+                }
+            }
+        }
+        for rule in &ground_headed {
+            let head_name = rule.head.name().clone();
+            for lit in &rule.body {
+                let (atom, sign) = match lit {
+                    Literal::Pos(a) => (a, EdgeSign::Positive),
+                    Literal::Neg(a) => (a, EdgeSign::Negative),
+                    Literal::Aggregate(a) => (&a.pattern, EdgeSign::Negative),
+                    Literal::Builtin(_) => continue,
+                };
+                if let Some(body_name) = ground_predicate_name(atom) {
+                    graph.add_edge(head_name.clone(), body_name, sign);
+                }
+            }
+        }
+
+        // Step 4: the lowest (sink) components.
+        let lowest: BTreeSet<Term> = graph.sink_component_nodes().into_iter().collect();
+        if lowest.is_empty() {
+            return Ok(ModularOutcome::rejected(
+                "dependency graph has no sink components".into(),
+                rounds,
+            ));
+        }
+
+        // Step 5: the rules defining the lowest components.
+        let lowest_rules: Vec<Rule> = ground_headed
+            .iter()
+            .filter(|r| lowest.contains(r.head.name()))
+            .map(|r| (*r).clone())
+            .collect();
+        for rule in &lowest_rules {
+            if rule_has_variable_predicate_name(rule) {
+                return Ok(ModularOutcome::rejected(
+                    format!("rule `{rule}` in the lowest component contains a variable predicate name"),
+                    rounds,
+                ));
+            }
+        }
+        let component_program = Program::from_rules(lowest_rules);
+        let ground_component = match relevant_ground(&component_program, opts) {
+            Ok(g) => g,
+            Err(EngineError::Floundering(msg)) => {
+                return Ok(ModularOutcome::rejected(
+                    format!("lowest component cannot be instantiated bottom-up: {msg}"),
+                    rounds,
+                ))
+            }
+            Err(other) => return Err(other),
+        };
+        let ground_rules: Vec<Rule> = ground_component
+            .rules
+            .iter()
+            .map(|gr| {
+                Rule::new(
+                    gr.head.clone(),
+                    gr.pos
+                        .iter()
+                        .map(|a| Literal::Pos(a.clone()))
+                        .chain(gr.neg.iter().map(|a| Literal::Neg(a.clone())))
+                        .collect(),
+                )
+            })
+            .collect();
+        if !hilog_core::analysis::is_locally_stratified_ground(&ground_rules) {
+            return Ok(ModularOutcome::rejected(
+                format!(
+                    "the reduction of the lowest component {:?} is not locally stratified",
+                    lowest.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+                ),
+                rounds,
+            ));
+        }
+        let component_model = well_founded_of_ground(&ground_component);
+        debug_assert!(
+            component_model.is_total(),
+            "locally stratified component must have a total well-founded model"
+        );
+
+        // Step 6: settle, merge, reduce.
+        rounds.push(lowest.iter().cloned().collect());
+        settled.extend(lowest.iter().cloned());
+        model.merge(&component_model);
+        let survivors: Vec<Rule> = remaining
+            .iter()
+            .filter(|r| {
+                !(r.head.name().is_ground() && lowest.contains(r.head.name()))
+            })
+            .cloned()
+            .collect();
+        remaining = match hilog_reduce(&survivors, &settled, &model, opts) {
+            Ok(rules) => rules,
+            Err(reason) => return Ok(ModularOutcome::rejected(reason, rounds)),
+        };
+    }
+    Ok(ModularOutcome::accepted(model, rounds))
+}
+
+/// Modular stratification for normal programs (Definition 6.4).  By Lemma 6.2
+/// this coincides with the HiLog procedure on normal programs, so the same
+/// procedure is run after checking normality.
+pub fn modularly_stratified_normal(
+    program: &Program,
+    opts: EvalOptions,
+) -> Result<ModularOutcome, EngineError> {
+    if !program.is_normal() {
+        return Err(EngineError::Unsupported(
+            "modularly_stratified_normal requires a normal program; use modularly_stratified_hilog"
+                .into(),
+        ));
+    }
+    modularly_stratified_hilog(program, opts)
+}
+
+fn rule_has_variable_predicate_name(rule: &Rule) -> bool {
+    let atom_has = |a: &Term| !a.name().is_ground();
+    if atom_has(&rule.head) {
+        return true;
+    }
+    rule.body.iter().any(|l| match l {
+        Literal::Pos(a) | Literal::Neg(a) => atom_has(a),
+        Literal::Aggregate(a) => atom_has(&a.pattern),
+        Literal::Builtin(_) => false,
+    })
+}
+
+/// The HiLog reduction of a set of rules modulo a (total) model for the
+/// settled predicates (Definition 6.5).
+///
+/// Literals whose (ground) predicate name is settled are resolved against the
+/// model: true positive literals instantiate the rule's variables, false ones
+/// delete the instance; negative settled literals delete the literal (if
+/// false in the model) or the instance (if true).  Literals over unsettled
+/// predicates are kept.  A settled negative or aggregate literal that is
+/// still non-ground after the positive settled literals have been joined
+/// cannot be resolved; the reduction reports failure (the conservative
+/// behaviour discussed in DESIGN.md).
+pub fn hilog_reduce(
+    rules: &[Rule],
+    settled: &BTreeSet<Term>,
+    model: &Model,
+    opts: EvalOptions,
+) -> Result<Vec<Rule>, String> {
+    let mut out: Vec<Rule> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for rule in rules {
+        // Each partial instantiation carries its substitution and the
+        // literals kept (not yet resolvable).
+        let mut branches: Vec<(Substitution, Vec<Literal>)> = vec![(Substitution::new(), Vec::new())];
+        for lit in &rule.body {
+            let mut next: Vec<(Substitution, Vec<Literal>)> = Vec::new();
+            for (theta, kept) in branches {
+                let lit_inst = lit.apply(&theta);
+                match &lit_inst {
+                    Literal::Pos(atom) if atom.name().is_ground() && settled.contains(atom.name()) => {
+                        if atom.is_ground() {
+                            if model.is_true(atom) {
+                                next.push((theta, kept));
+                            }
+                            continue;
+                        }
+                        for candidate in model.true_atoms() {
+                            let mut extended = theta.clone();
+                            if match_with(atom, candidate, &mut extended) {
+                                next.push((extended, kept.clone()));
+                            }
+                        }
+                    }
+                    Literal::Neg(atom) if atom.name().is_ground() && settled.contains(atom.name()) => {
+                        if !atom.is_ground() {
+                            return Err(format!(
+                                "cannot reduce the non-ground settled negative literal `not {atom}` \
+                                 of rule `{rule}`"
+                            ));
+                        }
+                        if !model.is_true(atom) {
+                            next.push((theta, kept));
+                        }
+                    }
+                    Literal::Builtin(b) => {
+                        let mut extended = theta.clone();
+                        if b.variables().iter().all(|v| extended.get(v).is_some())
+                            || b.left.is_ground() && b.right.is_ground()
+                        {
+                            match b.apply(&theta).eval(&mut extended) {
+                                Ok(true) => next.push((extended, kept)),
+                                Ok(false) => {}
+                                Err(_) => {
+                                    // Not yet evaluable; defer.
+                                    let mut kept = kept;
+                                    kept.push(lit.clone());
+                                    next.push((theta, kept));
+                                }
+                            }
+                        } else {
+                            let mut kept = kept;
+                            kept.push(lit.clone());
+                            next.push((theta, kept));
+                        }
+                    }
+                    Literal::Aggregate(agg)
+                        if agg.pattern.name().is_ground() && settled.contains(agg.pattern.name()) =>
+                    {
+                        // Evaluate the aggregate over the settled model.  The
+                        // grouping variables are the pattern variables that
+                        // also occur outside the aggregate literal (in the
+                        // head or another body literal) — "the sum is grouped
+                        // by Mach, X and Y" in the paper's example; variables
+                        // local to the pattern are aggregated over.
+                        let pattern = &agg.pattern;
+                        let mut groups: std::collections::BTreeMap<Vec<(hilog_core::term::Var, Term)>, Vec<i64>> =
+                            std::collections::BTreeMap::new();
+                        let mut outside_vars: Vec<hilog_core::term::Var> = rule.head.variables();
+                        for other in rule.body.iter().filter(|l| *l != lit) {
+                            outside_vars.extend(other.variables());
+                        }
+                        let value_vars = agg.value.variables();
+                        let group_vars: Vec<hilog_core::term::Var> = pattern
+                            .variables()
+                            .into_iter()
+                            .filter(|v| outside_vars.contains(v) && !value_vars.contains(v))
+                            .collect();
+                        for candidate in model.true_atoms() {
+                            let mut m = Substitution::new();
+                            if match_with(pattern, candidate, &mut m) {
+                                let key: Vec<(hilog_core::term::Var, Term)> = group_vars
+                                    .iter()
+                                    .map(|v| (v.clone(), m.apply(&Term::Var(v.clone()))))
+                                    .collect();
+                                if let Term::Int(i) = m.apply(&agg.value) {
+                                    groups.entry(key).or_default().push(i);
+                                }
+                            }
+                        }
+                        for (key, values) in groups {
+                            let result = apply_aggregate(agg.func, &values);
+                            let mut extended = theta.clone();
+                            let mut ok = true;
+                            for (v, t) in &key {
+                                if !hilog_core::unify::unify_with(&Term::Var(v.clone()), t, &mut extended) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok
+                                && hilog_core::unify::unify_with(
+                                    &agg.result,
+                                    &Term::Int(result),
+                                    &mut extended,
+                                )
+                            {
+                                next.push((extended, kept.clone()));
+                            }
+                        }
+                    }
+                    _ => {
+                        let mut kept = kept;
+                        kept.push(lit.clone());
+                        next.push((theta, kept));
+                    }
+                }
+                if next.len() > opts.max_atoms {
+                    return Err(format!(
+                        "HiLog reduction of rule `{rule}` exceeded {} partial instantiations",
+                        opts.max_atoms
+                    ));
+                }
+            }
+            branches = next;
+        }
+        for (theta, kept) in branches {
+            let head = theta.apply(&rule.head);
+            let body: Vec<Literal> = kept.iter().map(|l| l.apply(&theta)).collect();
+            let reduced = Rule::new(head, body);
+            let key = reduced.to_string();
+            if seen.insert(key) {
+                out.push(reduced);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn apply_aggregate(func: AggregateFunc, values: &[i64]) -> i64 {
+    match func {
+        AggregateFunc::Sum => values.iter().sum(),
+        AggregateFunc::Count => values.len() as i64,
+        AggregateFunc::Min => values.iter().copied().min().unwrap_or(0),
+        AggregateFunc::Max => values.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilog_core::interpretation::Truth;
+    use hilog_syntax::{parse_program, parse_term};
+
+    fn run(text: &str) -> ModularOutcome {
+        modularly_stratified_hilog(&parse_program(text).unwrap(), EvalOptions::default()).unwrap()
+    }
+
+    fn t(s: &str) -> Term {
+        parse_term(s).unwrap()
+    }
+
+    #[test]
+    fn example_6_1_acyclic_game_is_modularly_stratified() {
+        let out = run("winning(X) :- move(X, Y), not winning(Y).\n\
+                       move(a, b). move(b, c). move(a, c).");
+        assert!(out.modularly_stratified, "{:?}", out.reason);
+        let m = out.model.unwrap();
+        assert!(m.is_total());
+        assert_eq!(m.truth(&t("winning(b)")), Truth::True);
+        assert_eq!(m.truth(&t("winning(a)")), Truth::True);
+        assert_eq!(m.truth(&t("winning(c)")), Truth::False);
+        // Two rounds: the move component, then the winning component.
+        assert_eq!(out.rounds.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_game_is_rejected() {
+        let out = run("winning(X) :- move(X, Y), not winning(Y).\n\
+                       move(a, b). move(b, a).");
+        assert!(!out.modularly_stratified);
+        assert!(out.reason.unwrap().contains("locally stratified"));
+    }
+
+    #[test]
+    fn example_6_3_hilog_game_is_modularly_stratified() {
+        let out = run("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                       game(move1). game(move2).\n\
+                       move1(a, b). move1(b, c).\n\
+                       move2(x, y). move2(y, z).");
+        assert!(out.modularly_stratified, "{:?}", out.reason);
+        let m = out.model.unwrap();
+        assert_eq!(m.truth(&t("winning(move1)(a)")), Truth::False);
+        assert_eq!(m.truth(&t("winning(move1)(b)")), Truth::True);
+        assert_eq!(m.truth(&t("winning(move2)(x)")), Truth::False);
+        assert_eq!(m.truth(&t("winning(move2)(y)")), Truth::True);
+        // The model coincides with the HiLog well-founded model (Theorem 6.1).
+        let wfm = crate::wfs::well_founded_model(
+            &parse_program(
+                "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                 game(move1). game(move2).\n\
+                 move1(a, b). move1(b, c).\n\
+                 move2(x, y). move2(y, z).",
+            )
+            .unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        for atom in wfm.base() {
+            assert_eq!(m.truth(atom), wfm.truth(atom), "{atom}");
+        }
+    }
+
+    #[test]
+    fn example_6_3_hilog_game_with_cyclic_member_is_rejected() {
+        let out = run("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                       game(move1). move1(a, b). move1(b, a).");
+        assert!(!out.modularly_stratified);
+    }
+
+    #[test]
+    fn example_6_4_two_valued_but_not_modularly_stratified() {
+        let out = run("p(X) :- t(X, Y, Z, P), not p(Y), not p(Z).\n\
+                       t(a, b, a, p).\n\
+                       t(c, a, b, p).\n\
+                       p(b) :- t(X, Y, b, P).");
+        assert!(!out.modularly_stratified);
+        assert!(out.reason.unwrap().contains("locally stratified"));
+    }
+
+    #[test]
+    fn example_6_5_late_instantiation_to_settled_name_is_rejected() {
+        // aux depends negatively on winning(move1); the variable-headed rule
+        // X :- aux(X) therefore only becomes instantiable after move1 has
+        // been settled (as empty), and the procedure rejects the program.
+        let out = run("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                       game(move1). move1(a, b).\n\
+                       X :- aux(X).\n\
+                       aux(move1(b, c)) :- not winning(move1)(a).");
+        assert!(!out.modularly_stratified);
+        assert!(out.reason.unwrap().contains("already settled"));
+    }
+
+    #[test]
+    fn benign_variable_head_is_accepted() {
+        // The variable-headed rule instantiates early (q is settled in the
+        // first round), so the program is modularly stratified.
+        let out = run("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                       X :- q(X).\n\
+                       game(move1). q(move1(a, b)). q(move1(b, c)).");
+        assert!(out.modularly_stratified, "{:?}", out.reason);
+        let m = out.model.unwrap();
+        assert_eq!(m.truth(&t("move1(a, b)")), Truth::True);
+        assert_eq!(m.truth(&t("winning(move1)(b)")), Truth::True);
+        assert_eq!(m.truth(&t("winning(move1)(a)")), Truth::False);
+    }
+
+    #[test]
+    fn stratified_normal_program_is_modularly_stratified() {
+        let out = modularly_stratified_normal(
+            &parse_program(
+                "p(X) :- q(X), not r(X).\n\
+                 q(a). q(b). r(b).",
+            )
+            .unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(out.modularly_stratified);
+        let m = out.model.unwrap();
+        assert_eq!(m.truth(&t("p(a)")), Truth::True);
+        assert_eq!(m.truth(&t("p(b)")), Truth::False);
+    }
+
+    #[test]
+    fn normal_entry_point_rejects_hilog_programs() {
+        let p = parse_program("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y). game(m).")
+            .unwrap();
+        assert!(matches!(
+            modularly_stratified_normal(&p, EvalOptions::default()),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn lemma_6_2_agreement_on_normal_programs() {
+        // For normal programs the procedure accepts exactly when the
+        // conventional component-by-component definition does; spot-check a
+        // modularly stratified (win-move, acyclic) and a non-modularly
+        // stratified (win-move, cyclic) instance, comparing against the
+        // two-valuedness of the well-founded model as a sanity bound.
+        let acyclic = "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).";
+        let cyclic = "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, a).";
+        assert!(run(acyclic).modularly_stratified);
+        assert!(!run(cyclic).modularly_stratified);
+    }
+
+    #[test]
+    fn parts_explosion_aggregate_component_is_reducible() {
+        // A one-level parts explosion where the aggregate's pattern relation
+        // is settled before the aggregate rule: reduction evaluates the sum.
+        let out = run("in(bike, wheel, 2).\n\
+                       in(bike, frame, 1).\n\
+                       total(X, N) :- item(X), N = sum(P, in(X, Y, P)).\n\
+                       item(bike).");
+        assert!(out.modularly_stratified, "{:?}", out.reason);
+        let m = out.model.unwrap();
+        assert_eq!(m.truth(&t("total(bike, 3)")), Truth::True);
+    }
+
+    #[test]
+    fn settled_rounds_are_reported_in_order() {
+        let out = run("a(X) :- b(X), not c(X).\n\
+                       c(X) :- d(X).\n\
+                       b(1). b(2). d(2).");
+        assert!(out.modularly_stratified);
+        // b and d are settled before c, which is settled before a.
+        let flat: Vec<String> =
+            out.rounds.iter().flatten().map(|t| t.to_string()).collect();
+        let pos = |name: &str| flat.iter().position(|x| x == name).unwrap();
+        assert!(pos("b") < pos("a"));
+        assert!(pos("d") <= pos("c"));
+        assert!(pos("c") < pos("a"));
+    }
+}

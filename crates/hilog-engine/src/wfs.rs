@@ -1,0 +1,368 @@
+//! The well-founded semantics (Section 3.1, extended to HiLog in Section 4).
+//!
+//! Definitions 3.3–3.5 of the paper are implemented directly on the
+//! instantiated (ground) program:
+//!
+//! * `T_P(I)` — an atom is derived if some instantiated rule has every body
+//!   literal true in `I`;
+//! * `U_P(I)` — the greatest unfounded set with respect to `I`, computed as
+//!   the complement of the least *founded* set (an atom is founded if some
+//!   rule for it has no witness of unusability and all its positive body
+//!   atoms are already founded);
+//! * `W_P(I) = T_P(I) ∪ ¬·U_P(I)`, iterated from the empty interpretation to
+//!   its least fixpoint, the well-founded partial model.
+//!
+//! The HiLog well-founded semantics is obtained by applying exactly the same
+//! construction to the HiLog instantiation of the program (Section 4); the
+//! caller chooses the instantiation strategy (relevant or bounded-universe,
+//! see [`crate::grounder`]).
+
+use crate::error::EngineError;
+use crate::ground::{GroundProgram, IndexedProgram};
+use crate::grounder::{ground_over_universe, relevant_ground};
+use crate::horn::EvalOptions;
+use hilog_core::interpretation::Model;
+use hilog_core::program::Program;
+use hilog_core::term::Term;
+
+/// A three-valued assignment over the atoms of an [`IndexedProgram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Assignment {
+    truth: Vec<Option<bool>>, // Some(true) = true, Some(false) = false, None = undefined
+}
+
+impl Assignment {
+    fn new(n: usize) -> Self {
+        Assignment { truth: vec![None; n] }
+    }
+
+    fn is_true(&self, a: u32) -> bool {
+        self.truth[a as usize] == Some(true)
+    }
+
+    fn is_false(&self, a: u32) -> bool {
+        self.truth[a as usize] == Some(false)
+    }
+}
+
+/// One application of the `T_P` operator (Definition 3.5): the set of atoms
+/// with a rule whose positive body atoms are all true and whose negative body
+/// atoms are all false in `I`.
+fn t_p(program: &IndexedProgram, i: &Assignment) -> Vec<u32> {
+    let mut out = Vec::new();
+    'rules: for rule in &program.rules {
+        for &p in &rule.pos {
+            if !i.is_true(p) {
+                continue 'rules;
+            }
+        }
+        for &n in &rule.neg {
+            if !i.is_false(n) {
+                continue 'rules;
+            }
+        }
+        out.push(rule.head);
+    }
+    out
+}
+
+/// The greatest unfounded set with respect to `I` (Definitions 3.3–3.4),
+/// returned as a boolean mask over atom ids.
+///
+/// The complement (the *founded* atoms) is computed as a least fixpoint: an
+/// atom is founded if it has a rule with no witness of unusability
+/// (condition 1: no body literal's complement is in `I`) whose positive body
+/// atoms are all founded (the negation of condition 2).  Everything not
+/// founded is unfounded.
+fn greatest_unfounded_set(program: &IndexedProgram, i: &Assignment) -> Vec<bool> {
+    let n = program.atom_count();
+    let mut founded = vec![false; n];
+    // usable[r] = rule r has no witness of unusability of type 1.
+    let usable: Vec<bool> = program
+        .rules
+        .iter()
+        .map(|r| {
+            r.pos.iter().all(|&p| !i.is_false(p)) && r.neg.iter().all(|&q| !i.is_true(q))
+        })
+        .collect();
+    // Least fixpoint by worklist.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if !usable[ri] || founded[rule.head as usize] {
+                continue;
+            }
+            if rule.pos.iter().all(|&p| founded[p as usize]) {
+                founded[rule.head as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    founded.iter().map(|&f| !f).collect()
+}
+
+/// Computes the well-founded (partial) model of a ground program by iterating
+/// `W_P` to its least fixpoint (Definition 3.5).
+pub fn well_founded_of_ground(program: &GroundProgram) -> Model {
+    let indexed = IndexedProgram::build(program);
+    let n = indexed.atom_count();
+    let mut assignment = Assignment::new(n);
+    loop {
+        let mut changed = false;
+        // W_P(I) = T_P(I) ∪ ¬ · U_P(I).
+        let trues = t_p(&indexed, &assignment);
+        let unfounded = greatest_unfounded_set(&indexed, &assignment);
+        for a in trues {
+            if assignment.truth[a as usize] != Some(true) {
+                assignment.truth[a as usize] = Some(true);
+                changed = true;
+            }
+        }
+        for (a, &unf) in unfounded.iter().enumerate() {
+            if unf && assignment.truth[a] != Some(true) && assignment.truth[a] != Some(false) {
+                assignment.truth[a] = Some(false);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut true_atoms = Vec::new();
+    let mut undefined = Vec::new();
+    let mut base = Vec::new();
+    for (id, atom) in indexed.atoms.iter() {
+        base.push(atom.clone());
+        match assignment.truth[id as usize] {
+            Some(true) => true_atoms.push(atom.clone()),
+            Some(false) => {}
+            None => undefined.push(atom.clone()),
+        }
+    }
+    Model::new(base, true_atoms, undefined)
+}
+
+/// Checks whether a *total* candidate assignment over the ground program's
+/// atoms is a fixpoint of `W_P` — the characterisation of stable models used
+/// by Definition 3.6.  `candidate` maps every atom of the program to a truth
+/// value via [`Model::truth`] (atoms outside its base count as false).
+pub fn is_two_valued_fixpoint(program: &GroundProgram, candidate: &Model) -> bool {
+    let indexed = IndexedProgram::build(program);
+    let n = indexed.atom_count();
+    let mut assignment = Assignment::new(n);
+    for (id, atom) in indexed.atoms.iter() {
+        assignment.truth[id as usize] = Some(candidate.is_true(atom));
+    }
+    // T_P(I) must be exactly the true atoms, and U_P(I) exactly the false ones.
+    let mut derived = vec![false; n];
+    for a in t_p(&indexed, &assignment) {
+        derived[a as usize] = true;
+    }
+    let unfounded = greatest_unfounded_set(&indexed, &assignment);
+    for id in 0..n {
+        let is_true = assignment.truth[id] == Some(true);
+        if is_true != derived[id] {
+            return false;
+        }
+        if is_true == unfounded[id] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Computes the well-founded model of a program via relevant instantiation
+/// (the practical path for range-restricted and Datahilog programs).
+pub fn well_founded_model(program: &Program, opts: EvalOptions) -> Result<Model, EngineError> {
+    Ok(well_founded_of_ground(&relevant_ground(program, opts)?))
+}
+
+/// Computes the well-founded model of a program instantiated over an
+/// explicitly enumerated universe slice (the literal reading of Section 4 for
+/// programs that are not range restricted, e.g. Example 4.1).
+pub fn well_founded_model_over_universe(
+    program: &Program,
+    universe: &[Term],
+    opts: EvalOptions,
+) -> Result<Model, EngineError> {
+    Ok(well_founded_of_ground(&ground_over_universe(program, universe, opts)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilog_core::interpretation::Truth;
+    use hilog_syntax::{parse_program, parse_term};
+
+    fn wfs(text: &str) -> Model {
+        well_founded_model(&parse_program(text).unwrap(), EvalOptions::default()).unwrap()
+    }
+
+    fn t(s: &str) -> Term {
+        parse_term(s).unwrap()
+    }
+
+    #[test]
+    fn example_3_1_well_founded_model() {
+        // p :- q.  q :- p.  r :- s, not p.  s.  t :- not r.  u :- not u.
+        let m = wfs("p :- q. q :- p. r :- s, not p. s. t :- not r. u :- not u.");
+        assert_eq!(m.truth(&t("s")), Truth::True);
+        assert_eq!(m.truth(&t("r")), Truth::True);
+        assert_eq!(m.truth(&t("p")), Truth::False);
+        assert_eq!(m.truth(&t("q")), Truth::False);
+        assert_eq!(m.truth(&t("t")), Truth::False);
+        assert_eq!(m.truth(&t("u")), Truth::Undefined);
+        assert!(!m.is_total());
+    }
+
+    #[test]
+    fn example_3_2_everything_undefined() {
+        // p :- not q.  q :- not p.  r :- p.  r :- q.  t :- p, not p.
+        let m = wfs("p :- not q. q :- not p. r :- p. r :- q. t :- p, not p.");
+        for atom in ["p", "q", "r"] {
+            assert_eq!(m.truth(&t(atom)), Truth::Undefined, "{atom}");
+        }
+        // t can never be true (it needs p and not p), but it is not decided
+        // false either by W_P?  It is: the rule's body contains complementary
+        // literals, so t is unfounded once p is... p stays undefined, so the
+        // rule for t has no witness of unusability and t stays undefined.
+        assert_eq!(m.truth(&t("t")), Truth::Undefined);
+        assert!(!m.is_total());
+    }
+
+    #[test]
+    fn win_move_game_example_6_1() {
+        // A chain a -> b -> c: a and c lose... actually winning(b) is true
+        // (b moves to c which has no moves), winning(a) is false (its only
+        // move hands b a winning position), winning(c) is false (no moves).
+        let m = wfs("winning(X) :- move(X, Y), not winning(Y).\n\
+                     move(a, b). move(b, c).");
+        assert_eq!(m.truth(&t("winning(b)")), Truth::True);
+        assert_eq!(m.truth(&t("winning(a)")), Truth::False);
+        assert_eq!(m.truth(&t("winning(c)")), Truth::False);
+        assert!(m.is_total());
+    }
+
+    #[test]
+    fn win_move_with_cycle_has_undefined_positions() {
+        // A pure two-position cycle is a draw: both positions are undefined
+        // in the well-founded model (the game analogue of Example 3.2).
+        let m = wfs("winning(X) :- move(X, Y), not winning(Y).\n\
+                     move(a, b). move(b, a).");
+        assert_eq!(m.truth(&t("winning(a)")), Truth::Undefined);
+        assert_eq!(m.truth(&t("winning(b)")), Truth::Undefined);
+        assert!(!m.is_total());
+        // Adding an escape move from b to a dead-end position c makes the
+        // game determinate again: b wins by moving to c, a loses.
+        let m2 = wfs("winning(X) :- move(X, Y), not winning(Y).\n\
+                      move(a, b). move(b, a). move(b, c).");
+        assert_eq!(m2.truth(&t("winning(b)")), Truth::True);
+        assert_eq!(m2.truth(&t("winning(a)")), Truth::False);
+        assert!(m2.is_total());
+    }
+
+    #[test]
+    fn hilog_game_program_example_6_3() {
+        let m = wfs("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                     game(move1). game(move2).\n\
+                     move1(a, b). move1(b, c).\n\
+                     move2(x, y).");
+        assert_eq!(m.truth(&t("winning(move1)(b)")), Truth::True);
+        assert_eq!(m.truth(&t("winning(move1)(a)")), Truth::False);
+        assert_eq!(m.truth(&t("winning(move2)(x)")), Truth::True);
+        assert_eq!(m.truth(&t("winning(move2)(y)")), Truth::False);
+        assert!(m.is_total());
+    }
+
+    #[test]
+    fn generic_transitive_closure_with_negation() {
+        // unreachable pairs via tc and negation: strongly range-restricted
+        // variant of Example 2.1 with a graph relation.
+        let m = wfs("tc(G)(X, Y) :- graph(G), G(X, Y).\n\
+                     tc(G)(X, Y) :- graph(G), G(X, Z), tc(G)(Z, Y).\n\
+                     node(a). node(b). node(c).\n\
+                     unreachable(G)(X, Y) :- graph(G), node(X), node(Y), not tc(G)(X, Y).\n\
+                     graph(e). e(a, b). e(b, c).");
+        assert_eq!(m.truth(&t("tc(e)(a, c)")), Truth::True);
+        assert_eq!(m.truth(&t("unreachable(e)(c, a)")), Truth::True);
+        assert_eq!(m.truth(&t("unreachable(e)(a, c)")), Truth::False);
+        assert!(m.is_total());
+    }
+
+    #[test]
+    fn example_4_1_depends_on_the_universe() {
+        // p :- not q(X).  q(a).
+        // Over the normal universe {a}: p is false.
+        // Over a HiLog universe slice with extra terms: p is true.
+        let p = parse_program("p :- not q(X). q(a).").unwrap();
+        use hilog_core::herbrand::{HerbrandBounds, HerbrandUniverse};
+        let normal = HerbrandUniverse::normal(&p, HerbrandBounds::default());
+        let m_normal =
+            well_founded_model_over_universe(&p, normal.terms(), EvalOptions::default()).unwrap();
+        assert_eq!(m_normal.truth(&t("p")), Truth::False);
+
+        let hilog = HerbrandUniverse::hilog(&p, HerbrandBounds::new(2, 1, 200));
+        let m_hilog =
+            well_founded_model_over_universe(&p, hilog.terms(), EvalOptions::default()).unwrap();
+        assert_eq!(m_hilog.truth(&t("p")), Truth::True);
+    }
+
+    #[test]
+    fn example_5_1_preservation_counterexample_base_case() {
+        // P = { p :- X(Y), Y(X). }: p is false in the well-founded model of P
+        // alone, true after adding q(r), r(q).
+        let m_alone = wfs("p :- X(Y), Y(X).");
+        assert_eq!(m_alone.truth(&t("p")), Truth::False);
+        let m_extended = wfs("p :- X(Y), Y(X). q(r). r(q).");
+        assert_eq!(m_extended.truth(&t("p")), Truth::True);
+    }
+
+    #[test]
+    fn example_6_4_has_total_wfs() {
+        let m = wfs("p(X) :- t(X, Y, Z, P), not p(Y), not p(Z).\n\
+                     t(a, b, a, p).\n\
+                     t(c, a, b, p).\n\
+                     p(b) :- t(X, Y, b, P).");
+        assert_eq!(m.truth(&t("p(b)")), Truth::True);
+        assert_eq!(m.truth(&t("p(a)")), Truth::False);
+        assert_eq!(m.truth(&t("p(c)")), Truth::False);
+        assert!(m.is_total());
+    }
+
+    #[test]
+    fn stratified_program_wfs_is_total_and_standard() {
+        let m = wfs("reach(X) :- source(X).\n\
+                     reach(Y) :- reach(X), edge(X, Y).\n\
+                     blocked(X) :- node(X), not reach(X).\n\
+                     source(a). edge(a, b). node(a). node(b). node(c). edge(b, b).");
+        assert!(m.is_total());
+        assert_eq!(m.truth(&t("reach(b)")), Truth::True);
+        assert_eq!(m.truth(&t("blocked(c)")), Truth::True);
+        assert_eq!(m.truth(&t("blocked(b)")), Truth::False);
+    }
+
+    #[test]
+    fn two_valued_fixpoint_check_agrees_with_wfs_on_total_models() {
+        let p = parse_program(
+            "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).",
+        )
+        .unwrap();
+        let gp = relevant_ground(&p, EvalOptions::default()).unwrap();
+        let m = well_founded_of_ground(&gp);
+        assert!(m.is_total());
+        assert!(is_two_valued_fixpoint(&gp, &m));
+        // Flipping an atom breaks the fixpoint property.
+        let mut wrong = m.clone();
+        wrong.set_true(t("winning(a)"));
+        assert!(!is_two_valued_fixpoint(&gp, &wrong));
+    }
+
+    #[test]
+    fn empty_program_has_empty_model() {
+        let m = well_founded_of_ground(&GroundProgram::new());
+        assert!(m.is_total());
+        assert!(m.base().is_empty());
+    }
+}

@@ -1,0 +1,464 @@
+//! Tokeniser for the concrete HiLog syntax.
+//!
+//! The syntax is Prolog-like.  Variables start with an upper-case letter or
+//! `_`; symbols are lower-case identifiers or quoted atoms; `:-` separates a
+//! rule head from its body; `?-` introduces a query; `not` negates a body
+//! literal; `%` starts a line comment.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A symbol (lower-case identifier or quoted atom).
+    Symbol(String),
+    /// A variable (upper-case identifier); `_` becomes an anonymous variable.
+    Variable(String),
+    /// An integer literal.
+    Integer(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `.` (clause terminator)
+    Dot,
+    /// `:-`
+    Arrow,
+    /// `?-`
+    QueryArrow,
+    /// `not` keyword (also accepts `\+`).
+    Not,
+    /// `is`
+    Is,
+    /// `=`
+    Eq,
+    /// `\=`
+    Neq,
+    /// `=:=`
+    ArithEq,
+    /// `=\=`
+    ArithNeq,
+    /// `<`
+    Lt,
+    /// `<=` (also accepts `=<`)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `mod`
+    Mod,
+    /// `div`
+    Div,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Symbol(s) => write!(f, "{s}"),
+            Token::Variable(v) => write!(f, "{v}"),
+            Token::Integer(i) => write!(f, "{i}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Pipe => write!(f, "|"),
+            Token::Dot => write!(f, "."),
+            Token::Arrow => write!(f, ":-"),
+            Token::QueryArrow => write!(f, "?-"),
+            Token::Not => write!(f, "not"),
+            Token::Is => write!(f, "is"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "\\="),
+            Token::ArithEq => write!(f, "=:="),
+            Token::ArithNeq => write!(f, "=\\="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Mod => write!(f, "mod"),
+            Token::Div => write!(f, "div"),
+        }
+    }
+}
+
+/// A token together with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexical error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises the input.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    let err = |message: String, line: usize, column: usize| LexError { message, line, column };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tok_line, tok_col) = (line, column);
+        let advance = |i: &mut usize, line: &mut usize, column: &mut usize| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *column = 1;
+            } else {
+                *column += 1;
+            }
+            *i += 1;
+        };
+
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut i, &mut line, &mut column);
+            }
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut column);
+                }
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            '[' => {
+                tokens.push(Spanned { token: Token::LBracket, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            ']' => {
+                tokens.push(Spanned { token: Token::RBracket, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            '|' => {
+                tokens.push(Spanned { token: Token::Pipe, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            '.' => {
+                tokens.push(Spanned { token: Token::Dot, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            '+' => {
+                tokens.push(Spanned { token: Token::Plus, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            '/' => {
+                tokens.push(Spanned { token: Token::Slash, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            ':' => {
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    tokens.push(Spanned { token: Token::Arrow, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                    advance(&mut i, &mut line, &mut column);
+                } else {
+                    return Err(err("expected `:-`".into(), tok_line, tok_col));
+                }
+            }
+            '?' => {
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    tokens
+                        .push(Spanned { token: Token::QueryArrow, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                    advance(&mut i, &mut line, &mut column);
+                } else {
+                    return Err(err("expected `?-`".into(), tok_line, tok_col));
+                }
+            }
+            '\\' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Spanned { token: Token::Neq, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                    advance(&mut i, &mut line, &mut column);
+                } else if i + 1 < chars.len() && chars[i + 1] == '+' {
+                    tokens.push(Spanned { token: Token::Not, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                    advance(&mut i, &mut line, &mut column);
+                } else {
+                    return Err(err("expected `\\=` or `\\+`".into(), tok_line, tok_col));
+                }
+            }
+            '=' => {
+                if i + 2 < chars.len() && chars[i + 1] == ':' && chars[i + 2] == '=' {
+                    tokens.push(Spanned { token: Token::ArithEq, line: tok_line, column: tok_col });
+                    for _ in 0..3 {
+                        advance(&mut i, &mut line, &mut column);
+                    }
+                } else if i + 2 < chars.len() && chars[i + 1] == '\\' && chars[i + 2] == '=' {
+                    tokens
+                        .push(Spanned { token: Token::ArithNeq, line: tok_line, column: tok_col });
+                    for _ in 0..3 {
+                        advance(&mut i, &mut line, &mut column);
+                    }
+                } else if i + 1 < chars.len() && chars[i + 1] == '<' {
+                    tokens.push(Spanned { token: Token::Le, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                    advance(&mut i, &mut line, &mut column);
+                } else {
+                    tokens.push(Spanned { token: Token::Eq, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                }
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Spanned { token: Token::Le, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                    advance(&mut i, &mut line, &mut column);
+                } else {
+                    tokens.push(Spanned { token: Token::Lt, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Spanned { token: Token::Ge, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                    advance(&mut i, &mut line, &mut column);
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, line: tok_line, column: tok_col });
+                    advance(&mut i, &mut line, &mut column);
+                }
+            }
+            '-' => {
+                tokens.push(Spanned { token: Token::Minus, line: tok_line, column: tok_col });
+                advance(&mut i, &mut line, &mut column);
+            }
+            '\'' => {
+                // Quoted symbol.
+                advance(&mut i, &mut line, &mut column);
+                let mut text = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    if chars[i] == '\\' && i + 1 < chars.len() && chars[i + 1] == '\'' {
+                        text.push('\'');
+                        advance(&mut i, &mut line, &mut column);
+                        advance(&mut i, &mut line, &mut column);
+                    } else if chars[i] == '\'' {
+                        closed = true;
+                        advance(&mut i, &mut line, &mut column);
+                        break;
+                    } else {
+                        text.push(chars[i]);
+                        advance(&mut i, &mut line, &mut column);
+                    }
+                }
+                if !closed {
+                    return Err(err("unterminated quoted symbol".into(), tok_line, tok_col));
+                }
+                tokens.push(Spanned { token: Token::Symbol(text), line: tok_line, column: tok_col });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    text.push(chars[i]);
+                    advance(&mut i, &mut line, &mut column);
+                }
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| err(format!("integer literal `{text}` out of range"), tok_line, tok_col))?;
+                tokens.push(Spanned { token: Token::Integer(value), line: tok_line, column: tok_col });
+            }
+            c if c.is_ascii_lowercase() => {
+                let mut text = String::new();
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    text.push(chars[i]);
+                    advance(&mut i, &mut line, &mut column);
+                }
+                let token = match text.as_str() {
+                    "not" => Token::Not,
+                    "is" => Token::Is,
+                    "mod" => Token::Mod,
+                    "div" => Token::Div,
+                    _ => Token::Symbol(text),
+                };
+                tokens.push(Spanned { token, line: tok_line, column: tok_col });
+            }
+            c if c.is_ascii_uppercase() || c == '_' => {
+                let mut text = String::new();
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    text.push(chars[i]);
+                    advance(&mut i, &mut line, &mut column);
+                }
+                tokens.push(Spanned { token: Token::Variable(text), line: tok_line, column: tok_col });
+            }
+            other => {
+                return Err(err(format!("unexpected character `{other}`"), tok_line, tok_col));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn simple_rule_tokens() {
+        let t = toks("winning(X) :- move(X, Y), not winning(Y).");
+        assert_eq!(
+            t,
+            vec![
+                Token::Symbol("winning".into()),
+                Token::LParen,
+                Token::Variable("X".into()),
+                Token::RParen,
+                Token::Arrow,
+                Token::Symbol("move".into()),
+                Token::LParen,
+                Token::Variable("X".into()),
+                Token::Comma,
+                Token::Variable("Y".into()),
+                Token::RParen,
+                Token::Comma,
+                Token::Not,
+                Token::Symbol("winning".into()),
+                Token::LParen,
+                Token::Variable("Y".into()),
+                Token::RParen,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let t = toks("N is P * M, A =:= 3, B =\\= 4, C <= 5, D >= 6, E \\= f, G = 7.");
+        assert!(t.contains(&Token::Is));
+        assert!(t.contains(&Token::Star));
+        assert!(t.contains(&Token::ArithEq));
+        assert!(t.contains(&Token::ArithNeq));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Neq));
+        assert!(t.contains(&Token::Eq));
+        assert!(t.contains(&Token::Integer(7)));
+    }
+
+    #[test]
+    fn prolog_style_le() {
+        assert_eq!(toks("X =< 3")[1], Token::Le);
+        assert_eq!(toks("X <= 3")[1], Token::Le);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let t = toks("% header comment\n  p. % trailing\nq.\n");
+        assert_eq!(
+            t,
+            vec![
+                Token::Symbol("p".into()),
+                Token::Dot,
+                Token::Symbol("q".into()),
+                Token::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_symbols() {
+        let t = toks("p('Hello world', 'it\\'s').");
+        assert_eq!(t[2], Token::Symbol("Hello world".into()));
+        assert_eq!(t[4], Token::Symbol("it's".into()));
+    }
+
+    #[test]
+    fn query_and_lists() {
+        let t = toks("?- maplist(f)([a | R], [1, 2]).");
+        assert_eq!(t[0], Token::QueryArrow);
+        assert!(t.contains(&Token::LBracket));
+        assert!(t.contains(&Token::Pipe));
+        assert!(t.contains(&Token::Integer(2)));
+    }
+
+    #[test]
+    fn negation_spellings() {
+        assert_eq!(toks("not p")[0], Token::Not);
+        assert_eq!(toks("\\+ p")[0], Token::Not);
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = tokenize("p :- q.\n  r :^ s.").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.column >= 5);
+        assert!(tokenize("p :- 'unterminated").is_err());
+        assert!(tokenize("p ? q").is_err());
+        assert!(tokenize("p : q").is_err());
+        assert!(tokenize("p # q").is_err());
+    }
+
+    #[test]
+    fn underscore_is_a_variable() {
+        let t = toks("p(_, _X).");
+        assert_eq!(t[2], Token::Variable("_".into()));
+        assert_eq!(t[4], Token::Variable("_X".into()));
+    }
+}

@@ -1,0 +1,32 @@
+//! # hilog-syntax
+//!
+//! Concrete syntax for HiLog programs with negation: a tokeniser, a
+//! recursive-descent parser producing `hilog-core` data structures, and a
+//! pretty printer (the core types' `Display` implementations already produce
+//! re-parseable text; this crate adds program-level helpers).
+//!
+//! The syntax is Prolog-like, extended with HiLog's curried applications
+//! (`tc(G)(X, Y)`), `not` for negation, builtin arithmetic/comparison
+//! literals, and `N = sum(V, Pattern)` aggregation literals:
+//!
+//! ```
+//! use hilog_syntax::parse_program;
+//! let program = parse_program(
+//!     "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+//!      game(move1).\n\
+//!      move1(a, b).",
+//! ).unwrap();
+//! assert_eq!(program.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use parser::{
+    parse_clauses, parse_program, parse_query, parse_rule, parse_term, Clause, ParseError,
+};
+pub use printer::{program_to_source, query_to_source, rule_to_source};

@@ -1,0 +1,567 @@
+//! Recursive-descent parser for the concrete HiLog syntax.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! program  := clause*
+//! clause   := term ( ":-" body )? "."           (a rule or fact)
+//!           | "?-" body "."                      (a query)
+//! body     := literal ("," literal)*
+//! literal  := "not" term
+//!           | expr ( ("is"|"="|"\="|"=:="|"=\="|"<"|"<="|">"|">=") expr )?
+//! expr     := arithmetic expression over terms with +, -, *, /, div, mod
+//! term     := primary ("(" args ")")*            (curried HiLog application)
+//! primary  := VARIABLE | SYMBOL | INTEGER | "(" expr ")" | list
+//! list     := "[" "]" | "[" expr ("," expr)* ("|" expr)? "]"
+//! ```
+//!
+//! `X = sum(V, Pattern)` (and `count` / `min` / `max`) in a body parses as an
+//! aggregation literal rather than a unification builtin.
+
+use crate::lexer::{tokenize, LexError, Spanned, Token};
+use hilog_core::builtin::{BuiltinCall, BuiltinOp};
+use hilog_core::literal::{Aggregate, AggregateFunc, Literal};
+use hilog_core::program::Program;
+use hilog_core::rule::{Query, Rule};
+use hilog_core::term::Term;
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human readable message.
+    pub message: String,
+    /// 1-based line (0 when the input ended unexpectedly).
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line, column: e.column }
+    }
+}
+
+/// A top-level clause: either a rule/fact or a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// A rule or fact.
+    Rule(Rule),
+    /// A query.
+    Query(Query),
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, ParseError> {
+        Ok(Parser { tokens: tokenize(input)?, pos: 0, anon_counter: 0 })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        match self.tokens.get(self.pos).or_else(|| self.tokens.last()) {
+            Some(s) => ParseError { message: message.into(), line: s.line, column: s.column },
+            None => ParseError { message: message.into(), line: 0, column: 0 },
+        }
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.error_here(format!("expected `{expected}`, found `{t}`"))),
+            None => Err(self.error_here(format!("expected `{expected}`, found end of input"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn fresh_anon(&mut self) -> Term {
+        self.anon_counter += 1;
+        Term::var(format!("_Anon{}", self.anon_counter))
+    }
+
+    // ---- terms and arithmetic expressions -------------------------------
+
+    fn parse_primary(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Spanned { token: Token::Symbol(s), .. }) => Ok(Term::sym(s)),
+            Some(Spanned { token: Token::Variable(v), .. }) => {
+                if v == "_" {
+                    Ok(self.fresh_anon())
+                } else {
+                    Ok(Term::var(v))
+                }
+            }
+            Some(Spanned { token: Token::Integer(i), .. }) => Ok(Term::int(i)),
+            Some(Spanned { token: Token::Minus, .. }) => {
+                // Negative number literal or arithmetic negation.
+                let inner = self.parse_primary_with_apps()?;
+                match inner {
+                    Term::Int(i) => Ok(Term::int(-i)),
+                    other => Ok(Term::apps("-", vec![other])),
+                }
+            }
+            Some(Spanned { token: Token::LParen, .. }) => {
+                let t = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(t)
+            }
+            Some(Spanned { token: Token::LBracket, .. }) => self.parse_list(),
+            Some(s) => Err(ParseError {
+                message: format!("expected a term, found `{}`", s.token),
+                line: s.line,
+                column: s.column,
+            }),
+            None => Err(self.error_here("expected a term, found end of input")),
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<Term, ParseError> {
+        if self.peek() == Some(&Token::RBracket) {
+            self.pos += 1;
+            return Ok(Term::nil());
+        }
+        let mut elements = vec![self.parse_expr()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            elements.push(self.parse_expr()?);
+        }
+        let tail = if self.peek() == Some(&Token::Pipe) {
+            self.pos += 1;
+            self.parse_expr()?
+        } else {
+            Term::nil()
+        };
+        self.expect(&Token::RBracket)?;
+        let mut acc = tail;
+        for e in elements.into_iter().rev() {
+            acc = Term::cons(e, acc);
+        }
+        Ok(acc)
+    }
+
+    /// A primary followed by any number of argument lists (curried HiLog
+    /// application): `tc(G)(X, Y)` parses as `(tc applied to G) applied to X, Y`.
+    fn parse_primary_with_apps(&mut self) -> Result<Term, ParseError> {
+        let mut term = self.parse_primary()?;
+        while self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let mut args = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                args.push(self.parse_expr()?);
+                while self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                    args.push(self.parse_expr()?);
+                }
+            }
+            self.expect(&Token::RParen)?;
+            term = Term::app(term, args);
+        }
+        Ok(term)
+    }
+
+    /// Multiplicative level of arithmetic expressions.
+    fn parse_factor(&mut self) -> Result<Term, ParseError> {
+        let mut left = self.parse_primary_with_apps()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => "*",
+                Some(Token::Slash) => "div",
+                Some(Token::Div) => "div",
+                Some(Token::Mod) => "mod",
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_primary_with_apps()?;
+            left = Term::apps(op, vec![left, right]);
+        }
+        Ok(left)
+    }
+
+    /// Additive level of arithmetic expressions.
+    fn parse_expr(&mut self) -> Result<Term, ParseError> {
+        let mut left = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => "+",
+                Some(Token::Minus) => "-",
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_factor()?;
+            left = Term::apps(op, vec![left, right]);
+        }
+        Ok(left)
+    }
+
+    // ---- literals, rules, queries ---------------------------------------
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        if self.peek() == Some(&Token::Not) {
+            self.pos += 1;
+            let atom = self.parse_primary_with_apps()?;
+            return Ok(Literal::Neg(atom));
+        }
+        let left = self.parse_expr()?;
+        let op = match self.peek() {
+            Some(Token::Is) => Some(BuiltinOp::Is),
+            Some(Token::Eq) => Some(BuiltinOp::Eq),
+            Some(Token::Neq) => Some(BuiltinOp::Neq),
+            Some(Token::ArithEq) => Some(BuiltinOp::ArithEq),
+            Some(Token::ArithNeq) => Some(BuiltinOp::ArithNeq),
+            Some(Token::Lt) => Some(BuiltinOp::Lt),
+            Some(Token::Le) => Some(BuiltinOp::Le),
+            Some(Token::Gt) => Some(BuiltinOp::Gt),
+            Some(Token::Ge) => Some(BuiltinOp::Ge),
+            _ => None,
+        };
+        match op {
+            None => Ok(Literal::Pos(left)),
+            Some(op) => {
+                self.pos += 1;
+                let right = self.parse_expr()?;
+                // `X = sum(V, Pattern)` is an aggregation literal.
+                if op == BuiltinOp::Eq {
+                    if let Some(agg) = as_aggregate(&left, &right) {
+                        return Ok(Literal::Aggregate(agg));
+                    }
+                }
+                Ok(Literal::Builtin(BuiltinCall::new(op, left, right)))
+            }
+        }
+    }
+
+    fn parse_body(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut body = vec![self.parse_literal()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            body.push(self.parse_literal()?);
+        }
+        Ok(body)
+    }
+
+    fn parse_clause(&mut self) -> Result<Clause, ParseError> {
+        if self.peek() == Some(&Token::QueryArrow) {
+            self.pos += 1;
+            let body = self.parse_body()?;
+            self.expect(&Token::Dot)?;
+            return Ok(Clause::Query(Query::new(body)));
+        }
+        let head = self.parse_primary_with_apps()?;
+        match self.peek() {
+            Some(Token::Dot) => {
+                self.pos += 1;
+                Ok(Clause::Rule(Rule::fact(head)))
+            }
+            Some(Token::Arrow) => {
+                self.pos += 1;
+                let body = self.parse_body()?;
+                self.expect(&Token::Dot)?;
+                Ok(Clause::Rule(Rule::new(head, body)))
+            }
+            Some(t) => Err(self.error_here(format!("expected `.` or `:-` after rule head, found `{t}`"))),
+            None => Err(self.error_here("expected `.` or `:-` after rule head, found end of input")),
+        }
+    }
+
+    fn parse_clauses(&mut self) -> Result<Vec<Clause>, ParseError> {
+        let mut out = Vec::new();
+        while !self.at_end() {
+            out.push(self.parse_clause()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Recognises `Result = func(Value, Pattern)` aggregations.
+fn as_aggregate(result: &Term, right: &Term) -> Option<Aggregate> {
+    if let Term::App(name, args) = right {
+        if args.len() == 2 {
+            if let Term::Sym(s) = &**name {
+                let func = match s.name() {
+                    "sum" => AggregateFunc::Sum,
+                    "count" => AggregateFunc::Count,
+                    "min" => AggregateFunc::Min,
+                    "max" => AggregateFunc::Max,
+                    _ => return None,
+                };
+                return Some(Aggregate::new(
+                    func,
+                    result.clone(),
+                    args[0].clone(),
+                    args[1].clone(),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Parses a whole program (rules and facts).  Queries are rejected; use
+/// [`parse_clauses`] or [`parse_query`] for query text.
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let mut parser = Parser::new(input)?;
+    let clauses = parser.parse_clauses()?;
+    let mut program = Program::new();
+    for clause in clauses {
+        match clause {
+            Clause::Rule(r) => program.push(r),
+            Clause::Query(_) => {
+                return Err(ParseError {
+                    message: "queries (`?- ...`) are not allowed in a program; use parse_query"
+                        .into(),
+                    line: 0,
+                    column: 0,
+                })
+            }
+        }
+    }
+    Ok(program)
+}
+
+/// Parses a mixed sequence of rules and queries.
+pub fn parse_clauses(input: &str) -> Result<Vec<Clause>, ParseError> {
+    Parser::new(input)?.parse_clauses()
+}
+
+/// Parses a single query.  The leading `?-` and trailing `.` are optional.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let trimmed = input.trim();
+    let text = if trimmed.starts_with("?-") {
+        trimmed.to_string()
+    } else {
+        format!("?- {}", trimmed.trim_end_matches('.').trim_end().to_string() + ".")
+    };
+    let mut parser = Parser::new(&text)?;
+    let clauses = parser.parse_clauses()?;
+    match clauses.as_slice() {
+        [Clause::Query(q)] => Ok(q.clone()),
+        _ => Err(ParseError { message: "expected exactly one query".into(), line: 0, column: 0 }),
+    }
+}
+
+/// Parses a single rule or fact.
+pub fn parse_rule(input: &str) -> Result<Rule, ParseError> {
+    let mut parser = Parser::new(input)?;
+    let clauses = parser.parse_clauses()?;
+    match clauses.as_slice() {
+        [Clause::Rule(r)] => Ok(r.clone()),
+        _ => Err(ParseError { message: "expected exactly one rule".into(), line: 0, column: 0 }),
+    }
+}
+
+/// Parses a single term (no trailing dot).
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    let mut parser = Parser::new(input)?;
+    let term = parser.parse_expr()?;
+    if !parser.at_end() {
+        return Err(parser.error_here("unexpected trailing tokens after term"));
+    }
+    Ok(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_generic_transitive_closure() {
+        // Example 2.1.
+        let p = parse_program(
+            "tc(G)(X, Y) :- G(X, Y).\n\
+             tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.rules[0].to_string(), "tc(G)(X, Y) :- G(X, Y).");
+        assert_eq!(p.rules[1].to_string(), "tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).");
+    }
+
+    #[test]
+    fn parse_maplist_with_lists() {
+        // Example 2.2.
+        let p = parse_program(
+            "maplist(F)([], []).\n\
+             maplist(F)([X | R], [Y | Z]) :- F(X, Y), maplist(F)(R, Z).",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.rules[0].head.to_string().contains("maplist(F)(nil, nil)"));
+        assert_eq!(
+            p.rules[1].to_string(),
+            "maplist(F)([X | R], [Y | Z]) :- F(X, Y), maplist(F)(R, Z)."
+        );
+    }
+
+    #[test]
+    fn parse_win_move_with_negation() {
+        let p = parse_program("winning(X) :- move(X, Y), not winning(Y).").unwrap();
+        assert!(p.rules[0].has_negation());
+        assert_eq!(p.rules[0].to_string(), "winning(X) :- move(X, Y), not winning(Y).");
+    }
+
+    #[test]
+    fn parse_hilog_game_program_example_6_3() {
+        let p = parse_program(
+            "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+             game(move1).\n\
+             game(move2).\n\
+             move1(a, b).",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p.rules[0].to_string(),
+            "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y)."
+        );
+    }
+
+    #[test]
+    fn parse_builtins_and_arithmetic() {
+        let r = parse_rule("in(M, X, Y, Z, N) :- q(M, X, P), contains(M, Z, Y, K), N is P * K.")
+            .unwrap();
+        assert_eq!(r.body.len(), 3);
+        assert!(matches!(r.body[2], Literal::Builtin(_)));
+        assert_eq!(r.body[2].to_string(), "N is '*'(P, K)");
+        let r2 = parse_rule("p(X) :- q(X, N), N >= 2 + 3 * 4.").unwrap();
+        assert_eq!(r2.body[1].to_string(), "N >= '+'(2, '*'(3, 4))");
+    }
+
+    #[test]
+    fn parse_aggregate_literal() {
+        let r = parse_rule("contains(M, X, Y, N) :- N = sum(P, in(M, X, Y, _, P)).").unwrap();
+        assert_eq!(r.body.len(), 1);
+        match &r.body[0] {
+            Literal::Aggregate(a) => {
+                assert_eq!(a.func, AggregateFunc::Sum);
+                assert_eq!(a.result.to_string(), "N");
+                assert_eq!(a.value.to_string(), "P");
+                assert!(a.pattern.to_string().starts_with("in(M, X, Y, _Anon"));
+            }
+            other => panic!("expected aggregate, got {other}"),
+        }
+        // Plain unification is still a builtin.
+        let r2 = parse_rule("p(X) :- X = f(a).").unwrap();
+        assert!(matches!(r2.body[0], Literal::Builtin(_)));
+    }
+
+    #[test]
+    fn parse_query_forms() {
+        let q1 = parse_query("?- winning(move1)(a).").unwrap();
+        assert_eq!(q1.literals.len(), 1);
+        let q2 = parse_query("graph(G), tc(G)(X, Y)").unwrap();
+        assert_eq!(q2.literals.len(), 2);
+        assert_eq!(q2.variables().len(), 3);
+    }
+
+    #[test]
+    fn parse_facts_and_zero_ary() {
+        let p = parse_program("s. p(). q(a).").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.rules[0].head, Term::sym("s"));
+        assert_eq!(p.rules[1].head, Term::apps("p", vec![]));
+    }
+
+    #[test]
+    fn parse_negative_integers_and_quotes() {
+        let t = parse_term("part('Front Wheel', -3)").unwrap();
+        assert_eq!(t.args()[1], Term::int(-3));
+        assert_eq!(t.args()[0], Term::sym("Front Wheel"));
+    }
+
+    #[test]
+    fn parenthesised_terms_as_names() {
+        // (X)(a) applies a variable name to an argument.
+        let t = parse_term("(X)(a)").unwrap();
+        assert_eq!(t.to_string(), "X(a)");
+        let nested = parse_term("p(a, X)(Y)(b, f(c)(d))").unwrap();
+        assert_eq!(nested.to_string(), "p(a, X)(Y)(b, f(c)(d))");
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_position() {
+        assert!(parse_program("p :- q").is_err());
+        assert!(parse_program("p ::- q.").is_err());
+        assert!(parse_program(")p.").is_err());
+        assert!(parse_term("p(").is_err());
+        assert!(parse_term("p(a) extra").is_err());
+        let err = parse_program("p.\nq :- .").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn queries_rejected_in_programs() {
+        assert!(parse_program("?- p.").is_err());
+        let clauses = parse_clauses("p. ?- p.").unwrap();
+        assert_eq!(clauses.len(), 2);
+        assert!(matches!(clauses[1], Clause::Query(_)));
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let text = "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                    tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).\n\
+                    move(a, b).\n";
+        let p = parse_program(text).unwrap();
+        let printed = p.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn anonymous_variables_are_distinct() {
+        let r = parse_rule("p(X) :- q(_, _), r(X).").unwrap();
+        // The two `_` occurrences become different variables.
+        let vars = r.variables();
+        assert_eq!(vars.len(), 3);
+    }
+
+    #[test]
+    fn example_5_1_program_parses() {
+        // p :- X(Y), Y(X).
+        let p = parse_program("p :- X(Y), Y(X).").unwrap();
+        assert_eq!(p.rules[0].to_string(), "p :- X(Y), Y(X).");
+    }
+
+    #[test]
+    fn example_6_4_program_parses() {
+        let p = parse_program(
+            "p(X) :- t(X, Y, Z, P), not p(Y), not p(Z).\n\
+             t(a, b, a, p).\n\
+             t(c, a, b, p).\n\
+             p(b) :- t(X, Y, b, P).",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+    }
+}

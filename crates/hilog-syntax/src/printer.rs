@@ -1,0 +1,78 @@
+//! Pretty printing helpers.
+//!
+//! The `Display` implementations on the core types already emit re-parseable
+//! concrete syntax; this module adds whole-program helpers and a few
+//! niceties (section comments, stable ordering of facts).
+
+use hilog_core::program::Program;
+use hilog_core::rule::{Query, Rule};
+
+/// Renders a rule as concrete syntax (identical to its `Display` output).
+pub fn rule_to_source(rule: &Rule) -> String {
+    rule.to_string()
+}
+
+/// Renders a query as concrete syntax.
+pub fn query_to_source(query: &Query) -> String {
+    query.to_string()
+}
+
+/// Renders a program as concrete syntax, one clause per line, with proper
+/// rules first and facts afterwards (grouped for readability).  The output
+/// re-parses to a program equal to the input up to rule order.
+pub fn program_to_source(program: &Program) -> String {
+    let mut out = String::new();
+    let proper: Vec<&Rule> = program.proper_rules().collect();
+    let facts: Vec<&Rule> = program.facts().collect();
+    if !proper.is_empty() {
+        out.push_str("% rules\n");
+        for r in proper {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+    }
+    if !facts.is_empty() {
+        out.push_str("% facts\n");
+        for r in facts {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn program_source_reparses_to_same_rule_set() {
+        let text = "winning(X) :- move(X, Y), not winning(Y).\n\
+                    move(a, b).\n\
+                    move(b, c).\n";
+        let p = parse_program(text).unwrap();
+        let source = program_to_source(&p);
+        let reparsed = parse_program(&source).unwrap();
+        let a: BTreeSet<String> = p.iter().map(|r| r.to_string()).collect();
+        let b: BTreeSet<String> = reparsed.iter().map(|r| r.to_string()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_and_rule_helpers() {
+        let q = parse_query("?- winning(a).").unwrap();
+        assert_eq!(query_to_source(&q), "?- winning(a).");
+        let p = parse_program("p :- q.").unwrap();
+        assert_eq!(rule_to_source(&p.rules[0]), "p :- q.");
+    }
+
+    #[test]
+    fn sections_present() {
+        let p = parse_program("p :- q. q.").unwrap();
+        let src = program_to_source(&p);
+        assert!(src.contains("% rules"));
+        assert!(src.contains("% facts"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Builders for the win/move game programs of Examples 6.1 and 6.3.
+
+use crate::graphs::{edges_to_facts, Edge};
+use hilog_core::program::Program;
+use hilog_syntax::parse_program;
+
+/// The normal win/move program of Example 6.1 over the given move edges:
+///
+/// ```text
+/// winning(X) :- move(X, Y), not winning(Y).
+/// move(p0, p1). ...
+/// ```
+pub fn normal_game_program(edges: &[Edge]) -> Program {
+    let mut text = String::from("winning(X) :- move(X, Y), not winning(Y).\n");
+    text.push_str(&edges_to_facts("move", edges));
+    parse_program(&text).expect("generated game program parses")
+}
+
+/// The HiLog win/move program of Example 6.3, parameterised by the game:
+///
+/// ```text
+/// winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).
+/// game(move1). move1(p0, p1). ...
+/// ```
+///
+/// `games` maps a move-relation name to its edge list.
+pub fn hilog_game_program(games: &[(&str, Vec<Edge>)]) -> Program {
+    let mut text = String::from("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n");
+    for (name, edges) in games {
+        text.push_str(&format!("game({name}).\n"));
+        text.push_str(&edges_to_facts(name, edges));
+    }
+    parse_program(&text).expect("generated HiLog game program parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::chain;
+    use hilog_core::restriction::{is_range_restricted_normal, is_strongly_range_restricted};
+
+    #[test]
+    fn normal_game_is_range_restricted() {
+        let p = normal_game_program(&chain(4));
+        assert!(p.is_normal());
+        assert!(is_range_restricted_normal(&p));
+        assert_eq!(p.len(), 1 + 4);
+    }
+
+    #[test]
+    fn hilog_game_is_strongly_range_restricted_but_not_normal() {
+        let p = hilog_game_program(&[("move1", chain(3)), ("move2", chain(2))]);
+        assert!(!p.is_normal());
+        assert!(is_strongly_range_restricted(&p));
+        // 1 rule + 2 game facts + 3 + 2 move facts.
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn empty_game_list_still_parses() {
+        let p = hilog_game_program(&[]);
+        assert_eq!(p.len(), 1);
+    }
+}

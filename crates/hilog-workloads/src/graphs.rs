@@ -1,0 +1,134 @@
+//! Edge-list generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed edge between node indices.
+pub type Edge = (usize, usize);
+
+/// Node label used by the program builders: `p<i>`.
+pub fn node_name(i: usize) -> String {
+    format!("p{i}")
+}
+
+/// A simple chain `p0 -> p1 -> ... -> pn`.
+pub fn chain(n: usize) -> Vec<Edge> {
+    (0..n).map(|i| (i, i + 1)).collect()
+}
+
+/// A cycle over `n` nodes (`n >= 1`): `p0 -> p1 -> ... -> p(n-1) -> p0`.
+pub fn cycle(n: usize) -> Vec<Edge> {
+    assert!(n >= 1, "a cycle needs at least one node");
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// A random DAG over `n` nodes: every edge goes from a lower-numbered node to
+/// a higher-numbered one, so the graph is acyclic and the corresponding game
+/// program is modularly stratified (Example 6.1).  `avg_out_degree` controls
+/// density.
+pub fn random_dag(n: usize, avg_out_degree: f64, seed: u64) -> Vec<Edge> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    if n < 2 {
+        return edges;
+    }
+    for u in 0..n - 1 {
+        // Always keep the graph connected along the spine so games have
+        // nontrivial depth.
+        edges.push((u, u + 1));
+        let extra = avg_out_degree.max(1.0) - 1.0;
+        let count = extra.floor() as usize
+            + usize::from(rng.gen_bool((extra - extra.floor()).clamp(0.0, 1.0)));
+        for _ in 0..count {
+            let v = rng.gen_range(u + 1..n);
+            edges.push((u, v));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// A layered game graph: `layers` layers of `width` positions each, with
+/// every position having edges to `branching` random positions in the next
+/// layer.  Acyclic by construction; the well-founded model is total and the
+/// winning positions alternate in interesting ways.
+pub fn layered_game_graph(layers: usize, width: usize, branching: usize, seed: u64) -> Vec<Edge> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    let node = |layer: usize, i: usize| layer * width + i;
+    for layer in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            for _ in 0..branching.max(1) {
+                let j = rng.gen_range(0..width);
+                edges.push((node(layer, i), node(layer + 1, j)));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Renders an edge list as facts for the given binary relation name.
+pub fn edges_to_facts(relation: &str, edges: &[Edge]) -> String {
+    let mut out = String::new();
+    for (u, v) in edges {
+        out.push_str(&format!("{relation}({}, {}).\n", node_name(*u), node_name(*v)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn chain_has_n_edges() {
+        assert_eq!(chain(5).len(), 5);
+        assert_eq!(chain(0).len(), 0);
+        assert_eq!(chain(3), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn cycle_wraps_around() {
+        let c = cycle(4);
+        assert_eq!(c.len(), 4);
+        assert!(c.contains(&(3, 0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_cycle_is_rejected() {
+        let _ = cycle(0);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_deterministic() {
+        let edges = random_dag(64, 2.5, 7);
+        for (u, v) in &edges {
+            assert!(u < v, "edge ({u}, {v}) violates the topological order");
+        }
+        assert_eq!(edges, random_dag(64, 2.5, 7));
+        assert_ne!(edges, random_dag(64, 2.5, 8));
+        // Density roughly matches the requested out-degree.
+        assert!(edges.len() >= 63);
+    }
+
+    #[test]
+    fn layered_graph_only_connects_adjacent_layers() {
+        let edges = layered_game_graph(4, 3, 2, 11);
+        for (u, v) in &edges {
+            assert_eq!(v / 3, u / 3 + 1, "edge ({u}, {v}) skips a layer");
+        }
+        let nodes: BTreeSet<usize> = edges.iter().flat_map(|(u, v)| [*u, *v]).collect();
+        assert!(nodes.len() <= 12);
+    }
+
+    #[test]
+    fn facts_rendering() {
+        let text = edges_to_facts("move", &chain(2));
+        assert_eq!(text, "move(p0, p1).\nmove(p1, p2).\n");
+    }
+}

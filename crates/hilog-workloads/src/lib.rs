@@ -1,0 +1,39 @@
+//! # hilog-workloads
+//!
+//! Workload and program generators for the reproduction of Ross, *"On
+//! Negation in HiLog"*.  The paper has no empirical evaluation of its own, so
+//! the experiments in EXPERIMENTS.md are driven by synthetic program families
+//! that exercise the constructions it defines:
+//!
+//! * [`graphs`] — edge-list generators (chains, cycles, random DAGs, layered
+//!   game graphs) used by the win/move programs of Examples 6.1 / 6.3 and by
+//!   the transitive-closure workloads of Examples 2.1 / 5.2;
+//! * [`games`] — builders for the normal and HiLog win/move programs;
+//! * [`closure`] — builders for generic HiLog closures and their specialised
+//!   normal counterparts (experiment E11);
+//! * [`parts`] — random part hierarchies for the parts-explosion aggregation
+//!   program of Section 6;
+//! * [`random_programs`] — random range-restricted normal programs, strongly
+//!   range-restricted HiLog programs, and ground extension programs `Q` for
+//!   the preservation-under-extensions experiments of Section 5.
+//!
+//! All generators take explicit `u64` seeds and are deterministic, so test
+//! failures and benchmark runs are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod games;
+pub mod graphs;
+pub mod parts;
+pub mod random_programs;
+
+pub use closure::{generic_closure_program, specialized_closure_program};
+pub use games::{hilog_game_program, normal_game_program};
+pub use graphs::{chain, cycle, edges_to_facts, layered_game_graph, node_name, random_dag, Edge};
+pub use parts::{random_part_hierarchy, PartHierarchy};
+pub use random_programs::{
+    random_ground_extension, random_range_restricted_normal, random_strongly_restricted_hilog,
+    ExtensionConfig, HilogProgramConfig, NormalProgramConfig,
+};

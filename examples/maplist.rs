@@ -1,0 +1,56 @@
+//! Example 2.2: the generic `maplist` predicate, evaluated with the
+//! query-directed evaluator (its bottom-up instantiation is infinite, as the
+//! end of Section 6.1 warns for programs with recursively applied function
+//! symbols).
+//!
+//! Run with `cargo run --example maplist`.
+
+use hilog_core::Term;
+use hilog_engine::horn::EvalOptions;
+use hilog_engine::magic_eval::answer_query;
+use hilog_syntax::{parse_program, parse_query};
+
+fn main() {
+    let program = parse_program(
+        "% Example 2.2, with the base case guarded by a fun/1 relation.\n\
+         maplist(F)([], []) :- fun(F).\n\
+         maplist(F)([X | R], [Y | Z]) :- F(X, Y), maplist(F)(R, Z).\n\
+         fun(successor). fun(colour_of).\n\
+         successor(0, 1). successor(1, 2). successor(2, 3). successor(3, 4).\n\
+         colour_of(apple, red). colour_of(pear, green). colour_of(plum, purple).",
+    )
+    .expect("program parses");
+
+    // Forward: map successor over [1, 2, 3].
+    let (answers, stats) = answer_query(
+        &program,
+        &parse_query("?- maplist(successor)([1, 2, 3], L).").unwrap(),
+        EvalOptions::default(),
+    )
+    .expect("query evaluates");
+    println!("maplist(successor)([1, 2, 3], L):");
+    for a in &answers {
+        println!("  L = {}", a.apply(&Term::var("L")));
+    }
+    assert_eq!(answers.len(), 1);
+    assert_eq!(answers[0].apply(&Term::var("L")).to_string(), "[2, 3, 4]");
+
+    // Backward: which fruit list has colours [red, purple]?
+    let (answers, _) = answer_query(
+        &program,
+        &parse_query("?- maplist(colour_of)(Fruit, [red, purple]).").unwrap(),
+        EvalOptions::default(),
+    )
+    .expect("query evaluates");
+    println!("maplist(colour_of)(Fruit, [red, purple]):");
+    for a in &answers {
+        println!("  Fruit = {}", a.apply(&Term::var("Fruit")));
+    }
+    assert_eq!(answers.len(), 1);
+    assert_eq!(answers[0].apply(&Term::var("Fruit")).to_string(), "[apple, plum]");
+
+    println!(
+        "({} tabled subgoals, {} rule applications)",
+        stats.subqueries, stats.rule_applications
+    );
+}

@@ -1,0 +1,117 @@
+//! Section 6's parts-explosion aggregation, cross-checked against an
+//! independently computed reference (path-quantity products over the part
+//! DAG).
+
+use hilog_engine::aggregate::{evaluate_aggregate_program, parts_explosion_program};
+use hilog_engine::horn::EvalOptions;
+use hilog_syntax::parse_term;
+use hilog_workloads::random_part_hierarchy;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Reference implementation: contains(whole, part) = sum over all paths from
+/// `whole` to `part` of the product of edge quantities.  Computed by dynamic
+/// programming over the (acyclic) hierarchy.
+fn reference_contains(triples: &[(String, String, i64)]) -> BTreeMap<(String, String), i64> {
+    let mut direct: BTreeMap<(String, String), i64> = BTreeMap::new();
+    for (w, p, q) in triples {
+        *direct.entry((w.clone(), p.clone())).or_insert(0) += q;
+    }
+    // Iterate to fixpoint: contains = direct + direct * contains.
+    let mut contains = direct.clone();
+    loop {
+        let mut next = direct.clone();
+        for ((w, z), q1) in &direct {
+            for ((z2, p), q2) in &contains {
+                if z == z2 {
+                    *next.entry((w.clone(), p.clone())).or_insert(0) += q1 * q2;
+                }
+            }
+        }
+        if next == contains {
+            return contains;
+        }
+        contains = next;
+    }
+}
+
+#[test]
+fn bicycle_reference_values() {
+    let triples = vec![
+        ("bicycle".to_string(), "wheel".to_string(), 2),
+        ("wheel".to_string(), "spoke".to_string(), 47),
+    ];
+    let reference = reference_contains(&triples);
+    assert_eq!(reference[&("bicycle".to_string(), "spoke".to_string())], 94);
+}
+
+#[test]
+fn parts_explosion_matches_reference_on_random_hierarchies() {
+    for seed in 0..5u64 {
+        let hierarchy = random_part_hierarchy(14, 6, seed);
+        let reference = reference_contains(&hierarchy.triples);
+        let program =
+            parts_explosion_program(&[("m", "parts")], &hierarchy.as_facts("parts"));
+        let result = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap();
+        for ((whole, part), qty) in &reference {
+            let atom = parse_term(&format!("contains(m, {whole}, {part}, {qty})")).unwrap();
+            assert!(
+                result.model.is_true(&atom),
+                "seed {seed}: expected {atom} (reference {qty})"
+            );
+        }
+        // And no contains atom disagrees with the reference.
+        for atom in result.model.true_atoms() {
+            let text = atom.to_string();
+            if let Some(inner) = text.strip_prefix("contains(m, ") {
+                let parts: Vec<&str> = inner.trim_end_matches(')').split(", ").collect();
+                let (whole, part, qty) = (parts[0], parts[1], parts[2].parse::<i64>().unwrap());
+                assert_eq!(
+                    reference.get(&(whole.to_string(), part.to_string())),
+                    Some(&qty),
+                    "seed {seed}: spurious {atom}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_hierarchies_are_grouped_per_machine() {
+    // Two machines over the same part relation must get identical totals,
+    // and a third machine over a different relation must not be affected.
+    let program = parts_explosion_program(
+        &[("m1", "shared"), ("m2", "shared"), ("m3", "own")],
+        &[
+            ("shared", "engine", "bolt", 8),
+            ("shared", "engine", "piston", 4),
+            ("shared", "piston", "bolt", 2),
+            ("own", "engine", "bolt", 1),
+        ],
+    );
+    let result = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap();
+    for machine in ["m1", "m2"] {
+        let atom = parse_term(&format!("contains({machine}, engine, bolt, 16)")).unwrap();
+        assert!(result.model.is_true(&atom), "{machine}");
+    }
+    assert!(result.model.is_true(&parse_term("contains(m3, engine, bolt, 1)").unwrap()));
+    assert!(!result.model.is_true(&parse_term("contains(m3, engine, bolt, 16)").unwrap()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The parts-explosion evaluation agrees with the reference on random
+    /// acyclic hierarchies of varying size and sharing.
+    #[test]
+    fn aggregation_matches_reference(parts in 4usize..16, extra in 0usize..8, seed in 0u64..1_000) {
+        let hierarchy = random_part_hierarchy(parts, extra, seed);
+        let reference = reference_contains(&hierarchy.triples);
+        let program = parts_explosion_program(&[("m", "parts")], &hierarchy.as_facts("parts"));
+        let result = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap();
+        for ((whole, part), qty) in &reference {
+            let atom = parse_term(&format!("contains(m, {whole}, {part}, {qty})")).unwrap();
+            prop_assert!(result.model.is_true(&atom), "expected {} = {}", atom, qty);
+        }
+    }
+}

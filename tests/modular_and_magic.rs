@@ -1,0 +1,142 @@
+//! Section 6: modular stratification (Figure 1, Theorem 6.1, Lemma 6.2) and
+//! the query-directed evaluation of Section 6.1, exercised over generated
+//! game workloads.
+
+use hilog_engine::horn::EvalOptions;
+use hilog_engine::magic_eval::QueryEvaluator;
+use hilog_engine::modular::{modularly_stratified_hilog, modularly_stratified_normal};
+use hilog_engine::wfs::well_founded_model;
+use hilog_syntax::parse_term;
+use hilog_workloads::{
+    chain, cycle, hilog_game_program, layered_game_graph, node_name, normal_game_program,
+    random_dag,
+};
+use proptest::prelude::*;
+
+/// Theorem 6.1: a modularly stratified HiLog program has a total well-founded
+/// model that is its unique stable model, and the Figure 1 procedure computes
+/// exactly that model.
+fn check_theorem_6_1(program: &hilog_core::Program) {
+    let outcome = modularly_stratified_hilog(program, EvalOptions::default()).unwrap();
+    assert!(outcome.modularly_stratified, "{:?}", outcome.reason);
+    let figure1 = outcome.model.unwrap();
+    assert!(figure1.is_total());
+    let wfm = well_founded_model(program, EvalOptions::default()).unwrap();
+    assert!(wfm.is_total());
+    for atom in wfm.base() {
+        assert_eq!(figure1.truth(atom), wfm.truth(atom), "{atom}");
+    }
+    let stable = hilog_engine::stable::stable_models(
+        program,
+        EvalOptions::default(),
+        hilog_engine::stable::StableOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(stable.len(), 1);
+    for atom in wfm.base() {
+        assert_eq!(stable[0].truth(atom), wfm.truth(atom), "{atom}");
+    }
+}
+
+#[test]
+fn theorem_6_1_on_dag_games() {
+    for (n, seed) in [(8, 1), (16, 2), (32, 3)] {
+        let program = hilog_game_program(&[
+            ("g1", random_dag(n, 2.0, seed)),
+            ("g2", chain(n / 2)),
+        ]);
+        check_theorem_6_1(&program);
+    }
+}
+
+#[test]
+fn theorem_6_1_on_layered_games() {
+    let program = hilog_game_program(&[("layers", layered_game_graph(5, 4, 2, 9))]);
+    check_theorem_6_1(&program);
+}
+
+#[test]
+fn lemma_6_2_normal_games() {
+    // For normal programs the HiLog procedure coincides with modular
+    // stratification: acyclic games accepted, cyclic games rejected.
+    let acyclic = normal_game_program(&random_dag(24, 2.0, 5));
+    let outcome = modularly_stratified_normal(&acyclic, EvalOptions::default()).unwrap();
+    assert!(outcome.modularly_stratified);
+    let cyclic = normal_game_program(&cycle(6));
+    let outcome = modularly_stratified_normal(&cyclic, EvalOptions::default()).unwrap();
+    assert!(!outcome.modularly_stratified);
+}
+
+#[test]
+fn query_evaluation_agrees_with_wfs_on_every_position() {
+    let edges = random_dag(40, 2.5, 13);
+    let program = hilog_game_program(&[("g", edges)]);
+    let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
+    let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
+    for i in 0..40 {
+        let atom = parse_term(&format!("winning(g)({})", node_name(i))).unwrap();
+        assert_eq!(
+            evaluator.holds(&atom).unwrap(),
+            wfm.is_true(&atom),
+            "disagreement at position {i}"
+        );
+    }
+}
+
+#[test]
+fn point_queries_do_less_work_than_full_evaluation() {
+    // Two games; the query touches only one of them.  The number of answers
+    // tabled by the query evaluator must be well below the size of the full
+    // relevant base (the relevance property the magic-sets method is for).
+    let program = hilog_game_program(&[
+        ("small", chain(10)),
+        ("large", random_dag(300, 2.5, 21)),
+    ]);
+    let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
+    let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
+    let atom = parse_term(&format!("winning(small)({})", node_name(0))).unwrap();
+    let _ = evaluator.holds(&atom).unwrap();
+    let stats = evaluator.stats();
+    assert!(
+        stats.answers * 4 < wfm.base().len(),
+        "expected a selective query to table far fewer atoms ({} tabled vs {} base atoms)",
+        stats.answers,
+        wfm.base().len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random acyclic games are always modularly stratified, with total
+    /// models agreeing across all evaluation paths; random cyclic games are
+    /// never modularly stratified (their reduced winning component contains a
+    /// negative cycle), although their WFS may still be three-valued.
+    #[test]
+    fn figure_1_accepts_exactly_the_acyclic_games(
+        n in 4usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let acyclic = normal_game_program(&random_dag(n, 2.0, seed));
+        let outcome = modularly_stratified_hilog(&acyclic, EvalOptions::default()).unwrap();
+        prop_assert!(outcome.modularly_stratified, "{:?}", outcome.reason);
+
+        let cyclic = normal_game_program(&cycle(n));
+        let outcome = modularly_stratified_hilog(&cyclic, EvalOptions::default()).unwrap();
+        prop_assert!(!outcome.modularly_stratified);
+    }
+
+    /// The Figure 1 model always matches the directly computed well-founded
+    /// model on HiLog games (Theorem 6.1, property form).
+    #[test]
+    fn figure_1_model_matches_wfs(n in 4usize..16, seed in 0u64..1_000) {
+        let program = hilog_game_program(&[("g", random_dag(n, 2.0, seed))]);
+        let outcome = modularly_stratified_hilog(&program, EvalOptions::default()).unwrap();
+        prop_assert!(outcome.modularly_stratified);
+        let figure1 = outcome.model.unwrap();
+        let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
+        for atom in wfm.base() {
+            prop_assert_eq!(figure1.truth(atom), wfm.truth(atom), "{}", atom);
+        }
+    }
+}
