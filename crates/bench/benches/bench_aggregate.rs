@@ -2,10 +2,10 @@
 //! hierarchies of growing size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hilog_engine::aggregate::{evaluate_aggregate_program, parts_explosion_program};
 use hilog_engine::horn::EvalOptions;
 use hilog_workloads::random_part_hierarchy;
+use std::time::Duration;
 
 fn bench_aggregate(c: &mut Criterion) {
     let mut group = c.benchmark_group("E10_parts_explosion");
@@ -17,7 +17,11 @@ fn bench_aggregate(c: &mut Criterion) {
         let program = parts_explosion_program(&[("m", "parts")], &hierarchy.as_facts("parts"));
         group.bench_with_input(BenchmarkId::new("parts", n), &program, |b, p| {
             b.iter(|| {
-                evaluate_aggregate_program(p, EvalOptions::default()).unwrap().model.true_atoms().len()
+                evaluate_aggregate_program(p, EvalOptions::default())
+                    .unwrap()
+                    .model
+                    .true_atoms()
+                    .len()
             })
         });
     }

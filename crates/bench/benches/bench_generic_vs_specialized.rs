@@ -3,10 +3,10 @@
 //! that motivates HiLog in the paper's introduction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hilog_datalog::engine::DatalogEngine;
 use hilog_engine::horn::{least_model, EvalOptions, NegationMode};
 use hilog_workloads::{generic_closure_program, random_dag, specialized_closure_program};
+use std::time::Duration;
 
 fn bench_generic_vs_specialized(c: &mut Criterion) {
     let mut group = c.benchmark_group("E11_generic_vs_specialized");
@@ -15,24 +15,39 @@ fn bench_generic_vs_specialized(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for k in [2usize, 4, 8] {
         let n = 48usize;
-        let relations: Vec<(String, Vec<(usize, usize)>)> =
-            (0..k).map(|i| (format!("rel{i}"), random_dag(n, 1.5, i as u64 + 40))).collect();
-        let borrowed: Vec<(&str, Vec<(usize, usize)>)> =
-            relations.iter().map(|(s, e)| (s.as_str(), e.clone())).collect();
+        let relations: Vec<(String, Vec<(usize, usize)>)> = (0..k)
+            .map(|i| (format!("rel{i}"), random_dag(n, 1.5, i as u64 + 40)))
+            .collect();
+        let borrowed: Vec<(&str, Vec<(usize, usize)>)> = relations
+            .iter()
+            .map(|(s, e)| (s.as_str(), e.clone()))
+            .collect();
         let generic = generic_closure_program(&borrowed);
         group.bench_with_input(BenchmarkId::new("generic_hilog", k), &generic, |b, p| {
-            b.iter(|| least_model(p, NegationMode::Forbid, EvalOptions::default()).unwrap().len())
-        });
-        group.bench_with_input(BenchmarkId::new("specialized_datalog", k), &relations, |b, rels| {
             b.iter(|| {
-                let mut total = 0usize;
-                for (name, edges) in rels {
-                    let program = specialized_closure_program(name, edges);
-                    total += DatalogEngine::new(program).unwrap().least_model().unwrap().len();
-                }
-                total
+                least_model(p, NegationMode::Forbid, EvalOptions::default())
+                    .unwrap()
+                    .len()
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("specialized_datalog", k),
+            &relations,
+            |b, rels| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for (name, edges) in rels {
+                        let program = specialized_closure_program(name, edges);
+                        total += DatalogEngine::new(program)
+                            .unwrap()
+                            .least_model()
+                            .unwrap()
+                            .len();
+                    }
+                    total
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -2,10 +2,10 @@
 //! scaling the move graphs and the number of games.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hilog_engine::horn::EvalOptions;
 use hilog_engine::modular::modularly_stratified_hilog;
 use hilog_workloads::{hilog_game_program, random_dag};
+use std::time::Duration;
 
 fn bench_modular(c: &mut Criterion) {
     let mut group = c.benchmark_group("E5_figure1");

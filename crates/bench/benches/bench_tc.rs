@@ -2,9 +2,9 @@
 //! evaluation time as the base relation grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hilog_engine::horn::{least_model, EvalOptions, NegationMode};
 use hilog_workloads::{chain, generic_closure_program, random_dag};
+use std::time::Duration;
 
 fn bench_tc(c: &mut Criterion) {
     let mut group = c.benchmark_group("E1_generic_tc");
@@ -14,11 +14,19 @@ fn bench_tc(c: &mut Criterion) {
     for n in [16usize, 64, 128] {
         let chain_program = generic_closure_program(&[("e", chain(n))]);
         group.bench_with_input(BenchmarkId::new("chain", n), &chain_program, |b, p| {
-            b.iter(|| least_model(p, NegationMode::Forbid, EvalOptions::default()).unwrap().len())
+            b.iter(|| {
+                least_model(p, NegationMode::Forbid, EvalOptions::default())
+                    .unwrap()
+                    .len()
+            })
         });
         let dag_program = generic_closure_program(&[("e", random_dag(n, 2.0, 7))]);
         group.bench_with_input(BenchmarkId::new("dag", n), &dag_program, |b, p| {
-            b.iter(|| least_model(p, NegationMode::Forbid, EvalOptions::default()).unwrap().len())
+            b.iter(|| {
+                least_model(p, NegationMode::Forbid, EvalOptions::default())
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -2,10 +2,10 @@
 //! of its universal-relation (`call`/`apply_i`) image (Section 2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hilog_core::universal::universal_transform;
 use hilog_engine::horn::{least_model, EvalOptions, NegationMode};
 use hilog_workloads::{chain, generic_closure_program};
+use std::time::Duration;
 
 fn bench_universal(c: &mut Criterion) {
     let mut group = c.benchmark_group("E9_universal_relation");
@@ -16,10 +16,18 @@ fn bench_universal(c: &mut Criterion) {
         let program = generic_closure_program(&[("e", chain(n))]);
         let image = universal_transform(&program).unwrap();
         group.bench_with_input(BenchmarkId::new("direct", n), &program, |b, p| {
-            b.iter(|| least_model(p, NegationMode::Forbid, EvalOptions::default()).unwrap().len())
+            b.iter(|| {
+                least_model(p, NegationMode::Forbid, EvalOptions::default())
+                    .unwrap()
+                    .len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("universal_image", n), &image, |b, p| {
-            b.iter(|| least_model(p, NegationMode::Forbid, EvalOptions::default()).unwrap().len())
+            b.iter(|| {
+                least_model(p, NegationMode::Forbid, EvalOptions::default())
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -3,10 +3,10 @@
 //! (parameterised) formulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hilog_engine::horn::EvalOptions;
 use hilog_engine::wfs::well_founded_model;
 use hilog_workloads::{hilog_game_program, normal_game_program, random_dag};
+use std::time::Duration;
 
 fn bench_wfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3_wfs_win_move");
@@ -16,11 +16,21 @@ fn bench_wfs(c: &mut Criterion) {
     for n in [32usize, 128, 512] {
         let normal = normal_game_program(&random_dag(n, 2.0, 11));
         group.bench_with_input(BenchmarkId::new("normal", n), &normal, |b, p| {
-            b.iter(|| well_founded_model(p, EvalOptions::default()).unwrap().base().len())
+            b.iter(|| {
+                well_founded_model(p, EvalOptions::default())
+                    .unwrap()
+                    .base()
+                    .len()
+            })
         });
         let hilog = hilog_game_program(&[("g", random_dag(n, 2.0, 11))]);
         group.bench_with_input(BenchmarkId::new("hilog", n), &hilog, |b, p| {
-            b.iter(|| well_founded_model(p, EvalOptions::default()).unwrap().base().len())
+            b.iter(|| {
+                well_founded_model(p, EvalOptions::default())
+                    .unwrap()
+                    .base()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -24,11 +24,12 @@ use hilog_engine::wfs::well_founded_model;
 use hilog_syntax::{parse_program, parse_term};
 use hilog_workloads::{
     chain, cycle, generic_closure_program, hilog_game_program, node_name, normal_game_program,
-    random_dag, random_part_hierarchy, specialized_closure_program,
+    random_dag, random_part_hierarchy,
     random_programs::{
         random_ground_extension, random_range_restricted_normal, random_strongly_restricted_hilog,
         ExtensionConfig, HilogProgramConfig, NormalProgramConfig,
     },
+    specialized_closure_program,
 };
 
 struct Config {
@@ -37,7 +38,10 @@ struct Config {
 }
 
 fn parse_args() -> Config {
-    let mut config = Config { quick: false, json_path: None };
+    let mut config = Config {
+        quick: false,
+        json_path: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -78,12 +82,15 @@ fn main() {
 /// E1: generic transitive closure workloads (Example 2.1).
 fn exp_e1_closures(config: &Config, rows: &mut Vec<Measurement>) {
     println!("\n-- E1: generic closures (Examples 2.1, 2.2) --");
-    let sizes: &[usize] = if config.quick { &[16, 64] } else { &[16, 64, 256] };
+    let sizes: &[usize] = if config.quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256]
+    };
     for &n in sizes {
         let program = generic_closure_program(&[("e", chain(n))]);
-        let (model, duration) = timed(|| {
-            least_model(&program, NegationMode::Forbid, EvalOptions::default()).unwrap()
-        });
+        let (model, duration) =
+            timed(|| least_model(&program, NegationMode::Forbid, EvalOptions::default()).unwrap());
         let tc_atoms = n * (n + 1) / 2;
         println!("  chain n={n}: {} atoms in {:?}", model.len(), duration);
         assert!(model.len() >= tc_atoms);
@@ -111,12 +118,16 @@ fn exp_e3_coincidence(config: &Config, rows: &mut Vec<Measurement>) {
     let samples = if config.quick { 20 } else { 60 };
     let mut agree = 0usize;
     for seed in 0..samples {
-        let program =
-            random_range_restricted_normal(NormalProgramConfig::default(), seed as u64);
+        let program = random_range_restricted_normal(NormalProgramConfig::default(), seed as u64);
         let hilog = well_founded_model(&program, EvalOptions::default()).unwrap();
-        let normal =
-            DatalogEngine::new(program.clone()).unwrap().well_founded_model().unwrap();
-        let ok = normal.base().iter().all(|a| hilog.truth(a) == normal.truth(a));
+        let normal = DatalogEngine::new(program.clone())
+            .unwrap()
+            .well_founded_model()
+            .unwrap();
+        let ok = normal
+            .base()
+            .iter()
+            .all(|a| hilog.truth(a) == normal.truth(a));
         if ok {
             agree += 1;
         }
@@ -138,8 +149,7 @@ fn exp_e4_preservation(config: &Config, rows: &mut Vec<Measurement>) {
     let mut preserved_wfs = 0usize;
     let mut preserved_stable = 0usize;
     for seed in 0..samples {
-        let program =
-            random_strongly_restricted_hilog(HilogProgramConfig::default(), seed as u64);
+        let program = random_strongly_restricted_hilog(HilogProgramConfig::default(), seed as u64);
         let extension = random_ground_extension(ExtensionConfig::default(), seed as u64 + 1);
         if preserved_by_extension_wfs(&program, &extension, EvalOptions::default())
             .unwrap()
@@ -196,7 +206,11 @@ fn exp_e4_preservation(config: &Config, rows: &mut Vec<Measurement>) {
 /// E5: the Figure 1 modular-stratification procedure.
 fn exp_e5_modular(config: &Config, rows: &mut Vec<Measurement>) {
     println!("\n-- E5: modular stratification for HiLog (Figure 1) --");
-    let sizes: &[usize] = if config.quick { &[32, 128] } else { &[32, 128, 512, 1024] };
+    let sizes: &[usize] = if config.quick {
+        &[32, 128]
+    } else {
+        &[32, 128, 512, 1024]
+    };
     for &n in sizes {
         let program = hilog_game_program(&[
             ("g1", random_dag(n, 2.0, 5)),
@@ -219,7 +233,10 @@ fn exp_e5_modular(config: &Config, rows: &mut Vec<Measurement>) {
     let cyclic = normal_game_program(&cycle(64));
     let (out, duration) =
         timed(|| modularly_stratified_hilog(&cyclic, EvalOptions::default()).unwrap());
-    println!("  cyclic game n=64: rejected={} in {duration:?}", !out.modularly_stratified);
+    println!(
+        "  cyclic game n=64: rejected={} in {duration:?}",
+        !out.modularly_stratified
+    );
     rows.push(Measurement::new(
         "E5",
         "cyclic game n=64",
@@ -233,13 +250,14 @@ fn exp_e5_modular(config: &Config, rows: &mut Vec<Measurement>) {
 /// evaluation on point queries.
 fn exp_e7_magic(config: &Config, rows: &mut Vec<Measurement>) {
     println!("\n-- E7: magic sets / query-directed evaluation vs bottom-up (Section 6.1) --");
-    let sizes: &[usize] = if config.quick { &[64, 256] } else { &[64, 256, 1024] };
+    let sizes: &[usize] = if config.quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024]
+    };
     for &n in sizes {
         // The queried game is small and the rest of the database is large.
-        let program = hilog_game_program(&[
-            ("target", chain(12)),
-            ("bulk", random_dag(n, 2.5, 9)),
-        ]);
+        let program = hilog_game_program(&[("target", chain(12)), ("bulk", random_dag(n, 2.5, 9))]);
         let atom = parse_term(&format!("winning(target)({})", node_name(0))).unwrap();
         let bottom_up = median_time(3, || {
             let model = well_founded_model(&program, EvalOptions::default()).unwrap();
@@ -283,9 +301,8 @@ fn exp_e8_datahilog(config: &Config, rows: &mut Vec<Measurement>) {
     let samples = if config.quick { 10 } else { 25 };
     let mut total = 0usize;
     for seed in 0..samples {
-        let mut text = String::from(
-            "winning(M, X) :- game(M), M(X, Y), not winning(M, Y).\ngame(g).\n",
-        );
+        let mut text =
+            String::from("winning(M, X) :- game(M), M(X, Y), not winning(M, Y).\ngame(g).\n");
         for (u, v) in random_dag(24, 2.0, seed as u64) {
             text.push_str(&format!("g(p{u}, p{v}).\n"));
         }
@@ -314,7 +331,9 @@ fn exp_e9_universal(config: &Config, rows: &mut Vec<Measurement>) {
     let program = generic_closure_program(&[("e", chain(n))]);
     let direct = median_time(3, || {
         std::hint::black_box(
-            least_model(&program, NegationMode::Forbid, EvalOptions::default()).unwrap().len(),
+            least_model(&program, NegationMode::Forbid, EvalOptions::default())
+                .unwrap()
+                .len(),
         );
     });
     let transformed = universal_transform(&program).unwrap();
@@ -351,7 +370,11 @@ fn exp_e9_universal(config: &Config, rows: &mut Vec<Measurement>) {
 /// E10: the parts-explosion aggregation.
 fn exp_e10_aggregate(config: &Config, rows: &mut Vec<Measurement>) {
     println!("\n-- E10: parts-explosion aggregation (Section 6) --");
-    let sizes: &[usize] = if config.quick { &[16, 64] } else { &[16, 64, 256] };
+    let sizes: &[usize] = if config.quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256]
+    };
     for &n in sizes {
         let hierarchy = random_part_hierarchy(n, n / 2, 3);
         let program = parts_explosion_program(&[("m", "parts")], &hierarchy.as_facts("parts"));
@@ -359,7 +382,12 @@ fn exp_e10_aggregate(config: &Config, rows: &mut Vec<Measurement>) {
             timed(|| evaluate_aggregate_program(&program, EvalOptions::default()).unwrap());
         println!(
             "  {n} parts: {} contains atoms in {:?} ({} rounds)",
-            result.model.true_atoms().iter().filter(|a| a.to_string().starts_with("contains")).count(),
+            result
+                .model
+                .true_atoms()
+                .iter()
+                .filter(|a| a.to_string().starts_with("contains"))
+                .count(),
             duration,
             result.rounds
         );
@@ -385,14 +413,19 @@ fn exp_e11_generic_vs_specialized(config: &Config, rows: &mut Vec<Measurement>) 
     println!("\n-- E11: generic HiLog tc vs specialised normal tc (Examples 2.1/5.2) --");
     let k = 4usize;
     let n = if config.quick { 32 } else { 96 };
-    let relations: Vec<(String, Vec<(usize, usize)>)> =
-        (0..k).map(|i| (format!("rel{i}"), random_dag(n, 1.5, i as u64 + 40))).collect();
-    let borrowed: Vec<(&str, Vec<(usize, usize)>)> =
-        relations.iter().map(|(s, e)| (s.as_str(), e.clone())).collect();
+    let relations: Vec<(String, Vec<(usize, usize)>)> = (0..k)
+        .map(|i| (format!("rel{i}"), random_dag(n, 1.5, i as u64 + 40)))
+        .collect();
+    let borrowed: Vec<(&str, Vec<(usize, usize)>)> = relations
+        .iter()
+        .map(|(s, e)| (s.as_str(), e.clone()))
+        .collect();
     let generic = generic_closure_program(&borrowed);
     let generic_time = median_time(3, || {
         std::hint::black_box(
-            least_model(&generic, NegationMode::Forbid, EvalOptions::default()).unwrap().len(),
+            least_model(&generic, NegationMode::Forbid, EvalOptions::default())
+                .unwrap()
+                .len(),
         );
     });
     let specialised_time = median_time(3, || {

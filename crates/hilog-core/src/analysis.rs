@@ -383,8 +383,10 @@ pub fn rules_by_component(program: &Program) -> Vec<(BTreeSet<Term>, Vec<Rule>)>
             component_of.insert(t.clone(), ci);
         }
     }
-    let mut groups: Vec<(BTreeSet<Term>, Vec<Rule>)> =
-        sccs.iter().map(|c| (c.iter().cloned().collect(), Vec::new())).collect();
+    let mut groups: Vec<(BTreeSet<Term>, Vec<Rule>)> = sccs
+        .iter()
+        .map(|c| (c.iter().cloned().collect(), Vec::new()))
+        .collect();
     for rule in program.iter() {
         if let Some(name) = ground_predicate_name(&rule.head) {
             if let Some(&ci) = component_of.get(&name) {
@@ -440,11 +442,11 @@ mod tests {
         );
         assert_eq!(predicate_name(&atom).to_string(), "winning(M)");
         assert_eq!(ground_predicate_name(&atom), None);
-        let ground = Term::app(
-            Term::apps("winning", vec![sym("move1")]),
-            vec![sym("a")],
+        let ground = Term::app(Term::apps("winning", vec![sym("move1")]), vec![sym("a")]);
+        assert_eq!(
+            ground_predicate_name(&ground).unwrap().to_string(),
+            "winning(move1)"
         );
-        assert_eq!(ground_predicate_name(&ground).unwrap().to_string(), "winning(move1)");
     }
 
     #[test]
@@ -461,17 +463,25 @@ mod tests {
         // "This program is not stratified because winning depends negatively
         // on itself." (Example 6.1)
         assert!(!is_stratified(&win_move()));
-        assert!(DependencyGraph::predicate_graph(&win_move()).strata().is_none());
+        assert!(DependencyGraph::predicate_graph(&win_move())
+            .strata()
+            .is_none());
     }
 
     #[test]
     fn variable_predicate_names_are_not_stratified() {
         // winning(M)(X) :- game(M), M(X,Y), not winning(M)(Y).
         let p = Program::from_rules(vec![Rule::new(
-            Term::app(Term::apps("winning", vec![Term::var("M")]), vec![Term::var("X")]),
+            Term::app(
+                Term::apps("winning", vec![Term::var("M")]),
+                vec![Term::var("X")],
+            ),
             vec![
                 Literal::pos(Term::apps("game", vec![Term::var("M")])),
-                Literal::pos(Term::app(Term::var("M"), vec![Term::var("X"), Term::var("Y")])),
+                Literal::pos(Term::app(
+                    Term::var("M"),
+                    vec![Term::var("X"), Term::var("Y")],
+                )),
                 Literal::neg(Term::app(
                     Term::apps("winning", vec![Term::var("M")]),
                     vec![Term::var("Y")],
@@ -494,7 +504,10 @@ mod tests {
         assert_eq!(sccs.len(), 2);
         // p,q component must come before r (reverse topological order).
         let first: BTreeSet<String> = sccs[0].iter().map(|t| t.to_string()).collect();
-        assert_eq!(first, ["p".to_string(), "q".to_string()].into_iter().collect());
+        assert_eq!(
+            first,
+            ["p".to_string(), "q".to_string()].into_iter().collect()
+        );
         assert_eq!(sccs[1], vec![sym("r")]);
     }
 
@@ -502,10 +515,16 @@ mod tests {
     fn sink_components_are_the_lowest() {
         let p = stratified_pqr();
         let g = DependencyGraph::predicate_graph(&p);
-        let sinks: BTreeSet<String> =
-            g.sink_component_nodes().iter().map(|t| t.to_string()).collect();
+        let sinks: BTreeSet<String> = g
+            .sink_component_nodes()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
         // q and r have no outgoing edges; p depends on both.
-        assert_eq!(sinks, ["q".to_string(), "r".to_string()].into_iter().collect());
+        assert_eq!(
+            sinks,
+            ["q".to_string(), "r".to_string()].into_iter().collect()
+        );
     }
 
     #[test]
@@ -588,7 +607,10 @@ mod tests {
         ]);
         let g = DependencyGraph::predicate_graph(&p);
         let contains_idx = g.node_index(&sym("contains")).unwrap();
-        assert!(g.successors(contains_idx).iter().any(|&(_, s)| s == EdgeSign::Negative));
+        assert!(g
+            .successors(contains_idx)
+            .iter()
+            .any(|&(_, s)| s == EdgeSign::Negative));
         // Still stratified: no cycle.
         assert!(is_stratified(&p));
     }

@@ -161,9 +161,24 @@ pub fn eval_arith(term: &Term) -> Result<i64, CoreError> {
                     a.checked_neg()
                         .ok_or_else(|| CoreError::Arithmetic("negation overflow".into()))
                 }
-                ("+", 2) => checked(eval_arith(&args[0])?, eval_arith(&args[1])?, i64::checked_add, "+"),
-                ("-", 2) => checked(eval_arith(&args[0])?, eval_arith(&args[1])?, i64::checked_sub, "-"),
-                ("*", 2) => checked(eval_arith(&args[0])?, eval_arith(&args[1])?, i64::checked_mul, "*"),
+                ("+", 2) => checked(
+                    eval_arith(&args[0])?,
+                    eval_arith(&args[1])?,
+                    i64::checked_add,
+                    "+",
+                ),
+                ("-", 2) => checked(
+                    eval_arith(&args[0])?,
+                    eval_arith(&args[1])?,
+                    i64::checked_sub,
+                    "-",
+                ),
+                ("*", 2) => checked(
+                    eval_arith(&args[0])?,
+                    eval_arith(&args[1])?,
+                    i64::checked_mul,
+                    "*",
+                ),
                 ("div", 2) | ("/", 2) => {
                     let b = eval_arith(&args[1])?;
                     if b == 0 {
@@ -188,12 +203,7 @@ pub fn eval_arith(term: &Term) -> Result<i64, CoreError> {
     }
 }
 
-fn checked(
-    a: i64,
-    b: i64,
-    f: fn(i64, i64) -> Option<i64>,
-    op: &str,
-) -> Result<i64, CoreError> {
+fn checked(a: i64, b: i64, f: fn(i64, i64) -> Option<i64>, op: &str) -> Result<i64, CoreError> {
     f(a, b).ok_or_else(|| CoreError::Arithmetic(format!("overflow in {a} {op} {b}")))
 }
 
@@ -213,11 +223,26 @@ mod tests {
         assert_eq!(eval_arith(&e).unwrap(), 94);
         let nested = bin("+", bin("*", Term::int(3), Term::int(4)), Term::int(5));
         assert_eq!(eval_arith(&nested).unwrap(), 17);
-        assert_eq!(eval_arith(&Term::apps("-", vec![Term::int(7)])).unwrap(), -7);
-        assert_eq!(eval_arith(&bin("div", Term::int(9), Term::int(2))).unwrap(), 4);
-        assert_eq!(eval_arith(&bin("mod", Term::int(9), Term::int(2))).unwrap(), 1);
-        assert_eq!(eval_arith(&bin("min", Term::int(9), Term::int(2))).unwrap(), 2);
-        assert_eq!(eval_arith(&bin("max", Term::int(9), Term::int(2))).unwrap(), 9);
+        assert_eq!(
+            eval_arith(&Term::apps("-", vec![Term::int(7)])).unwrap(),
+            -7
+        );
+        assert_eq!(
+            eval_arith(&bin("div", Term::int(9), Term::int(2))).unwrap(),
+            4
+        );
+        assert_eq!(
+            eval_arith(&bin("mod", Term::int(9), Term::int(2))).unwrap(),
+            1
+        );
+        assert_eq!(
+            eval_arith(&bin("min", Term::int(9), Term::int(2))).unwrap(),
+            2
+        );
+        assert_eq!(
+            eval_arith(&bin("max", Term::int(9), Term::int(2))).unwrap(),
+            9
+        );
     }
 
     #[test]
@@ -246,26 +271,56 @@ mod tests {
 
     #[test]
     fn is_checks_when_bound() {
-        let call = BuiltinCall::new(BuiltinOp::Is, Term::int(5), bin("+", Term::int(2), Term::int(3)));
+        let call = BuiltinCall::new(
+            BuiltinOp::Is,
+            Term::int(5),
+            bin("+", Term::int(2), Term::int(3)),
+        );
         assert!(call.eval(&mut Substitution::new()).unwrap());
-        let bad = BuiltinCall::new(BuiltinOp::Is, Term::int(6), bin("+", Term::int(2), Term::int(3)));
+        let bad = BuiltinCall::new(
+            BuiltinOp::Is,
+            Term::int(6),
+            bin("+", Term::int(2), Term::int(3)),
+        );
         assert!(!bad.eval(&mut Substitution::new()).unwrap());
     }
 
     #[test]
     fn comparisons() {
         let mut theta = Substitution::new();
-        assert!(BuiltinCall::new(BuiltinOp::Lt, Term::int(1), Term::int(2)).eval(&mut theta).unwrap());
-        assert!(!BuiltinCall::new(BuiltinOp::Gt, Term::int(1), Term::int(2)).eval(&mut theta).unwrap());
-        assert!(BuiltinCall::new(BuiltinOp::Le, Term::int(2), Term::int(2)).eval(&mut theta).unwrap());
-        assert!(BuiltinCall::new(BuiltinOp::Ge, Term::int(2), Term::int(2)).eval(&mut theta).unwrap());
-        assert!(BuiltinCall::new(BuiltinOp::ArithEq, Term::int(2), bin("+", Term::int(1), Term::int(1))).eval(&mut theta).unwrap());
-        assert!(BuiltinCall::new(BuiltinOp::ArithNeq, Term::int(3), Term::int(2)).eval(&mut theta).unwrap());
+        assert!(BuiltinCall::new(BuiltinOp::Lt, Term::int(1), Term::int(2))
+            .eval(&mut theta)
+            .unwrap());
+        assert!(!BuiltinCall::new(BuiltinOp::Gt, Term::int(1), Term::int(2))
+            .eval(&mut theta)
+            .unwrap());
+        assert!(BuiltinCall::new(BuiltinOp::Le, Term::int(2), Term::int(2))
+            .eval(&mut theta)
+            .unwrap());
+        assert!(BuiltinCall::new(BuiltinOp::Ge, Term::int(2), Term::int(2))
+            .eval(&mut theta)
+            .unwrap());
+        assert!(BuiltinCall::new(
+            BuiltinOp::ArithEq,
+            Term::int(2),
+            bin("+", Term::int(1), Term::int(1))
+        )
+        .eval(&mut theta)
+        .unwrap());
+        assert!(
+            BuiltinCall::new(BuiltinOp::ArithNeq, Term::int(3), Term::int(2))
+                .eval(&mut theta)
+                .unwrap()
+        );
     }
 
     #[test]
     fn syntactic_equality_unifies() {
-        let call = BuiltinCall::new(BuiltinOp::Eq, Term::var("X"), Term::apps("f", vec![Term::sym("a")]));
+        let call = BuiltinCall::new(
+            BuiltinOp::Eq,
+            Term::var("X"),
+            Term::apps("f", vec![Term::sym("a")]),
+        );
         let mut theta = Substitution::new();
         assert!(call.eval(&mut theta).unwrap());
         assert_eq!(theta.apply(&Term::var("X")).to_string(), "f(a)");

@@ -36,8 +36,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::Arithmetic("x".into()).to_string().contains("arithmetic"));
-        assert!(CoreError::Uninstantiated("x".into()).to_string().contains("uninstantiated"));
-        assert!(CoreError::Precondition("x".into()).to_string().contains("precondition"));
+        assert!(CoreError::Arithmetic("x".into())
+            .to_string()
+            .contains("arithmetic"));
+        assert!(CoreError::Uninstantiated("x".into())
+            .to_string()
+            .contains("uninstantiated"));
+        assert!(CoreError::Precondition("x".into())
+            .to_string()
+            .contains("precondition"));
     }
 }

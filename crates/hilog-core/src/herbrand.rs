@@ -131,8 +131,7 @@ impl Vocabulary {
     /// All symbols as leaf terms (the generators of the HiLog universe),
     /// including integer constants.
     pub fn hilog_leaves(&self) -> Vec<Term> {
-        let mut out: Vec<Term> =
-            self.symbols.iter().map(|s| Term::Sym(s.clone())).collect();
+        let mut out: Vec<Term> = self.symbols.iter().map(|s| Term::Sym(s.clone())).collect();
         out.extend(self.integers.iter().map(|i| Term::Int(*i)));
         out
     }
@@ -164,14 +163,22 @@ pub struct HerbrandBounds {
 
 impl Default for HerbrandBounds {
     fn default() -> Self {
-        HerbrandBounds { max_depth: 2, max_arity: 2, max_terms: 2_000 }
+        HerbrandBounds {
+            max_depth: 2,
+            max_arity: 2,
+            max_terms: 2_000,
+        }
     }
 }
 
 impl HerbrandBounds {
     /// Convenience constructor.
     pub fn new(max_depth: usize, max_arity: usize, max_terms: usize) -> Self {
-        HerbrandBounds { max_depth, max_arity, max_terms }
+        HerbrandBounds {
+            max_depth,
+            max_arity,
+            max_terms,
+        }
     }
 }
 
@@ -257,7 +264,11 @@ impl HerbrandUniverse {
             frontier = next;
         }
         let _ = frontier;
-        HerbrandUniverse { terms, bounds, truncated }
+        HerbrandUniverse {
+            terms,
+            bounds,
+            truncated,
+        }
     }
 
     /// Enumerates the *normal* Herbrand universe of a program: constants plus
@@ -320,7 +331,11 @@ impl HerbrandUniverse {
                 }
             }
         }
-        HerbrandUniverse { terms, bounds, truncated }
+        HerbrandUniverse {
+            terms,
+            bounds,
+            truncated,
+        }
     }
 
     /// The enumerated terms.
@@ -431,7 +446,10 @@ mod tests {
         let u = HerbrandUniverse::normal(&p, HerbrandBounds::new(3, 1, 1000));
         assert!(u.contains(&Term::sym("a")));
         assert!(u.contains(&Term::apps("f", vec![Term::sym("a")])));
-        assert!(u.contains(&Term::apps("f", vec![Term::apps("f", vec![Term::sym("a")])])));
+        assert!(u.contains(&Term::apps(
+            "f",
+            vec![Term::apps("f", vec![Term::sym("a")])]
+        )));
     }
 
     #[test]

@@ -132,8 +132,14 @@ impl Interpretation {
     /// Merges another interpretation into this one; returns `false` if the
     /// union would be inconsistent (in which case `self` is left unchanged).
     pub fn merge(&mut self, other: &Interpretation) -> bool {
-        if other.true_atoms.iter().any(|a| self.false_atoms.contains(a))
-            || other.false_atoms.iter().any(|a| self.true_atoms.contains(a))
+        if other
+            .true_atoms
+            .iter()
+            .any(|a| self.false_atoms.contains(a))
+            || other
+                .false_atoms
+                .iter()
+                .any(|a| self.true_atoms.contains(a))
         {
             return false;
         }
@@ -193,7 +199,11 @@ impl Model {
         let undefined: BTreeSet<Term> = undefined.into_iter().collect();
         base.extend(true_atoms.iter().cloned());
         base.extend(undefined.iter().cloned());
-        Model { base, true_atoms, undefined }
+        Model {
+            base,
+            true_atoms,
+            undefined,
+        }
     }
 
     /// The empty model (empty base; every atom false).
@@ -204,7 +214,11 @@ impl Model {
     /// A model consisting only of true facts (total, everything else false).
     pub fn from_true_atoms(atoms: impl IntoIterator<Item = Term>) -> Self {
         let true_atoms: BTreeSet<Term> = atoms.into_iter().collect();
-        Model { base: true_atoms.clone(), true_atoms, undefined: BTreeSet::new() }
+        Model {
+            base: true_atoms.clone(),
+            true_atoms,
+            undefined: BTreeSet::new(),
+        }
     }
 
     /// The truth value of a ground atom under this model.
@@ -300,8 +314,12 @@ impl Model {
         self.undefined.extend(other.undefined.iter().cloned());
         // An atom true in one part and undefined in another would be a bug in
         // the caller; prefer the stronger value.
-        let resolved: Vec<Term> =
-            self.undefined.iter().filter(|a| self.true_atoms.contains(*a)).cloned().collect();
+        let resolved: Vec<Term> = self
+            .undefined
+            .iter()
+            .filter(|a| self.true_atoms.contains(*a))
+            .cloned()
+            .collect();
         for a in resolved {
             self.undefined.remove(&a);
         }
@@ -364,7 +382,12 @@ impl Model {
     pub fn restrict(&self, mut keep: impl FnMut(&Term) -> bool) -> Model {
         Model {
             base: self.base.iter().filter(|a| keep(a)).cloned().collect(),
-            true_atoms: self.true_atoms.iter().filter(|a| keep(a)).cloned().collect(),
+            true_atoms: self
+                .true_atoms
+                .iter()
+                .filter(|a| keep(a))
+                .cloned()
+                .collect(),
             undefined: self.undefined.iter().filter(|a| keep(a)).cloned().collect(),
         }
     }
@@ -372,12 +395,28 @@ impl Model {
 
 impl fmt::Display for Model {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "true:      {:?}", self.true_atoms.iter().map(|a| a.to_string()).collect::<Vec<_>>())?;
-        writeln!(f, "undefined: {:?}", self.undefined.iter().map(|a| a.to_string()).collect::<Vec<_>>())?;
+        writeln!(
+            f,
+            "true:      {:?}",
+            self.true_atoms
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+        )?;
+        writeln!(
+            f,
+            "undefined: {:?}",
+            self.undefined
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+        )?;
         write!(
             f,
             "false:     {:?}",
-            self.false_base_atoms().map(|a| a.to_string()).collect::<Vec<_>>()
+            self.false_base_atoms()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
         )
     }
 }
@@ -468,7 +507,11 @@ mod tests {
     fn extends_relation() {
         let smaller = Model::new([atom("p"), atom("q")], [atom("p")], []);
         // larger keeps p true, q false, adds r true.
-        let larger = Model::new([atom("p"), atom("q"), atom("r")], [atom("p"), atom("r")], []);
+        let larger = Model::new(
+            [atom("p"), atom("q"), atom("r")],
+            [atom("p"), atom("r")],
+            [],
+        );
         assert!(larger.extends(&smaller));
         // flipping q to true violates extension of falsity.
         let bad = Model::new([atom("p"), atom("q")], [atom("p"), atom("q")], []);

@@ -66,7 +66,12 @@ pub struct Aggregate {
 impl Aggregate {
     /// Creates an aggregation literal.
     pub fn new(func: AggregateFunc, result: Term, value: Term, pattern: Term) -> Self {
-        Aggregate { func, result, value, pattern }
+        Aggregate {
+            func,
+            result,
+            value,
+            pattern,
+        }
     }
 
     /// Applies a substitution to all components.
@@ -82,7 +87,12 @@ impl Aggregate {
     /// Variables occurring anywhere in the aggregate literal.
     pub fn variables(&self) -> Vec<Var> {
         let mut vars = self.result.variables();
-        for v in self.value.variables().into_iter().chain(self.pattern.variables()) {
+        for v in self
+            .value
+            .variables()
+            .into_iter()
+            .chain(self.pattern.variables())
+        {
             if !vars.contains(&v) {
                 vars.push(v);
             }
@@ -93,7 +103,14 @@ impl Aggregate {
 
 impl fmt::Display for Aggregate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} = {}({}, {})", self.result, self.func.name(), self.value, self.pattern)
+        write!(
+            f,
+            "{} = {}({}, {})",
+            self.result,
+            self.func.name(),
+            self.value,
+            self.pattern
+        )
     }
 }
 
@@ -228,7 +245,16 @@ mod tests {
             AggregateFunc::Sum,
             Term::var("N"),
             Term::var("P"),
-            Term::apps("in", vec![Term::var("Mach"), Term::var("X"), Term::var("Y"), Term::var("W"), Term::var("P")]),
+            Term::apps(
+                "in",
+                vec![
+                    Term::var("Mach"),
+                    Term::var("X"),
+                    Term::var("Y"),
+                    Term::var("W"),
+                    Term::var("P"),
+                ],
+            ),
         );
         assert_eq!(
             Literal::Aggregate(agg).to_string(),

@@ -252,8 +252,7 @@ impl ProgramClass {
     pub fn classify(program: &Program) -> RestrictionReport {
         RestrictionReport {
             normal: program.is_normal(),
-            range_restricted_normal: program.is_normal()
-                && is_range_restricted_normal(program),
+            range_restricted_normal: program.is_normal() && is_range_restricted_normal(program),
             range_restricted_hilog: is_range_restricted_hilog(program),
             strongly_range_restricted: is_strongly_range_restricted(program),
             datahilog: is_datahilog(program),
@@ -380,9 +379,14 @@ mod tests {
     fn argument_vs_name_variables() {
         // tc(G)(Z, Y): arguments Z, Y; name variables {G}.
         let atom = Term::app(Term::apps("tc", vec![v("G")]), vec![v("Z"), v("Y")]);
-        let args: Vec<String> =
-            argument_variables(&atom).iter().map(|x| x.to_string()).collect();
-        let names: Vec<String> = name_variables(&atom).iter().map(|x| x.to_string()).collect();
+        let args: Vec<String> = argument_variables(&atom)
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
+        let names: Vec<String> = name_variables(&atom)
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
         assert_eq!(args, vec!["Y", "Z"]);
         assert_eq!(names, vec!["G"]);
         // A bare variable atom: the variable is its own name.
@@ -452,17 +456,26 @@ mod tests {
     #[test]
     fn query_range_restriction_requires_ground_names() {
         // ?- tc(e)(a, Y).  — ground name, range restricted.
-        let q1 = Query::atom(Term::app(Term::apps("tc", vec![s("e")]), vec![s("a"), v("Y")]));
+        let q1 = Query::atom(Term::app(
+            Term::apps("tc", vec![s("e")]),
+            vec![s("a"), v("Y")],
+        ));
         assert!(is_range_restricted_query(&q1));
         // ?- tc(G)(X, Y).  — unbound name G, not range restricted (Example 5.2
         // discusses why such queries are problematic).
-        let q2 = Query::atom(Term::app(Term::apps("tc", vec![v("G")]), vec![v("X"), v("Y")]));
+        let q2 = Query::atom(Term::app(
+            Term::apps("tc", vec![v("G")]),
+            vec![v("X"), v("Y")],
+        ));
         assert!(!is_range_restricted_query(&q2));
         // ?- graph(G), tc(G)(X, Y). — binding the name inside the query makes
         // it acceptable.
         let q3 = Query::new(vec![
             Literal::pos(Term::apps("graph", vec![v("G")])),
-            Literal::pos(Term::app(Term::apps("tc", vec![v("G")]), vec![v("X"), v("Y")])),
+            Literal::pos(Term::app(
+                Term::apps("tc", vec![v("G")]),
+                vec![v("X"), v("Y")],
+            )),
         ]);
         assert!(is_range_restricted_query(&q3));
     }
@@ -486,7 +499,10 @@ mod tests {
             vec![
                 Literal::pos(Term::apps("graph", vec![v("G")])),
                 Literal::pos(Term::app(v("G"), vec![v("X"), v("Z")])),
-                Literal::pos(Term::app(Term::apps("tc", vec![v("G")]), vec![v("Z"), v("Y")])),
+                Literal::pos(Term::app(
+                    Term::apps("tc", vec![v("G")]),
+                    vec![v("Z"), v("Y")],
+                )),
             ],
         )]);
         assert!(!is_datahilog(&nested));

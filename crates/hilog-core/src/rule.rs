@@ -29,7 +29,10 @@ impl Rule {
 
     /// Creates a fact (a rule with an empty body).
     pub fn fact(head: Term) -> Self {
-        Rule { head, body: Vec::new() }
+        Rule {
+            head,
+            body: Vec::new(),
+        }
     }
 
     /// Returns `true` if the rule is a fact.
@@ -146,7 +149,9 @@ impl Query {
 
     /// Creates a query asking for a single atom.
     pub fn atom(atom: Term) -> Self {
-        Query { literals: vec![Literal::Pos(atom)] }
+        Query {
+            literals: vec![Literal::Pos(atom)],
+        }
     }
 
     /// The free variables of the query, in first-occurrence order.
@@ -198,7 +203,10 @@ mod tests {
                 vec![Term::var("X"), Term::var("Y")],
             ),
             vec![
-                Literal::pos(Term::app(Term::var("G"), vec![Term::var("X"), Term::var("Z")])),
+                Literal::pos(Term::app(
+                    Term::var("G"),
+                    vec![Term::var("X"), Term::var("Z")],
+                )),
                 Literal::pos(Term::app(
                     Term::apps("tc", vec![Term::var("G")]),
                     vec![Term::var("Z"), Term::var("Y")],

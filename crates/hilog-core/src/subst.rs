@@ -24,7 +24,9 @@ impl Substitution {
 
     /// Builds a substitution from an explicit list of bindings.
     pub fn from_bindings(bindings: impl IntoIterator<Item = (Var, Term)>) -> Self {
-        Substitution { map: bindings.into_iter().collect() }
+        Substitution {
+            map: bindings.into_iter().collect(),
+        }
     }
 
     /// Number of bound variables.
@@ -166,7 +168,9 @@ impl fmt::Display for Substitution {
 
 impl FromIterator<(Var, Term)> for Substitution {
     fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
-        Substitution { map: iter.into_iter().collect() }
+        Substitution {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 

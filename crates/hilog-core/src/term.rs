@@ -34,12 +34,18 @@ pub struct Var {
 impl Var {
     /// Creates a source-level variable with the given name.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Var { name: Symbol::new(name), generation: 0 }
+        Var {
+            name: Symbol::new(name),
+            generation: 0,
+        }
     }
 
     /// Creates a renamed copy of this variable in the given generation.
     pub fn with_generation(&self, generation: u32) -> Self {
-        Var { name: self.name.clone(), generation }
+        Var {
+            name: self.name.clone(),
+            generation,
+        }
     }
 
     /// The variable's base name (without the generation suffix).
@@ -386,7 +392,8 @@ fn try_list_view(term: &Term) -> Option<(Vec<&Term>, Option<&Term>)> {
     let mut saw_cons = false;
     loop {
         match cur {
-            Term::App(name, args) if args.len() == 2 && matches!(&**name, Term::Sym(s) if s.name() == "cons") =>
+            Term::App(name, args)
+                if args.len() == 2 && matches!(&**name, Term::Sym(s) if s.name() == "cons") =>
             {
                 saw_cons = true;
                 items.push(&args[0]);
@@ -396,7 +403,11 @@ fn try_list_view(term: &Term) -> Option<(Vec<&Term>, Option<&Term>)> {
                 return if saw_cons { Some((items, None)) } else { None };
             }
             other => {
-                return if saw_cons { Some((items, Some(other))) } else { None };
+                return if saw_cons {
+                    Some((items, Some(other)))
+                } else {
+                    None
+                };
             }
         }
     }

@@ -269,9 +269,17 @@ mod tests {
     fn matching_respects_prior_bindings() {
         let mut theta = Substitution::from_bindings([(Var::new("X"), Term::sym("a"))]);
         let pattern = Term::apps("q", vec![Term::var("X")]);
-        assert!(match_with(&pattern, &Term::apps("q", vec![Term::sym("a")]), &mut theta));
+        assert!(match_with(
+            &pattern,
+            &Term::apps("q", vec![Term::sym("a")]),
+            &mut theta
+        ));
         let mut theta2 = Substitution::from_bindings([(Var::new("X"), Term::sym("b"))]);
-        assert!(!match_with(&pattern, &Term::apps("q", vec![Term::sym("a")]), &mut theta2));
+        assert!(!match_with(
+            &pattern,
+            &Term::apps("q", vec![Term::sym("a")]),
+            &mut theta2
+        ));
     }
 
     #[test]

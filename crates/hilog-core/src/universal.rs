@@ -81,7 +81,10 @@ pub fn decode_term(term: &Term) -> Term {
                     return Term::app(inner_name, inner_args);
                 }
             }
-            Term::App(Box::new(decode_term(name)), args.iter().map(decode_term).collect())
+            Term::App(
+                Box::new(decode_term(name)),
+                args.iter().map(decode_term).collect(),
+            )
         }
     }
 }
@@ -153,7 +156,10 @@ mod tests {
         // A bare propositional symbol encodes to itself under call.
         assert_eq!(encode_atom(&s("p")).to_string(), "call(p)");
         // 0-ary application p() becomes u1(p).
-        assert_eq!(encode_atom(&Term::apps("p", vec![])).to_string(), "call(u1(p))");
+        assert_eq!(
+            encode_atom(&Term::apps("p", vec![])).to_string(),
+            "call(u1(p))"
+        );
     }
 
     #[test]
@@ -181,7 +187,10 @@ mod tests {
             Term::apps("p", vec![]),
             Term::app(
                 Term::app(Term::apps("p", vec![s("a"), v("X")]), vec![v("Y")]),
-                vec![s("b"), Term::app(Term::apps("f", vec![s("c")]), vec![s("d")])],
+                vec![
+                    s("b"),
+                    Term::app(Term::apps("f", vec![s("c")]), vec![s("d")]),
+                ],
             ),
         ];
         for atom in atoms {
@@ -228,10 +237,7 @@ mod tests {
             Rule::new(
                 Term::app(
                     Term::apps("maplist", vec![v("F")]),
-                    vec![
-                        Term::cons(v("X"), v("R")),
-                        Term::cons(v("Y"), v("Z")),
-                    ],
+                    vec![Term::cons(v("X"), v("R")), Term::cons(v("Y"), v("Z"))],
                 ),
                 vec![
                     Literal::pos(Term::app(v("F"), vec![v("X"), v("Y")])),

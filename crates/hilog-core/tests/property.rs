@@ -13,8 +13,7 @@ use proptest::prelude::*;
 /// arbitrary term.
 fn arb_term() -> impl Strategy<Value = Term> {
     let leaf = prop_oneof![
-        prop_oneof![Just("a"), Just("b"), Just("f"), Just("g"), Just("move")]
-            .prop_map(Term::sym),
+        prop_oneof![Just("a"), Just("b"), Just("f"), Just("g"), Just("move")].prop_map(Term::sym),
         (-5i64..20).prop_map(Term::int),
         prop_oneof![Just("X"), Just("Y"), Just("Z"), Just("G")].prop_map(Term::var),
     ];

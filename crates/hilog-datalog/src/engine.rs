@@ -78,7 +78,10 @@ impl Database {
 
     fn insert_atom(&mut self, atom: &Term) -> bool {
         let key = Self::key(atom).expect("normal atom");
-        self.relations.entry(key).or_default().insert(atom.args().to_vec())
+        self.relations
+            .entry(key)
+            .or_default()
+            .insert(atom.args().to_vec())
     }
 
     fn contains_atom(&self, atom: &Term) -> bool {
@@ -113,11 +116,7 @@ fn make_atom(name: &str, args: &[Term]) -> Term {
 
 /// Matches a body atom pattern against the database, extending each seed
 /// substitution in every possible way.
-fn extend_matches(
-    seeds: Vec<Substitution>,
-    pattern: &Term,
-    db: &Database,
-) -> Vec<Substitution> {
+fn extend_matches(seeds: Vec<Substitution>, pattern: &Term, db: &Database) -> Vec<Substitution> {
     let mut out = Vec::new();
     for theta in seeds {
         let instantiated = theta.apply(pattern);
@@ -161,7 +160,9 @@ pub struct DatalogOptions {
 
 impl Default for DatalogOptions {
     fn default() -> Self {
-        DatalogOptions { max_atoms: 2_000_000 }
+        DatalogOptions {
+            max_atoms: 2_000_000,
+        }
     }
 }
 
@@ -202,7 +203,11 @@ impl DatalogEngine {
                 "least_model only evaluates negation-free programs".into(),
             ));
         }
-        let db = self.evaluate_stratum(&self.program.rules, &Database::default(), &Database::default())?;
+        let db = self.evaluate_stratum(
+            &self.program.rules,
+            &Database::default(),
+            &Database::default(),
+        )?;
         Ok(db.atoms())
     }
 
@@ -211,7 +216,9 @@ impl DatalogEngine {
     pub fn stratified_model(&self) -> Result<DatalogModel, DatalogError> {
         let graph = hilog_core::analysis::DependencyGraph::predicate_graph(&self.program);
         let strata = graph.strata().ok_or_else(|| {
-            DatalogError::NotStratified("the predicate dependency graph has a negative cycle".into())
+            DatalogError::NotStratified(
+                "the predicate dependency graph has a negative cycle".into(),
+            )
         })?;
         let max_level = strata.values().copied().max().unwrap_or(0);
         let mut settled = Database::default();
@@ -324,19 +331,30 @@ impl DatalogEngine {
         let positive: Vec<Rule> = self
             .program
             .iter()
-            .map(|r| Rule::new(
-                r.head.clone(),
-                r.body.iter().filter(|l| !l.is_negative_atom()).cloned().collect(),
-            ))
+            .map(|r| {
+                Rule::new(
+                    r.head.clone(),
+                    r.body
+                        .iter()
+                        .filter(|l| !l.is_negative_atom())
+                        .cloned()
+                        .collect(),
+                )
+            })
             .collect();
-        let possibly = self.evaluate_stratum(&positive, &Database::default(), &Database::default())?;
+        let possibly =
+            self.evaluate_stratum(&positive, &Database::default(), &Database::default())?;
 
         // Relevant ground instantiation.
         let mut ground: Vec<(Term, Vec<Term>, Vec<Term>)> = Vec::new();
         for rule in self.program.iter() {
             let context = Rule::new(
                 rule.head.clone(),
-                rule.body.iter().filter(|l| !l.is_negative_atom()).cloned().collect(),
+                rule.body
+                    .iter()
+                    .filter(|l| !l.is_negative_atom())
+                    .cloned()
+                    .collect(),
             );
             for theta in self.match_body(&context, &possibly, &Database::default())? {
                 let head = theta.apply(&rule.head);
@@ -403,7 +421,9 @@ impl DatalogEngine {
                 }
             }
             for atom in &base {
-                if !founded.contains(atom) && !true_set.contains(atom) && false_set.insert(atom.clone())
+                if !founded.contains(atom)
+                    && !true_set.contains(atom)
+                    && false_set.insert(atom.clone())
                 {
                     changed = true;
                 }
@@ -475,7 +495,10 @@ mod tests {
     #[test]
     fn rejects_hilog_programs() {
         let p = parse_program("tc(G)(X, Y) :- G(X, Y).").unwrap();
-        assert!(matches!(DatalogEngine::new(p), Err(DatalogError::NotNormal(_))));
+        assert!(matches!(
+            DatalogEngine::new(p),
+            Err(DatalogError::NotNormal(_))
+        ));
     }
 
     #[test]
@@ -493,7 +516,10 @@ mod tests {
     #[test]
     fn least_model_rejects_negation() {
         let e = engine("p :- not q. q.");
-        assert!(matches!(e.least_model(), Err(DatalogError::NotStratified(_))));
+        assert!(matches!(
+            e.least_model(),
+            Err(DatalogError::NotStratified(_))
+        ));
     }
 
     #[test]
@@ -513,7 +539,10 @@ mod tests {
     #[test]
     fn stratified_evaluation_rejects_win_move() {
         let e = engine("winning(X) :- move(X, Y), not winning(Y). move(a, b).");
-        assert!(matches!(e.stratified_model(), Err(DatalogError::NotStratified(_))));
+        assert!(matches!(
+            e.stratified_model(),
+            Err(DatalogError::NotStratified(_))
+        ));
     }
 
     #[test]
@@ -576,7 +605,10 @@ mod tests {
     #[test]
     fn floundering_is_detected() {
         let e = engine("p(X) :- not q(X).");
-        assert!(matches!(e.well_founded_model(), Err(DatalogError::Floundering(_))));
+        assert!(matches!(
+            e.well_founded_model(),
+            Err(DatalogError::Floundering(_))
+        ));
     }
 
     #[test]

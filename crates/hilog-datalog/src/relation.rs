@@ -21,7 +21,10 @@ pub struct RelationName {
 impl RelationName {
     /// Creates a relation name.
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
-        RelationName { name: name.into(), arity }
+        RelationName {
+            name: name.into(),
+            arity,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ impl Relation {
     ///
     /// Panics (in debug builds) if the tuple contains variables.
     pub fn insert(&mut self, tuple: Vec<Term>) -> bool {
-        debug_assert!(tuple.iter().all(Term::is_ground), "relations store ground tuples");
+        debug_assert!(
+            tuple.iter().all(Term::is_ground),
+            "relations store ground tuples"
+        );
         if self.tuples.insert(tuple.clone()) {
             if let Some(first) = tuple.first() {
                 self.by_first.entry(first.clone()).or_default().push(tuple);

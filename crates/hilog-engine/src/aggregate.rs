@@ -118,8 +118,10 @@ fn evaluate_aggregate_rule(
 ) -> Result<Vec<Term>, EngineError> {
     // Split the body into the aggregate literal and the rest; the rest is
     // joined first (left-to-right) to bind the grouping context.
-    let (aggregates, rest): (Vec<&Literal>, Vec<&Literal>) =
-        rule.body.iter().partition(|l| matches!(l, Literal::Aggregate(_)));
+    let (aggregates, rest): (Vec<&Literal>, Vec<&Literal>) = rule
+        .body
+        .iter()
+        .partition(|l| matches!(l, Literal::Aggregate(_)));
     if aggregates.len() != 1 {
         return Err(EngineError::Unsupported(format!(
             "rule `{rule}` must contain exactly one aggregate literal, found {}",
@@ -130,7 +132,10 @@ fn evaluate_aggregate_rule(
         Literal::Aggregate(a) => a,
         _ => unreachable!(),
     };
-    let context_rule = Rule::new(rule.head.clone(), rest.iter().map(|l| (*l).clone()).collect());
+    let context_rule = Rule::new(
+        rule.head.clone(),
+        rest.iter().map(|l| (*l).clone()).collect(),
+    );
     let contexts = join_body(&context_rule, derived, None, NegationMode::Forbid)?;
     if contexts.len() > opts.max_atoms {
         return Err(EngineError::LimitExceeded(format!(
@@ -165,7 +170,10 @@ fn evaluate_aggregate_rule(
                     .filter(|v| !theta.contains(v))
                     .map(|v| (v.clone(), m.apply(&Term::Var(v.clone()))))
                     .collect();
-                groups.entry(key).or_default().push(m.apply(&theta.apply(&agg.value)));
+                groups
+                    .entry(key)
+                    .or_default()
+                    .push(m.apply(&theta.apply(&agg.value)));
             }
         }
         for (key, values) in groups {
@@ -271,7 +279,9 @@ mod tests {
                 ("car_parts", "bolt", "washer", 2),
             ],
         );
-        let m = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap().model;
+        let m = evaluate_aggregate_program(&program, EvalOptions::default())
+            .unwrap()
+            .model;
         assert!(m.is_true(&parse_term("contains(car_machine, car, bolt, 20)").unwrap()));
         assert!(m.is_true(&parse_term("contains(car_machine, car, washer, 40)").unwrap()));
         assert!(m.is_true(&parse_term("contains(car_machine, wheel, washer, 10)").unwrap()));
@@ -290,7 +300,9 @@ mod tests {
                 ("gp", "leg", "screw", 1),
             ],
         );
-        let m = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap().model;
+        let m = evaluate_aggregate_program(&program, EvalOptions::default())
+            .unwrap()
+            .model;
         assert!(m.is_true(&parse_term("contains(g, gadget, screw, 5)").unwrap()));
     }
 
@@ -303,7 +315,9 @@ mod tests {
             &[("m1", "shared_parts"), ("m2", "shared_parts")],
             &[("shared_parts", "box", "panel", 6)],
         );
-        let m = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap().model;
+        let m = evaluate_aggregate_program(&program, EvalOptions::default())
+            .unwrap()
+            .model;
         assert!(m.is_true(&parse_term("contains(m1, box, panel, 6)").unwrap()));
         assert!(m.is_true(&parse_term("contains(m2, box, panel, 6)").unwrap()));
     }
@@ -311,10 +325,7 @@ mod tests {
     #[test]
     fn cyclic_part_hierarchy_is_rejected() {
         // widget contains itself: the aggregation never stabilises.
-        let program = parts_explosion_program(
-            &[("m", "p")],
-            &[("p", "widget", "widget", 2)],
-        );
+        let program = parts_explosion_program(&[("m", "p")], &[("p", "widget", "widget", 2)]);
         // The evaluation diverges: either the round limit detects the cycle or
         // the multiplied quantities overflow first — in both cases the
         // program is rejected rather than silently producing values.
@@ -340,7 +351,9 @@ mod tests {
              part(bike, wheel, 2). part(bike, spoke, 94). part(bike, frame, 1).",
         )
         .unwrap();
-        let m = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap().model;
+        let m = evaluate_aggregate_program(&program, EvalOptions::default())
+            .unwrap()
+            .model;
         assert!(m.is_true(&parse_term("kinds(bike, 3)").unwrap()));
         assert!(m.is_true(&parse_term("biggest(bike, 94)").unwrap()));
         assert!(m.is_true(&parse_term("smallest(bike, 1)").unwrap()));
@@ -382,7 +395,9 @@ mod tests {
                 ("parts_b", "beta", "gear", 7),
             ],
         );
-        let m = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap().model;
+        let m = evaluate_aggregate_program(&program, EvalOptions::default())
+            .unwrap()
+            .model;
         assert!(m.is_true(&parse_term("contains(m1, alpha, gear, 3)").unwrap()));
         assert!(m.is_true(&parse_term("contains(m2, beta, gear, 7)").unwrap()));
         assert!(!m.is_true(&parse_term("contains(m1, beta, gear, 7)").unwrap()));

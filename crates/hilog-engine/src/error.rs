@@ -55,12 +55,18 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(EngineError::Floundering("x".into()).to_string().contains("floundering"));
-        assert!(EngineError::LimitExceeded("x".into()).to_string().contains("limit"));
+        assert!(EngineError::Floundering("x".into())
+            .to_string()
+            .contains("floundering"));
+        assert!(EngineError::LimitExceeded("x".into())
+            .to_string()
+            .contains("limit"));
         assert!(EngineError::NotModularlyStratified("x".into())
             .to_string()
             .contains("modularly stratified"));
-        assert!(EngineError::Unsupported("x".into()).to_string().contains("unsupported"));
+        assert!(EngineError::Unsupported("x".into())
+            .to_string()
+            .contains("unsupported"));
         let core: EngineError = CoreError::Arithmetic("bad".into()).into();
         assert!(core.to_string().contains("arithmetic"));
     }

@@ -233,7 +233,11 @@ impl IndexedProgram {
         for (i, r) in rules.iter().enumerate() {
             rules_by_head[r.head as usize].push(i as u32);
         }
-        IndexedProgram { atoms, rules, rules_by_head }
+        IndexedProgram {
+            atoms,
+            rules,
+            rules_by_head,
+        }
     }
 
     /// Number of atoms.
@@ -263,7 +267,10 @@ mod tests {
             vec![atom("winning", &["b"])],
         );
         assert_eq!(r.to_string(), "winning(a) :- move(a, b), not winning(b).");
-        assert_eq!(GroundRule::fact(atom("move", &["a", "b"])).to_string(), "move(a, b).");
+        assert_eq!(
+            GroundRule::fact(atom("move", &["a", "b"])).to_string(),
+            "move(a, b)."
+        );
     }
 
     #[test]

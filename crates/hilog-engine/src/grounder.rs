@@ -128,16 +128,18 @@ pub fn ground_over_universe(
                 )));
             }
         }
-        enumerate_assignments(&vars, universe, &mut |theta| {
-            match instantiate_ground_instance(rule, theta) {
+        enumerate_assignments(
+            &vars,
+            universe,
+            &mut |theta| match instantiate_ground_instance(rule, theta) {
                 Ok(Some(r)) => {
                     rules.push(r);
                     Ok(())
                 }
                 Ok(None) => Ok(()),
                 Err(e) => Err(e),
-            }
-        })?;
+            },
+        )?;
         if rules.len() > opts.max_atoms {
             return Err(EngineError::LimitExceeded(format!(
                 "universe instantiation exceeded {} ground rules",
@@ -265,7 +267,9 @@ mod tests {
         );
         // The irrelevant fact does not generate winning instances.
         assert_eq!(gp.len(), 3);
-        assert!(!gp.atoms().contains(&Term::apps("winning", vec![Term::sym("z")])));
+        assert!(!gp
+            .atoms()
+            .contains(&Term::apps("winning", vec![Term::sym("z")])));
     }
 
     #[test]
@@ -307,10 +311,7 @@ mod tests {
         let normal = HerbrandUniverse::normal(&p, HerbrandBounds::default());
         let gp = ground_over_universe(&p, normal.terms(), EvalOptions::default()).unwrap();
         assert_eq!(gp.len(), 2);
-        assert!(gp
-            .rules
-            .iter()
-            .any(|r| r.to_string() == "p :- not q(a)."));
+        assert!(gp.rules.iter().any(|r| r.to_string() == "p :- not q(a)."));
 
         let hilog = HerbrandUniverse::hilog(&p, HerbrandBounds::new(1, 0, 100));
         let gh = ground_over_universe(&p, hilog.terms(), EvalOptions::default()).unwrap();

@@ -31,14 +31,20 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { max_atoms: 500_000, max_rounds: 100_000 }
+        EvalOptions {
+            max_atoms: 500_000,
+            max_rounds: 100_000,
+        }
     }
 }
 
 impl EvalOptions {
     /// Options with a small atom budget, useful in tests of divergence.
     pub fn with_max_atoms(max_atoms: usize) -> Self {
-        EvalOptions { max_atoms, ..EvalOptions::default() }
+        EvalOptions {
+            max_atoms,
+            ..EvalOptions::default()
+        }
     }
 }
 
@@ -84,9 +90,15 @@ impl AtomStore {
 
     /// Inserts a ground atom; returns `true` if it was new.
     pub fn insert(&mut self, atom: Term) -> bool {
-        debug_assert!(atom.is_ground(), "AtomStore::insert of non-ground atom {atom}");
+        debug_assert!(
+            atom.is_ground(),
+            "AtomStore::insert of non-ground atom {atom}"
+        );
         if self.atoms.insert(atom.clone()) {
-            self.by_key.entry(Self::key_of(&atom)).or_default().push(atom);
+            self.by_key
+                .entry(Self::key_of(&atom))
+                .or_default()
+                .push(atom);
             true
         } else {
             false
@@ -210,12 +222,10 @@ pub fn join_body(
                 }
                 thetas = next;
             }
-            Literal::Aggregate(_) => {
-                return Err(EngineError::Unsupported(
-                    "aggregate literals are evaluated by the aggregation evaluator, not the grounder"
-                        .into(),
-                ))
-            }
+            Literal::Aggregate(_) => return Err(EngineError::Unsupported(
+                "aggregate literals are evaluated by the aggregation evaluator, not the grounder"
+                    .into(),
+            )),
         }
     }
     Ok(thetas)
@@ -297,8 +307,12 @@ mod tests {
     use hilog_syntax::parse_program;
 
     fn lm(text: &str) -> AtomStore {
-        least_model(&parse_program(text).unwrap(), NegationMode::Forbid, EvalOptions::default())
-            .unwrap()
+        least_model(
+            &parse_program(text).unwrap(),
+            NegationMode::Forbid,
+            EvalOptions::default(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -189,7 +189,10 @@ pub fn magic_transform(program: &Program, query: &Query) -> Result<MagicProgram,
                     supplementary.push((rule_index, position));
                     rewritten.push(Rule::new(
                         sup_j.clone(),
-                        vec![Literal::Pos(previous_sup.clone()), Literal::Pos(atom.clone())],
+                        vec![
+                            Literal::Pos(previous_sup.clone()),
+                            Literal::Pos(atom.clone()),
+                        ],
                     ));
                     previous_sup = sup_j;
                 }
@@ -229,7 +232,10 @@ pub fn magic_transform(program: &Program, query: &Query) -> Result<MagicProgram,
                     supplementary.push((rule_index, position));
                     rewritten.push(Rule::new(
                         sup_j.clone(),
-                        vec![Literal::Pos(previous_sup.clone()), Literal::Builtin(b.clone())],
+                        vec![
+                            Literal::Pos(previous_sup.clone()),
+                            Literal::Builtin(b.clone()),
+                        ],
                     ));
                     previous_sup = sup_j;
                 }
@@ -293,7 +299,12 @@ pub fn magic_transform(program: &Program, query: &Query) -> Result<MagicProgram,
         ],
     ));
 
-    Ok(MagicProgram { seed, rewritten, bookkeeping, supplementary })
+    Ok(MagicProgram {
+        seed,
+        rewritten,
+        bookkeeping,
+        supplementary,
+    })
 }
 
 /// Collects the predicate names (outermost functors) introduced by the
@@ -333,8 +344,7 @@ mod tests {
 
     #[test]
     fn example_6_6_shape() {
-        let magic =
-            magic_transform(&game_program(), &parse_query("?- w(m)(a).").unwrap()).unwrap();
+        let magic = magic_transform(&game_program(), &parse_query("?- w(m)(a).").unwrap()).unwrap();
         // The seed is magic(w(m)(a), +).
         assert_eq!(magic.seed.to_string(), "magic(w(m)(a), '+').");
         let text = magic.full_program().to_string();
@@ -361,8 +371,7 @@ mod tests {
 
     #[test]
     fn introduced_predicate_inventory() {
-        let magic =
-            magic_transform(&game_program(), &parse_query("?- w(m)(a).").unwrap()).unwrap();
+        let magic = magic_transform(&game_program(), &parse_query("?- w(m)(a).").unwrap()).unwrap();
         let preds = introduced_predicates(&magic);
         assert!(preds.contains("magic"));
         assert!(preds.contains("dp"));
@@ -382,7 +391,13 @@ mod tests {
         let magic = magic_transform(&program, &parse_query("?- tc(e, a, Y).").unwrap()).unwrap();
         // Rule 0 has 2 body literals -> positions 0..=2; rule 1 has 3 -> 0..=3;
         // facts contribute a single position 0 each.
-        let for_rule = |r: usize| magic.supplementary.iter().filter(|(ri, _)| *ri == r).count();
+        let for_rule = |r: usize| {
+            magic
+                .supplementary
+                .iter()
+                .filter(|(ri, _)| *ri == r)
+                .count()
+        };
         assert_eq!(for_rule(0), 3);
         assert_eq!(for_rule(1), 4);
         assert_eq!(for_rule(2), 1);
@@ -403,8 +418,7 @@ mod tests {
         let err =
             magic_transform(&program, &parse_query("?- g(M), w(M)(a).").unwrap()).unwrap_err();
         assert!(matches!(err, EngineError::Unsupported(_)));
-        let err2 =
-            magic_transform(&program, &parse_query("?- not w(m)(a).").unwrap()).unwrap_err();
+        let err2 = magic_transform(&program, &parse_query("?- not w(m)(a).").unwrap()).unwrap_err();
         assert!(matches!(err2, EngineError::Unsupported(_)));
     }
 
@@ -426,8 +440,7 @@ mod tests {
     fn queries_with_variable_predicate_names_are_allowed() {
         // "Because the program is assumed to be strongly range restricted,
         // queries with variables in their names are permitted." (Section 6.1)
-        let magic =
-            magic_transform(&game_program(), &parse_query("?- w(M)(a).").unwrap()).unwrap();
+        let magic = magic_transform(&game_program(), &parse_query("?- w(M)(a).").unwrap()).unwrap();
         assert_eq!(magic.seed.to_string(), "magic(w(M)(a), '+').");
     }
 }

@@ -221,7 +221,11 @@ impl<'p> QueryEvaluator<'p> {
         } else {
             self.tables.insert(
                 key.clone(),
-                Table { pattern: normalized.clone(), answers: BTreeSet::new(), complete: false },
+                Table {
+                    pattern: normalized.clone(),
+                    answers: BTreeSet::new(),
+                    complete: false,
+                },
             );
         }
         in_progress.push(key.clone());
@@ -283,7 +287,11 @@ impl<'p> QueryEvaluator<'p> {
         }
         self.tables.insert(
             key.clone(),
-            Table { pattern: normalized, answers: BTreeSet::new(), complete: false },
+            Table {
+                pattern: normalized,
+                answers: BTreeSet::new(),
+                complete: false,
+            },
         );
         scope.push(key.clone());
         Ok(key)
@@ -324,8 +332,7 @@ impl<'p> QueryEvaluator<'p> {
                                      when selected"
                                 )));
                             }
-                            let key =
-                                self.table_for_positive(&instantiated, scope, in_progress)?;
+                            let key = self.table_for_positive(&instantiated, scope, in_progress)?;
                             let answers: Vec<Term> =
                                 self.tables[&key].answers.iter().cloned().collect();
                             for answer in answers {
@@ -344,8 +351,7 @@ impl<'p> QueryEvaluator<'p> {
                                 )));
                             }
                             let key = self.evaluate_completely(&instantiated, in_progress)?;
-                            let is_true =
-                                self.tables[&key].answers.contains(&instantiated);
+                            let is_true = self.tables[&key].answers.contains(&instantiated);
                             if !is_true {
                                 next.push(theta);
                             }
@@ -394,12 +400,8 @@ impl<'p> QueryEvaluator<'p> {
                                 let result = match agg.func {
                                     AggregateFunc::Sum => values.iter().sum(),
                                     AggregateFunc::Count => values.len() as i64,
-                                    AggregateFunc::Min => {
-                                        values.iter().copied().min().unwrap_or(0)
-                                    }
-                                    AggregateFunc::Max => {
-                                        values.iter().copied().max().unwrap_or(0)
-                                    }
+                                    AggregateFunc::Min => values.iter().copied().min().unwrap_or(0),
+                                    AggregateFunc::Max => values.iter().copied().max().unwrap_or(0),
                                 };
                                 let mut extended = theta.clone();
                                 let mut ok = true;
@@ -409,12 +411,7 @@ impl<'p> QueryEvaluator<'p> {
                                         break;
                                     }
                                 }
-                                if ok
-                                    && unify_with(
-                                        &agg.result,
-                                        &Term::Int(result),
-                                        &mut extended,
-                                    )
+                                if ok && unify_with(&agg.result, &Term::Int(result), &mut extended)
                                 {
                                     next.push(extended);
                                 }
@@ -481,11 +478,19 @@ mod tests {
         let program = game(4);
         let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
         // p3 can move to the dead end p4, so p3 is winning; p4 is not.
-        assert!(ev.holds(&parse_term("winning(move1)(p3)").unwrap()).unwrap());
-        assert!(!ev.holds(&parse_term("winning(move1)(p4)").unwrap()).unwrap());
+        assert!(ev
+            .holds(&parse_term("winning(move1)(p3)").unwrap())
+            .unwrap());
+        assert!(!ev
+            .holds(&parse_term("winning(move1)(p4)").unwrap())
+            .unwrap());
         // Positions alternate along the chain.
-        assert!(!ev.holds(&parse_term("winning(move1)(p2)").unwrap()).unwrap());
-        assert!(ev.holds(&parse_term("winning(move1)(p1)").unwrap()).unwrap());
+        assert!(!ev
+            .holds(&parse_term("winning(move1)(p2)").unwrap())
+            .unwrap());
+        assert!(ev
+            .holds(&parse_term("winning(move1)(p1)").unwrap())
+            .unwrap());
     }
 
     #[test]
@@ -501,7 +506,10 @@ mod tests {
             .iter()
             .map(|s| s.apply(&Term::var("X")).to_string())
             .collect();
-        assert_eq!(xs, ["p1".to_string(), "p3".to_string()].into_iter().collect());
+        assert_eq!(
+            xs,
+            ["p1".to_string(), "p3".to_string()].into_iter().collect()
+        );
     }
 
     #[test]
@@ -573,11 +581,15 @@ mod tests {
             EvalOptions::default(),
         )
         .unwrap();
-        let ys: BTreeSet<String> =
-            answers.iter().map(|s| s.apply(&Term::var("Y")).to_string()).collect();
+        let ys: BTreeSet<String> = answers
+            .iter()
+            .map(|s| s.apply(&Term::var("Y")).to_string())
+            .collect();
         assert_eq!(
             ys,
-            ["b".to_string(), "c".to_string(), "d".to_string()].into_iter().collect()
+            ["b".to_string(), "c".to_string(), "d".to_string()]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -699,7 +711,8 @@ mod tests {
     fn stats_reflect_work_done() {
         let program = game(8);
         let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
-        ev.holds(&parse_term("winning(move1)(p0)").unwrap()).unwrap();
+        ev.holds(&parse_term("winning(move1)(p0)").unwrap())
+            .unwrap();
         let stats = ev.stats();
         assert!(stats.subqueries >= 8);
         assert!(stats.rule_applications > 0);

@@ -58,11 +58,21 @@ pub struct ModularOutcome {
 
 impl ModularOutcome {
     fn accepted(model: Model, rounds: Vec<Vec<Term>>) -> Self {
-        ModularOutcome { modularly_stratified: true, model: Some(model), reason: None, rounds }
+        ModularOutcome {
+            modularly_stratified: true,
+            model: Some(model),
+            reason: None,
+            rounds,
+        }
     }
 
     fn rejected(reason: String, rounds: Vec<Vec<Term>>) -> Self {
-        ModularOutcome { modularly_stratified: false, model: None, reason: Some(reason), rounds }
+        ModularOutcome {
+            modularly_stratified: false,
+            model: None,
+            reason: Some(reason),
+            rounds,
+        }
     }
 }
 
@@ -123,11 +133,13 @@ pub fn modularly_stratified_hilog(
         // Step 3: dependency graph over ground predicate names of R.
         let mut graph = DependencyGraph::new();
         for rule in &remaining {
-            for atom in std::iter::once(&rule.head).chain(rule.body.iter().filter_map(|l| match l {
-                Literal::Pos(a) | Literal::Neg(a) => Some(a),
-                Literal::Aggregate(a) => Some(&a.pattern),
-                Literal::Builtin(_) => None,
-            })) {
+            for atom in
+                std::iter::once(&rule.head).chain(rule.body.iter().filter_map(|l| match l {
+                    Literal::Pos(a) | Literal::Neg(a) => Some(a),
+                    Literal::Aggregate(a) => Some(&a.pattern),
+                    Literal::Builtin(_) => None,
+                }))
+            {
                 if let Some(name) = ground_predicate_name(atom) {
                     graph.add_node(name);
                 }
@@ -166,7 +178,9 @@ pub fn modularly_stratified_hilog(
         for rule in &lowest_rules {
             if rule_has_variable_predicate_name(rule) {
                 return Ok(ModularOutcome::rejected(
-                    format!("rule `{rule}` in the lowest component contains a variable predicate name"),
+                    format!(
+                        "rule `{rule}` in the lowest component contains a variable predicate name"
+                    ),
                     rounds,
                 ));
             }
@@ -217,9 +231,7 @@ pub fn modularly_stratified_hilog(
         model.merge(&component_model);
         let survivors: Vec<Rule> = remaining
             .iter()
-            .filter(|r| {
-                !(r.head.name().is_ground() && lowest.contains(r.head.name()))
-            })
+            .filter(|r| !(r.head.name().is_ground() && lowest.contains(r.head.name())))
             .cloned()
             .collect();
         remaining = match hilog_reduce(&survivors, &settled, &model, opts) {
@@ -280,13 +292,16 @@ pub fn hilog_reduce(
     for rule in rules {
         // Each partial instantiation carries its substitution and the
         // literals kept (not yet resolvable).
-        let mut branches: Vec<(Substitution, Vec<Literal>)> = vec![(Substitution::new(), Vec::new())];
+        let mut branches: Vec<(Substitution, Vec<Literal>)> =
+            vec![(Substitution::new(), Vec::new())];
         for lit in &rule.body {
             let mut next: Vec<(Substitution, Vec<Literal>)> = Vec::new();
             for (theta, kept) in branches {
                 let lit_inst = lit.apply(&theta);
                 match &lit_inst {
-                    Literal::Pos(atom) if atom.name().is_ground() && settled.contains(atom.name()) => {
+                    Literal::Pos(atom)
+                        if atom.name().is_ground() && settled.contains(atom.name()) =>
+                    {
                         if atom.is_ground() {
                             if model.is_true(atom) {
                                 next.push((theta, kept));
@@ -300,7 +315,9 @@ pub fn hilog_reduce(
                             }
                         }
                     }
-                    Literal::Neg(atom) if atom.name().is_ground() && settled.contains(atom.name()) => {
+                    Literal::Neg(atom)
+                        if atom.name().is_ground() && settled.contains(atom.name()) =>
+                    {
                         if !atom.is_ground() {
                             return Err(format!(
                                 "cannot reduce the non-ground settled negative literal `not {atom}` \
@@ -333,7 +350,8 @@ pub fn hilog_reduce(
                         }
                     }
                     Literal::Aggregate(agg)
-                        if agg.pattern.name().is_ground() && settled.contains(agg.pattern.name()) =>
+                        if agg.pattern.name().is_ground()
+                            && settled.contains(agg.pattern.name()) =>
                     {
                         // Evaluate the aggregate over the settled model.  The
                         // grouping variables are the pattern variables that
@@ -342,8 +360,10 @@ pub fn hilog_reduce(
                         // by Mach, X and Y" in the paper's example; variables
                         // local to the pattern are aggregated over.
                         let pattern = &agg.pattern;
-                        let mut groups: std::collections::BTreeMap<Vec<(hilog_core::term::Var, Term)>, Vec<i64>> =
-                            std::collections::BTreeMap::new();
+                        let mut groups: std::collections::BTreeMap<
+                            Vec<(hilog_core::term::Var, Term)>,
+                            Vec<i64>,
+                        > = std::collections::BTreeMap::new();
                         let mut outside_vars: Vec<hilog_core::term::Var> = rule.head.variables();
                         for other in rule.body.iter().filter(|l| *l != lit) {
                             outside_vars.extend(other.variables());
@@ -371,7 +391,11 @@ pub fn hilog_reduce(
                             let mut extended = theta.clone();
                             let mut ok = true;
                             for (v, t) in &key {
-                                if !hilog_core::unify::unify_with(&Term::Var(v.clone()), t, &mut extended) {
+                                if !hilog_core::unify::unify_with(
+                                    &Term::Var(v.clone()),
+                                    t,
+                                    &mut extended,
+                                ) {
                                     ok = false;
                                     break;
                                 }
@@ -593,8 +617,7 @@ mod tests {
                        b(1). b(2). d(2).");
         assert!(out.modularly_stratified);
         // b and d are settled before c, which is settled before a.
-        let flat: Vec<String> =
-            out.rounds.iter().flatten().map(|t| t.to_string()).collect();
+        let flat: Vec<String> = out.rounds.iter().flatten().map(|t| t.to_string()).collect();
         let pos = |name: &str| flat.iter().position(|x| x == name).unwrap();
         assert!(pos("b") < pos("a"));
         assert!(pos("d") <= pos("c"));

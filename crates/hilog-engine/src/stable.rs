@@ -36,7 +36,10 @@ pub struct StableOptions {
 
 impl Default for StableOptions {
     fn default() -> Self {
-        StableOptions { max_models: 64, max_nodes: 1_000_000 }
+        StableOptions {
+            max_models: 64,
+            max_nodes: 1_000_000,
+        }
     }
 }
 
@@ -61,8 +64,7 @@ pub fn stable_models_of_ground(
         opts,
     };
     let assumed_true: BTreeSet<Term> = wfm.true_atoms().iter().cloned().collect();
-    let assumed_false: BTreeSet<Term> =
-        wfm.false_base_atoms().cloned().collect();
+    let assumed_false: BTreeSet<Term> = wfm.false_base_atoms().cloned().collect();
     solver.search(assumed_true, assumed_false)?;
     Ok(solver.models)
 }
@@ -176,8 +178,7 @@ impl Solver<'_> {
             None => {
                 // Total assignment: verify it is a fixpoint of W_P (and hence a
                 // stable model).
-                let candidate =
-                    Model::new(self.base.iter().cloned(), true_set.iter().cloned(), []);
+                let candidate = Model::new(self.base.iter().cloned(), true_set.iter().cloned(), []);
                 if is_two_valued_fixpoint(self.program, &candidate) {
                     debug_assert!(gelfond_lifschitz_check(self.program, &candidate));
                     if !self.models.contains(&candidate) {
@@ -314,11 +315,9 @@ mod tests {
         assert!(ms[0].is_true(&t("winning(b)")));
         assert!(ms[0].is_false(&t("winning(a)")));
         // And it coincides with the well-founded model.
-        let wfm = crate::wfs::well_founded_model(
-            &parse_program(text).unwrap(),
-            EvalOptions::default(),
-        )
-        .unwrap();
+        let wfm =
+            crate::wfs::well_founded_model(&parse_program(text).unwrap(), EvalOptions::default())
+                .unwrap();
         assert_eq!(ms[0], wfm);
     }
 
@@ -382,7 +381,10 @@ mod tests {
         let ms = stable_models(
             &parse_program(text).unwrap(),
             EvalOptions::default(),
-            StableOptions { max_models: 3, max_nodes: 100_000 },
+            StableOptions {
+                max_models: 3,
+                max_nodes: 100_000,
+            },
         )
         .unwrap();
         assert_eq!(ms.len(), 3);

@@ -33,7 +33,9 @@ struct Assignment {
 
 impl Assignment {
     fn new(n: usize) -> Self {
-        Assignment { truth: vec![None; n] }
+        Assignment {
+            truth: vec![None; n],
+        }
     }
 
     fn is_true(&self, a: u32) -> bool {
@@ -81,9 +83,7 @@ fn greatest_unfounded_set(program: &IndexedProgram, i: &Assignment) -> Vec<bool>
     let usable: Vec<bool> = program
         .rules
         .iter()
-        .map(|r| {
-            r.pos.iter().all(|&p| !i.is_false(p)) && r.neg.iter().all(|&q| !i.is_true(q))
-        })
+        .map(|r| r.pos.iter().all(|&p| !i.is_false(p)) && r.neg.iter().all(|&q| !i.is_true(q)))
         .collect();
     // Least fixpoint by worklist.
     let mut changed = true;
@@ -187,7 +187,9 @@ pub fn well_founded_model_over_universe(
     universe: &[Term],
     opts: EvalOptions,
 ) -> Result<Model, EngineError> {
-    Ok(well_founded_of_ground(&ground_over_universe(program, universe, opts)?))
+    Ok(well_founded_of_ground(&ground_over_universe(
+        program, universe, opts,
+    )?))
 }
 
 #[cfg(test)]
@@ -345,10 +347,8 @@ mod tests {
 
     #[test]
     fn two_valued_fixpoint_check_agrees_with_wfs_on_total_models() {
-        let p = parse_program(
-            "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).",
-        )
-        .unwrap();
+        let p = parse_program("winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).")
+            .unwrap();
         let gp = relevant_ground(&p, EvalOptions::default()).unwrap();
         let m = well_founded_of_ground(&gp);
         assert!(m.is_total());

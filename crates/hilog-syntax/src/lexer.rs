@@ -127,7 +127,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lexical error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "lexical error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -141,7 +145,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
     let mut line = 1usize;
     let mut column = 1usize;
 
-    let err = |message: String, line: usize, column: usize| LexError { message, line, column };
+    let err = |message: String, line: usize, column: usize| LexError {
+        message,
+        line,
+        column,
+    };
 
     while i < chars.len() {
         let c = chars[i];
@@ -166,48 +174,92 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             '[' => {
-                tokens.push(Spanned { token: Token::LBracket, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::LBracket,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             ']' => {
-                tokens.push(Spanned { token: Token::RBracket, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::RBracket,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             '|' => {
-                tokens.push(Spanned { token: Token::Pipe, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Pipe,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             '.' => {
-                tokens.push(Spanned { token: Token::Dot, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             '+' => {
-                tokens.push(Spanned { token: Token::Plus, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Plus,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             '/' => {
-                tokens.push(Spanned { token: Token::Slash, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Slash,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             ':' => {
                 if i + 1 < chars.len() && chars[i + 1] == '-' {
-                    tokens.push(Spanned { token: Token::Arrow, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Arrow,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                     advance(&mut i, &mut line, &mut column);
                 } else {
@@ -216,8 +268,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '?' => {
                 if i + 1 < chars.len() && chars[i + 1] == '-' {
-                    tokens
-                        .push(Spanned { token: Token::QueryArrow, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::QueryArrow,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                     advance(&mut i, &mut line, &mut column);
                 } else {
@@ -226,11 +281,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '\\' => {
                 if i + 1 < chars.len() && chars[i + 1] == '=' {
-                    tokens.push(Spanned { token: Token::Neq, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Neq,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                     advance(&mut i, &mut line, &mut column);
                 } else if i + 1 < chars.len() && chars[i + 1] == '+' {
-                    tokens.push(Spanned { token: Token::Not, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Not,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                     advance(&mut i, &mut line, &mut column);
                 } else {
@@ -239,47 +302,82 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '=' => {
                 if i + 2 < chars.len() && chars[i + 1] == ':' && chars[i + 2] == '=' {
-                    tokens.push(Spanned { token: Token::ArithEq, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::ArithEq,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     for _ in 0..3 {
                         advance(&mut i, &mut line, &mut column);
                     }
                 } else if i + 2 < chars.len() && chars[i + 1] == '\\' && chars[i + 2] == '=' {
-                    tokens
-                        .push(Spanned { token: Token::ArithNeq, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::ArithNeq,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     for _ in 0..3 {
                         advance(&mut i, &mut line, &mut column);
                     }
                 } else if i + 1 < chars.len() && chars[i + 1] == '<' {
-                    tokens.push(Spanned { token: Token::Le, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                     advance(&mut i, &mut line, &mut column);
                 } else {
-                    tokens.push(Spanned { token: Token::Eq, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Eq,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                 }
             }
             '<' => {
                 if i + 1 < chars.len() && chars[i + 1] == '=' {
-                    tokens.push(Spanned { token: Token::Le, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                     advance(&mut i, &mut line, &mut column);
                 } else {
-                    tokens.push(Spanned { token: Token::Lt, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                 }
             }
             '>' => {
                 if i + 1 < chars.len() && chars[i + 1] == '=' {
-                    tokens.push(Spanned { token: Token::Ge, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                     advance(&mut i, &mut line, &mut column);
                 } else {
-                    tokens.push(Spanned { token: Token::Gt, line: tok_line, column: tok_col });
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        line: tok_line,
+                        column: tok_col,
+                    });
                     advance(&mut i, &mut line, &mut column);
                 }
             }
             '-' => {
-                tokens.push(Spanned { token: Token::Minus, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Minus,
+                    line: tok_line,
+                    column: tok_col,
+                });
                 advance(&mut i, &mut line, &mut column);
             }
             '\'' => {
@@ -304,7 +402,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                 if !closed {
                     return Err(err("unterminated quoted symbol".into(), tok_line, tok_col));
                 }
-                tokens.push(Spanned { token: Token::Symbol(text), line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Symbol(text),
+                    line: tok_line,
+                    column: tok_col,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -312,16 +414,22 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                     text.push(chars[i]);
                     advance(&mut i, &mut line, &mut column);
                 }
-                let value: i64 = text
-                    .parse()
-                    .map_err(|_| err(format!("integer literal `{text}` out of range"), tok_line, tok_col))?;
-                tokens.push(Spanned { token: Token::Integer(value), line: tok_line, column: tok_col });
+                let value: i64 = text.parse().map_err(|_| {
+                    err(
+                        format!("integer literal `{text}` out of range"),
+                        tok_line,
+                        tok_col,
+                    )
+                })?;
+                tokens.push(Spanned {
+                    token: Token::Integer(value),
+                    line: tok_line,
+                    column: tok_col,
+                });
             }
             c if c.is_ascii_lowercase() => {
                 let mut text = String::new();
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     text.push(chars[i]);
                     advance(&mut i, &mut line, &mut column);
                 }
@@ -332,20 +440,30 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                     "div" => Token::Div,
                     _ => Token::Symbol(text),
                 };
-                tokens.push(Spanned { token, line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token,
+                    line: tok_line,
+                    column: tok_col,
+                });
             }
             c if c.is_ascii_uppercase() || c == '_' => {
                 let mut text = String::new();
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     text.push(chars[i]);
                     advance(&mut i, &mut line, &mut column);
                 }
-                tokens.push(Spanned { token: Token::Variable(text), line: tok_line, column: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Variable(text),
+                    line: tok_line,
+                    column: tok_col,
+                });
             }
             other => {
-                return Err(err(format!("unexpected character `{other}`"), tok_line, tok_col));
+                return Err(err(
+                    format!("unexpected character `{other}`"),
+                    tok_line,
+                    tok_col,
+                ));
             }
         }
     }
@@ -357,7 +475,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -47,7 +51,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line, column: e.column }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            column: e.column,
+        }
     }
 }
 
@@ -68,7 +76,11 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Result<Self, ParseError> {
-        Ok(Parser { tokens: tokenize(input)?, pos: 0, anon_counter: 0 })
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            anon_counter: 0,
+        })
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -85,8 +97,16 @@ impl Parser {
 
     fn error_here(&self, message: impl Into<String>) -> ParseError {
         match self.tokens.get(self.pos).or_else(|| self.tokens.last()) {
-            Some(s) => ParseError { message: message.into(), line: s.line, column: s.column },
-            None => ParseError { message: message.into(), line: 0, column: 0 },
+            Some(s) => ParseError {
+                message: message.into(),
+                line: s.line,
+                column: s.column,
+            },
+            None => ParseError {
+                message: message.into(),
+                line: 0,
+                column: 0,
+            },
         }
     }
 
@@ -114,16 +134,28 @@ impl Parser {
 
     fn parse_primary(&mut self) -> Result<Term, ParseError> {
         match self.next() {
-            Some(Spanned { token: Token::Symbol(s), .. }) => Ok(Term::sym(s)),
-            Some(Spanned { token: Token::Variable(v), .. }) => {
+            Some(Spanned {
+                token: Token::Symbol(s),
+                ..
+            }) => Ok(Term::sym(s)),
+            Some(Spanned {
+                token: Token::Variable(v),
+                ..
+            }) => {
                 if v == "_" {
                     Ok(self.fresh_anon())
                 } else {
                     Ok(Term::var(v))
                 }
             }
-            Some(Spanned { token: Token::Integer(i), .. }) => Ok(Term::int(i)),
-            Some(Spanned { token: Token::Minus, .. }) => {
+            Some(Spanned {
+                token: Token::Integer(i),
+                ..
+            }) => Ok(Term::int(i)),
+            Some(Spanned {
+                token: Token::Minus,
+                ..
+            }) => {
                 // Negative number literal or arithmetic negation.
                 let inner = self.parse_primary_with_apps()?;
                 match inner {
@@ -131,12 +163,18 @@ impl Parser {
                     other => Ok(Term::apps("-", vec![other])),
                 }
             }
-            Some(Spanned { token: Token::LParen, .. }) => {
+            Some(Spanned {
+                token: Token::LParen,
+                ..
+            }) => {
                 let t = self.parse_expr()?;
                 self.expect(&Token::RParen)?;
                 Ok(t)
             }
-            Some(Spanned { token: Token::LBracket, .. }) => self.parse_list(),
+            Some(Spanned {
+                token: Token::LBracket,
+                ..
+            }) => self.parse_list(),
             Some(s) => Err(ParseError {
                 message: format!("expected a term, found `{}`", s.token),
                 line: s.line,
@@ -289,8 +327,12 @@ impl Parser {
                 self.expect(&Token::Dot)?;
                 Ok(Clause::Rule(Rule::new(head, body)))
             }
-            Some(t) => Err(self.error_here(format!("expected `.` or `:-` after rule head, found `{t}`"))),
-            None => Err(self.error_here("expected `.` or `:-` after rule head, found end of input")),
+            Some(t) => {
+                Err(self.error_here(format!("expected `.` or `:-` after rule head, found `{t}`")))
+            }
+            None => {
+                Err(self.error_here("expected `.` or `:-` after rule head, found end of input"))
+            }
         }
     }
 
@@ -360,13 +402,20 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     let text = if trimmed.starts_with("?-") {
         trimmed.to_string()
     } else {
-        format!("?- {}", trimmed.trim_end_matches('.').trim_end().to_string() + ".")
+        format!(
+            "?- {}",
+            trimmed.trim_end_matches('.').trim_end().to_string() + "."
+        )
     };
     let mut parser = Parser::new(&text)?;
     let clauses = parser.parse_clauses()?;
     match clauses.as_slice() {
         [Clause::Query(q)] => Ok(q.clone()),
-        _ => Err(ParseError { message: "expected exactly one query".into(), line: 0, column: 0 }),
+        _ => Err(ParseError {
+            message: "expected exactly one query".into(),
+            line: 0,
+            column: 0,
+        }),
     }
 }
 
@@ -376,7 +425,11 @@ pub fn parse_rule(input: &str) -> Result<Rule, ParseError> {
     let clauses = parser.parse_clauses()?;
     match clauses.as_slice() {
         [Clause::Rule(r)] => Ok(r.clone()),
-        _ => Err(ParseError { message: "expected exactly one rule".into(), line: 0, column: 0 }),
+        _ => Err(ParseError {
+            message: "expected exactly one rule".into(),
+            line: 0,
+            column: 0,
+        }),
     }
 }
 
@@ -404,7 +457,10 @@ mod tests {
         .unwrap();
         assert_eq!(p.len(), 2);
         assert_eq!(p.rules[0].to_string(), "tc(G)(X, Y) :- G(X, Y).");
-        assert_eq!(p.rules[1].to_string(), "tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).");
+        assert_eq!(
+            p.rules[1].to_string(),
+            "tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y)."
+        );
     }
 
     #[test]
@@ -427,7 +483,10 @@ mod tests {
     fn parse_win_move_with_negation() {
         let p = parse_program("winning(X) :- move(X, Y), not winning(Y).").unwrap();
         assert!(p.rules[0].has_negation());
-        assert_eq!(p.rules[0].to_string(), "winning(X) :- move(X, Y), not winning(Y).");
+        assert_eq!(
+            p.rules[0].to_string(),
+            "winning(X) :- move(X, Y), not winning(Y)."
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub fn layered_game_graph(layers: usize, width: usize, branching: usize, seed: u
 pub fn edges_to_facts(relation: &str, edges: &[Edge]) -> String {
     let mut out = String::new();
     for (u, v) in edges {
-        out.push_str(&format!("{relation}({}, {}).\n", node_name(*u), node_name(*v)));
+        out.push_str(&format!(
+            "{relation}({}, {}).\n",
+            node_name(*u),
+            node_name(*v)
+        ));
     }
     out
 }

@@ -50,7 +50,10 @@ pub fn random_part_hierarchy(n: usize, extra_edges: usize, seed: u64) -> PartHie
         let child = rng.gen_range(parent + 1..n);
         let qty = rng.gen_range(1..=4);
         let triple = (name(parent), name(child), qty);
-        if !triples.iter().any(|(w, p, _)| *w == triple.0 && *p == triple.1) {
+        if !triples
+            .iter()
+            .any(|(w, p, _)| *w == triple.0 && *p == triple.1)
+        {
             triples.push(triple);
         }
     }
@@ -79,7 +82,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(random_part_hierarchy(16, 4, 9).triples, random_part_hierarchy(16, 4, 9).triples);
+        assert_eq!(
+            random_part_hierarchy(16, 4, 9).triples,
+            random_part_hierarchy(16, 4, 9).triples
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn random_range_restricted_normal(config: NormalProgramConfig, seed: u64) ->
         let rel = rng.gen_range(0..config.edb_predicates.max(1));
         let a = rng.gen_range(0..config.constants.max(1));
         let b = rng.gen_range(0..config.constants.max(1));
-        program.push(Rule::fact(Term::apps(edb(rel), vec![constant(a), constant(b)])));
+        program.push(Rule::fact(Term::apps(
+            edb(rel),
+            vec![constant(a), constant(b)],
+        )));
     }
     for _ in 0..config.rules {
         let head_pred = rng.gen_range(0..config.idb_predicates.max(1));
@@ -171,7 +174,12 @@ pub struct ExtensionConfig {
 
 impl Default for ExtensionConfig {
     fn default() -> Self {
-        ExtensionConfig { predicates: 3, constants: 3, facts: 5, rules: 3 }
+        ExtensionConfig {
+            predicates: 3,
+            constants: 3,
+            facts: 5,
+            rules: 3,
+        }
     }
 }
 
@@ -205,9 +213,7 @@ pub fn random_ground_extension(config: ExtensionConfig, seed: u64) -> Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hilog_core::restriction::{
-        is_range_restricted_normal, is_strongly_range_restricted,
-    };
+    use hilog_core::restriction::{is_range_restricted_normal, is_strongly_range_restricted};
 
     #[test]
     fn normal_generator_respects_definition_4_1() {
@@ -233,7 +239,10 @@ mod tests {
         for seed in 0..20 {
             let q = random_ground_extension(ExtensionConfig::default(), seed);
             assert!(q.is_ground(), "seed {seed}");
-            assert!(q.symbols().iter().all(|s| s.name().starts_with("qext_")), "seed {seed}");
+            assert!(
+                q.symbols().iter().all(|s| s.name().starts_with("qext_")),
+                "seed {seed}"
+            );
         }
         // Fresh symbols never collide with the other generators' programs.
         let p = random_range_restricted_normal(NormalProgramConfig::default(), 1);

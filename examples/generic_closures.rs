@@ -19,7 +19,10 @@ fn main() {
     // One generic HiLog program covers all of them (Example 2.1, guarded by a
     // `graph` relation as Example 5.2 recommends).
     let generic = generic_closure_program(
-        &relations.iter().map(|(n, e)| (*n, e.clone())).collect::<Vec<_>>(),
+        &relations
+            .iter()
+            .map(|(n, e)| (*n, e.clone()))
+            .collect::<Vec<_>>(),
     );
     let generic_model =
         least_model(&generic, NegationMode::Forbid, EvalOptions::default()).expect("evaluates");
@@ -45,7 +48,10 @@ fn main() {
     let mut generic_total = 0usize;
     for (name, _) in &relations {
         let tc_name = parse_term(&format!("tc({name})")).unwrap();
-        generic_total += generic_model.iter().filter(|a| a.name() == &tc_name).count();
+        generic_total += generic_model
+            .iter()
+            .filter(|a| a.name() == &tc_name)
+            .count();
     }
     println!("closure tuples: generic = {generic_total}, specialised = {specialised_total}");
     assert_eq!(generic_total, specialised_total);

@@ -40,6 +40,9 @@ fn main() {
     // Cross-check against full bottom-up evaluation.
     let model = well_founded_model(&program, EvalOptions::default()).expect("evaluates");
     assert_eq!(answer, model.is_true(&atom));
-    println!("full well-founded model has {} atoms in its base", model.base().len());
+    println!(
+        "full well-founded model has {} atoms in its base",
+        model.base().len()
+    );
     assert!(stats.answers < model.base().len());
 }

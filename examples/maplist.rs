@@ -47,7 +47,10 @@ fn main() {
         println!("  Fruit = {}", a.apply(&Term::var("Fruit")));
     }
     assert_eq!(answers.len(), 1);
-    assert_eq!(answers[0].apply(&Term::var("Fruit")).to_string(), "[apple, plum]");
+    assert_eq!(
+        answers[0].apply(&Term::var("Fruit")).to_string(),
+        "[apple, plum]"
+    );
 
     println!(
         "({} tabled subgoals, {} rule applications)",

@@ -21,8 +21,15 @@ fn main() {
     );
     let result = evaluate_aggregate_program(&bicycle, EvalOptions::default()).expect("evaluates");
     let spokes = parse_term("contains(bicycle_factory, bicycle, spoke, 94)").unwrap();
-    println!("bicycle: {} atoms, {} rounds", result.model.true_atoms().len(), result.rounds);
-    println!("  contains(bicycle_factory, bicycle, spoke, 94) = {}", result.model.is_true(&spokes));
+    println!(
+        "bicycle: {} atoms, {} rounds",
+        result.model.true_atoms().len(),
+        result.rounds
+    );
+    println!(
+        "  contains(bicycle_factory, bicycle, spoke, 94) = {}",
+        result.model.is_true(&spokes)
+    );
     assert!(result.model.is_true(&spokes));
 
     // A second machine sharing the program (the HiLog advantage: no

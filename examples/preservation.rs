@@ -31,9 +31,22 @@ fn main() {
     let preservation =
         preserved_by_extension_wfs(&example_5_1, &extension, EvalOptions::default()).unwrap();
     println!("Example 5.1  p :- X(Y), Y(X).");
-    println!("  domain independent (extra constants):        {}", domain.preserved);
-    println!("  preserved under the extension {{q(r). r(q).}}: {}", preservation.preserved);
-    println!("  violating atoms: {:?}", preservation.violations.iter().map(|a| a.to_string()).collect::<Vec<_>>());
+    println!(
+        "  domain independent (extra constants):        {}",
+        domain.preserved
+    );
+    println!(
+        "  preserved under the extension {{q(r). r(q).}}: {}",
+        preservation.preserved
+    );
+    println!(
+        "  violating atoms: {:?}",
+        preservation
+            .violations
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+    );
     assert!(domain.preserved && !preservation.preserved);
 
     // Theorem 5.3: a (strongly) range-restricted program is preserved.
@@ -44,7 +57,10 @@ fn main() {
     .unwrap();
     let unrelated = parse_program("salary(john, 30). dept(john, toys).").unwrap();
     let verdict = preserved_by_extension_wfs(&game, &unrelated, EvalOptions::default()).unwrap();
-    println!("Theorem 5.3  range-restricted game program preserved: {}", verdict.preserved);
+    println!(
+        "Theorem 5.3  range-restricted game program preserved: {}",
+        verdict.preserved
+    );
     assert!(verdict.preserved);
 
     // After Theorem 5.4: range restricted but not strongly — the stable-model

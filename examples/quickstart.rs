@@ -29,7 +29,10 @@ fn main() {
     for atom in model.true_atoms() {
         println!("  true: {atom}");
     }
-    assert!(model.is_total(), "acyclic games have a total well-founded model");
+    assert!(
+        model.is_total(),
+        "acyclic games have a total well-founded model"
+    );
 
     // 2. Modular stratification for HiLog (Figure 1): accepted, and the
     //    procedure's accumulated model agrees with the well-founded model.
@@ -52,6 +55,10 @@ fn main() {
     println!("== query ==\n  winning(nim)(n3) = {winning_n3}");
     // n0 has no moves (lost), so n1 wins, n2 loses, and n3 wins by moving to n2.
     assert!(winning_n3, "n3 wins by moving to the losing position n2");
-    assert!(!evaluator.holds(&parse_term("winning(nim)(n2)").unwrap()).unwrap());
-    assert!(evaluator.holds(&parse_term("winning(nim)(n1)").unwrap()).unwrap());
+    assert!(!evaluator
+        .holds(&parse_term("winning(nim)(n2)").unwrap())
+        .unwrap());
+    assert!(evaluator
+        .holds(&parse_term("winning(nim)(n1)").unwrap())
+        .unwrap());
 }

@@ -35,14 +35,19 @@ fn main() {
         .iter()
         .filter(|a| a.to_string().starts_with("winning(small_game)"))
         .count();
-    println!("bottom-up WFS: {} atoms in the base, {winning_positions} winning positions in small_game",
-             model.base().len());
+    println!(
+        "bottom-up WFS: {} atoms in the base, {winning_positions} winning positions in small_game",
+        model.base().len()
+    );
     assert!(model.is_total());
 
     // Figure 1 accepts the program (acyclic move graphs) and agrees.
     let outcome = modularly_stratified_hilog(&program, EvalOptions::default()).expect("runs");
     assert!(outcome.modularly_stratified);
-    println!("Figure 1 procedure: accepted in {} rounds", outcome.rounds.len());
+    println!(
+        "Figure 1 procedure: accepted in {} rounds",
+        outcome.rounds.len()
+    );
 
     // A point query on the small game only tables subgoals of the small game.
     let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
@@ -53,7 +58,11 @@ fn main() {
         "query {root} = {answer}; {} tabled subgoals, {} answers, {} rule applications",
         stats.subqueries, stats.answers, stats.rule_applications
     );
-    assert_eq!(answer, model.is_true(&root), "query evaluation agrees with the WFS");
+    assert_eq!(
+        answer,
+        model.is_true(&root),
+        "query evaluation agrees with the WFS"
+    );
     assert!(
         (stats.answers) < model.base().len(),
         "the point query touched fewer atoms than full evaluation"

@@ -50,8 +50,7 @@ fn parts_explosion_matches_reference_on_random_hierarchies() {
     for seed in 0..5u64 {
         let hierarchy = random_part_hierarchy(14, 6, seed);
         let reference = reference_contains(&hierarchy.triples);
-        let program =
-            parts_explosion_program(&[("m", "parts")], &hierarchy.as_facts("parts"));
+        let program = parts_explosion_program(&[("m", "parts")], &hierarchy.as_facts("parts"));
         let result = evaluate_aggregate_program(&program, EvalOptions::default()).unwrap();
         for ((whole, part), qty) in &reference {
             let atom = parse_term(&format!("contains(m, {whole}, {part}, {qty})")).unwrap();
@@ -94,8 +93,12 @@ fn shared_hierarchies_are_grouped_per_machine() {
         let atom = parse_term(&format!("contains({machine}, engine, bolt, 16)")).unwrap();
         assert!(result.model.is_true(&atom), "{machine}");
     }
-    assert!(result.model.is_true(&parse_term("contains(m3, engine, bolt, 1)").unwrap()));
-    assert!(!result.model.is_true(&parse_term("contains(m3, engine, bolt, 16)").unwrap()));
+    assert!(result
+        .model
+        .is_true(&parse_term("contains(m3, engine, bolt, 1)").unwrap()));
+    assert!(!result
+        .model
+        .is_true(&parse_term("contains(m3, engine, bolt, 16)").unwrap()));
 }
 
 proptest! {

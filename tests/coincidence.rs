@@ -55,7 +55,11 @@ fn check_theorem_4_2(program: &hilog_core::Program) {
         .well_founded_model()
         .expect("normal wfs");
     if normal_model.is_total() {
-        assert_eq!(hilog.len(), 1, "a total WFS admits exactly one stable model:\n{program}");
+        assert_eq!(
+            hilog.len(),
+            1,
+            "a total WFS admits exactly one stable model:\n{program}"
+        );
         for atom in normal_model.base() {
             assert_eq!(hilog[0].truth(atom), normal_model.truth(atom), "{atom}");
         }

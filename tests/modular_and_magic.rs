@@ -41,10 +41,7 @@ fn check_theorem_6_1(program: &hilog_core::Program) {
 #[test]
 fn theorem_6_1_on_dag_games() {
     for (n, seed) in [(8, 1), (16, 2), (32, 3)] {
-        let program = hilog_game_program(&[
-            ("g1", random_dag(n, 2.0, seed)),
-            ("g2", chain(n / 2)),
-        ]);
+        let program = hilog_game_program(&[("g1", random_dag(n, 2.0, seed)), ("g2", chain(n / 2))]);
         check_theorem_6_1(&program);
     }
 }
@@ -88,10 +85,7 @@ fn point_queries_do_less_work_than_full_evaluation() {
     // Two games; the query touches only one of them.  The number of answers
     // tabled by the query evaluator must be well below the size of the full
     // relevant base (the relevance property the magic-sets method is for).
-    let program = hilog_game_program(&[
-        ("small", chain(10)),
-        ("large", random_dag(300, 2.5, 21)),
-    ]);
+    let program = hilog_game_program(&[("small", chain(10)), ("large", random_dag(300, 2.5, 21))]);
     let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
     let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
     let atom = parse_term(&format!("winning(small)({})", node_name(0))).unwrap();

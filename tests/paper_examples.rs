@@ -11,8 +11,7 @@ use hilog_engine::wfs::{well_founded_model, well_founded_model_over_universe};
 use hilog_syntax::{parse_program, parse_query, parse_term};
 
 fn truth(text: &str, atom: &str) -> Truth {
-    let model =
-        well_founded_model(&parse_program(text).unwrap(), EvalOptions::default()).unwrap();
+    let model = well_founded_model(&parse_program(text).unwrap(), EvalOptions::default()).unwrap();
     model.truth(&parse_term(atom).unwrap())
 }
 
@@ -104,8 +103,7 @@ fn example_4_1_hilog_vs_normal_universe() {
     let program = parse_program("p :- not q(X). q(a).").unwrap();
     let normal = HerbrandUniverse::normal(&program, HerbrandBounds::default());
     let m_normal =
-        well_founded_model_over_universe(&program, normal.terms(), EvalOptions::default())
-            .unwrap();
+        well_founded_model_over_universe(&program, normal.terms(), EvalOptions::default()).unwrap();
     assert_eq!(m_normal.truth(&parse_term("p").unwrap()), Truth::False);
 
     let hilog = HerbrandUniverse::hilog(&program, HerbrandBounds::new(2, 1, 100));
@@ -118,8 +116,7 @@ fn example_4_1_hilog_vs_normal_universe() {
     let program2 = parse_program("p(X, X, a).").unwrap();
     let slice = HerbrandUniverse::hilog(&program2, HerbrandBounds::new(1, 0, 10));
     let m2 =
-        well_founded_model_over_universe(&program2, slice.terms(), EvalOptions::default())
-            .unwrap();
+        well_founded_model_over_universe(&program2, slice.terms(), EvalOptions::default()).unwrap();
     assert!(m2.is_true(&parse_term("p(a, a, a)").unwrap()));
     assert!(m2.is_true(&parse_term("p(p, p, a)").unwrap()));
 }
@@ -143,19 +140,15 @@ fn example_5_3_classification_representatives() {
 /// but modularly stratified when the move relation is acyclic.
 #[test]
 fn example_6_1_win_move() {
-    let acyclic = parse_program(
-        "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).",
-    )
-    .unwrap();
+    let acyclic =
+        parse_program("winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).").unwrap();
     assert!(!hilog_core::analysis::is_stratified(&acyclic));
     let outcome = modularly_stratified_hilog(&acyclic, EvalOptions::default()).unwrap();
     assert!(outcome.modularly_stratified);
     assert!(outcome.model.unwrap().is_total());
 
-    let cyclic = parse_program(
-        "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, a).",
-    )
-    .unwrap();
+    let cyclic =
+        parse_program("winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, a).").unwrap();
     let outcome = modularly_stratified_hilog(&cyclic, EvalOptions::default()).unwrap();
     assert!(!outcome.modularly_stratified);
 }
@@ -205,8 +198,9 @@ fn example_6_4_not_modularly_stratified() {
 #[test]
 fn example_6_6_magic_rewriting_shape() {
     let program = parse_program("w(M)(X) :- g(M), M(X, Y), not w(M)(Y). g(m). m(a, b).").unwrap();
-    let magic = hilog_engine::magic::magic_transform(&program, &parse_query("?- w(m)(a).").unwrap())
-        .unwrap();
+    let magic =
+        hilog_engine::magic::magic_transform(&program, &parse_query("?- w(m)(a).").unwrap())
+            .unwrap();
     let text = magic.full_program().to_string();
     assert!(text.contains("magic(w(m)(a), '+')."));
     assert!(text.contains("magic(w(M)(Y), '-')"));
@@ -219,7 +213,10 @@ fn example_6_6_magic_rewriting_shape() {
 fn section_6_parts_explosion() {
     let program = hilog_engine::aggregate::parts_explosion_program(
         &[("m", "parts")],
-        &[("parts", "bicycle", "wheel", 2), ("parts", "wheel", "spoke", 47)],
+        &[
+            ("parts", "bicycle", "wheel", 2),
+            ("parts", "wheel", "spoke", 47),
+        ],
     );
     let result =
         hilog_engine::aggregate::evaluate_aggregate_program(&program, EvalOptions::default())

@@ -1,0 +1,54 @@
+//! Workspace-level smoke test for the umbrella crate: the re-export surface
+//! of `hilog_repro::prelude` alone must be enough to drive the full pipeline
+//! — parse a HiLog program, ground it, and compute its well-founded model.
+
+use hilog_repro::prelude::*;
+
+/// Example 6.1 of the paper (the win/move game over an acyclic move graph),
+/// driven end-to-end through the prelude only.
+#[test]
+fn prelude_covers_parse_ground_wfs_pipeline() {
+    let program = parse_program(
+        "winning(X) :- move(X, Y), not winning(Y).\n\
+         move(a, b). move(b, c).",
+    )
+    .expect("the win/move program parses");
+
+    let ground = relevant_ground(&program, EvalOptions::default()).expect("grounding succeeds");
+    assert!(
+        !ground.is_empty(),
+        "relevant grounding produces instantiated rules"
+    );
+
+    let model = well_founded_model(&program, EvalOptions::default()).expect("WFS converges");
+    let winning_a = parse_term("winning(a)").expect("parses");
+    let winning_b = parse_term("winning(b)").expect("parses");
+    let winning_c = parse_term("winning(c)").expect("parses");
+    // c has no moves, so c is lost; b -> c reaches a lost position, so b
+    // wins; a's only move reaches the winning position b, so a is lost.
+    assert_eq!(model.truth(&winning_b), Truth::True);
+    assert_eq!(model.truth(&winning_c), Truth::False);
+    assert_eq!(model.truth(&winning_a), Truth::False);
+    assert!(model.is_total(), "acyclic game has a total WFS model");
+}
+
+/// The prelude also exposes the modular-stratification and query entry
+/// points; exercise them on the same program.
+#[test]
+fn prelude_covers_modular_stratification_and_queries() {
+    let program = parse_program(
+        "winning(X) :- move(X, Y), not winning(Y).\n\
+         move(a, b). move(b, c).",
+    )
+    .expect("parses");
+
+    let outcome = modularly_stratified_hilog(&program, EvalOptions::default())
+        .expect("Figure 1 procedure runs");
+    assert!(outcome.modularly_stratified);
+
+    let query = parse_query("winning(b)").expect("query parses");
+    let (answers, stats) =
+        answer_query(&program, &query, EvalOptions::default()).expect("query evaluates");
+    assert_eq!(answers.len(), 1, "ground true query has one (empty) answer");
+    assert!(stats.rule_applications > 0, "evaluation did real work");
+}

@@ -64,7 +64,13 @@ fn quoted_symbols_and_integers_roundtrip() {
     .unwrap();
     assert_roundtrip(&program);
     // Terms round-trip individually as well.
-    for text in ["'Front Wheel'", "f(a, -3)", "[a, b | T]", "tc(e)(a, b)", "p()"] {
+    for text in [
+        "'Front Wheel'",
+        "f(a, -3)",
+        "[a, b | T]",
+        "tc(e)(a, b)",
+        "p()",
+    ] {
         let term = parse_term(text).unwrap();
         let reparsed = parse_term(&term.to_string()).unwrap();
         assert_eq!(term, reparsed, "{text}");
@@ -74,10 +80,7 @@ fn quoted_symbols_and_integers_roundtrip() {
 #[test]
 fn generated_game_programs_roundtrip() {
     for seed in 0..5u64 {
-        let program = hilog_game_program(&[
-            ("g1", random_dag(12, 2.0, seed)),
-            ("g2", chain(6)),
-        ]);
+        let program = hilog_game_program(&[("g1", random_dag(12, 2.0, seed)), ("g2", chain(6))]);
         assert_roundtrip(&program);
     }
 }

@@ -1,0 +1,191 @@
+//! Offline stub of the [`criterion`](https://crates.io/crates/criterion) API
+//! surface used by this workspace's benches.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal harness that is source-compatible with the subset the benches
+//! use: [`Criterion::benchmark_group`], group `sample_size` /
+//! `warm_up_time` / `measurement_time` / `bench_with_input` / `finish`,
+//! [`BenchmarkId::new`], [`Bencher::iter`] and the `criterion_group!` /
+//! `criterion_main!` macros. It runs each benchmark for a bounded number of
+//! iterations and prints the median wall-clock time — useful as a smoke
+//! signal, not a statistically careful measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the median of a bounded number of runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut samples: Vec<Duration> = (0..self.iters)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (clamped; the stub keeps runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for compatibility; the stub does no separate warm-up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub bounds iterations, not time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size.clamp(1, 10) as u64,
+            median: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        println!(
+            "bench {}/{}: median {:?} over {} iters",
+            self.name, id.id, bencher.median, bencher.iters
+        );
+        self
+    }
+
+    /// Runs one unparameterised benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size.clamp(1, 10) as u64,
+            median: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {}/{}: median {:?} over {} iters",
+            self.name,
+            id.into(),
+            bencher.median,
+            bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+}

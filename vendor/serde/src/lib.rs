@@ -1,0 +1,157 @@
+//! Offline stub of the [`serde`](https://crates.io/crates/serde) API surface
+//! used by this workspace.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal JSON-only serialisation trait plus a `#[derive(Serialize)]` proc
+//! macro (see `vendor/serde_derive`). The companion `serde_json` stub renders
+//! [`Serialize`] values to JSON text. This is NOT the real serde data model —
+//! only what `hilog-bench` needs.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// Types that can render themselves as a JSON value.
+///
+/// Unlike real serde there is no `Serializer` abstraction: the stub's only
+/// backend is JSON text, written directly.
+pub trait Serialize {
+    /// Appends the compact JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Helper used by the derive macro to write one `"name":value` field.
+#[doc(hidden)]
+pub fn write_field<T: Serialize + ?Sized>(out: &mut String, name: &str, value: &T, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    write_json_string(out, name);
+    out.push(':');
+    value.write_json(out);
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives_and_containers_encode_as_json() {
+        let mut out = String::new();
+        "a\"b\\c\n".to_string().write_json(&mut out);
+        assert_eq!(out, r#""a\"b\\c\n""#);
+
+        let mut out = String::new();
+        vec![1i64, -2].write_json(&mut out);
+        assert_eq!(out, "[1,-2]");
+
+        let mut out = String::new();
+        Some(2.5f64).write_json(&mut out);
+        assert_eq!(out, "2.5");
+
+        let mut out = String::new();
+        None::<bool>.write_json(&mut out);
+        assert_eq!(out, "null");
+
+        let mut out = String::new();
+        f64::NAN.write_json(&mut out);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stub of serde's `#[derive(Serialize)]`.
+//!
+//! Supports plain (non-generic) structs with named fields, which is all this
+//! workspace derives. The generated impl targets the JSON-only `Serialize`
+//! trait of the vendored `serde` stub. Written against `proc_macro` alone —
+//! the build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (JSON-only) for a struct with
+/// named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name> { ... }`, skipping attributes and visibility.
+    let mut name = None;
+    let mut fields_group = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => {
+                        panic!("#[derive(Serialize)] stub: expected struct name, got {other:?}")
+                    }
+                }
+                for rest in iter.by_ref() {
+                    match rest {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            fields_group = Some(g.stream());
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("#[derive(Serialize)] stub: generic structs are unsupported")
+                        }
+                        _ => {}
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("#[derive(Serialize)] stub: only structs are supported");
+    let body = fields_group
+        .expect("#[derive(Serialize)] stub: only structs with named fields are supported");
+
+    // Collect field names. Each field is `(#[attr])* (pub (..)?)? name : type ,`;
+    // a type may itself contain `::` and `<A, B>`, so while skipping a type we
+    // track angle-bracket depth and only end the field at a depth-0 comma.
+    enum State {
+        ExpectName,
+        ExpectColon(String),
+        InType(isize),
+    }
+    let mut fields = Vec::new();
+    let mut state = State::ExpectName;
+    for tt in body {
+        state = match (state, &tt) {
+            (State::ExpectName, TokenTree::Punct(p)) if p.as_char() == '#' => State::ExpectName,
+            (State::ExpectName, TokenTree::Group(_)) => State::ExpectName,
+            (State::ExpectName, TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                State::ExpectName
+            }
+            (State::ExpectName, TokenTree::Ident(id)) => State::ExpectColon(id.to_string()),
+            (State::ExpectColon(name), TokenTree::Punct(p)) if p.as_char() == ':' => {
+                fields.push(name);
+                State::InType(0)
+            }
+            (State::InType(0), TokenTree::Punct(p)) if p.as_char() == ',' => State::ExpectName,
+            (State::InType(d), TokenTree::Punct(p)) if p.as_char() == '<' => State::InType(d + 1),
+            (State::InType(d), TokenTree::Punct(p)) if p.as_char() == '>' => State::InType(d - 1),
+            (s, _) => s,
+        };
+    }
+
+    let mut writes = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        writes.push_str(&format!(
+            "::serde::write_field(out, \"{f}\", &self.{f}, {first});\n",
+            first = i == 0
+        ));
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, out: &mut ::std::string::String) {{\n\
+         out.push('{{');\n\
+         {writes}\
+         out.push('}}');\n\
+         }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("#[derive(Serialize)] stub: generated impl must parse")
+}

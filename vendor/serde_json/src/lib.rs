@@ -1,0 +1,116 @@
+//! Offline stub of the [`serde_json`](https://crates.io/crates/serde_json)
+//! functions used by this workspace: [`to_string`] and [`to_string_pretty`]
+//! over the vendored JSON-only `serde::Serialize` trait.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// Error type for serialisation (the stub's serialisers cannot fail; this
+/// exists so call sites keep the `Result` shape of real serde_json).
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialises `value` as indented JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indents compact JSON. Operates on the text, respecting string
+/// literals and escapes, so it needs no parse tree.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let push_newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if chars.peek() == Some(&'}') || chars.peek() == Some(&']') {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    push_newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                push_newline(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_string_is_compact() {
+        let rows = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(to_string(&rows).unwrap(), r#"["a","b"]"#);
+    }
+
+    #[test]
+    fn pretty_indents_and_respects_strings() {
+        let rows = vec!["a{,}:".to_string()];
+        let pretty = to_string_pretty(&rows).unwrap();
+        assert_eq!(pretty, "[\n  \"a{,}:\"\n]");
+    }
+
+    #[test]
+    fn pretty_keeps_empty_containers_inline() {
+        let empty: Vec<String> = Vec::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+}
