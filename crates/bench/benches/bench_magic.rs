@@ -1,6 +1,9 @@
 //! E7: query-directed (magic-set style) evaluation of a point query versus
 //! full bottom-up well-founded evaluation, as the fraction of the database
 //! irrelevant to the query grows (Section 6.1).
+// These benches measure the raw one-shot evaluation paths on purpose; the
+// session facade that supersedes them is measured in bench_session_reuse.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hilog_engine::horn::EvalOptions;

@@ -1,5 +1,8 @@
 //! E5: the Figure 1 modular-stratification procedure on parameterised games,
 //! scaling the move graphs and the number of games.
+// These benches measure the raw one-shot evaluation paths on purpose; the
+// session facade that supersedes them is measured in bench_session_reuse.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hilog_engine::horn::EvalOptions;

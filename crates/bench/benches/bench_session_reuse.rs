@@ -1,0 +1,135 @@
+//! Session reuse: N queries against one `HiLogDb` versus N one-shot
+//! `QueryEvaluator`s, on the win/move game (Example 6.3) and the
+//! parts-explosion aggregation workload (Section 6).
+//!
+//! The session amortises subgoal tables across queries, so its per-query
+//! cost collapses after the first query touches a region of the program; a
+//! one-shot evaluator pays the full tabling cost every time.  Run with
+//! `cargo bench -p hilog-bench --bench bench_session_reuse`; besides the
+//! markdown table on stdout it records the measurements in
+//! `BENCH_session.json` at the repository root (cited in ROADMAP.md).
+
+use hilog_bench::{median_time, to_markdown, Measurement};
+use hilog_core::rule::Query;
+use hilog_engine::aggregate::parts_explosion_program;
+use hilog_engine::horn::EvalOptions;
+use hilog_engine::magic_eval::QueryEvaluator;
+use hilog_engine::session::HiLogDb;
+use hilog_syntax::parse_term;
+use hilog_workloads::{hilog_game_program, node_name, random_dag, random_part_hierarchy};
+use std::time::Duration;
+
+const REPEATS: usize = 5;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// N point queries on the win/move game: one session vs N one-shot
+/// evaluators.
+fn win_move_rows(rows: &mut Vec<Measurement>) {
+    for (nodes, queries) in [(60usize, 20usize), (150, 40)] {
+        let program = hilog_game_program(&[
+            ("g", random_dag(nodes, 2.0, 7)),
+            ("bulk", random_dag(2 * nodes, 2.5, 8)),
+        ]);
+        let atoms: Vec<_> = (0..queries)
+            .map(|i| parse_term(&format!("winning(g)({})", node_name(i % nodes))).unwrap())
+            .collect();
+        let workload = format!("win/move n={nodes} q={queries}");
+
+        let session = median_time(REPEATS, || {
+            let mut db = HiLogDb::new(program.clone());
+            for atom in &atoms {
+                db.query(&Query::atom(atom.clone())).unwrap();
+            }
+        });
+        let one_shot = median_time(REPEATS, || {
+            for atom in &atoms {
+                let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
+                ev.holds(atom).unwrap();
+            }
+        });
+        rows.push(Measurement::new(
+            "SESSION",
+            workload.clone(),
+            "hilogdb_session",
+            secs(session) * 1e3,
+            "ms",
+        ));
+        rows.push(Measurement::new(
+            "SESSION",
+            workload.clone(),
+            "one_shot_evaluators",
+            secs(one_shot) * 1e3,
+            "ms",
+        ));
+        rows.push(Measurement::new(
+            "SESSION",
+            workload,
+            "speedup",
+            secs(one_shot) / secs(session).max(f64::EPSILON),
+            "x",
+        ));
+    }
+}
+
+/// Repeated `contains` point queries on the parts-explosion program
+/// (modularly stratified aggregation).
+fn parts_rows(rows: &mut Vec<Measurement>) {
+    for (parts, extra) in [(12usize, 4usize), (20, 8)] {
+        let hierarchy = random_part_hierarchy(parts, extra, 11);
+        let facts = hierarchy.as_facts("rel");
+        let program = parts_explosion_program(&[("factory", "rel")], &facts);
+        // Two passes over every part: a serving workload revisits queries.
+        let atoms: Vec<_> = (0..2 * parts)
+            .map(|i| parse_term(&format!("contains(factory, part{}, P, N)", i % parts)).unwrap())
+            .collect();
+        let workload = format!("parts-explosion n={parts} q={}", atoms.len());
+
+        let session = median_time(REPEATS, || {
+            let mut db = HiLogDb::new(program.clone());
+            for atom in &atoms {
+                db.query(&Query::atom(atom.clone())).unwrap();
+            }
+        });
+        let one_shot = median_time(REPEATS, || {
+            for atom in &atoms {
+                let mut ev = QueryEvaluator::new(&program, EvalOptions::default());
+                ev.solve_atom(atom).unwrap();
+            }
+        });
+        rows.push(Measurement::new(
+            "SESSION",
+            workload.clone(),
+            "hilogdb_session",
+            secs(session) * 1e3,
+            "ms",
+        ));
+        rows.push(Measurement::new(
+            "SESSION",
+            workload.clone(),
+            "one_shot_evaluators",
+            secs(one_shot) * 1e3,
+            "ms",
+        ));
+        rows.push(Measurement::new(
+            "SESSION",
+            workload,
+            "speedup",
+            secs(one_shot) / secs(session).max(f64::EPSILON),
+            "x",
+        ));
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    win_move_rows(&mut rows);
+    parts_rows(&mut rows);
+    print!("{}", to_markdown(&rows));
+    let json = serde_json::to_string_pretty(&rows).expect("measurements serialise");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
+    std::fs::write(path, json + "\n").expect("BENCH_session.json written");
+    println!("wrote {path}");
+}

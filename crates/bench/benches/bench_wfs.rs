@@ -1,6 +1,9 @@
 //! E3/E5 substrate: the well-founded model of win/move games (Examples 6.1
 //! and 6.3) as the move graph grows, for both the normal and the HiLog
 //! (parameterised) formulation.
+// These benches measure the raw one-shot evaluation paths on purpose; the
+// session facade that supersedes them is measured in bench_session_reuse.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hilog_engine::horn::EvalOptions;

@@ -19,6 +19,11 @@ pub enum EngineError {
     /// Figure 1 procedure or by the query-directed evaluator when it detects
     /// a negative dependency cycle.
     NotModularlyStratified(String),
+    /// The program has no stable models at all, so the stable-model
+    /// semantics (Definition 3.7) assigns no truth values — reported by the
+    /// session facade when queries are asked under
+    /// [`Semantics::Stable`](crate::session::Semantics).
+    NoStableModels,
     /// A construct is not supported by the invoked evaluation path (e.g. an
     /// aggregate literal reaching the plain grounder instead of the
     /// aggregation evaluator).
@@ -35,6 +40,11 @@ impl fmt::Display for EngineError {
             EngineError::NotModularlyStratified(m) => {
                 write!(f, "not modularly stratified for HiLog: {m}")
             }
+            EngineError::NoStableModels => write!(
+                f,
+                "no stable models: the stable-model semantics (Definition 3.7) is undefined \
+                 for this program"
+            ),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Core(e) => write!(f, "{e}"),
         }
@@ -67,6 +77,9 @@ mod tests {
         assert!(EngineError::Unsupported("x".into())
             .to_string()
             .contains("unsupported"));
+        assert!(EngineError::NoStableModels
+            .to_string()
+            .contains("no stable models"));
         let core: EngineError = CoreError::Arithmetic("bad".into()).into();
         assert!(core.to_string().contains("arithmetic"));
     }

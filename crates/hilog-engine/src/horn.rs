@@ -135,15 +135,57 @@ impl AtomStore {
     /// lookup is by `(name, arity)`; otherwise every atom of the right arity
     /// is a candidate (a variable predicate name can match anything of that
     /// arity).
-    pub fn candidates<'a>(&'a self, pattern: &Term) -> Box<dyn Iterator<Item = &'a Term> + 'a> {
+    ///
+    /// Returns a concrete [`Candidates`] iterator (no boxed trait object —
+    /// this is the hot path of [`join_body`]).
+    pub fn candidates<'a>(&'a self, pattern: &Term) -> Candidates<'a> {
         let arity = pattern.arity();
-        if pattern.name().is_ground() {
+        let inner = if pattern.name().is_ground() {
             match self.by_key.get(&(pattern.name().clone(), arity)) {
-                Some(v) => Box::new(v.iter()),
-                None => Box::new(std::iter::empty()),
+                Some(v) => CandidatesInner::Keyed(v.iter()),
+                None => CandidatesInner::Empty,
             }
         } else {
-            Box::new(self.atoms.iter().filter(move |a| a.arity() == arity))
+            CandidatesInner::ByArity(self.atoms.iter(), arity)
+        };
+        Candidates { inner }
+    }
+}
+
+/// Concrete iterator returned by [`AtomStore::candidates`].
+///
+/// Ground-named patterns iterate the `(name, arity)` bucket directly; patterns
+/// with a variable predicate name scan the whole store, keeping atoms of the
+/// pattern's arity.  Every yielded atom therefore has the pattern's arity, and
+/// for ground-named patterns also its exact predicate name.
+#[derive(Debug, Clone)]
+pub struct Candidates<'a> {
+    inner: CandidatesInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum CandidatesInner<'a> {
+    Empty,
+    Keyed(std::slice::Iter<'a, Term>),
+    ByArity(std::collections::btree_set::Iter<'a, Term>, Option<usize>),
+}
+
+impl<'a> Iterator for Candidates<'a> {
+    type Item = &'a Term;
+
+    fn next(&mut self) -> Option<&'a Term> {
+        match &mut self.inner {
+            CandidatesInner::Empty => None,
+            CandidatesInner::Keyed(iter) => iter.next(),
+            CandidatesInner::ByArity(iter, arity) => iter.find(|a| a.arity() == *arity),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            CandidatesInner::Empty => (0, Some(0)),
+            CandidatesInner::Keyed(iter) => iter.size_hint(),
+            CandidatesInner::ByArity(iter, _) => (0, iter.size_hint().1),
         }
     }
 }
@@ -447,6 +489,47 @@ mod tests {
         assert_eq!(store.candidates(&var_name).count(), 2);
         let unary = Term::app(Term::var("G"), vec![Term::var("X")]);
         assert_eq!(store.candidates(&unary).count(), 1);
+    }
+
+    #[test]
+    fn candidates_never_yield_non_matching_functors() {
+        // Micro-assertion for the join hot path: a ground-named pattern must
+        // only see atoms with its exact (name, arity) key, and a
+        // variable-named pattern must only see atoms of its arity.
+        let mut store = AtomStore::new();
+        for i in 0..8 {
+            store.insert(Term::apps(
+                "move",
+                vec![Term::sym(format!("a{i}")), Term::sym("b")],
+            ));
+            store.insert(Term::apps("game", vec![Term::sym(format!("g{i}"))]));
+            store.insert(Term::app(
+                Term::apps("winning", vec![Term::sym(format!("g{i}"))]),
+                vec![Term::sym("p")],
+            ));
+        }
+        let pat = Term::apps("move", vec![Term::var("X"), Term::var("Y")]);
+        for cand in store.candidates(&pat) {
+            assert_eq!(cand.name(), pat.name(), "wrong functor from keyed lookup");
+            assert_eq!(cand.arity(), pat.arity(), "wrong arity from keyed lookup");
+        }
+        assert_eq!(store.candidates(&pat).count(), 8);
+        // Variable predicate name: all unary atoms (game/1 and winning(_)/1),
+        // never the binary move atoms.
+        let var_pat = Term::app(Term::var("P"), vec![Term::var("X")]);
+        let mut seen = 0usize;
+        for cand in store.candidates(&var_pat) {
+            assert_eq!(cand.arity(), Some(1), "arity filter leaked {cand}");
+            seen += 1;
+        }
+        assert_eq!(seen, 16);
+        // A key absent from the store yields nothing.
+        assert_eq!(
+            store
+                .candidates(&Term::apps("absent", vec![Term::var("X")]))
+                .count(),
+            0
+        );
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   program of Section 6.
 //! * **Preservation under extensions / domain independence** ([`extension`]):
 //!   checkers for the Section 5 properties on concrete extension witnesses.
+//! * **The session facade** ([`session`], [`plan`]): a stateful [`HiLogDb`]
+//!   that owns a program, caches grounding, dependency analysis, models and
+//!   subgoal tables across queries, accepts incremental facts with targeted
+//!   cache invalidation, and routes every query through an explainable
+//!   [`QueryPlan`].  The one-shot free functions remain available as
+//!   deprecated shims.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +45,8 @@ pub mod horn;
 pub mod magic;
 pub mod magic_eval;
 pub mod modular;
+pub mod plan;
+pub mod session;
 pub mod stable;
 pub mod wfs;
 
@@ -50,12 +58,24 @@ pub use extension::{
 };
 pub use ground::{GroundProgram, GroundRule};
 pub use grounder::{ground_over_universe, relevant_ground};
-pub use horn::{least_model, AtomStore, EvalOptions, NegationMode};
+pub use horn::{least_model, AtomStore, Candidates, EvalOptions, NegationMode};
 pub use magic::{magic_transform, MagicProgram};
-pub use magic_eval::{answer_query, EvalStats, QueryEvaluator};
-pub use modular::{modularly_stratified_hilog, modularly_stratified_normal, ModularOutcome};
-pub use stable::{stable_models, stable_models_over_universe, StableOptions};
-pub use wfs::{well_founded_model, well_founded_model_over_universe, well_founded_of_ground};
+pub use magic_eval::{EvalStats, QueryEvaluator};
+pub use modular::ModularOutcome;
+pub use plan::{PlanStrategy, QueryPlan};
+pub use session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
+pub use stable::{stable_models_over_universe, StableOptions};
+pub use wfs::{well_founded_model_over_universe, well_founded_of_ground};
+
+// Deprecated one-shot entry points, kept as working shims over the session.
+#[allow(deprecated)]
+pub use magic_eval::answer_query;
+#[allow(deprecated)]
+pub use modular::{modularly_stratified_hilog, modularly_stratified_normal};
+#[allow(deprecated)]
+pub use stable::stable_models;
+#[allow(deprecated)]
+pub use wfs::well_founded_model;
 
 /// Convenience prelude pulling in the most frequently used engine items.
 pub mod prelude {
@@ -66,8 +86,21 @@ pub mod prelude {
     pub use crate::grounder::{ground_over_universe, relevant_ground};
     pub use crate::horn::{least_model, AtomStore, EvalOptions, NegationMode};
     pub use crate::magic::magic_transform;
-    pub use crate::magic_eval::{answer_query, QueryEvaluator};
-    pub use crate::modular::{modularly_stratified_hilog, ModularOutcome};
-    pub use crate::stable::{stable_models, StableOptions};
-    pub use crate::wfs::{well_founded_model, well_founded_model_over_universe};
+    pub use crate::magic_eval::{EvalStats, QueryEvaluator};
+    pub use crate::modular::ModularOutcome;
+    pub use crate::plan::{PlanStrategy, QueryPlan};
+    pub use crate::session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
+    pub use crate::stable::StableOptions;
+    pub use crate::wfs::well_founded_model_over_universe;
+
+    // Deprecated shims, still re-exported so existing downstream code keeps
+    // compiling (their use sites get the deprecation pointer to `HiLogDb`).
+    #[allow(deprecated)]
+    pub use crate::magic_eval::answer_query;
+    #[allow(deprecated)]
+    pub use crate::modular::modularly_stratified_hilog;
+    #[allow(deprecated)]
+    pub use crate::stable::stable_models;
+    #[allow(deprecated)]
+    pub use crate::wfs::well_founded_model;
 }

@@ -13,14 +13,14 @@
 //! * the rewritten rules themselves, guarded by their last supplementary
 //!   predicate, with negative subgoals replaced by the □ ("settled false")
 //!   wrapper;
-//! * the `dp` / `dn` / `dn'` dependency-bookkeeping rules of Ross [16] that
+//! * the `dp` / `dn` / `dn'` dependency-bookkeeping rules of Ross \[16\] that
 //!   drive the evaluation of negative subgoals.
 //!
 //! The transformation is a *syntactic artifact*: it can be printed, compared
 //! against Example 6.6 and analysed.  Query evaluation with the same
 //! relevance behaviour is performed by [`crate::magic_eval`], which settles
 //! negative subgoals component-at-a-time with memoised subqueries (see
-//! DESIGN.md for why the □ fixpoint machinery of [16] is replaced by that
+//! DESIGN.md for why the □ fixpoint machinery of \[16\] is replaced by that
 //! equivalent strategy).
 
 use crate::error::EngineError;

@@ -7,7 +7,7 @@
 //! computed to a fixpoint, and a negative (or aggregate) subgoal is handled
 //! by *completely settling* its own subquery first — which is exactly what
 //! modular stratification guarantees to be possible, and exactly what the
-//! dp/dn/□ machinery of Ross [16] arranges in the rewritten program.  The
+//! dp/dn/□ machinery of Ross \[16\] arranges in the rewritten program.  The
 //! relevance behaviour (irrelevant parts of the database are never visited)
 //! is the same, which is what experiment E7 measures.
 //!
@@ -33,23 +33,45 @@ use hilog_core::term::{Term, Var};
 use hilog_core::unify::{match_with, unify_with};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+/// Head predicate name of the auxiliary rule that wraps conjunctive queries,
+/// shared by [`QueryEvaluator::answer_query`] and the session facade (which
+/// must recognise — and drop — the auxiliary tables it creates).
+pub(crate) const QUERY_HEAD: &str = "__query_answer";
+
 /// Statistics collected during query evaluation, used by the benchmarks to
-/// show the relevance advantage of query-directed evaluation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// show the relevance advantage of query-directed evaluation and by
+/// [`crate::session::HiLogDb`] to make cache reuse observable.
+///
+/// Serialises to JSON via the workspace `serde` stub, so the experiments
+/// runner (and a future server) can emit it directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct EvalStats {
-    /// Number of distinct tabled subgoals.
+    /// Number of distinct tabled subgoals.  A raw [`QueryEvaluator`] reports
+    /// its lifetime total (seeded tables included);
+    /// [`HiLogDb::query`](crate::session::HiLogDb::query) subtracts the
+    /// seeded tables so the count covers one query.
     pub subqueries: usize,
-    /// Number of answers derived across all tables.
+    /// Number of answers derived across the tables counted by `subqueries`
+    /// (same raw-total vs per-query convention).
     pub answers: usize,
     /// Number of rule-body expansions attempted.
     pub rule_applications: usize,
+    /// Number of subgoals answered from an already-complete table without
+    /// any re-evaluation (cache hits; only a session-held evaluator that
+    /// reuses tables across queries can observe a second-query hit).
+    pub cached_subqueries: usize,
+    /// Number of grounding passes performed while answering.  The
+    /// query-directed evaluator never grounds, so this is only non-zero for
+    /// full-model plans executed by [`crate::session::HiLogDb`]; a cached
+    /// model answers with `groundings == 0`.
+    pub groundings: usize,
 }
 
 #[derive(Debug, Clone)]
-struct Table {
-    pattern: Term,
-    answers: BTreeSet<Term>,
-    complete: bool,
+pub(crate) struct Table {
+    pub(crate) pattern: Term,
+    pub(crate) answers: BTreeSet<Term>,
+    pub(crate) complete: bool,
 }
 
 /// A memoising query/subquery evaluator over a fixed program.
@@ -73,6 +95,17 @@ pub struct QueryEvaluator<'p> {
 impl<'p> QueryEvaluator<'p> {
     /// Creates an evaluator for the program.
     pub fn new(program: &'p Program, opts: EvalOptions) -> Self {
+        Self::with_tables(program, opts, HashMap::new())
+    }
+
+    /// Creates an evaluator seeded with tables from a previous run over the
+    /// same (or an extended) program.  Complete tables are trusted as-is,
+    /// which is how [`crate::session::HiLogDb`] reuses work across queries.
+    pub(crate) fn with_tables(
+        program: &'p Program,
+        opts: EvalOptions,
+        tables: HashMap<String, Table>,
+    ) -> Self {
         let mut rules_by_head: HashMap<(Term, Option<usize>), Vec<usize>> = HashMap::new();
         let mut wildcard_rules = Vec::new();
         for (i, rule) in program.iter().enumerate() {
@@ -89,12 +122,18 @@ impl<'p> QueryEvaluator<'p> {
         QueryEvaluator {
             program,
             opts,
-            tables: HashMap::new(),
+            tables,
             rename_counter: 0,
             stats: EvalStats::default(),
             rules_by_head,
             wildcard_rules,
         }
+    }
+
+    /// Consumes the evaluator, handing its subgoal tables back to the caller
+    /// (the session keeps the complete ones for the next query).
+    pub(crate) fn into_tables(self) -> HashMap<String, Table> {
+        self.tables
     }
 
     /// The rule indices that could match a subgoal with the given pattern.
@@ -119,6 +158,8 @@ impl<'p> QueryEvaluator<'p> {
             subqueries: self.tables.len(),
             answers: self.tables.values().map(|t| t.answers.len()).sum(),
             rule_applications: self.stats.rule_applications,
+            cached_subqueries: self.stats.cached_subqueries,
+            groundings: 0,
         }
     }
 
@@ -136,7 +177,7 @@ impl<'p> QueryEvaluator<'p> {
         // Wrap the query in an auxiliary rule so conjunctions and negative
         // literals are handled uniformly (the `answer` rule of Section 5).
         let head = Term::apps(
-            "__query_answer",
+            QUERY_HEAD,
             vars.iter().map(|v| Term::Var(v.clone())).collect(),
         );
         let rule = Rule::new(head.clone(), query.literals.clone());
@@ -204,6 +245,7 @@ impl<'p> QueryEvaluator<'p> {
         let (key, normalized) = self.normalize(pattern);
         if let Some(table) = self.tables.get(&key) {
             if table.complete {
+                self.stats.cached_subqueries += 1;
                 return Ok(key);
             }
             // The subgoal is already being settled further up the negation
@@ -371,14 +413,19 @@ impl<'p> QueryEvaluator<'p> {
                             let answers: Vec<Term> =
                                 self.tables[&key].answers.iter().cloned().collect();
                             // Group by the pattern variables that occur
-                            // outside the aggregate literal.
-                            let mut outside: Vec<Var> = renamed.head.variables();
+                            // outside the aggregate literal.  All variable
+                            // sets are taken *after* applying `theta`: the
+                            // subgoal pattern may have aliased rule variables
+                            // (e.g. a head variable renamed to a table's
+                            // normalised variable), and grouping must bind
+                            // exactly the variables the instantiated pattern
+                            // still carries.
+                            let mut outside: Vec<Var> = theta.apply(&renamed.head).variables();
                             for other in renamed.body.iter().filter(|l| *l != lit) {
-                                outside.extend(other.variables());
+                                outside.extend(other.apply(&theta).variables());
                             }
-                            let value_vars = agg.value.variables();
-                            let group_vars: Vec<Var> = agg
-                                .pattern
+                            let value_vars = theta.apply(&agg.value).variables();
+                            let group_vars: Vec<Var> = instantiated_pattern
                                 .variables()
                                 .into_iter()
                                 .filter(|v| outside.contains(v) && !value_vars.contains(v))
@@ -447,6 +494,10 @@ impl<'p> QueryEvaluator<'p> {
 
 /// Convenience function: answers a query against a program with a fresh
 /// evaluator, returning the substitutions and the evaluation statistics.
+#[deprecated(
+    note = "construct a `HiLogDb` (`crate::session`) and call `.query(..)`; the session \
+            reuses subgoal tables across queries instead of starting from scratch"
+)]
 pub fn answer_query(
     program: &Program,
     query: &Query,
@@ -459,6 +510,9 @@ pub fn answer_query(
 }
 
 #[cfg(test)]
+// The deprecated `answer_query` shim must keep working; these tests exercise
+// it on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hilog_syntax::{parse_program, parse_query, parse_term};
@@ -705,6 +759,35 @@ mod tests {
         .unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].apply(&Term::var("N")), Term::int(3));
+    }
+
+    #[test]
+    fn aggregates_with_free_grouping_variables() {
+        // Regression: when the aggregate is the only body literal, the
+        // grouping variables reach the aggregate already aliased to the
+        // subgoal pattern's normalised variables; grouping must still bind
+        // them (previously this floundered with a non-ground answer).
+        let program = parse_program(
+            "total(X, N) :- N = sum(P, part(X, Y, P)).\n\
+             part(bike, wheel, 2). part(bike, frame, 1). part(car, wheel, 4).",
+        )
+        .unwrap();
+        let (answers, _) = answer_query(
+            &program,
+            &parse_query("?- total(X, N).").unwrap(),
+            EvalOptions::default(),
+        )
+        .unwrap();
+        let rendered: BTreeSet<String> = answers
+            .iter()
+            .map(|s| format!("{}={}", s.apply(&Term::var("X")), s.apply(&Term::var("N"))))
+            .collect();
+        assert_eq!(
+            rendered,
+            ["bike=3".to_string(), "car=4".to_string()]
+                .into_iter()
+                .collect()
+        );
     }
 
     #[test]

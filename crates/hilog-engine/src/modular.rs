@@ -1,7 +1,7 @@
 //! Modular stratification for HiLog — the Figure 1 procedure.
 //!
 //! Section 6 of the paper generalises the modularly stratified programs of
-//! Ross [16] to HiLog.  Because predicate names may contain variables, the
+//! Ross \[16\] to HiLog.  Because predicate names may contain variables, the
 //! strongly connected components of the program cannot be computed a priori
 //! (Example 6.2); instead the Figure 1 procedure settles the *lowest*
 //! components one at a time:
@@ -83,7 +83,20 @@ impl ModularOutcome {
 /// floundering message as the reason rather than raising an error, since
 /// Figure 1 treats every failure of its side conditions as "not modularly
 /// stratified".
+#[deprecated(
+    note = "construct a `HiLogDb` (`crate::session`) and call `.check_modular()` (or query \
+            under `Semantics::ModularCheck`); the session caches the outcome"
+)]
 pub fn modularly_stratified_hilog(
+    program: &Program,
+    opts: EvalOptions,
+) -> Result<ModularOutcome, EngineError> {
+    figure1_procedure(program, opts)
+}
+
+/// Non-deprecated internal form of [`modularly_stratified_hilog`], shared by
+/// the session facade.
+pub(crate) fn figure1_procedure(
     program: &Program,
     opts: EvalOptions,
 ) -> Result<ModularOutcome, EngineError> {
@@ -245,6 +258,10 @@ pub fn modularly_stratified_hilog(
 /// Modular stratification for normal programs (Definition 6.4).  By Lemma 6.2
 /// this coincides with the HiLog procedure on normal programs, so the same
 /// procedure is run after checking normality.
+#[deprecated(
+    note = "construct a `HiLogDb` (`crate::session`) and call `.check_modular()`; the session \
+            caches the outcome"
+)]
 pub fn modularly_stratified_normal(
     program: &Program,
     opts: EvalOptions,
@@ -255,7 +272,7 @@ pub fn modularly_stratified_normal(
                 .into(),
         ));
     }
-    modularly_stratified_hilog(program, opts)
+    figure1_procedure(program, opts)
 }
 
 fn rule_has_variable_predicate_name(rule: &Rule) -> bool {
@@ -449,6 +466,9 @@ fn apply_aggregate(func: AggregateFunc, values: &[i64]) -> i64 {
 }
 
 #[cfg(test)]
+// The deprecated shims must keep working; these tests exercise them on
+// purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hilog_core::interpretation::Truth;

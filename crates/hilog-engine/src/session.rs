@@ -1,0 +1,1228 @@
+//! The `HiLogDb` session facade: one stateful entry point over the engine.
+//!
+//! Every other entry point in this crate is a free function that takes a
+//! [`Program`] and re-derives grounding and dependency information from
+//! scratch.  A [`HiLogDb`] instead *owns* its program and amortises that work
+//! across queries: the relevant instantiation, the full model, the
+//! predicate-dependency analysis and the completed subgoal tables of the
+//! query-directed evaluator are all cached, and
+//! [`assert_fact`](HiLogDb::assert_fact) / [`retract_fact`](HiLogDb::retract_fact)
+//! invalidate only the caches that the mutated predicate can actually reach.
+//! Queries are routed through an explainable [`QueryPlan`]: bound queries use
+//! magic-sets style tabled evaluation (Section 6.1 of the paper), unbound
+//! ones fall back to the cached full model.
+//!
+//! ```
+//! use hilog_engine::session::HiLogDb;
+//! use hilog_syntax::{parse_program, parse_query};
+//!
+//! let program = parse_program(
+//!     "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).",
+//! )
+//! .unwrap();
+//! let mut db = HiLogDb::builder().program(program).build();
+//! let query = parse_query("?- winning(X).").unwrap();
+//! let first = db.query(&query).unwrap();
+//! assert_eq!(first.answers.len(), 1); // only b wins
+//! // The second run answers from the session's subgoal tables.
+//! let second = db.query(&query).unwrap();
+//! assert_eq!(second.stats.rule_applications, 0);
+//! assert!(second.stats.cached_subqueries > 0);
+//! ```
+
+use crate::error::EngineError;
+use crate::ground::{GroundProgram, GroundRule};
+use crate::grounder::relevant_ground;
+use crate::horn::EvalOptions;
+use crate::magic_eval::{EvalStats, QueryEvaluator, Table, QUERY_HEAD};
+use crate::modular::{figure1_procedure, ModularOutcome};
+use crate::plan::{adornment, query_is_bound, PlanStrategy, QueryPlan};
+use crate::stable::{stable_models_of_ground, StableOptions};
+use crate::wfs::well_founded_of_ground;
+use hilog_core::interpretation::{Model, Truth};
+use hilog_core::literal::Literal;
+use hilog_core::program::Program;
+use hilog_core::rule::{Query, Rule};
+use hilog_core::subst::Substitution;
+use hilog_core::term::{Term, Var};
+use hilog_core::unify::match_with;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Which semantics a [`HiLogDb`] answers queries under.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Semantics {
+    /// The (three-valued) well-founded semantics of Sections 3.1 / 4 — the
+    /// default, and the only semantics with a magic-sets route.
+    #[default]
+    WellFounded,
+    /// Stable-model consensus truth (Definition 3.7): an atom is true if it
+    /// is true in every stable model, false if false in every stable model,
+    /// and undefined otherwise.  Queries fail with
+    /// [`EngineError::NoStableModels`] when no stable model exists.
+    Stable,
+    /// The Figure 1 modular-stratification procedure: queries are answered
+    /// from the procedure's accumulated total model, and fail with
+    /// [`EngineError::NotModularlyStratified`] when the program is rejected.
+    ModularCheck,
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Semantics::WellFounded => write!(f, "well-founded"),
+            Semantics::Stable => write!(f, "stable"),
+            Semantics::ModularCheck => write!(f, "modular-check"),
+        }
+    }
+}
+
+impl Serialize for Semantics {
+    fn write_json(&self, out: &mut String) {
+        serde::write_json_string(out, &self.to_string());
+    }
+}
+
+/// One answer to a query: bindings for the query's free variables together
+/// with the three-valued truth of that instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAnswer {
+    /// Bindings in first-occurrence order of the query's variables.
+    pub bindings: Vec<(Var, Term)>,
+    /// Truth of this instance.  Magic-sets plans only report true instances;
+    /// full-model plans also surface undefined ones.
+    pub truth: Truth,
+}
+
+impl QueryAnswer {
+    /// The binding of the named variable, if any.
+    pub fn binding(&self, name: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(v, _)| v.name() == name && v.generation() == 0)
+            .map(|(_, t)| t)
+    }
+}
+
+impl fmt::Display for QueryAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} = {}", v.name(), t)?;
+        }
+        write!(f, "}} ({})", self.truth)
+    }
+}
+
+impl Serialize for QueryAnswer {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"bindings\":{");
+        for (i, (v, t)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(out, v.name());
+            out.push(':');
+            serde::write_json_string(out, &t.to_string());
+        }
+        out.push('}');
+        out.push(',');
+        serde::write_json_string(out, "truth");
+        out.push(':');
+        serde::write_json_string(out, &self.truth.to_string());
+        out.push('}');
+    }
+}
+
+/// The unified result of [`HiLogDb::query`]: answers, an overall truth
+/// value, the statistics of the evaluation and the plan that produced it.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// One entry per derived instance of the query.
+    pub answers: Vec<QueryAnswer>,
+    /// Overall truth: `True` if some instance is true, else `Undefined` if
+    /// some instance is undefined, else `False`.
+    pub truth: Truth,
+    /// Statistics of this evaluation (not cumulative across queries).
+    pub stats: EvalStats,
+    /// The plan that was executed.
+    pub plan: QueryPlan,
+    /// When the magic-sets route could not settle the query (it detected a
+    /// negative dependency cycle, or floundered) the session transparently
+    /// re-answers from the full model; the original error is recorded here.
+    pub fallback: Option<String>,
+}
+
+impl QueryResult {
+    /// Returns `true` if the overall truth is `True`.
+    pub fn is_true(&self) -> bool {
+        self.truth == Truth::True
+    }
+}
+
+impl Serialize for QueryResult {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        serde::write_field(out, "answers", &self.answers, true);
+        serde::write_field(out, "truth", &self.truth.to_string(), false);
+        serde::write_field(out, "stats", &self.stats, false);
+        serde::write_field(out, "plan", &self.plan, false);
+        serde::write_field(out, "fallback", &self.fallback, false);
+        out.push('}');
+    }
+}
+
+/// Builder for [`HiLogDb`]; obtained from [`HiLogDb::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct HiLogDbBuilder {
+    program: Program,
+    opts: EvalOptions,
+    stable_opts: StableOptions,
+    semantics: Semantics,
+}
+
+impl HiLogDbBuilder {
+    /// Uses `program` as the initial rule set (replacing any previous one).
+    pub fn program(mut self, program: Program) -> Self {
+        self.program = program;
+        self
+    }
+
+    /// Appends a single rule (or fact) to the initial program.
+    pub fn rule(mut self, rule: Rule) -> Self {
+        self.program.push(rule);
+        self
+    }
+
+    /// Sets the evaluation limits used by every route — the session's single
+    /// stored copy of [`EvalOptions`].
+    pub fn options(mut self, opts: EvalOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the stable-model search limits (only used under
+    /// [`Semantics::Stable`]).
+    pub fn stable_options(mut self, opts: StableOptions) -> Self {
+        self.stable_opts = opts;
+        self
+    }
+
+    /// Chooses the semantics queries are answered under.
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Builds the session.  No evaluation happens yet; every cache is filled
+    /// lazily by the first query that needs it.
+    pub fn build(self) -> HiLogDb {
+        HiLogDb {
+            program: self.program,
+            opts: self.opts,
+            stable_opts: self.stable_opts,
+            semantics: self.semantics,
+            analysis: None,
+            ground: None,
+            model: None,
+            stable: None,
+            modular: None,
+            tables: HashMap::new(),
+            scratch: None,
+            groundings: 0,
+        }
+    }
+}
+
+/// A stateful HiLog database session.
+///
+/// Owns a [`Program`] plus every cache the engine can amortise across
+/// queries; see the [module documentation](crate::session) for the overall
+/// shape and a usage example.
+#[derive(Debug)]
+pub struct HiLogDb {
+    program: Program,
+    opts: EvalOptions,
+    stable_opts: StableOptions,
+    semantics: Semantics,
+    /// Cached predicate-dependency analysis; survives fact-level mutations
+    /// (facts add no dependency edges) and is rebuilt after `assert_rule`.
+    analysis: Option<DepAnalysis>,
+    /// Cached relevant instantiation of the program.
+    ground: Option<GroundProgram>,
+    /// Cached full model under `semantics`.
+    model: Option<Model>,
+    /// Cached stable models (only filled under [`Semantics::Stable`]).
+    stable: Option<Vec<Model>>,
+    /// Cached Figure 1 outcome.
+    modular: Option<ModularOutcome>,
+    /// Completed subgoal tables of the query-directed evaluator, keyed by
+    /// normalised subgoal pattern.
+    tables: HashMap<String, Table>,
+    /// Scratch copy of the program used to host the auxiliary rule of
+    /// conjunctive queries (cloned lazily, reused until the program mutates).
+    scratch: Option<Program>,
+    /// Total grounding passes performed since construction.
+    groundings: usize,
+}
+
+impl HiLogDb {
+    /// Starts building a session.
+    pub fn builder() -> HiLogDbBuilder {
+        HiLogDbBuilder::default()
+    }
+
+    /// A session over `program` with default options and well-founded
+    /// semantics.
+    pub fn new(program: Program) -> Self {
+        Self::builder().program(program).build()
+    }
+
+    /// The current program (initial rules plus asserted facts and rules,
+    /// minus retracted facts).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The session's evaluation limits.
+    pub fn options(&self) -> EvalOptions {
+        self.opts
+    }
+
+    /// The semantics queries are answered under.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation with targeted cache invalidation
+    // ------------------------------------------------------------------
+
+    /// Asserts a ground fact.
+    ///
+    /// The dependency analysis is kept (facts add no edges); subgoal tables
+    /// are dropped only for predicates that can reach the fact's predicate,
+    /// and when nothing reads the predicate at all the cached ground program
+    /// and model are *patched* instead of discarded.
+    pub fn assert_fact(&mut self, fact: Term) -> Result<(), EngineError> {
+        if !fact.is_ground() {
+            return Err(EngineError::Floundering(format!(
+                "assert_fact requires a ground atom, got `{fact}`"
+            )));
+        }
+        self.program.push(Rule::fact(fact.clone()));
+        self.invalidate_for_fact(&fact, true);
+        Ok(())
+    }
+
+    /// Retracts one occurrence of a ground fact; returns `false` if the
+    /// program contains no such fact.
+    pub fn retract_fact(&mut self, fact: &Term) -> bool {
+        let Some(pos) = self
+            .program
+            .rules
+            .iter()
+            .position(|r| r.is_fact() && r.head == *fact)
+        else {
+            return false;
+        };
+        self.program.rules.remove(pos);
+        self.scratch = None;
+        // A duplicate assertion may still be present; then nothing changed
+        // semantically and every cache stays valid.
+        let still_present = self
+            .program
+            .rules
+            .iter()
+            .any(|r| r.is_fact() && r.head == *fact);
+        if !still_present {
+            self.invalidate_for_fact(fact, false);
+        }
+        true
+    }
+
+    /// Asserts a rule.  Rules add dependency edges, so every cache
+    /// (including the dependency analysis itself) is rebuilt lazily.
+    pub fn assert_rule(&mut self, rule: Rule) {
+        self.program.push(rule);
+        self.invalidate_all();
+    }
+
+    fn invalidate_all(&mut self) {
+        self.analysis = None;
+        self.ground = None;
+        self.model = None;
+        self.stable = None;
+        self.modular = None;
+        self.tables.clear();
+        self.scratch = None;
+    }
+
+    /// Targeted invalidation after a fact-level change to `fact`.
+    /// `asserted` is `true` for assertion, `false` for retraction.
+    fn invalidate_for_fact(&mut self, fact: &Term, asserted: bool) {
+        // The scratch program mirrors `self.program` and is always stale
+        // after a fact-level change, whatever the dependency analysis says.
+        self.scratch = None;
+        // `assert_fact` only admits ground atoms, but `assert_rule` (and the
+        // builder) accept facts with variable predicate names, and those can
+        // reach here through `retract_fact`; without a predicate identity the
+        // change is global.
+        let keyed = match pred_key(fact) {
+            Some(key) => self.analysis().affected_by(&key).map(|set| (key, set)),
+            None => None,
+        };
+        let Some((key, affected)) = keyed else {
+            // A rule can define arbitrary predicates (variable head name):
+            // everything may have changed.
+            self.ground = None;
+            self.model = None;
+            self.stable = None;
+            self.modular = None;
+            self.tables.clear();
+            return;
+        };
+        self.tables
+            .retain(|_, table| pred_key(&table.pattern).is_some_and(|k| !affected.contains(&k)));
+        let analysis = self.analysis.as_ref().expect("analysis just built");
+        let pure_edb = affected.len() == 1 && !analysis.derived.contains(&key);
+        if pure_edb && asserted {
+            // Nothing reads the predicate and no rule derives it: the fact
+            // only adds itself to the ground program and the model.
+            if let Some(ground) = &mut self.ground {
+                ground.push(GroundRule::fact(fact.clone()));
+            }
+            if let Some(model) = &mut self.model {
+                model.set_true(fact.clone());
+            }
+            if let Some(models) = &mut self.stable {
+                for m in models.iter_mut() {
+                    m.set_true(fact.clone());
+                }
+            }
+        } else if pure_edb {
+            if let Some(ground) = &mut self.ground {
+                ground.rules.retain(|r| !(r.is_fact() && r.head == *fact));
+            }
+            if let Some(model) = &mut self.model {
+                model.set_false(fact.clone());
+            }
+            if let Some(models) = &mut self.stable {
+                for m in models.iter_mut() {
+                    m.set_false(fact.clone());
+                }
+            }
+        } else {
+            self.ground = None;
+            self.model = None;
+            self.stable = None;
+        }
+        // The Figure 1 outcome records the settling order, which even a pure
+        // EDB fact can extend; recompute it on demand.
+        self.modular = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Cached analyses and models
+    // ------------------------------------------------------------------
+
+    fn analysis(&mut self) -> &DepAnalysis {
+        if self.analysis.is_none() {
+            self.analysis = Some(DepAnalysis::build(&self.program));
+        }
+        self.analysis.as_ref().expect("just built")
+    }
+
+    fn ensure_ground(&mut self) -> Result<(), EngineError> {
+        if self.ground.is_none() {
+            self.ground = Some(relevant_ground(&self.program, self.opts)?);
+            self.groundings += 1;
+        }
+        Ok(())
+    }
+
+    /// The cached relevant instantiation of the program, grounding on first
+    /// use.
+    pub fn ground_program(&mut self) -> Result<&GroundProgram, EngineError> {
+        self.ensure_ground()?;
+        Ok(self.ground.as_ref().expect("just grounded"))
+    }
+
+    /// The cached full model under the session's semantics, computing it on
+    /// first use.  For [`Semantics::Stable`] this is the consensus model of
+    /// Definition 3.7; for [`Semantics::ModularCheck`] it is the Figure 1
+    /// model (or an error if the program is rejected).
+    pub fn model(&mut self) -> Result<&Model, EngineError> {
+        self.ensure_model()?;
+        Ok(self.model.as_ref().expect("just built"))
+    }
+
+    fn ensure_model(&mut self) -> Result<(), EngineError> {
+        if self.model.is_some() {
+            return Ok(());
+        }
+        let model = match self.semantics {
+            Semantics::WellFounded => {
+                self.ensure_ground()?;
+                well_founded_of_ground(self.ground.as_ref().expect("just grounded"))
+            }
+            Semantics::Stable => consensus_model(self.stable_models()?)?,
+            Semantics::ModularCheck => {
+                let outcome = self.check_modular()?;
+                match (&outcome.model, &outcome.reason) {
+                    (Some(model), _) => model.clone(),
+                    (None, reason) => {
+                        return Err(EngineError::NotModularlyStratified(
+                            reason.clone().unwrap_or_else(|| {
+                                "the Figure 1 procedure rejected the program".into()
+                            }),
+                        ))
+                    }
+                }
+            }
+        };
+        self.model = Some(model);
+        Ok(())
+    }
+
+    /// The cached stable models of the program (computing them on first
+    /// use), regardless of the session's query semantics.
+    pub fn stable_models(&mut self) -> Result<&[Model], EngineError> {
+        if self.stable.is_none() {
+            self.ensure_ground()?;
+            let ground = self.ground.as_ref().expect("just grounded");
+            self.stable = Some(stable_models_of_ground(ground, self.stable_opts)?);
+        }
+        Ok(self.stable.as_deref().expect("just computed"))
+    }
+
+    /// Runs (and caches) the Figure 1 modular-stratification procedure.
+    pub fn check_modular(&mut self) -> Result<&ModularOutcome, EngineError> {
+        if self.modular.is_none() {
+            self.modular = Some(figure1_procedure(&self.program, self.opts)?);
+        }
+        Ok(self.modular.as_ref().expect("just checked"))
+    }
+
+    // ------------------------------------------------------------------
+    // Planning and querying
+    // ------------------------------------------------------------------
+
+    /// Builds the plan [`query`](HiLogDb::query) would execute, without
+    /// evaluating anything.
+    pub fn explain(&self, query: &Query) -> QueryPlan {
+        let bound = query_is_bound(query);
+        let (strategy, reason) = if self.semantics != Semantics::WellFounded {
+            (
+                PlanStrategy::FullModel,
+                format!(
+                    "the {} semantics is defined through the full model, so the query is \
+                     answered from the session's cached model",
+                    self.semantics
+                ),
+            )
+        } else if bound {
+            (
+                PlanStrategy::MagicSets,
+                "the first literal has a ground predicate name, so query-directed \
+                 (magic-sets) evaluation visits only the relevant subgoals and reuses the \
+                 session's completed tables"
+                    .to_string(),
+            )
+        } else {
+            (
+                PlanStrategy::FullModel,
+                "the query has no leading positive literal with a ground predicate name \
+                 (it is unbound), so it is answered from the session's cached full model"
+                    .to_string(),
+            )
+        };
+        QueryPlan {
+            strategy,
+            semantics: self.semantics,
+            query: query.to_string(),
+            adornment: adornment(query),
+            cached_model: self.model.is_some(),
+            cached_subqueries: self.tables.values().filter(|t| t.complete).count(),
+            reason,
+        }
+    }
+
+    /// Answers a query through the plan [`explain`](HiLogDb::explain)
+    /// chooses, reusing every cache the session holds.
+    pub fn query(&mut self, query: &Query) -> Result<QueryResult, EngineError> {
+        let plan = self.explain(query);
+        match plan.strategy {
+            PlanStrategy::MagicSets => match self.query_magic(query) {
+                Ok((answers, stats)) => Ok(assemble(answers, stats, plan, None)),
+                Err(
+                    err @ (EngineError::NotModularlyStratified(_) | EngineError::Floundering(_)),
+                ) => {
+                    // The tabled route cannot settle this query; the
+                    // bottom-up well-founded construction still can.
+                    let note = err.to_string();
+                    let (answers, stats) = self.query_full(query)?;
+                    Ok(assemble(answers, stats, plan, Some(note)))
+                }
+                Err(err) => Err(err),
+            },
+            PlanStrategy::FullModel => {
+                let (answers, stats) = self.query_full(query)?;
+                Ok(assemble(answers, stats, plan, None))
+            }
+        }
+    }
+
+    /// Three-valued truth of a single ground atom under the session's
+    /// semantics.
+    pub fn holds(&mut self, atom: &Term) -> Result<Truth, EngineError> {
+        if !atom.is_ground() {
+            return Err(EngineError::Floundering(format!(
+                "holds() requires a ground atom, got `{atom}`"
+            )));
+        }
+        Ok(self.query(&Query::atom(atom.clone()))?.truth)
+    }
+
+    /// Magic-sets route: tabled evaluation seeded with the session's
+    /// completed tables; completed tables flow back into the session.
+    fn query_magic(&mut self, query: &Query) -> Result<(Vec<QueryAnswer>, EvalStats), EngineError> {
+        let vars = query.variables();
+        let tables = std::mem::take(&mut self.tables);
+        // `QueryEvaluator::stats` totals over every table it holds, seeded
+        // ones included; subtract the seeded counts so the reported stats
+        // cover this query only (seeded tables are complete and gain no
+        // answers during the run).
+        let seeded_tables = tables.len();
+        let seeded_answers: usize = tables.values().map(|t| t.answers.len()).sum();
+        let per_query = move |mut stats: EvalStats| {
+            stats.subqueries = stats.subqueries.saturating_sub(seeded_tables);
+            stats.answers = stats.answers.saturating_sub(seeded_answers);
+            stats
+        };
+        if let [Literal::Pos(atom)] = query.literals.as_slice() {
+            // Single-atom queries table the pattern itself — the second run
+            // of the same query is a pure cache hit.
+            let mut evaluator = QueryEvaluator::with_tables(&self.program, self.opts, tables);
+            let solved = evaluator.solve_atom(atom);
+            let stats = per_query(evaluator.stats());
+            let mut tables = evaluator.into_tables();
+            tables.retain(|_, t| t.complete);
+            self.tables = tables;
+            let answers = solved?
+                .into_iter()
+                .filter_map(|answer| {
+                    let mut theta = Substitution::new();
+                    match_with(atom, &answer, &mut theta).then(|| true_answer(&theta, &vars))
+                })
+                .collect();
+            Ok((answers, stats))
+        } else {
+            // Conjunctions run through an auxiliary `__query_answer` rule
+            // appended to the session's scratch copy of the program (cloned
+            // once, reused across queries); every table except the auxiliary
+            // one remains a valid table of the base program.
+            let head = Term::apps(
+                QUERY_HEAD,
+                vars.iter().map(|v| Term::Var(v.clone())).collect(),
+            );
+            if self.scratch.is_none() {
+                self.scratch = Some(self.program.clone());
+            }
+            let scratch = self.scratch.as_mut().expect("just cloned");
+            scratch.push(Rule::new(head.clone(), query.literals.clone()));
+            let mut evaluator = QueryEvaluator::with_tables(scratch, self.opts, tables);
+            let solved = evaluator.solve_atom(&head);
+            let stats = per_query(evaluator.stats());
+            let mut tables = evaluator.into_tables();
+            self.scratch.as_mut().expect("just cloned").rules.pop();
+            // The auxiliary table must not leak into later conjunctions: its
+            // key is the *rendered* pattern (where `__query_answer` comes out
+            // quoted), so compare the pattern's functor, not the key string.
+            let aux_functor = Term::sym(QUERY_HEAD);
+            tables.retain(|_, t| t.complete && t.pattern.outermost_functor() != &aux_functor);
+            self.tables = tables;
+            let answers = solved?
+                .into_iter()
+                .filter_map(|answer| {
+                    let mut theta = Substitution::new();
+                    match_with(&head, &answer, &mut theta).then(|| true_answer(&theta, &vars))
+                })
+                .collect();
+            Ok((answers, stats))
+        }
+    }
+
+    /// Full-model route: match the query against the cached model.
+    fn query_full(&mut self, query: &Query) -> Result<(Vec<QueryAnswer>, EvalStats), EngineError> {
+        let groundings_before = self.groundings;
+        self.ensure_model()?;
+        let model = self.model.as_ref().expect("just built");
+        let answers = eval_against_model(model, query)?;
+        let stats = EvalStats {
+            answers: answers.len(),
+            groundings: self.groundings - groundings_before,
+            ..EvalStats::default()
+        };
+        Ok((answers, stats))
+    }
+}
+
+fn assemble(
+    answers: Vec<QueryAnswer>,
+    stats: EvalStats,
+    plan: QueryPlan,
+    fallback: Option<String>,
+) -> QueryResult {
+    let truth = overall_truth(&answers);
+    QueryResult {
+        answers,
+        truth,
+        stats,
+        plan,
+        fallback,
+    }
+}
+
+fn overall_truth(answers: &[QueryAnswer]) -> Truth {
+    let mut best = Truth::False;
+    for a in answers {
+        match a.truth {
+            Truth::True => return Truth::True,
+            Truth::Undefined => best = Truth::Undefined,
+            Truth::False => {}
+        }
+    }
+    best
+}
+
+fn true_answer(theta: &Substitution, vars: &[Var]) -> QueryAnswer {
+    QueryAnswer {
+        bindings: vars
+            .iter()
+            .map(|v| (v.clone(), theta.apply(&Term::Var(v.clone()))))
+            .collect(),
+        truth: Truth::True,
+    }
+}
+
+/// Three-valued conjunctive evaluation of a query against a model.  Branches
+/// carry the weakest truth seen so far; false literals prune.
+fn eval_against_model(model: &Model, query: &Query) -> Result<Vec<QueryAnswer>, EngineError> {
+    let vars = query.variables();
+    let mut branches: Vec<(Substitution, Truth)> = vec![(Substitution::new(), Truth::True)];
+    for lit in &query.literals {
+        let mut next = Vec::new();
+        for (theta, truth) in branches {
+            match lit {
+                Literal::Pos(atom) => {
+                    let instantiated = theta.apply(atom);
+                    if instantiated.is_ground() {
+                        match model.truth(&instantiated) {
+                            Truth::False => {}
+                            t => next.push((theta.clone(), conj(truth, t))),
+                        }
+                    } else {
+                        for candidate in model.base() {
+                            let t = model.truth(candidate);
+                            if t == Truth::False {
+                                continue;
+                            }
+                            let mut extended = theta.clone();
+                            if match_with(&instantiated, candidate, &mut extended) {
+                                next.push((extended, conj(truth, t)));
+                            }
+                        }
+                    }
+                }
+                Literal::Neg(atom) => {
+                    let instantiated = theta.apply(atom);
+                    if !instantiated.is_ground() {
+                        return Err(EngineError::Floundering(format!(
+                            "negative literal `not {instantiated}` is non-ground when selected \
+                             (bind its variables with an earlier positive literal)"
+                        )));
+                    }
+                    match model.truth(&instantiated) {
+                        Truth::True => {}
+                        Truth::False => next.push((theta.clone(), truth)),
+                        Truth::Undefined => next.push((theta.clone(), Truth::Undefined)),
+                    }
+                }
+                Literal::Builtin(b) => {
+                    let mut extended = theta.clone();
+                    match b.eval(&mut extended) {
+                        Ok(true) => next.push((extended, truth)),
+                        Ok(false) => {}
+                        Err(e) => return Err(EngineError::Core(e)),
+                    }
+                }
+                Literal::Aggregate(_) => {
+                    return Err(EngineError::Unsupported(
+                        "aggregate literals in full-model query evaluation are unsupported; \
+                         ask a bound query (magic-sets plan) or use the aggregation evaluator"
+                            .into(),
+                    ))
+                }
+            }
+        }
+        branches = next;
+    }
+    // Group by bindings, keeping the strongest truth per instance.
+    let mut best: BTreeMap<Vec<(Var, Term)>, Truth> = BTreeMap::new();
+    for (theta, truth) in branches {
+        let bindings: Vec<(Var, Term)> = vars
+            .iter()
+            .map(|v| (v.clone(), theta.apply(&Term::Var(v.clone()))))
+            .collect();
+        let entry = best.entry(bindings).or_insert(truth);
+        if *entry == Truth::Undefined && truth == Truth::True {
+            *entry = Truth::True;
+        }
+    }
+    Ok(best
+        .into_iter()
+        .map(|(bindings, truth)| QueryAnswer { bindings, truth })
+        .collect())
+}
+
+fn conj(a: Truth, b: Truth) -> Truth {
+    if a == Truth::Undefined || b == Truth::Undefined {
+        Truth::Undefined
+    } else {
+        Truth::True
+    }
+}
+
+/// The consensus model of Definition 3.7 over a set of stable models.
+fn consensus_model(models: &[Model]) -> Result<Model, EngineError> {
+    if models.is_empty() {
+        return Err(EngineError::NoStableModels);
+    }
+    let mut base: BTreeSet<Term> = BTreeSet::new();
+    for m in models {
+        base.extend(m.base().iter().cloned());
+    }
+    let mut true_atoms = Vec::new();
+    let mut undefined = Vec::new();
+    for atom in &base {
+        if models.iter().all(|m| m.is_true(atom)) {
+            true_atoms.push(atom.clone());
+        } else if !models.iter().all(|m| m.is_false(atom)) {
+            undefined.push(atom.clone());
+        }
+    }
+    Ok(Model::new(base, true_atoms, undefined))
+}
+
+// ----------------------------------------------------------------------
+// Predicate-dependency analysis for targeted invalidation
+// ----------------------------------------------------------------------
+
+/// A predicate identity: rendered ground predicate name plus arity.
+type PredKey = (String, Option<usize>);
+
+fn pred_key(atom: &Term) -> Option<PredKey> {
+    let name = atom.name();
+    name.is_ground().then(|| (name.to_string(), atom.arity()))
+}
+
+/// Reverse dependency information over the program's predicates, used to
+/// decide which caches a fact-level mutation can reach.
+#[derive(Debug, Clone, Default)]
+struct DepAnalysis {
+    /// `dependents[p]` = head predicates of rules whose body reads `p`.
+    dependents: HashMap<PredKey, BTreeSet<PredKey>>,
+    /// Head predicates of rules with a variable predicate name somewhere in
+    /// the body: they read *every* predicate.
+    universal_readers: BTreeSet<PredKey>,
+    /// `true` when some proper rule's head predicate name is non-ground; such
+    /// a rule can define any predicate, so every mutation is global.
+    wildcard_heads: bool,
+    /// Head predicates of proper (non-fact) rules.
+    derived: BTreeSet<PredKey>,
+}
+
+impl DepAnalysis {
+    fn build(program: &Program) -> Self {
+        let mut analysis = DepAnalysis::default();
+        for rule in program.proper_rules() {
+            let Some(head) = pred_key(&rule.head) else {
+                analysis.wildcard_heads = true;
+                continue;
+            };
+            analysis.derived.insert(head.clone());
+            for lit in &rule.body {
+                let atom = match lit {
+                    Literal::Pos(a) | Literal::Neg(a) => a,
+                    Literal::Aggregate(a) => &a.pattern,
+                    Literal::Builtin(_) => continue,
+                };
+                match pred_key(atom) {
+                    Some(body_key) => {
+                        analysis
+                            .dependents
+                            .entry(body_key)
+                            .or_default()
+                            .insert(head.clone());
+                    }
+                    None => {
+                        analysis.universal_readers.insert(head.clone());
+                    }
+                }
+            }
+        }
+        analysis
+    }
+
+    /// Every predicate whose cached state may change when `key` gains or
+    /// loses a fact (transitive reverse closure, always including the
+    /// universal readers).  `None` means "everything" — a variable-headed
+    /// rule exists.
+    fn affected_by(&self, key: &PredKey) -> Option<BTreeSet<PredKey>> {
+        if self.wildcard_heads {
+            return None;
+        }
+        let mut affected: BTreeSet<PredKey> = BTreeSet::new();
+        let mut queue: Vec<PredKey> = vec![key.clone()];
+        queue.extend(self.universal_readers.iter().cloned());
+        while let Some(k) = queue.pop() {
+            if !affected.insert(k.clone()) {
+                continue;
+            }
+            if let Some(readers) = self.dependents.get(&k) {
+                queue.extend(readers.iter().cloned());
+            }
+        }
+        Some(affected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilog_syntax::{parse_program, parse_query, parse_term};
+
+    fn game_db() -> HiLogDb {
+        HiLogDb::new(
+            parse_program(
+                "winning(X) :- move(X, Y), not winning(Y).\n\
+                 move(a, b). move(b, c).",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn bound_query_twice_reuses_tables_without_rule_applications() {
+        let mut db = game_db();
+        let query = parse_query("?- winning(X).").unwrap();
+        let first = db.query(&query).unwrap();
+        assert!(first.stats.rule_applications > 0);
+        assert_eq!(first.answers.len(), 1);
+        let second = db.query(&query).unwrap();
+        assert_eq!(second.stats.rule_applications, 0, "tables were not reused");
+        assert!(second.stats.cached_subqueries > 0);
+        assert_eq!(second.answers, first.answers);
+    }
+
+    #[test]
+    fn unbound_query_grounds_once_then_reuses_the_model() {
+        let mut db = game_db();
+        let query = parse_query("?- P(a, X).").unwrap();
+        let first = db.query(&query).unwrap();
+        assert_eq!(first.stats.groundings, 1);
+        let second = db.query(&query).unwrap();
+        assert_eq!(second.stats.groundings, 0, "model was re-grounded");
+        assert_eq!(second.answers, first.answers);
+        // P(a, X) matches move(a, b).
+        assert_eq!(first.answers.len(), 1);
+        assert_eq!(first.answers[0].binding("P").unwrap(), &Term::sym("move"));
+    }
+
+    #[test]
+    fn explain_routes_bound_vs_unbound() {
+        let db = game_db();
+        let bound = db.explain(&parse_query("?- winning(a).").unwrap());
+        assert!(bound.is_magic_sets());
+        assert_eq!(bound.adornment, "b");
+        let unbound = db.explain(&parse_query("?- P(a, b).").unwrap());
+        assert!(unbound.is_full_model());
+    }
+
+    #[test]
+    fn holds_is_three_valued() {
+        let mut db =
+            HiLogDb::new(parse_program("p :- not q. q :- not p. r. s :- r, not r.").unwrap());
+        assert_eq!(db.holds(&parse_term("r").unwrap()).unwrap(), Truth::True);
+        assert_eq!(
+            db.holds(&parse_term("p").unwrap()).unwrap(),
+            Truth::Undefined
+        );
+        assert_eq!(db.holds(&parse_term("s").unwrap()).unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn magic_route_falls_back_on_negative_cycles() {
+        // `p :- not p.` makes the tabled route report a cycle; the session
+        // transparently answers from the well-founded model instead.
+        let mut db = HiLogDb::new(parse_program("p :- not p. q.").unwrap());
+        let result = db.query(&parse_query("?- p.").unwrap()).unwrap();
+        assert!(result.fallback.is_some());
+        assert_eq!(result.truth, Truth::Undefined);
+    }
+
+    #[test]
+    fn assert_fact_invalidates_only_dependent_tables() {
+        let mut db = HiLogDb::new(
+            parse_program(
+                "winning(X) :- move(X, Y), not winning(Y).\n\
+                 reach(X) :- edge(X, Y).\n\
+                 move(a, b). move(b, c). edge(u, v).",
+            )
+            .unwrap(),
+        );
+        let win = parse_query("?- winning(X).").unwrap();
+        let reach = parse_query("?- reach(X).").unwrap();
+        db.query(&win).unwrap();
+        db.query(&reach).unwrap();
+        let warm = db.explain(&win).cached_subqueries;
+        assert!(warm > 0);
+        // A new edge fact only reaches `reach`: the winning tables survive.
+        db.assert_fact(parse_term("edge(v, w)").unwrap()).unwrap();
+        let after = db.explain(&win).cached_subqueries;
+        assert!(after > 0, "unrelated tables were dropped");
+        let second = db.query(&win).unwrap();
+        assert_eq!(second.stats.rule_applications, 0);
+        // And the reach query sees the new fact.
+        let reach_result = db.query(&reach).unwrap();
+        assert!(reach_result
+            .answers
+            .iter()
+            .any(|a| a.binding("X").unwrap() == &Term::sym("v")));
+    }
+
+    #[test]
+    fn assert_fact_on_read_predicate_updates_answers() {
+        let mut db = game_db();
+        let query = parse_query("?- winning(X).").unwrap();
+        let before = db.query(&query).unwrap();
+        assert_eq!(before.answers.len(), 1); // b
+        db.assert_fact(parse_term("move(c, d)").unwrap()).unwrap();
+        let after = db.query(&query).unwrap();
+        // Chain a -> b -> c -> d: now c wins too and b loses.
+        let xs: Vec<String> = after
+            .answers
+            .iter()
+            .map(|a| a.binding("X").unwrap().to_string())
+            .collect();
+        assert!(xs.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn retract_fact_restores_the_original_answers() {
+        let mut db = game_db();
+        let query = parse_query("?- winning(X).").unwrap();
+        let before = db.query(&query).unwrap();
+        db.assert_fact(parse_term("move(c, d)").unwrap()).unwrap();
+        db.query(&query).unwrap();
+        assert!(db.retract_fact(&parse_term("move(c, d)").unwrap()));
+        let after = db.query(&query).unwrap();
+        assert_eq!(after.answers, before.answers);
+        assert!(!db.retract_fact(&parse_term("move(zz, zz)").unwrap()));
+    }
+
+    #[test]
+    fn pure_edb_fact_patches_the_cached_model() {
+        // `colour` is read by no rule: asserting a colour fact keeps the
+        // cached model (no re-grounding) and still answers correctly.
+        let mut db = HiLogDb::new(
+            parse_program(
+                "winning(X) :- move(X, Y), not winning(Y).\n\
+                 move(a, b). colour(a, red).",
+            )
+            .unwrap(),
+        );
+        let unbound = parse_query("?- P(a, X).").unwrap();
+        assert_eq!(db.query(&unbound).unwrap().stats.groundings, 1);
+        db.assert_fact(parse_term("colour(b, blue)").unwrap())
+            .unwrap();
+        let after = db.query(&unbound).unwrap();
+        assert_eq!(
+            after.stats.groundings, 0,
+            "pure EDB fact forced re-grounding"
+        );
+        assert_eq!(
+            db.holds(&parse_term("colour(b, blue)").unwrap()).unwrap(),
+            Truth::True
+        );
+        assert!(db.retract_fact(&parse_term("colour(b, blue)").unwrap()));
+        assert_eq!(
+            db.holds(&parse_term("colour(b, blue)").unwrap()).unwrap(),
+            Truth::False
+        );
+    }
+
+    #[test]
+    fn assert_rule_rebuilds_everything() {
+        let mut db = game_db();
+        db.query(&parse_query("?- winning(X).").unwrap()).unwrap();
+        db.assert_rule(
+            parse_program("winning(X) :- bonus(X).")
+                .unwrap()
+                .rules
+                .remove(0),
+        );
+        db.assert_fact(parse_term("bonus(c)").unwrap()).unwrap();
+        assert_eq!(
+            db.holds(&parse_term("winning(c)").unwrap()).unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn stable_semantics_answers_consensus_truth() {
+        let mut db = HiLogDb::builder()
+            .program(parse_program("p :- not q. q :- not p. r :- p. r :- q.").unwrap())
+            .semantics(Semantics::Stable)
+            .build();
+        assert_eq!(db.holds(&parse_term("r").unwrap()).unwrap(), Truth::True);
+        assert_eq!(
+            db.holds(&parse_term("p").unwrap()).unwrap(),
+            Truth::Undefined
+        );
+        assert_eq!(db.stable_models().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stable_semantics_reports_missing_stable_models() {
+        let mut db = HiLogDb::builder()
+            .program(parse_program("u :- not u. v.").unwrap())
+            .semantics(Semantics::Stable)
+            .build();
+        let err = db.holds(&parse_term("v").unwrap()).unwrap_err();
+        assert!(matches!(err, EngineError::NoStableModels));
+    }
+
+    #[test]
+    fn modular_check_semantics_accepts_and_rejects() {
+        let mut accepted = HiLogDb::builder()
+            .program(
+                parse_program("winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).")
+                    .unwrap(),
+            )
+            .semantics(Semantics::ModularCheck)
+            .build();
+        assert_eq!(
+            accepted.holds(&parse_term("winning(b)").unwrap()).unwrap(),
+            Truth::True
+        );
+        assert!(accepted.check_modular().unwrap().modularly_stratified);
+
+        let mut rejected = HiLogDb::builder()
+            .program(
+                parse_program("winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, a).")
+                    .unwrap(),
+            )
+            .semantics(Semantics::ModularCheck)
+            .build();
+        let err = rejected
+            .holds(&parse_term("winning(a)").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NotModularlyStratified(_)));
+    }
+
+    #[test]
+    fn conjunctive_queries_bind_across_literals() {
+        let mut db = HiLogDb::new(
+            parse_program(
+                "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                 game(m). m(a, b). m(b, c).",
+            )
+            .unwrap(),
+        );
+        let result = db
+            .query(&parse_query("?- game(M), winning(M)(X).").unwrap())
+            .unwrap();
+        assert_eq!(result.answers.len(), 1);
+        assert_eq!(result.answers[0].binding("M").unwrap(), &Term::sym("m"));
+        assert_eq!(result.answers[0].binding("X").unwrap(), &Term::sym("b"));
+        // The conjunction's subgoal tables are retained (the auxiliary
+        // `__query_answer` table is not).
+        let cached = db
+            .explain(&parse_query("?- game(M).").unwrap())
+            .cached_subqueries;
+        assert!(cached > 0);
+    }
+
+    #[test]
+    fn stats_are_per_query_not_cumulative() {
+        let mut db = game_db();
+        let query = parse_query("?- winning(X).").unwrap();
+        let first = db.query(&query).unwrap();
+        assert!(first.stats.subqueries > 0);
+        assert!(first.stats.answers > 0);
+        // The repeat run creates no new tables and derives no new answers;
+        // its stats must not re-count the seeded tables.
+        let second = db.query(&query).unwrap();
+        assert_eq!(second.stats.subqueries, 0);
+        assert_eq!(second.stats.answers, 0);
+        assert!(second.stats.cached_subqueries > 0);
+    }
+
+    #[test]
+    fn retracting_a_variable_named_fact_does_not_panic() {
+        // `assert_rule` accepts facts with variable predicate names; a later
+        // retract must fall back to global invalidation, not panic.
+        let mut db = HiLogDb::new(parse_program("q(r). r(q).").unwrap());
+        let var_fact = Term::app(Term::var("P"), vec![Term::sym("a")]);
+        db.assert_rule(Rule::fact(var_fact.clone()));
+        assert!(db.retract_fact(&var_fact));
+        assert_eq!(db.holds(&parse_term("q(r)").unwrap()).unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn conjunctive_queries_do_not_share_auxiliary_tables() {
+        // Regression: the auxiliary `__query_answer` table's key is the
+        // *rendered* pattern (quoted, since the name starts with `_`); a
+        // string-prefix cleanup missed it, so a later conjunction with the
+        // same variable count silently returned the first query's answers.
+        let mut db = HiLogDb::new(parse_program("p(a). p(b). q(b). r(c).").unwrap());
+        let first = db.query(&parse_query("?- p(X), q(X).").unwrap()).unwrap();
+        assert_eq!(first.answers.len(), 1);
+        assert_eq!(first.answers[0].binding("X").unwrap(), &Term::sym("b"));
+        let second = db.query(&parse_query("?- r(X), r(X).").unwrap()).unwrap();
+        assert_eq!(second.answers.len(), 1);
+        assert_eq!(second.answers[0].binding("X").unwrap(), &Term::sym("c"));
+    }
+
+    #[test]
+    fn results_and_plans_serialise_to_json() {
+        let mut db = game_db();
+        let result = db.query(&parse_query("?- winning(X).").unwrap()).unwrap();
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(json.contains("\"answers\""));
+        assert!(json.contains("\"X\":\"b\""));
+        assert!(json.contains("\"truth\":\"true\""));
+        assert!(json.contains("\"strategy\":\"magic-sets\""));
+        let plan_json = serde_json::to_string(&result.plan).unwrap();
+        assert!(plan_json.contains("\"semantics\":\"well-founded\""));
+        let stats_json = serde_json::to_string(&result.stats).unwrap();
+        assert!(stats_json.contains("\"rule_applications\""));
+    }
+
+    #[test]
+    fn builder_options_are_honoured() {
+        let mut db = HiLogDb::builder()
+            .program(parse_program("nat(z). nat(s(X)) :- nat(X).").unwrap())
+            .options(EvalOptions::with_max_atoms(10))
+            .build();
+        let err = db.query(&parse_query("?- P(X).").unwrap()).unwrap_err();
+        assert!(matches!(err, EngineError::LimitExceeded(_)));
+    }
+}

@@ -227,6 +227,10 @@ pub fn gelfond_lifschitz_check(program: &GroundProgram, candidate: &Model) -> bo
 }
 
 /// Enumerates stable models of a program via relevant instantiation.
+#[deprecated(
+    note = "construct a `HiLogDb` (`crate::session`) and call `.stable_models()`; the session \
+            caches the grounding and the models across queries"
+)]
 pub fn stable_models(
     program: &Program,
     eval: EvalOptions,
@@ -264,6 +268,9 @@ pub fn stable_consensus_truth(models: &[Model], atom: &Term) -> Option<Truth> {
 }
 
 #[cfg(test)]
+// The deprecated `stable_models` shim must keep working; these tests exercise
+// it on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hilog_syntax::{parse_program, parse_term};

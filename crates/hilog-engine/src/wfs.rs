@@ -175,7 +175,17 @@ pub fn is_two_valued_fixpoint(program: &GroundProgram, candidate: &Model) -> boo
 
 /// Computes the well-founded model of a program via relevant instantiation
 /// (the practical path for range-restricted and Datahilog programs).
+#[deprecated(
+    note = "construct a `HiLogDb` (`crate::session`) and call `.model()`; the session caches \
+            the grounding and the model across queries instead of recomputing them"
+)]
 pub fn well_founded_model(program: &Program, opts: EvalOptions) -> Result<Model, EngineError> {
+    wfs_model(program, opts)
+}
+
+/// Non-deprecated internal form of [`well_founded_model`], shared by the
+/// session facade and the other engine modules.
+pub(crate) fn wfs_model(program: &Program, opts: EvalOptions) -> Result<Model, EngineError> {
     Ok(well_founded_of_ground(&relevant_ground(program, opts)?))
 }
 
@@ -193,6 +203,9 @@ pub fn well_founded_model_over_universe(
 }
 
 #[cfg(test)]
+// The deprecated `well_founded_model` shim must keep working; these tests
+// exercise it on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hilog_core::interpretation::Truth;

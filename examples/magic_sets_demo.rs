@@ -1,13 +1,13 @@
 //! Section 6.1 / Example 6.6: print the magic-sets rewriting of the
-//! (abbreviated) game program and evaluate the query both ways.
+//! (abbreviated) game program, then evaluate the query through a `HiLogDb`
+//! session — whose planner picks exactly the magic-sets route for this bound
+//! query — and cross-check against the full model.
 //!
 //! Run with `cargo run --example magic_sets_demo`.
 
-use hilog_engine::horn::EvalOptions;
 use hilog_engine::magic::magic_transform;
-use hilog_engine::magic_eval::QueryEvaluator;
-use hilog_engine::wfs::well_founded_model;
-use hilog_syntax::{parse_program, parse_query, parse_term};
+use hilog_engine::session::HiLogDb;
+use hilog_syntax::{parse_program, parse_query};
 
 fn main() {
     // The abbreviated game program of Example 6.6 (w/g/m for winning/game/move).
@@ -25,21 +25,27 @@ fn main() {
     println!("== magic-sets rewriting of {query} ==");
     println!("{magic}");
 
-    // Query-directed evaluation (the rewriting's operational counterpart).
-    let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
-    let atom = parse_term("w(m)(a)").unwrap();
-    let answer = evaluator.holds(&atom).expect("query evaluates");
-    let stats = evaluator.stats();
+    // Query-directed evaluation (the rewriting's operational counterpart),
+    // chosen by the session's planner because the query is bound.
+    let mut db = HiLogDb::new(program);
+    let plan = db.explain(&query);
+    println!("== plan ==\n{plan}");
+    assert!(plan.is_magic_sets());
+    let result = db.query(&query).expect("query evaluates");
+    let stats = result.stats;
     println!("== evaluation ==");
-    println!("w(m)(a) = {answer}");
+    println!("w(m)(a) = {}", result.truth);
     println!(
         "tabled {} subgoals / {} answers (the `other` game is never touched)",
         stats.subqueries, stats.answers
     );
 
-    // Cross-check against full bottom-up evaluation.
-    let model = well_founded_model(&program, EvalOptions::default()).expect("evaluates");
-    assert_eq!(answer, model.is_true(&atom));
+    // Cross-check against the session's full bottom-up model.
+    let model = db.model().expect("evaluates").clone();
+    assert_eq!(
+        result.is_true(),
+        model.is_true(&hilog_syntax::parse_term("w(m)(a)").unwrap())
+    );
     println!(
         "full well-founded model has {} atoms in its base",
         model.base().len()

@@ -1,13 +1,11 @@
-//! Example 2.2: the generic `maplist` predicate, evaluated with the
-//! query-directed evaluator (its bottom-up instantiation is infinite, as the
-//! end of Section 6.1 warns for programs with recursively applied function
-//! symbols).
+//! Example 2.2: the generic `maplist` predicate, evaluated through a
+//! `HiLogDb` session (whose planner picks the query-directed route — the
+//! bottom-up instantiation is infinite, as the end of Section 6.1 warns for
+//! programs with recursively applied function symbols).
 //!
 //! Run with `cargo run --example maplist`.
 
-use hilog_core::Term;
-use hilog_engine::horn::EvalOptions;
-use hilog_engine::magic_eval::answer_query;
+use hilog_engine::session::HiLogDb;
 use hilog_syntax::{parse_program, parse_query};
 
 fn main() {
@@ -21,34 +19,34 @@ fn main() {
     )
     .expect("program parses");
 
+    let mut db = HiLogDb::new(program);
+
     // Forward: map successor over [1, 2, 3].
-    let (answers, stats) = answer_query(
-        &program,
-        &parse_query("?- maplist(successor)([1, 2, 3], L).").unwrap(),
-        EvalOptions::default(),
-    )
-    .expect("query evaluates");
+    let result = db
+        .query(&parse_query("?- maplist(successor)([1, 2, 3], L).").unwrap())
+        .expect("query evaluates");
     println!("maplist(successor)([1, 2, 3], L):");
-    for a in &answers {
-        println!("  L = {}", a.apply(&Term::var("L")));
+    for a in &result.answers {
+        println!("  L = {}", a.binding("L").unwrap());
     }
-    assert_eq!(answers.len(), 1);
-    assert_eq!(answers[0].apply(&Term::var("L")).to_string(), "[2, 3, 4]");
+    assert_eq!(result.answers.len(), 1);
+    assert_eq!(
+        result.answers[0].binding("L").unwrap().to_string(),
+        "[2, 3, 4]"
+    );
+    let stats = result.stats;
 
     // Backward: which fruit list has colours [red, purple]?
-    let (answers, _) = answer_query(
-        &program,
-        &parse_query("?- maplist(colour_of)(Fruit, [red, purple]).").unwrap(),
-        EvalOptions::default(),
-    )
-    .expect("query evaluates");
+    let back = db
+        .query(&parse_query("?- maplist(colour_of)(Fruit, [red, purple]).").unwrap())
+        .expect("query evaluates");
     println!("maplist(colour_of)(Fruit, [red, purple]):");
-    for a in &answers {
-        println!("  Fruit = {}", a.apply(&Term::var("Fruit")));
+    for a in &back.answers {
+        println!("  Fruit = {}", a.binding("Fruit").unwrap());
     }
-    assert_eq!(answers.len(), 1);
+    assert_eq!(back.answers.len(), 1);
     assert_eq!(
-        answers[0].apply(&Term::var("Fruit")).to_string(),
+        back.answers[0].binding("Fruit").unwrap().to_string(),
         "[apple, plum]"
     );
 

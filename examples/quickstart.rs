@@ -1,13 +1,11 @@
-//! Quickstart: parse a HiLog program with negation, compute its well-founded
-//! model, check modular stratification, and ask a query.
+//! Quickstart: open a `HiLogDb` session over a HiLog program with negation,
+//! ask queries through the explainable planner, check modular stratification,
+//! and assert a new fact incrementally.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use hilog_engine::horn::EvalOptions;
-use hilog_engine::magic_eval::QueryEvaluator;
-use hilog_engine::modular::modularly_stratified_hilog;
-use hilog_engine::wfs::well_founded_model;
-use hilog_syntax::{parse_program, parse_term};
+use hilog_engine::session::{HiLogDb, Semantics};
+use hilog_syntax::{parse_program, parse_query, parse_term};
 
 fn main() {
     // The parameterised game program of Example 6.3: one generic `winning`
@@ -20,45 +18,64 @@ fn main() {
          nim(n3, n2). nim(n2, n1). nim(n1, n0).",
     )
     .expect("program parses");
-
     println!("== program ==\n{program}");
 
-    // 1. The well-founded model (Section 4): total for this program.
-    let model = well_founded_model(&program, EvalOptions::default()).expect("evaluates");
-    println!("== well-founded model ==");
-    for atom in model.true_atoms() {
-        println!("  true: {atom}");
+    // 1. One stateful session owns the program and all caches.
+    let mut db = HiLogDb::builder().program(program.clone()).build();
+
+    // 2. A bound query gets a magic-sets plan; ask who wins the nim endgame.
+    let query = parse_query("?- winning(nim)(X).").unwrap();
+    println!("== plan ==\n{}", db.explain(&query));
+    let result = db.query(&query).expect("query evaluates");
+    println!("== answers ==");
+    for answer in &result.answers {
+        println!("  {answer}");
     }
-    assert!(
-        model.is_total(),
-        "acyclic games have a total well-founded model"
+    // n0 has no moves (lost), so n1 wins, n2 loses, and n3 wins by moving to n2.
+    assert_eq!(result.answers.len(), 2, "n1 and n3 win");
+
+    // 3. Asking again reuses the session's subgoal tables: no rule is
+    //    re-applied.
+    let again = db.query(&query).expect("cached query evaluates");
+    assert_eq!(again.stats.rule_applications, 0);
+    assert!(again.stats.cached_subqueries > 0);
+    println!(
+        "== second run == {} cached subgoals, {} rule applications",
+        again.stats.cached_subqueries, again.stats.rule_applications
     );
 
-    // 2. Modular stratification for HiLog (Figure 1): accepted, and the
-    //    procedure's accumulated model agrees with the well-founded model.
-    let outcome = modularly_stratified_hilog(&program, EvalOptions::default()).expect("runs");
+    // 4. Incremental facts: extend the nim chain and ask again; the session
+    //    invalidates what the new fact can reach and re-answers.
+    db.assert_fact(parse_term("nim(n4, n3)").unwrap())
+        .expect("fact asserted");
+    let shifted = db.query(&query).expect("query evaluates");
+    println!("== after assert_fact(nim(n4, n3)) ==");
+    for answer in &shifted.answers {
+        println!("  {answer}");
+    }
+
+    // 5. Modular stratification for HiLog (Figure 1), through a session with
+    //    the `ModularCheck` semantics: accepted, and its accumulated model
+    //    agrees with the well-founded model computed by the default session.
+    let mut figure1 = HiLogDb::builder()
+        .program(program)
+        .semantics(Semantics::ModularCheck)
+        .build();
+    let outcome = figure1.check_modular().expect("Figure 1 runs");
     println!(
         "== modularly stratified for HiLog: {} (settled in {} rounds) ==",
         outcome.modularly_stratified,
         outcome.rounds.len()
     );
-    let figure1_model = outcome.model.expect("accepted programs carry their model");
+    assert!(outcome.modularly_stratified);
+    let figure1_model = figure1
+        .model()
+        .expect("accepted programs have a model")
+        .clone();
+    let mut wfs_db = HiLogDb::new(figure1.program().clone());
+    let model = wfs_db.model().expect("WFS converges");
     for atom in model.base() {
         assert_eq!(figure1_model.truth(atom), model.truth(atom));
     }
-
-    // 3. Query evaluation (Section 6.1): who wins the nim endgame?
-    let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
-    let winning_n3 = evaluator
-        .holds(&parse_term("winning(nim)(n3)").unwrap())
-        .expect("query evaluates");
-    println!("== query ==\n  winning(nim)(n3) = {winning_n3}");
-    // n0 has no moves (lost), so n1 wins, n2 loses, and n3 wins by moving to n2.
-    assert!(winning_n3, "n3 wins by moving to the losing position n2");
-    assert!(!evaluator
-        .holds(&parse_term("winning(nim)(n2)").unwrap())
-        .unwrap());
-    assert!(evaluator
-        .holds(&parse_term("winning(nim)(n1)").unwrap())
-        .unwrap());
+    println!("Figure 1 model agrees with the well-founded model.");
 }

@@ -1,15 +1,13 @@
 //! The win/move game of Examples 6.1 and 6.3 at a realistic size: a random
-//! acyclic game graph, evaluated three ways — bottom-up well-founded model,
-//! the Figure 1 modular-stratification procedure, and query-directed
-//! evaluation for a point query (the magic-sets use case of Section 6.1).
+//! acyclic game graph, served from one `HiLogDb` session three ways — the
+//! cached full model, the Figure 1 modular-stratification check, and a
+//! magic-sets point query whose tables the session keeps for the next query
+//! (the Section 6.1 use case).
 //!
 //! Run with `cargo run --example win_move_game`.
 
-use hilog_engine::horn::EvalOptions;
-use hilog_engine::magic_eval::QueryEvaluator;
-use hilog_engine::modular::modularly_stratified_hilog;
-use hilog_engine::wfs::well_founded_model;
-use hilog_syntax::parse_term;
+use hilog_engine::session::{HiLogDb, Semantics};
+use hilog_syntax::{parse_query, parse_term};
 use hilog_workloads::{hilog_game_program, node_name, random_dag};
 
 fn main() {
@@ -27,9 +25,10 @@ fn main() {
         queried_game.len(),
         400
     );
+    let mut db = HiLogDb::new(program.clone());
 
-    // Full bottom-up evaluation of both games.
-    let model = well_founded_model(&program, EvalOptions::default()).expect("evaluates");
+    // Full bottom-up evaluation of both games, cached by the session.
+    let model = db.model().expect("evaluates").clone();
     let winning_positions = model
         .true_atoms()
         .iter()
@@ -42,7 +41,11 @@ fn main() {
     assert!(model.is_total());
 
     // Figure 1 accepts the program (acyclic move graphs) and agrees.
-    let outcome = modularly_stratified_hilog(&program, EvalOptions::default()).expect("runs");
+    let mut checker = HiLogDb::builder()
+        .program(program)
+        .semantics(Semantics::ModularCheck)
+        .build();
+    let outcome = checker.check_modular().expect("runs");
     assert!(outcome.modularly_stratified);
     println!(
         "Figure 1 procedure: accepted in {} rounds",
@@ -50,21 +53,30 @@ fn main() {
     );
 
     // A point query on the small game only tables subgoals of the small game.
-    let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
     let root = parse_term(&format!("winning(small_game)({})", node_name(0))).unwrap();
-    let answer = evaluator.holds(&root).expect("query evaluates");
-    let stats = evaluator.stats();
+    let query = parse_query(&format!("?- winning(small_game)({}).", node_name(0))).unwrap();
+    println!("== plan ==\n{}", db.explain(&query));
+    let result = db.query(&query).expect("query evaluates");
+    let stats = result.stats;
     println!(
-        "query {root} = {answer}; {} tabled subgoals, {} answers, {} rule applications",
-        stats.subqueries, stats.answers, stats.rule_applications
+        "query {root} = {}; {} tabled subgoals, {} answers, {} rule applications",
+        result.truth, stats.subqueries, stats.answers, stats.rule_applications
     );
     assert_eq!(
-        answer,
+        result.is_true(),
         model.is_true(&root),
         "query evaluation agrees with the WFS"
     );
     assert!(
-        (stats.answers) < model.base().len(),
+        stats.answers < model.base().len(),
         "the point query touched fewer atoms than full evaluation"
     );
+
+    // The same query again is answered purely from the session's tables.
+    let cached = db.query(&query).expect("cached query evaluates");
+    println!(
+        "repeat query: {} rule applications, {} cached subgoals",
+        cached.stats.rule_applications, cached.stats.cached_subqueries
+    );
+    assert_eq!(cached.stats.rule_applications, 0);
 }

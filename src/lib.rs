@@ -7,15 +7,15 @@
 //! `examples/` and the integration tests under `tests/` can exercise the full
 //! public API through a single dependency:
 //!
-//! * [`core`](hilog_core) — terms, unification, programs, interpretations,
-//!   syntactic classes, the universal-relation transformation;
-//! * [`syntax`](hilog_syntax) — the concrete HiLog syntax (parser and
-//!   printer);
-//! * [`engine`](hilog_engine) — grounding, well-founded and stable-model
-//!   semantics, modular stratification (Figure 1), magic sets, aggregation;
-//! * [`datalog`](hilog_datalog) — the baseline normal Datalog engine;
-//! * [`workloads`](hilog_workloads) — program and data generators used by the
-//!   tests, benchmarks and experiments.
+//! * [`core`] — terms, unification, programs, interpretations, syntactic
+//!   classes, the universal-relation transformation;
+//! * [`syntax`] — the concrete HiLog syntax (parser and printer);
+//! * [`engine`] — grounding, well-founded and stable-model semantics, modular
+//!   stratification (Figure 1), magic sets, aggregation, and the `HiLogDb`
+//!   session facade;
+//! * [`datalog`] — the baseline normal Datalog engine;
+//! * [`workloads`] — program and data generators used by the tests,
+//!   benchmarks and experiments.
 
 #![forbid(unsafe_code)]
 

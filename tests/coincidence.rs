@@ -11,9 +11,7 @@
 use hilog_core::herbrand::Vocabulary;
 use hilog_core::restriction::is_range_restricted_normal;
 use hilog_datalog::engine::DatalogEngine;
-use hilog_engine::horn::EvalOptions;
-use hilog_engine::stable::{stable_models, StableOptions};
-use hilog_engine::wfs::well_founded_model;
+use hilog_engine::session::HiLogDb;
 use hilog_workloads::random_programs::{random_range_restricted_normal, NormalProgramConfig};
 use proptest::prelude::*;
 
@@ -21,7 +19,10 @@ use proptest::prelude::*;
 /// extends the normal well-founded model.
 fn check_theorem_4_1(program: &hilog_core::Program) {
     assert!(program.is_normal() && is_range_restricted_normal(program));
-    let hilog_model = well_founded_model(program, EvalOptions::default()).expect("hilog wfs");
+    let hilog_model = HiLogDb::new(program.clone())
+        .model()
+        .expect("hilog wfs")
+        .clone();
     let normal_model = DatalogEngine::new(program.clone())
         .expect("normal program")
         .well_founded_model()
@@ -44,8 +45,10 @@ fn check_theorem_4_1(program: &hilog_core::Program) {
 
 /// Theorem 4.2 for one program: stable models correspond one to one.
 fn check_theorem_4_2(program: &hilog_core::Program) {
-    let hilog = stable_models(program, EvalOptions::default(), StableOptions::default())
-        .expect("hilog stable models");
+    let hilog = HiLogDb::new(program.clone())
+        .stable_models()
+        .expect("hilog stable models")
+        .to_vec();
     // The baseline engine has no stable-model search; Definition 3.6 says a
     // two-valued well-founded model is the unique stable model, so we compare
     // against that case and otherwise only check the conservative-extension
@@ -115,7 +118,7 @@ proptest! {
     fn independent_wfs_implementations_agree(seed in 0u64..10_000) {
         let config = NormalProgramConfig { rules: 8, facts: 16, ..NormalProgramConfig::default() };
         let program = random_range_restricted_normal(config, seed);
-        let a = well_founded_model(&program, EvalOptions::default()).unwrap();
+        let a = HiLogDb::new(program.clone()).model().unwrap().clone();
         let b = DatalogEngine::new(program.clone()).unwrap().well_founded_model().unwrap();
         for atom in b.base() {
             prop_assert_eq!(a.truth(atom), b.truth(atom), "disagreement on {} in\n{}", atom, program);

@@ -3,13 +3,20 @@
 //! stratification structure).
 
 use hilog_core::analysis::is_stratified;
+use hilog_core::interpretation::Model;
 use hilog_core::restriction::{is_datahilog, is_strongly_range_restricted};
 use hilog_core::universal::{decode_atom, universal_transform};
 use hilog_engine::horn::{least_model, EvalOptions, NegationMode};
-use hilog_engine::wfs::well_founded_model;
+use hilog_engine::session::HiLogDb;
+use hilog_engine::EngineError;
 use hilog_syntax::parse_program;
 use hilog_workloads::{chain, hilog_game_program, random_dag};
 use proptest::prelude::*;
+
+/// Well-founded model through the session facade.
+fn wfs(program: &hilog_core::Program) -> Result<Model, EngineError> {
+    Ok(HiLogDb::new(program.clone()).model()?.clone())
+}
 
 /// Lemma 6.3: for strongly range-restricted Datahilog programs, the set of
 /// atoms not made false by the well-founded semantics is finite — so
@@ -30,7 +37,7 @@ fn lemma_6_3_datahilog_evaluation_terminates() {
     let program = parse_program(&text).unwrap();
     assert!(is_datahilog(&program));
     assert!(is_strongly_range_restricted(&program));
-    let model = well_founded_model(&program, EvalOptions::default()).unwrap();
+    let model = wfs(&program).unwrap();
     // Finite and total: every non-false atom is among the finitely many
     // constructible flat atoms.
     assert!(model.is_total());
@@ -57,8 +64,8 @@ fn datahilog_classification_of_the_closure_programs() {
     .unwrap();
     assert!(is_datahilog(&flat));
     // Both evaluate to the same closure, spelled differently.
-    let m_nested = well_founded_model(&nested, EvalOptions::default()).unwrap();
-    let m_flat = well_founded_model(&flat, EvalOptions::default()).unwrap();
+    let m_nested = wfs(&nested).unwrap();
+    let m_flat = wfs(&flat).unwrap();
     assert!(m_nested.is_true(&hilog_syntax::parse_term("tc(e)(a, b)").unwrap()));
     assert!(m_flat.is_true(&hilog_syntax::parse_term("tc(e, a, b)").unwrap()));
 }
@@ -71,10 +78,7 @@ fn lemma_6_3_fails_without_strong_range_restriction() {
     let program = parse_program("X(a, b).").unwrap();
     assert!(hilog_core::restriction::is_range_restricted_hilog(&program));
     assert!(!is_strongly_range_restricted(&program));
-    assert!(matches!(
-        well_founded_model(&program, EvalOptions::default()),
-        Err(hilog_engine::EngineError::Floundering(_))
-    ));
+    assert!(matches!(wfs(&program), Err(EngineError::Floundering(_))));
 }
 
 /// Section 2: the least model of the universal-relation image corresponds,
@@ -142,7 +146,7 @@ proptest! {
         }
         let program = parse_program(&text).unwrap();
         prop_assert!(is_datahilog(&program));
-        let model = well_founded_model(&program, EvalOptions::default()).unwrap();
+        let model = wfs(&program).unwrap();
         prop_assert!(model.is_total());
     }
 }

@@ -1,11 +1,10 @@
 //! Section 6: modular stratification (Figure 1, Theorem 6.1, Lemma 6.2) and
 //! the query-directed evaluation of Section 6.1, exercised over generated
-//! game workloads.
+//! game workloads through the `HiLogDb` session facade.
 
-use hilog_engine::horn::EvalOptions;
-use hilog_engine::magic_eval::QueryEvaluator;
-use hilog_engine::modular::{modularly_stratified_hilog, modularly_stratified_normal};
-use hilog_engine::wfs::well_founded_model;
+use hilog_core::interpretation::Model;
+use hilog_engine::session::{HiLogDb, Semantics};
+use hilog_engine::EngineError;
 use hilog_syntax::parse_term;
 use hilog_workloads::{
     chain, cycle, hilog_game_program, layered_game_graph, node_name, normal_game_program,
@@ -13,25 +12,30 @@ use hilog_workloads::{
 };
 use proptest::prelude::*;
 
+/// Well-founded model through the session facade.
+fn wfs(program: &hilog_core::Program) -> Result<Model, EngineError> {
+    Ok(HiLogDb::new(program.clone()).model()?.clone())
+}
+
 /// Theorem 6.1: a modularly stratified HiLog program has a total well-founded
 /// model that is its unique stable model, and the Figure 1 procedure computes
 /// exactly that model.
 fn check_theorem_6_1(program: &hilog_core::Program) {
-    let outcome = modularly_stratified_hilog(program, EvalOptions::default()).unwrap();
+    let mut db = HiLogDb::builder()
+        .program(program.clone())
+        .semantics(Semantics::ModularCheck)
+        .build();
+    let outcome = db.check_modular().unwrap();
     assert!(outcome.modularly_stratified, "{:?}", outcome.reason);
-    let figure1 = outcome.model.unwrap();
+    let figure1 = db.model().unwrap().clone();
     assert!(figure1.is_total());
-    let wfm = well_founded_model(program, EvalOptions::default()).unwrap();
+    let wfm = wfs(program).unwrap();
     assert!(wfm.is_total());
     for atom in wfm.base() {
         assert_eq!(figure1.truth(atom), wfm.truth(atom), "{atom}");
     }
-    let stable = hilog_engine::stable::stable_models(
-        program,
-        EvalOptions::default(),
-        hilog_engine::stable::StableOptions::default(),
-    )
-    .unwrap();
+    let mut stable_db = HiLogDb::new(program.clone());
+    let stable = stable_db.stable_models().unwrap();
     assert_eq!(stable.len(), 1);
     for atom in wfm.base() {
         assert_eq!(stable[0].truth(atom), wfm.truth(atom), "{atom}");
@@ -57,10 +61,10 @@ fn lemma_6_2_normal_games() {
     // For normal programs the HiLog procedure coincides with modular
     // stratification: acyclic games accepted, cyclic games rejected.
     let acyclic = normal_game_program(&random_dag(24, 2.0, 5));
-    let outcome = modularly_stratified_normal(&acyclic, EvalOptions::default()).unwrap();
+    let outcome = HiLogDb::new(acyclic).check_modular().unwrap().clone();
     assert!(outcome.modularly_stratified);
     let cyclic = normal_game_program(&cycle(6));
-    let outcome = modularly_stratified_normal(&cyclic, EvalOptions::default()).unwrap();
+    let outcome = HiLogDb::new(cyclic).check_modular().unwrap().clone();
     assert!(!outcome.modularly_stratified);
 }
 
@@ -68,12 +72,12 @@ fn lemma_6_2_normal_games() {
 fn query_evaluation_agrees_with_wfs_on_every_position() {
     let edges = random_dag(40, 2.5, 13);
     let program = hilog_game_program(&[("g", edges)]);
-    let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
-    let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
+    let wfm = wfs(&program).unwrap();
+    let mut db = HiLogDb::new(program);
     for i in 0..40 {
         let atom = parse_term(&format!("winning(g)({})", node_name(i))).unwrap();
         assert_eq!(
-            evaluator.holds(&atom).unwrap(),
+            db.holds(&atom).unwrap().is_true(),
             wfm.is_true(&atom),
             "disagreement at position {i}"
         );
@@ -86,17 +90,32 @@ fn point_queries_do_less_work_than_full_evaluation() {
     // tabled by the query evaluator must be well below the size of the full
     // relevant base (the relevance property the magic-sets method is for).
     let program = hilog_game_program(&[("small", chain(10)), ("large", random_dag(300, 2.5, 21))]);
-    let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
-    let mut evaluator = QueryEvaluator::new(&program, EvalOptions::default());
+    let wfm = wfs(&program).unwrap();
+    let mut db = HiLogDb::new(program);
     let atom = parse_term(&format!("winning(small)({})", node_name(0))).unwrap();
-    let _ = evaluator.holds(&atom).unwrap();
-    let stats = evaluator.stats();
+    let result = db.query(&hilog_core::rule::Query::atom(atom)).unwrap();
+    assert!(result.plan.is_magic_sets());
     assert!(
-        stats.answers * 4 < wfm.base().len(),
+        result.stats.answers * 4 < wfm.base().len(),
         "expected a selective query to table far fewer atoms ({} tabled vs {} base atoms)",
-        stats.answers,
+        result.stats.answers,
         wfm.base().len()
     );
+}
+
+#[test]
+fn repeated_point_queries_are_answered_from_session_tables() {
+    let program = hilog_game_program(&[("g", random_dag(30, 2.0, 4))]);
+    let mut db = HiLogDb::new(program);
+    let query = hilog_core::rule::Query::atom(
+        parse_term(&format!("winning(g)({})", node_name(0))).unwrap(),
+    );
+    let first = db.query(&query).unwrap();
+    assert!(first.stats.rule_applications > 0);
+    let second = db.query(&query).unwrap();
+    assert_eq!(second.stats.rule_applications, 0);
+    assert!(second.stats.cached_subqueries > 0);
+    assert_eq!(second.truth, first.truth);
 }
 
 proptest! {
@@ -112,11 +131,11 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let acyclic = normal_game_program(&random_dag(n, 2.0, seed));
-        let outcome = modularly_stratified_hilog(&acyclic, EvalOptions::default()).unwrap();
+        let outcome = HiLogDb::new(acyclic).check_modular().unwrap().clone();
         prop_assert!(outcome.modularly_stratified, "{:?}", outcome.reason);
 
         let cyclic = normal_game_program(&cycle(n));
-        let outcome = modularly_stratified_hilog(&cyclic, EvalOptions::default()).unwrap();
+        let outcome = HiLogDb::new(cyclic).check_modular().unwrap().clone();
         prop_assert!(!outcome.modularly_stratified);
     }
 
@@ -125,10 +144,13 @@ proptest! {
     #[test]
     fn figure_1_model_matches_wfs(n in 4usize..16, seed in 0u64..1_000) {
         let program = hilog_game_program(&[("g", random_dag(n, 2.0, seed))]);
-        let outcome = modularly_stratified_hilog(&program, EvalOptions::default()).unwrap();
-        prop_assert!(outcome.modularly_stratified);
-        let figure1 = outcome.model.unwrap();
-        let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
+        let mut db = HiLogDb::builder()
+            .program(program.clone())
+            .semantics(Semantics::ModularCheck)
+            .build();
+        prop_assert!(db.check_modular().unwrap().modularly_stratified);
+        let figure1 = db.model().unwrap().clone();
+        let wfm = wfs(&program).unwrap();
         for atom in wfm.base() {
             prop_assert_eq!(figure1.truth(atom), wfm.truth(atom), "{}", atom);
         }

@@ -1,18 +1,20 @@
 //! End-to-end checks of every numbered example in the paper, exercised
-//! through the public API of the workspace crates.
+//! through the public API of the workspace crates (queries and models go
+//! through the `HiLogDb` session facade).
 
 use hilog_core::interpretation::Truth;
 use hilog_core::restriction::ProgramClass;
 use hilog_engine::horn::{least_model, EvalOptions, NegationMode};
-use hilog_engine::magic_eval::answer_query;
-use hilog_engine::modular::modularly_stratified_hilog;
-use hilog_engine::stable::{stable_models, StableOptions};
-use hilog_engine::wfs::{well_founded_model, well_founded_model_over_universe};
+use hilog_engine::session::HiLogDb;
+use hilog_engine::wfs::well_founded_model_over_universe;
 use hilog_syntax::{parse_program, parse_query, parse_term};
 
+fn db(text: &str) -> HiLogDb {
+    HiLogDb::new(parse_program(text).unwrap())
+}
+
 fn truth(text: &str, atom: &str) -> Truth {
-    let model = well_founded_model(&parse_program(text).unwrap(), EvalOptions::default()).unwrap();
-    model.truth(&parse_term(atom).unwrap())
+    db(text).model().unwrap().truth(&parse_term(atom).unwrap())
 }
 
 /// Example 2.1: the generic transitive closure.
@@ -42,15 +44,12 @@ fn example_2_2_maplist() {
          fun(double). double(one, two). double(two, four).",
     )
     .unwrap();
-    let (answers, _) = answer_query(
-        &program,
-        &parse_query("?- maplist(double)([one, two, one], L).").unwrap(),
-        EvalOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(answers.len(), 1);
+    let result = HiLogDb::new(program)
+        .query(&parse_query("?- maplist(double)([one, two, one], L).").unwrap())
+        .unwrap();
+    assert_eq!(result.answers.len(), 1);
     assert_eq!(
-        answers[0].apply(&hilog_core::Term::var("L")).to_string(),
+        result.answers[0].binding("L").unwrap().to_string(),
         "[two, four, two]"
     );
 }
@@ -66,12 +65,7 @@ fn example_3_1_wfs_and_stable() {
     assert_eq!(truth(text, "q"), Truth::False);
     assert_eq!(truth(text, "t"), Truth::False);
     assert_eq!(truth(text, "u"), Truth::Undefined);
-    let models = stable_models(
-        &parse_program(text).unwrap(),
-        EvalOptions::default(),
-        StableOptions::default(),
-    )
-    .unwrap();
+    let models = db(text).stable_models().unwrap().to_vec();
     assert!(models.is_empty(), "u :- not u destroys all stable models");
 }
 
@@ -82,12 +76,7 @@ fn example_3_2_two_stable_models() {
     for atom in ["p", "q", "r", "t"] {
         assert_eq!(truth(text, atom), Truth::Undefined, "{atom}");
     }
-    let models = stable_models(
-        &parse_program(text).unwrap(),
-        EvalOptions::default(),
-        StableOptions::default(),
-    )
-    .unwrap();
+    let models = db(text).stable_models().unwrap().to_vec();
     assert_eq!(models.len(), 2);
     for m in &models {
         assert!(m.is_true(&parse_term("r").unwrap()));
@@ -143,13 +132,13 @@ fn example_6_1_win_move() {
     let acyclic =
         parse_program("winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).").unwrap();
     assert!(!hilog_core::analysis::is_stratified(&acyclic));
-    let outcome = modularly_stratified_hilog(&acyclic, EvalOptions::default()).unwrap();
+    let outcome = HiLogDb::new(acyclic).check_modular().unwrap().clone();
     assert!(outcome.modularly_stratified);
     assert!(outcome.model.unwrap().is_total());
 
     let cyclic =
         parse_program("winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, a).").unwrap();
-    let outcome = modularly_stratified_hilog(&cyclic, EvalOptions::default()).unwrap();
+    let outcome = HiLogDb::new(cyclic).check_modular().unwrap().clone();
     assert!(!outcome.modularly_stratified);
 }
 
@@ -162,17 +151,20 @@ fn example_6_3_parameterised_game() {
                 move1(a, b). move1(b, c). move1(a, c).\n\
                 move2(x, y). move2(y, z).";
     let program = parse_program(text).unwrap();
-    let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
+    let wfm = HiLogDb::new(program.clone()).model().unwrap().clone();
     assert!(wfm.is_total());
-    let outcome = modularly_stratified_hilog(&program, EvalOptions::default()).unwrap();
+    let mut session = HiLogDb::new(program.clone());
+    let outcome = session.check_modular().unwrap().clone();
     assert!(outcome.modularly_stratified);
     let figure1 = outcome.model.unwrap();
-    let mut evaluator =
-        hilog_engine::magic_eval::QueryEvaluator::new(&program, EvalOptions::default());
     for atom in wfm.base() {
         assert_eq!(figure1.truth(atom), wfm.truth(atom), "{atom}");
         if atom.to_string().starts_with("winning") {
-            assert_eq!(evaluator.holds(atom).unwrap(), wfm.is_true(atom), "{atom}");
+            assert_eq!(
+                session.holds(atom).unwrap().is_true(),
+                wfm.is_true(atom),
+                "{atom}"
+            );
         }
     }
 }
@@ -185,11 +177,12 @@ fn example_6_4_not_modularly_stratified() {
                 t(c, a, b, p).\n\
                 p(b) :- t(X, Y, b, P).";
     let program = parse_program(text).unwrap();
-    let wfm = well_founded_model(&program, EvalOptions::default()).unwrap();
+    let mut session = HiLogDb::new(program);
+    let wfm = session.model().unwrap().clone();
     assert!(wfm.is_total());
     assert_eq!(wfm.truth(&parse_term("p(b)").unwrap()), Truth::True);
     assert_eq!(wfm.truth(&parse_term("p(a)").unwrap()), Truth::False);
-    let outcome = modularly_stratified_hilog(&program, EvalOptions::default()).unwrap();
+    let outcome = session.check_modular().unwrap();
     assert!(!outcome.modularly_stratified);
 }
 

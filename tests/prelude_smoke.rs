@@ -20,7 +20,8 @@ fn prelude_covers_parse_ground_wfs_pipeline() {
         "relevant grounding produces instantiated rules"
     );
 
-    let model = well_founded_model(&program, EvalOptions::default()).expect("WFS converges");
+    let mut db = HiLogDb::new(program);
+    let model = db.model().expect("WFS converges").clone();
     let winning_a = parse_term("winning(a)").expect("parses");
     let winning_b = parse_term("winning(b)").expect("parses");
     let winning_c = parse_term("winning(c)").expect("parses");
@@ -32,23 +33,34 @@ fn prelude_covers_parse_ground_wfs_pipeline() {
     assert!(model.is_total(), "acyclic game has a total WFS model");
 }
 
-/// The prelude also exposes the modular-stratification and query entry
-/// points; exercise them on the same program.
+/// The prelude also exposes the session facade (modular check and queries);
+/// exercise it on the same program.
 #[test]
-fn prelude_covers_modular_stratification_and_queries() {
+fn prelude_covers_the_session_facade() {
     let program = parse_program(
         "winning(X) :- move(X, Y), not winning(Y).\n\
          move(a, b). move(b, c).",
     )
     .expect("parses");
 
-    let outcome = modularly_stratified_hilog(&program, EvalOptions::default())
-        .expect("Figure 1 procedure runs");
+    let mut db = HiLogDb::builder()
+        .program(program)
+        .semantics(Semantics::WellFounded)
+        .build();
+    let outcome = db.check_modular().expect("Figure 1 procedure runs");
     assert!(outcome.modularly_stratified);
 
     let query = parse_query("winning(b)").expect("query parses");
-    let (answers, stats) =
-        answer_query(&program, &query, EvalOptions::default()).expect("query evaluates");
-    assert_eq!(answers.len(), 1, "ground true query has one (empty) answer");
-    assert!(stats.rule_applications > 0, "evaluation did real work");
+    assert!(db.explain(&query).is_magic_sets());
+    let result = db.query(&query).expect("query evaluates");
+    assert_eq!(
+        result.answers.len(),
+        1,
+        "ground true query has one (empty) answer"
+    );
+    assert!(result.is_true());
+    assert!(
+        result.stats.rule_applications > 0,
+        "evaluation did real work"
+    );
 }

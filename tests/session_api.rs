@@ -1,0 +1,178 @@
+//! The `HiLogDb` session facade, exercised end-to-end through the umbrella
+//! crate: plan routing, cache reuse across queries, and the property that
+//! incremental `assert_fact` agrees with rebuilding a fresh session from the
+//! extended program — for both magic-sets and full-model plans.
+
+use hilog_repro::prelude::*;
+use hilog_workloads::random_programs::{random_range_restricted_normal, NormalProgramConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn game_db() -> HiLogDb {
+    HiLogDb::new(
+        parse_program(
+            "winning(X) :- move(X, Y), not winning(Y).\n\
+             move(a, b). move(b, c). move(c, d).",
+        )
+        .unwrap(),
+    )
+}
+
+/// Canonical rendering of a result's answers (bindings plus truth), for
+/// set-level comparison between sessions.
+fn answer_set(result: &QueryResult) -> BTreeSet<String> {
+    result.answers.iter().map(|a| a.to_string()).collect()
+}
+
+#[test]
+fn bound_queries_get_magic_plans_and_unbound_ones_full_model_plans() {
+    let db = game_db();
+    let bound = db.explain(&parse_query("?- winning(a).").unwrap());
+    assert_eq!(bound.strategy, PlanStrategy::MagicSets);
+    assert_eq!(bound.adornment, "b");
+    let open_args = db.explain(&parse_query("?- winning(X).").unwrap());
+    assert_eq!(open_args.strategy, PlanStrategy::MagicSets);
+    assert_eq!(open_args.adornment, "f");
+    let unbound = db.explain(&parse_query("?- P(a, X).").unwrap());
+    assert_eq!(unbound.strategy, PlanStrategy::FullModel);
+}
+
+#[test]
+fn second_bound_query_reuses_tables_second_unbound_query_reuses_model() {
+    let mut db = game_db();
+    let bound = parse_query("?- winning(X).").unwrap();
+    let first = db.query(&bound).unwrap();
+    assert!(first.stats.rule_applications > 0);
+    let second = db.query(&bound).unwrap();
+    assert_eq!(
+        second.stats.rule_applications, 0,
+        "subgoal tables not reused"
+    );
+    assert!(second.stats.cached_subqueries > 0);
+    assert_eq!(answer_set(&second), answer_set(&first));
+
+    let unbound = parse_query("?- P(a, X).").unwrap();
+    let first = db.query(&unbound).unwrap();
+    assert_eq!(
+        first.stats.groundings, 1,
+        "first full-model query grounds once"
+    );
+    let second = db.query(&unbound).unwrap();
+    assert_eq!(second.stats.groundings, 0, "cached model was re-grounded");
+    assert_eq!(answer_set(&second), answer_set(&first));
+}
+
+#[test]
+fn results_serialise_for_the_experiments_runner() {
+    let mut db = game_db();
+    let result = db.query(&parse_query("?- winning(X).").unwrap()).unwrap();
+    let json = serde_json::to_string(&result).unwrap();
+    assert!(json.contains("\"plan\""));
+    assert!(json.contains("\"strategy\":\"magic-sets\""));
+    assert!(json.contains("\"stats\""));
+}
+
+#[test]
+fn session_agrees_with_the_figure_1_and_stable_routes() {
+    let program = parse_program(
+        "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+         game(m). m(a, b). m(b, c).",
+    )
+    .unwrap();
+    let mut wfs_db = HiLogDb::new(program.clone());
+    let wfm = wfs_db.model().unwrap().clone();
+    let mut modular_db = HiLogDb::builder()
+        .program(program.clone())
+        .semantics(Semantics::ModularCheck)
+        .build();
+    let mut stable_db = HiLogDb::builder()
+        .program(program)
+        .semantics(Semantics::Stable)
+        .build();
+    for atom in wfm.base() {
+        assert_eq!(modular_db.holds(atom).unwrap(), wfm.truth(atom), "{atom}");
+        assert_eq!(stable_db.holds(atom).unwrap(), wfm.truth(atom), "{atom}");
+    }
+}
+
+/// One incremental-vs-fresh comparison: `db` has already answered queries,
+/// then receives `fact`; a fresh session is built from the extended program.
+/// Both must answer `query` identically.
+fn check_incremental_agreement(
+    program: &hilog_core::Program,
+    fact: &hilog_core::Term,
+    query: &hilog_core::rule::Query,
+) {
+    let mut incremental = HiLogDb::new(program.clone());
+    // Warm every cache the plan might use before mutating.
+    let _ = incremental.query(query);
+    incremental.assert_fact(fact.clone()).unwrap();
+    let incremental_result = incremental.query(query).unwrap();
+
+    let mut extended = program.clone();
+    extended.push(hilog_core::rule::Rule::fact(fact.clone()));
+    let mut fresh = HiLogDb::new(extended);
+    let fresh_result = fresh.query(query).unwrap();
+
+    assert_eq!(
+        answer_set(&incremental_result),
+        answer_set(&fresh_result),
+        "incremental and fresh sessions disagree on {query} after asserting {fact}\n{program}"
+    );
+    assert_eq!(incremental_result.truth, fresh_result.truth);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For random range-restricted normal programs, `assert_fact` followed by
+    /// a query agrees with building a fresh `HiLogDb` from the extended
+    /// program — under both plan families: a bound query (magic-sets route,
+    /// with WFS fallback on non-modularly-stratified instances) and an
+    /// unbound query (full-model route).
+    #[test]
+    fn assert_fact_agrees_with_fresh_session(
+        seed in 0u64..5_000,
+        edb in 0usize..2,
+        idb in 0usize..3,
+        a in 0usize..5,
+        b in 0usize..5,
+    ) {
+        let program = random_range_restricted_normal(NormalProgramConfig::default(), seed);
+        let fact = hilog_core::Term::apps(
+            format!("edb{edb}"),
+            vec![
+                hilog_core::Term::sym(format!("c{a}")),
+                hilog_core::Term::sym(format!("c{b}")),
+            ],
+        );
+        // Magic-sets plan: bound query on a derived predicate.
+        let bound = parse_query(&format!("?- idb{idb}(X).")).unwrap();
+        check_incremental_agreement(&program, &fact, &bound);
+        // Full-model plan: unbound query over every unary atom.
+        let unbound = parse_query("?- P(X).").unwrap();
+        check_incremental_agreement(&program, &fact, &unbound);
+    }
+
+    /// Retraction undoes assertion: after assert + retract the session
+    /// answers exactly like an untouched session.
+    #[test]
+    fn retract_restores_previous_answers(seed in 0u64..5_000, idb in 0usize..3) {
+        let program = random_range_restricted_normal(NormalProgramConfig::default(), seed);
+        let query = parse_query(&format!("?- idb{idb}(X).")).unwrap();
+        let mut pristine = HiLogDb::new(program.clone());
+        let before = pristine.query(&query).unwrap();
+
+        let fact = hilog_core::Term::apps(
+            "edb0",
+            vec![hilog_core::Term::sym("c0"), hilog_core::Term::sym("c1")],
+        );
+        let mut mutated = HiLogDb::new(program);
+        let _ = mutated.query(&query);
+        mutated.assert_fact(fact.clone()).unwrap();
+        let _ = mutated.query(&query);
+        prop_assert!(mutated.retract_fact(&fact));
+        let after = mutated.query(&query).unwrap();
+        prop_assert_eq!(answer_set(&after), answer_set(&before));
+    }
+}
