@@ -10,13 +10,16 @@
 //! `BENCH_session.json` at the repository root (cited in ROADMAP.md).
 
 use hilog_bench::{median_time, to_markdown, Measurement};
-use hilog_core::rule::Query;
+use hilog_core::rule::{Query, Rule};
+use hilog_core::term::Term;
 use hilog_engine::aggregate::parts_explosion_program;
 use hilog_engine::horn::EvalOptions;
 use hilog_engine::magic_eval::QueryEvaluator;
 use hilog_engine::session::HiLogDb;
-use hilog_syntax::parse_term;
-use hilog_workloads::{hilog_game_program, node_name, random_dag, random_part_hierarchy};
+use hilog_syntax::{parse_program, parse_query, parse_term};
+use hilog_workloads::{
+    hilog_game_program, node_name, normal_game_program, random_dag, random_part_hierarchy,
+};
 use std::time::Duration;
 
 const REPEATS: usize = 5;
@@ -123,6 +126,194 @@ fn parts_rows(rows: &mut Vec<Measurement>) {
     }
 }
 
+/// Emits the three standard rows (incremental, full-recompute, speedup) for
+/// one update-heavy workload.
+fn push_update_rows(rows: &mut Vec<Measurement>, workload: String, inc: Duration, full: Duration) {
+    rows.push(Measurement::new(
+        "INCREMENTAL",
+        workload.clone(),
+        "incremental_session",
+        secs(inc) * 1e3,
+        "ms",
+    ));
+    rows.push(Measurement::new(
+        "INCREMENTAL",
+        workload.clone(),
+        "full_recompute_sessions",
+        secs(full) * 1e3,
+        "ms",
+    ));
+    rows.push(Measurement::new(
+        "INCREMENTAL",
+        workload,
+        "speedup",
+        secs(full) / secs(inc).max(f64::EPSILON),
+        "x",
+    ));
+}
+
+/// Update-heavy serving on the win/move game: alternating `assert_fact` and
+/// full-model point queries (`?- P(pK).`, the route the cached model
+/// serves).  One incremental session — which patches its grounding
+/// semi-naively and re-evaluates only the affected components — versus a
+/// full-recompute session rebuilt from the extended program after every
+/// mutation (the pre-incremental behavior for IDB-reachable facts).
+fn update_heavy_win_move_rows(rows: &mut Vec<Measurement>) {
+    for (nodes, updates) in [(60usize, 30usize), (150, 50)] {
+        let program = normal_game_program(&random_dag(nodes, 2.0, 7));
+        let facts: Vec<Term> = (0..updates)
+            .map(|i| {
+                parse_term(&format!(
+                    "move({}, {})",
+                    node_name((i * 13 + 1) % nodes),
+                    node_name((i * 7 + 3) % nodes)
+                ))
+                .unwrap()
+            })
+            .collect();
+        let queries: Vec<Query> = (0..updates)
+            .map(|i| parse_query(&format!("?- P({}).", node_name(i % nodes))).unwrap())
+            .collect();
+        let workload = format!("update-heavy win/move n={nodes} u={updates}");
+
+        let incremental = median_time(REPEATS, || {
+            let mut db = HiLogDb::new(program.clone());
+            db.query(&queries[0]).unwrap();
+            for (fact, query) in facts.iter().zip(&queries) {
+                db.assert_fact(fact.clone()).unwrap();
+                db.query(query).unwrap();
+            }
+        });
+        let recompute = median_time(REPEATS, || {
+            let mut accumulated = program.clone();
+            let mut db = HiLogDb::new(accumulated.clone());
+            db.query(&queries[0]).unwrap();
+            for (fact, query) in facts.iter().zip(&queries) {
+                accumulated.push(Rule::fact(fact.clone()));
+                db = HiLogDb::new(accumulated.clone());
+                db.query(query).unwrap();
+            }
+        });
+        push_update_rows(rows, workload, incremental, recompute);
+    }
+}
+
+/// The same serving pattern on a *sharded* win/move database: ten
+/// independent games of fifteen positions each (n=150 total).  Each update
+/// hits one shard, so the per-component patch freezes the other nine — the
+/// targeted-invalidation advantage on top of incremental grounding.
+fn update_heavy_sharded_rows(rows: &mut Vec<Measurement>) {
+    const SHARDS: usize = 10;
+    const PER_SHARD: usize = 15;
+    const UPDATES: usize = 50;
+    let mut text = String::new();
+    for s in 0..SHARDS {
+        text.push_str(&format!(
+            "winning{s}(X) :- move{s}(X, Y), not winning{s}(Y).\n"
+        ));
+        for (u, v) in random_dag(PER_SHARD, 2.0, 7 + s as u64) {
+            text.push_str(&format!("move{s}(s{s}n{u}, s{s}n{v}).\n"));
+        }
+    }
+    let program = parse_program(&text).expect("sharded game program parses");
+    // Updates go round-robin across the shards, each a distinct pair that
+    // also avoids the shard's existing edges — every assert is a genuinely
+    // new edge (never a duplicate no-op the session would short-circuit).
+    let existing: Vec<std::collections::BTreeSet<(usize, usize)>> = (0..SHARDS)
+        .map(|s| {
+            random_dag(PER_SHARD, 2.0, 7 + s as u64)
+                .into_iter()
+                .collect()
+        })
+        .collect();
+    let mut cursors = [0usize; SHARDS];
+    let facts: Vec<Term> = (0..UPDATES)
+        .map(|i| {
+            let s = i % SHARDS;
+            loop {
+                let c = cursors[s];
+                cursors[s] += 1;
+                let a = c % PER_SHARD;
+                let b = (a + 2 + c / PER_SHARD) % PER_SHARD;
+                if a != b && !existing[s].contains(&(a, b)) {
+                    return parse_term(&format!("move{s}(s{s}n{a}, s{s}n{b})")).unwrap();
+                }
+            }
+        })
+        .collect();
+    // Point queries rotate over every shard too (offset from the updates).
+    let queries: Vec<Query> = (0..UPDATES)
+        .map(|i| parse_query(&format!("?- P(s{}n{}).", (i + 3) % SHARDS, i % PER_SHARD)).unwrap())
+        .collect();
+    let workload = format!("update-heavy win/move n=150 ({SHARDS} shards) u={UPDATES}");
+
+    let incremental = median_time(REPEATS, || {
+        let mut db = HiLogDb::new(program.clone());
+        db.query(&queries[0]).unwrap();
+        for (fact, query) in facts.iter().zip(&queries) {
+            db.assert_fact(fact.clone()).unwrap();
+            db.query(query).unwrap();
+        }
+    });
+    let recompute = median_time(REPEATS, || {
+        let mut accumulated = program.clone();
+        let mut db = HiLogDb::new(accumulated.clone());
+        db.query(&queries[0]).unwrap();
+        for (fact, query) in facts.iter().zip(&queries) {
+            accumulated.push(Rule::fact(fact.clone()));
+            db = HiLogDb::new(accumulated.clone());
+            db.query(query).unwrap();
+        }
+    });
+    push_update_rows(rows, workload, incremental, recompute);
+}
+
+/// Update-heavy parts explosion: alternating new `rel` triples and bound
+/// `contains` point queries.  Aggregate programs have no full-model route,
+/// so both sides answer through magic-sets; the incremental session's edge
+/// is the reusable session state (scratch program, surviving tables) rather
+/// than a model patch.
+fn update_heavy_parts_rows(rows: &mut Vec<Measurement>) {
+    const PARTS: usize = 12;
+    const UPDATES: usize = 24;
+    let hierarchy = random_part_hierarchy(PARTS, 4, 11);
+    let facts = hierarchy.as_facts("rel");
+    let program = parts_explosion_program(&[("factory", "rel")], &facts);
+    let updates: Vec<Term> = (0..UPDATES)
+        .map(|i| {
+            let parent = i % (PARTS - 1);
+            let child = parent + 1 + (i * 5 + 1) % (PARTS - parent - 1).max(1);
+            parse_term(&format!("rel(part{parent}, part{child}, 2)")).unwrap()
+        })
+        .collect();
+    let queries: Vec<Query> = (0..UPDATES)
+        .map(|i| {
+            Query::atom(parse_term(&format!("contains(factory, part{}, P, N)", i % PARTS)).unwrap())
+        })
+        .collect();
+    let workload = format!("update-heavy parts-explosion n={PARTS} u={UPDATES}");
+
+    let incremental = median_time(REPEATS, || {
+        let mut db = HiLogDb::new(program.clone());
+        db.query(&queries[0]).unwrap();
+        for (fact, query) in updates.iter().zip(&queries) {
+            db.assert_fact(fact.clone()).unwrap();
+            db.query(query).unwrap();
+        }
+    });
+    let recompute = median_time(REPEATS, || {
+        let mut accumulated = program.clone();
+        let mut db = HiLogDb::new(accumulated.clone());
+        db.query(&queries[0]).unwrap();
+        for (fact, query) in updates.iter().zip(&queries) {
+            accumulated.push(Rule::fact(fact.clone()));
+            db = HiLogDb::new(accumulated.clone());
+            db.query(query).unwrap();
+        }
+    });
+    push_update_rows(rows, workload, incremental, recompute);
+}
+
 fn main() {
     let mut rows = Vec::new();
     win_move_rows(&mut rows);
@@ -131,5 +322,15 @@ fn main() {
     let json = serde_json::to_string_pretty(&rows).expect("measurements serialise");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
     std::fs::write(path, json + "\n").expect("BENCH_session.json written");
+    println!("wrote {path}");
+
+    let mut update_rows = Vec::new();
+    update_heavy_win_move_rows(&mut update_rows);
+    update_heavy_sharded_rows(&mut update_rows);
+    update_heavy_parts_rows(&mut update_rows);
+    print!("{}", to_markdown(&update_rows));
+    let json = serde_json::to_string_pretty(&update_rows).expect("measurements serialise");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    std::fs::write(path, json + "\n").expect("BENCH_incremental.json written");
     println!("wrote {path}");
 }

@@ -105,6 +105,17 @@ impl AtomStore {
         }
     }
 
+    /// Removes a ground atom; returns `true` if it was present.
+    pub fn remove(&mut self, atom: &Term) -> bool {
+        if !self.atoms.remove(atom) {
+            return false;
+        }
+        if let Some(bucket) = self.by_key.get_mut(&Self::key_of(atom)) {
+            bucket.retain(|a| a != atom);
+        }
+        true
+    }
+
     /// Returns `true` if the atom is present.
     pub fn contains(&self, atom: &Term) -> bool {
         self.atoms.contains(atom)
@@ -343,6 +354,151 @@ pub fn least_model(
     Ok(store)
 }
 
+/// A semi-naive evaluation frontier: the atoms added in the most recent
+/// round (`frontier`) plus everything accumulated since the continuation
+/// started.  This is the unit of work the delta-aware consequence operator
+/// [`consequence_round`] consumes, and what
+/// [`extend_least_model`] hands back to callers that need to know which
+/// atoms an incremental update introduced (the session facade grounds new
+/// rule instantiations from exactly this set).
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    frontier: AtomStore,
+    accumulated: AtomStore,
+}
+
+impl Delta {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    /// Seeds the frontier with an atom (recorded as accumulated as well).
+    /// Returns `true` if the atom was new to the accumulated set.
+    pub fn seed(&mut self, atom: Term) -> bool {
+        if self.accumulated.insert(atom.clone()) {
+            self.frontier.insert(atom);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The atoms of the most recent round.
+    pub fn frontier(&self) -> &AtomStore {
+        &self.frontier
+    }
+
+    /// Every atom added since the continuation started.
+    pub fn accumulated(&self) -> &AtomStore {
+        &self.accumulated
+    }
+
+    /// Returns `true` if the frontier is exhausted (fixpoint reached).
+    pub fn is_settled(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Replaces the frontier with the next round's atoms, folding them into
+    /// the accumulated set.
+    fn advance(&mut self, next: AtomStore) {
+        for atom in next.iter() {
+            self.accumulated.insert(atom.clone());
+        }
+        self.frontier = next;
+    }
+}
+
+/// One application of the delta-aware consequence operator: every head
+/// derivable by a rule whose body has at least one positive literal matched
+/// in `frontier` (the semi-naive restriction), with the remaining positive
+/// literals drawn from `store`.  Heads already in `store` are not returned.
+///
+/// Rules with an empty positive body can never fire from a non-empty
+/// frontier, so they are skipped — callers start from a store that already
+/// contains round 0 (see [`least_model`]).
+pub fn consequence_round(
+    program: &Program,
+    store: &AtomStore,
+    frontier: &AtomStore,
+    mode: NegationMode,
+) -> Result<Vec<Term>, EngineError> {
+    let mut out = Vec::new();
+    for rule in program.iter() {
+        let positives = rule.positive_atoms().count();
+        for delta_idx in 0..positives {
+            for theta in join_body(rule, store, Some((frontier, delta_idx)), mode)? {
+                let head = theta.apply(&rule.head);
+                if !head.is_ground() {
+                    return Err(EngineError::Floundering(format!(
+                        "rule `{rule}` derives the non-ground head `{head}`"
+                    )));
+                }
+                if !store.contains(&head) {
+                    out.push(head);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Semi-naive *continuation*: extends an existing least-model store with new
+/// seed atoms, running the delta-aware consequence operator to a fixpoint.
+///
+/// `store` must be closed under the program's rules before the call (e.g. a
+/// previous [`least_model`] result); afterwards it is closed again.  Returns
+/// the settled [`Delta`] whose accumulated set is exactly the atoms the seeds
+/// introduced — the incremental analogue of re-running [`least_model`] on the
+/// extended program, at the cost of only the new derivations.
+///
+/// On `Err` (a resource limit, or a floundering derivation) the store is
+/// left **partially extended** — the seeds plus whatever was derived before
+/// the failure — so it is no longer closed; discard it and recompute from
+/// scratch, as [`crate::session::HiLogDb`] does.
+pub fn extend_least_model(
+    program: &Program,
+    store: &mut AtomStore,
+    seeds: impl IntoIterator<Item = Term>,
+    mode: NegationMode,
+    opts: EvalOptions,
+) -> Result<Delta, EngineError> {
+    let mut delta = Delta::new();
+    for seed in seeds {
+        debug_assert!(seed.is_ground(), "extend_least_model seed must be ground");
+        if !store.contains(&seed) {
+            delta.seed(seed.clone());
+            store.insert(seed);
+        }
+    }
+    let mut rounds = 0usize;
+    while !delta.is_settled() {
+        rounds += 1;
+        if rounds > opts.max_rounds {
+            return Err(EngineError::LimitExceeded(format!(
+                "incremental least-model continuation exceeded {} rounds",
+                opts.max_rounds
+            )));
+        }
+        let derived = consequence_round(program, store, delta.frontier(), mode)?;
+        let mut next = AtomStore::new();
+        for head in derived {
+            if !store.contains(&head) {
+                if store.len() >= opts.max_atoms {
+                    return Err(EngineError::LimitExceeded(format!(
+                        "incremental least-model continuation exceeded {} atoms",
+                        opts.max_atoms
+                    )));
+                }
+                store.insert(head.clone());
+                next.insert(head);
+            }
+        }
+        delta.advance(next);
+    }
+    Ok(delta)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,5 +694,85 @@ mod tests {
         assert!(store.insert(Term::sym("p")));
         assert!(!store.insert(Term::sym("p")));
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn removal_updates_the_candidate_index() {
+        let mut store = AtomStore::new();
+        let ab = Term::apps("move", vec![Term::sym("a"), Term::sym("b")]);
+        let bc = Term::apps("move", vec![Term::sym("b"), Term::sym("c")]);
+        store.insert(ab.clone());
+        store.insert(bc.clone());
+        assert!(store.remove(&ab));
+        assert!(!store.remove(&ab));
+        assert_eq!(store.len(), 1);
+        let pat = Term::apps("move", vec![Term::var("X"), Term::var("Y")]);
+        let left: Vec<&Term> = store.candidates(&pat).collect();
+        assert_eq!(left, vec![&bc]);
+    }
+
+    #[test]
+    fn extend_least_model_matches_recomputation() {
+        // Closing tc over a chain, then adding the edge that joins two
+        // components, must agree with recomputing from scratch.
+        let base = "tc(X, Y) :- edge(X, Y).\n\
+                    tc(X, Y) :- edge(X, Z), tc(Z, Y).\n\
+                    edge(a, b). edge(c, d).";
+        let mut program = parse_program(base).unwrap();
+        let mut store =
+            least_model(&program, NegationMode::Forbid, EvalOptions::default()).unwrap();
+        let new_edge = Term::apps("edge", vec![Term::sym("b"), Term::sym("c")]);
+        program.push(Rule::fact(new_edge.clone()));
+        let delta = extend_least_model(
+            &program,
+            &mut store,
+            [new_edge],
+            NegationMode::Forbid,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        let fresh = least_model(&program, NegationMode::Forbid, EvalOptions::default()).unwrap();
+        assert_eq!(store.atoms(), fresh.atoms());
+        // The delta is exactly the difference: the new edge plus the new
+        // tc pairs crossing it (a->c, a->d, b->c, b->d, c is already linked
+        // to d).
+        assert_eq!(delta.accumulated().len(), 5);
+        assert!(delta
+            .accumulated()
+            .contains(&Term::apps("tc", vec![Term::sym("a"), Term::sym("d")])));
+        assert!(delta.is_settled());
+    }
+
+    #[test]
+    fn extending_with_a_known_atom_is_a_no_op() {
+        let program = parse_program("p(a). q(X) :- p(X).").unwrap();
+        let mut store =
+            least_model(&program, NegationMode::Forbid, EvalOptions::default()).unwrap();
+        let before = store.atoms().clone();
+        let delta = extend_least_model(
+            &program,
+            &mut store,
+            [Term::apps("p", vec![Term::sym("a")])],
+            NegationMode::Forbid,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(delta.accumulated().is_empty());
+        assert_eq!(store.atoms(), &before);
+    }
+
+    #[test]
+    fn extension_respects_the_atom_budget() {
+        let program = parse_program("nat(z). nat(s(X)) :- nat(X).").unwrap();
+        // The base program diverges, so close only the fact by hand.
+        let mut store = AtomStore::from_atoms([Term::sym("seed")]);
+        let r = extend_least_model(
+            &program,
+            &mut store,
+            [Term::apps("nat", vec![Term::sym("z")])],
+            NegationMode::Forbid,
+            EvalOptions::with_max_atoms(20),
+        );
+        assert!(matches!(r, Err(EngineError::LimitExceeded(_))));
     }
 }

@@ -57,15 +57,18 @@ pub use extension::{
     preserved_by_extension_wfs, PreservationVerdict,
 };
 pub use ground::{GroundProgram, GroundRule};
-pub use grounder::{ground_over_universe, relevant_ground};
-pub use horn::{least_model, AtomStore, Candidates, EvalOptions, NegationMode};
+pub use grounder::{ground_delta, ground_over_universe, relevant_ground};
+pub use horn::{
+    consequence_round, extend_least_model, least_model, AtomStore, Candidates, Delta, EvalOptions,
+    NegationMode,
+};
 pub use magic::{magic_transform, MagicProgram};
-pub use magic_eval::{EvalStats, QueryEvaluator};
+pub use magic_eval::{EvalStats, ModelSource, QueryEvaluator};
 pub use modular::ModularOutcome;
 pub use plan::{PlanStrategy, QueryPlan};
 pub use session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
 pub use stable::{stable_models_over_universe, StableOptions};
-pub use wfs::{well_founded_model_over_universe, well_founded_of_ground};
+pub use wfs::{well_founded_model_over_universe, well_founded_of_ground, well_founded_patch};
 
 // Deprecated one-shot entry points, kept as working shims over the session.
 #[allow(deprecated)]
@@ -84,14 +87,16 @@ pub mod prelude {
     pub use crate::extension::{preserved_by_extension_stable, preserved_by_extension_wfs};
     pub use crate::ground::{GroundProgram, GroundRule};
     pub use crate::grounder::{ground_over_universe, relevant_ground};
-    pub use crate::horn::{least_model, AtomStore, EvalOptions, NegationMode};
+    pub use crate::horn::{
+        extend_least_model, least_model, AtomStore, Delta, EvalOptions, NegationMode,
+    };
     pub use crate::magic::magic_transform;
-    pub use crate::magic_eval::{EvalStats, QueryEvaluator};
+    pub use crate::magic_eval::{EvalStats, ModelSource, QueryEvaluator};
     pub use crate::modular::ModularOutcome;
     pub use crate::plan::{PlanStrategy, QueryPlan};
     pub use crate::session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
     pub use crate::stable::StableOptions;
-    pub use crate::wfs::well_founded_model_over_universe;
+    pub use crate::wfs::{well_founded_model_over_universe, well_founded_patch};
 
     // Deprecated shims, still re-exported so existing downstream code keeps
     // compiling (their use sites get the deprecation pointer to `HiLogDb`).

@@ -65,6 +65,50 @@ pub struct EvalStats {
     /// full-model plans executed by [`crate::session::HiLogDb`]; a cached
     /// model answers with `groundings == 0`.
     pub groundings: usize,
+    /// Number of incremental model patches (semi-naive delta propagation
+    /// over the affected components) applied while answering.  Non-zero only
+    /// for full-model plans of a [`crate::session::HiLogDb`] whose cached
+    /// model had pending fact-level deltas.
+    pub patches: usize,
+    /// How the model that answered this query was obtained — the
+    /// observability hook for the session's incremental maintenance.
+    /// Magic-sets plans never consult a model and report
+    /// [`ModelSource::NotUsed`].
+    pub model_source: ModelSource,
+}
+
+/// How a full-model plan obtained the model it answered from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ModelSource {
+    /// No model was consulted (magic-sets plans, or an error before the
+    /// model was needed).
+    #[default]
+    NotUsed,
+    /// The cached model was still exact and was reused as-is.
+    Cached,
+    /// The cached model had pending fact-level deltas and was *patched* in
+    /// place: the affected strongly connected components were re-evaluated
+    /// against the incrementally maintained ground program.
+    Patched,
+    /// No usable cached model existed; it was rebuilt from scratch.
+    Rebuilt,
+}
+
+impl std::fmt::Display for ModelSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelSource::NotUsed => write!(f, "not-used"),
+            ModelSource::Cached => write!(f, "cached"),
+            ModelSource::Patched => write!(f, "patched"),
+            ModelSource::Rebuilt => write!(f, "rebuilt"),
+        }
+    }
+}
+
+impl serde::Serialize for ModelSource {
+    fn write_json(&self, out: &mut String) {
+        serde::write_json_string(out, &self.to_string());
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -159,7 +203,7 @@ impl<'p> QueryEvaluator<'p> {
             answers: self.tables.values().map(|t| t.answers.len()).sum(),
             rule_applications: self.stats.rule_applications,
             cached_subqueries: self.stats.cached_subqueries,
-            groundings: 0,
+            ..EvalStats::default()
         }
     }
 

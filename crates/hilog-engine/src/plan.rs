@@ -85,6 +85,11 @@ pub struct QueryPlan {
     /// Whether a cached full model exists that a full-model route could
     /// answer from without re-grounding.
     pub cached_model: bool,
+    /// Whether the cached model has pending fact-level deltas: a full-model
+    /// route will *patch* it (semi-naive re-evaluation of the affected
+    /// components) before answering, rather than rebuild it.  `false`
+    /// whenever `cached_model` is `false`.
+    pub stale_model: bool,
     /// Number of completed subgoal tables the session holds; a magic-sets
     /// route reuses any of them that the query touches.
     pub cached_subqueries: usize,
@@ -115,7 +120,13 @@ impl fmt::Display for QueryPlan {
         writeln!(
             f,
             "  caches:    model {}, {} complete subgoal tables",
-            if self.cached_model { "warm" } else { "cold" },
+            if !self.cached_model {
+                "cold"
+            } else if self.stale_model {
+                "warm (stale, will patch)"
+            } else {
+                "warm"
+            },
             self.cached_subqueries
         )?;
         write!(f, "  because:   {}", self.reason)

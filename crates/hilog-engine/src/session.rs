@@ -32,13 +32,13 @@
 
 use crate::error::EngineError;
 use crate::ground::{GroundProgram, GroundRule};
-use crate::grounder::relevant_ground;
-use crate::horn::EvalOptions;
-use crate::magic_eval::{EvalStats, QueryEvaluator, Table, QUERY_HEAD};
+use crate::grounder::{ground_against, ground_delta};
+use crate::horn::{join_body, least_model, AtomStore, EvalOptions, NegationMode};
+use crate::magic_eval::{EvalStats, ModelSource, QueryEvaluator, Table, QUERY_HEAD};
 use crate::modular::{figure1_procedure, ModularOutcome};
 use crate::plan::{adornment, query_is_bound, PlanStrategy, QueryPlan};
 use crate::stable::{stable_models_of_ground, StableOptions};
-use crate::wfs::well_founded_of_ground;
+use crate::wfs::{well_founded_of_ground, well_founded_patch};
 use hilog_core::interpretation::{Model, Truth};
 use hilog_core::literal::Literal;
 use hilog_core::program::Program;
@@ -229,12 +229,49 @@ impl HiLogDbBuilder {
             semantics: self.semantics,
             analysis: None,
             ground: None,
+            possibly: None,
             model: None,
+            dirty: None,
             stable: None,
             modular: None,
             tables: HashMap::new(),
             scratch: None,
             groundings: 0,
+            patches: 0,
+        }
+    }
+}
+
+/// Which part of the cached model a pending fact-level delta can reach.
+/// Accumulated across mutations and discharged by the next model patch.
+#[derive(Debug, Clone)]
+enum DirtyScope {
+    /// Only atoms of these predicates may have changed (the reverse
+    /// dependency closure of the mutated predicates).
+    Preds(BTreeSet<PredKey>),
+    /// A variable-headed rule exists, so any predicate may have changed:
+    /// the whole model is re-evaluated (still from the incrementally
+    /// maintained ground program — no re-grounding).
+    All,
+}
+
+impl DirtyScope {
+    fn merge(self, other: DirtyScope) -> DirtyScope {
+        match (self, other) {
+            (DirtyScope::Preds(mut a), DirtyScope::Preds(b)) => {
+                a.extend(b);
+                DirtyScope::Preds(a)
+            }
+            _ => DirtyScope::All,
+        }
+    }
+
+    fn affects(&self, atom: &Term) -> bool {
+        match self {
+            DirtyScope::All => true,
+            // Ground atoms always have a predicate key; default to affected
+            // for safety.
+            DirtyScope::Preds(preds) => pred_key(atom).is_none_or(|k| preds.contains(&k)),
         }
     }
 }
@@ -251,12 +288,23 @@ pub struct HiLogDb {
     stable_opts: StableOptions,
     semantics: Semantics,
     /// Cached predicate-dependency analysis; survives fact-level mutations
-    /// (facts add no dependency edges) and is rebuilt after `assert_rule`.
+    /// (facts add no dependency edges) and is rebuilt after rule-level ones.
     analysis: Option<DepAnalysis>,
-    /// Cached relevant instantiation of the program.
+    /// Cached relevant instantiation of the program, maintained
+    /// *incrementally* under fact-level mutations (delta grounding on
+    /// assert, DRed overdelete/rederive on retract).
     ground: Option<GroundProgram>,
+    /// The over-approximated true-or-undefined store backing `ground` (the
+    /// least model of the positive program).  Kept in lockstep with `ground`
+    /// so the semi-naive continuation has a closed store to extend.
+    possibly: Option<AtomStore>,
     /// Cached full model under `semantics`.
     model: Option<Model>,
+    /// Pending fact-level deltas not yet folded into `model`.  `Some` only
+    /// while both `model` and `ground` are warm under
+    /// [`Semantics::WellFounded`]; discharged lazily by the next query that
+    /// needs the model, which re-evaluates just the affected components.
+    dirty: Option<DirtyScope>,
     /// Cached stable models (only filled under [`Semantics::Stable`]).
     stable: Option<Vec<Model>>,
     /// Cached Figure 1 outcome.
@@ -269,6 +317,8 @@ pub struct HiLogDb {
     scratch: Option<Program>,
     /// Total grounding passes performed since construction.
     groundings: usize,
+    /// Total incremental model patches performed since construction.
+    patches: usize,
 }
 
 impl HiLogDb {
@@ -315,7 +365,19 @@ impl HiLogDb {
                 "assert_fact requires a ground atom, got `{fact}`"
             )));
         }
+        // A duplicate of an already-present fact changes nothing
+        // semantically; every cache stays valid (the mirror image of
+        // `retract_fact`'s duplicate short-circuit).
+        let already_present = self
+            .program
+            .rules
+            .iter()
+            .any(|r| r.is_fact() && r.head == fact);
         self.program.push(Rule::fact(fact.clone()));
+        if already_present {
+            self.scratch = None;
+            return Ok(());
+        }
         self.invalidate_for_fact(&fact, true);
         Ok(())
     }
@@ -353,22 +415,84 @@ impl HiLogDb {
         self.invalidate_all();
     }
 
-    fn invalidate_all(&mut self) {
+    /// Retracts the first rule structurally equal to `rule`; returns `false`
+    /// if the program contains no such rule.
+    ///
+    /// Invalidation is targeted like `assert_fact`'s: subgoal tables survive
+    /// for every predicate outside the reverse-dependency closure of the
+    /// rule's head.  A cached (pre-removal) analysis works because its edge
+    /// set is a superset of the new one; an analysis built here sees the
+    /// post-removal program, whose closure from the head is also sufficient
+    /// (the removed rule only contributed edges *into* its head).  The
+    /// grounding/model caches have no provenance for the retracted rule's
+    /// instantiations and are rebuilt lazily.
+    pub fn retract_rule(&mut self, rule: &Rule) -> bool {
+        let Some(pos) = self.program.rules.iter().position(|r| r == rule) else {
+            return false;
+        };
+        self.program.rules.remove(pos);
+        // A structurally identical copy may remain; then nothing changed.
+        if self.program.rules.iter().any(|r| r == rule) {
+            self.scratch = None;
+            return true;
+        }
+        let had_stale_analysis = self.analysis.is_some();
+        let affected = pred_key(&rule.head).and_then(|key| self.analysis().affected_by(&key));
+        match affected {
+            Some(affected) => self
+                .tables
+                .retain(|_, t| pred_key(&t.pattern).is_some_and(|k| !affected.contains(&k))),
+            None => self.tables.clear(),
+        }
+        // An analysis built just now reflects the post-removal program and
+        // stays valid; only a pre-removal one must be dropped.
+        let fresh_analysis = if had_stale_analysis {
+            None
+        } else {
+            self.analysis.take()
+        };
+        self.invalidate_caches_keeping_tables();
+        self.analysis = fresh_analysis;
+        true
+    }
+
+    /// Resets every cache except the subgoal tables (the one cache with
+    /// finer-than-global invalidation).  Shared by [`Self::invalidate_all`]
+    /// and [`Self::retract_rule`] so a future cache field cannot be reset in
+    /// one and forgotten in the other.
+    fn invalidate_caches_keeping_tables(&mut self) {
         self.analysis = None;
         self.ground = None;
+        self.possibly = None;
         self.model = None;
+        self.dirty = None;
         self.stable = None;
         self.modular = None;
-        self.tables.clear();
         self.scratch = None;
     }
 
-    /// Targeted invalidation after a fact-level change to `fact`.
-    /// `asserted` is `true` for assertion, `false` for retraction.
+    fn invalidate_all(&mut self) {
+        self.invalidate_caches_keeping_tables();
+        self.tables.clear();
+    }
+
+    /// Targeted invalidation + incremental maintenance after a fact-level
+    /// change to `fact`.  `asserted` is `true` for assertion, `false` for
+    /// retraction.
+    ///
+    /// Subgoal tables are dropped only for predicates inside the reverse
+    /// dependency closure of the fact's predicate.  The cached grounding is
+    /// *maintained* semi-naively (delta instantiation on assert, DRed
+    /// overdelete/rederive on retract), and under the well-founded semantics
+    /// the cached model is marked dirty for exactly that closure — the next
+    /// query that needs it re-evaluates only the affected components.
     fn invalidate_for_fact(&mut self, fact: &Term, asserted: bool) {
         // The scratch program mirrors `self.program` and is always stale
         // after a fact-level change, whatever the dependency analysis says.
         self.scratch = None;
+        // The Figure 1 outcome records the settling order, which even a pure
+        // EDB fact can extend; recompute it on demand.
+        self.modular = None;
         // `assert_fact` only admits ground atoms, but `assert_rule` (and the
         // builder) accept facts with variable predicate names, and those can
         // reach here through `retract_fact`; without a predicate identity the
@@ -379,12 +503,11 @@ impl HiLogDb {
         };
         let Some((key, affected)) = keyed else {
             // A rule can define arbitrary predicates (variable head name):
-            // everything may have changed.
-            self.ground = None;
-            self.model = None;
-            self.stable = None;
-            self.modular = None;
+            // any predicate may have changed.  The grounding is still
+            // maintainable atom-by-atom; only the per-predicate caches lose
+            // their discrimination.
             self.tables.clear();
+            self.apply_fact_delta(fact, asserted, DirtyScope::All);
             return;
         };
         self.tables
@@ -393,9 +516,30 @@ impl HiLogDb {
         let pure_edb = affected.len() == 1 && !analysis.derived.contains(&key);
         if pure_edb && asserted {
             // Nothing reads the predicate and no rule derives it: the fact
-            // only adds itself to the ground program and the model.
+            // only adds itself to the stores, the ground program and the
+            // model — an exact patch, no re-evaluation needed.  (The
+            // duplicate short-circuit in `assert_fact` guarantees this is a
+            // genuinely new fact.)
+            if let Some(possibly) = &mut self.possibly {
+                possibly.insert(fact.clone());
+            }
             if let Some(ground) = &mut self.ground {
                 ground.push(GroundRule::fact(fact.clone()));
+            }
+            // Same cumulative cap as `assert_into_ground`: fall back to full
+            // re-grounding (and its `LimitExceeded`) instead of silently
+            // growing past what a fresh session would reject.
+            if self
+                .ground
+                .as_ref()
+                .is_some_and(|g| g.rules.len() > self.opts.max_atoms)
+            {
+                self.ground = None;
+                self.possibly = None;
+                self.model = None;
+                self.stable = None;
+                self.dirty = None;
+                return;
             }
             if let Some(model) = &mut self.model {
                 model.set_true(fact.clone());
@@ -406,6 +550,9 @@ impl HiLogDb {
                 }
             }
         } else if pure_edb {
+            if let Some(possibly) = &mut self.possibly {
+                possibly.remove(fact);
+            }
             if let Some(ground) = &mut self.ground {
                 ground.rules.retain(|r| !(r.is_fact() && r.head == *fact));
             }
@@ -418,13 +565,206 @@ impl HiLogDb {
                 }
             }
         } else {
-            self.ground = None;
-            self.model = None;
-            self.stable = None;
+            self.apply_fact_delta(fact, asserted, DirtyScope::Preds(affected));
         }
-        // The Figure 1 outcome records the settling order, which even a pure
-        // EDB fact can extend; recompute it on demand.
-        self.modular = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Semi-naive incremental maintenance of the grounding and the model
+    // ------------------------------------------------------------------
+
+    /// Folds a fact-level change into the warm caches: the grounding is
+    /// patched in place, and the model is marked dirty for `scope` so the
+    /// next use re-evaluates only the affected components.  Cold (or
+    /// unmaintainable) caches are dropped and rebuilt lazily as before.
+    fn apply_fact_delta(&mut self, fact: &Term, asserted: bool, scope: DirtyScope) {
+        // Stable models are not patchable (the delta can flip whole models in
+        // and out of existence), but they are rebuilt from the *maintained*
+        // grounding, which is where the expensive work sits.
+        self.stable = None;
+        let maintained = self.ground.is_some()
+            && self.possibly.is_some()
+            && if asserted {
+                self.assert_into_ground(fact)
+            } else {
+                self.retract_from_ground(fact, &scope)
+            };
+        if !maintained {
+            self.ground = None;
+            self.possibly = None;
+        }
+        if maintained && self.semantics == Semantics::WellFounded && self.model.is_some() {
+            self.dirty = Some(match self.dirty.take() {
+                Some(previous) => previous.merge(scope),
+                None => scope,
+            });
+        } else {
+            self.model = None;
+            self.dirty = None;
+        }
+    }
+
+    /// Semi-naive continuation for an asserted fact: extends the
+    /// possibly-true store from the new fact, instantiating the rules each
+    /// round's frontier enables *as the frontier lands* (one join pass per
+    /// round — the heads and the instantiations come from the same joins,
+    /// never re-joined against the accumulated delta), and appends them
+    /// (deduplicated) to the cached ground program.  Returns `false` when
+    /// the continuation cannot be completed (e.g. a resource limit); the
+    /// caller then falls back to full re-grounding.
+    fn assert_into_ground(&mut self, fact: &Term) -> bool {
+        let possibly = self.possibly.as_mut().expect("checked by caller");
+        let ground = self.ground.as_mut().expect("checked by caller");
+        let fact_was_new = !possibly.contains(fact);
+        // The asserted fact's bodyless instance is new unless the atom was
+        // already a ground fact (a duplicate assertion, or a builtin-guarded
+        // rule's instance): only then is a scan needed.
+        if fact_was_new || !ground.rules.iter().any(|r| r.is_fact() && r.head == *fact) {
+            ground.push(GroundRule::fact(fact.clone()));
+        }
+        if fact_was_new {
+            possibly.insert(fact.clone());
+            // Frontier instantiations carry at least one brand-new positive
+            // body atom, so they cannot duplicate any pre-existing rule —
+            // only each other (one copy per delta position they match).
+            let mut appended: BTreeSet<GroundRule> = BTreeSet::new();
+            let mut frontier = AtomStore::from_atoms([fact.clone()]);
+            let mut rounds = 0usize;
+            while !frontier.is_empty() {
+                rounds += 1;
+                if rounds > self.opts.max_rounds {
+                    return false;
+                }
+                // Ground this frontier while the store holds exactly the
+                // rounds up to it.  The instantiations' heads *are* the
+                // delta-aware consequence operator's output, so the next
+                // frontier falls out of the same single join pass.
+                let rules = match ground_delta(&self.program, possibly, &frontier, self.opts) {
+                    Ok(rules) => rules,
+                    Err(_) => return false,
+                };
+                let mut next = AtomStore::new();
+                for rule in rules {
+                    if !possibly.contains(&rule.head) {
+                        if possibly.len() >= self.opts.max_atoms {
+                            return false;
+                        }
+                        possibly.insert(rule.head.clone());
+                        next.insert(rule.head.clone());
+                    }
+                    if appended.insert(rule.clone()) {
+                        ground.push(rule);
+                    }
+                }
+                frontier = next;
+            }
+        }
+        // `ground_delta` only bounds each call; enforce the same *cumulative*
+        // limit a fresh grounding would hit, so a long-lived session cannot
+        // silently grow past what `ensure_ground` would reject.  Falling back
+        // surfaces the `LimitExceeded` on the next query, exactly like a
+        // fresh session.
+        ground.rules.len() <= self.opts.max_atoms
+    }
+
+    /// DRed-style maintenance for a retracted fact: *overdelete* the forward
+    /// closure of the fact through the cached ground rules, then *rederive*
+    /// every overdeleted atom that still has a supported instantiation, and
+    /// finally drop the instantiations that lost support.  Returns `false`
+    /// if the caches cannot be maintained.
+    ///
+    /// `scope` is the caller's reverse-dependency closure: every atom that
+    /// can be overdeleted (and every rule that can lose support) has its
+    /// head inside it, so the index and the final sweep skip rules headed
+    /// outside the scope entirely — a retraction confined to one component
+    /// never walks the others' rules.
+    fn retract_from_ground(&mut self, fact: &Term, scope: &DirtyScope) -> bool {
+        let Some(possibly) = self.possibly.as_mut() else {
+            return false;
+        };
+        let Some(ground) = self.ground.as_mut() else {
+            return false;
+        };
+        // One pass over the in-scope rules builds the index both fixpoints
+        // run on (rules by positive body atom), so neither loop ever rescans
+        // the ground program per round.
+        let mut rules_by_pos: HashMap<&Term, Vec<usize>> = HashMap::new();
+        for (i, rule) in ground.rules.iter().enumerate() {
+            if !scope.affects(&rule.head) {
+                continue;
+            }
+            for atom in &rule.pos {
+                rules_by_pos.entry(atom).or_default().push(i);
+            }
+        }
+        // Overdelete: everything whose derivation may pass through `fact`,
+        // by worklist over the index.
+        let mut deleted: BTreeSet<Term> = BTreeSet::new();
+        deleted.insert(fact.clone());
+        let mut worklist = vec![fact.clone()];
+        while let Some(atom) = worklist.pop() {
+            let Some(readers) = rules_by_pos.get(&atom) else {
+                continue;
+            };
+            for &ri in readers {
+                let head = &ground.rules[ri].head;
+                if !deleted.contains(head) {
+                    deleted.insert(head.clone());
+                    worklist.push(head.clone());
+                }
+            }
+        }
+        for atom in &deleted {
+            possibly.remove(atom);
+        }
+        // The retracted EDB instance only survives if another bodyless route
+        // to the same ground fact exists (e.g. a builtin-guarded rule).
+        let spontaneous = spontaneous_fact(&self.program, fact);
+        // Rederive: a deleted atom returns as soon as one of its cached
+        // instantiations is fully supported by surviving atoms.  Only rules
+        // whose head was overdeleted can rederive anything; seed with those,
+        // then chase the index from each re-added atom.
+        let candidates: Vec<usize> = ground
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| deleted.contains(&r.head))
+            .map(|(i, _)| i)
+            .collect();
+        let rederives = |rule: &GroundRule, possibly: &AtomStore| {
+            rule.pos.iter().all(|a| possibly.contains(a))
+                && !(rule.is_fact() && rule.head == *fact && !spontaneous)
+        };
+        let mut worklist: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&ri| rederives(&ground.rules[ri], possibly))
+            .collect();
+        while let Some(ri) = worklist.pop() {
+            let head = &ground.rules[ri].head;
+            if !deleted.remove(head) {
+                continue;
+            }
+            possibly.insert(head.clone());
+            // Re-adding `head` can revalidate overdeleted rules reading it.
+            if let Some(readers) = rules_by_pos.get(head) {
+                for &reader in readers {
+                    let rule = &ground.rules[reader];
+                    if deleted.contains(&rule.head) && rederives(rule, possibly) {
+                        worklist.push(reader);
+                    }
+                }
+            }
+        }
+        // Drop the instantiations that lost support.  (`possibly` shrank, so
+        // this is exactly what a fresh relevant instantiation would omit;
+        // out-of-scope rules cannot have lost anything.)
+        ground.rules.retain(|r| {
+            !scope.affects(&r.head)
+                || (r.pos.iter().all(|a| possibly.contains(a))
+                    && !(r.is_fact() && r.head == *fact && !spontaneous))
+        });
+        true
     }
 
     // ------------------------------------------------------------------
@@ -440,7 +780,12 @@ impl HiLogDb {
 
     fn ensure_ground(&mut self) -> Result<(), EngineError> {
         if self.ground.is_none() {
-            self.ground = Some(relevant_ground(&self.program, self.opts)?);
+            // Ground in two steps (rather than through `relevant_ground`) so
+            // the possibly-true store is kept: it is the closed store the
+            // semi-naive continuation of `assert_fact` extends.
+            let possibly = least_model(&self.program, NegationMode::Ignore, self.opts)?;
+            self.ground = Some(ground_against(&self.program, &possibly, self.opts)?);
+            self.possibly = Some(possibly);
             self.groundings += 1;
         }
         Ok(())
@@ -462,10 +807,26 @@ impl HiLogDb {
         Ok(self.model.as_ref().expect("just built"))
     }
 
-    fn ensure_model(&mut self) -> Result<(), EngineError> {
+    /// Ensures the cached model is usable and *exact*, reporting how it was
+    /// obtained: reused as-is, patched in place (pending fact-level deltas
+    /// folded in by re-evaluating only the affected components), or rebuilt.
+    fn ensure_model(&mut self) -> Result<ModelSource, EngineError> {
         if self.model.is_some() {
-            return Ok(());
+            let Some(scope) = self.dirty.take() else {
+                return Ok(ModelSource::Cached);
+            };
+            // Invariant: `dirty` is only set while the grounding is warm and
+            // the semantics is well-founded.
+            debug_assert!(self.semantics == Semantics::WellFounded);
+            self.ensure_ground()?;
+            let ground = self.ground.as_ref().expect("dirty implies warm ground");
+            let previous = self.model.take().expect("checked above");
+            let patched = well_founded_patch(ground, previous, |atom| scope.affects(atom));
+            self.model = Some(patched);
+            self.patches += 1;
+            return Ok(ModelSource::Patched);
         }
+        self.dirty = None;
         let model = match self.semantics {
             Semantics::WellFounded => {
                 self.ensure_ground()?;
@@ -487,7 +848,7 @@ impl HiLogDb {
             }
         };
         self.model = Some(model);
-        Ok(())
+        Ok(ModelSource::Rebuilt)
     }
 
     /// The cached stable models of the program (computing them on first
@@ -548,6 +909,7 @@ impl HiLogDb {
             query: query.to_string(),
             adornment: adornment(query),
             cached_model: self.model.is_some(),
+            stale_model: self.model.is_some() && self.dirty.is_some(),
             cached_subqueries: self.tables.values().filter(|t| t.complete).count(),
             reason,
         }
@@ -661,12 +1023,15 @@ impl HiLogDb {
     /// Full-model route: match the query against the cached model.
     fn query_full(&mut self, query: &Query) -> Result<(Vec<QueryAnswer>, EvalStats), EngineError> {
         let groundings_before = self.groundings;
-        self.ensure_model()?;
+        let patches_before = self.patches;
+        let model_source = self.ensure_model()?;
         let model = self.model.as_ref().expect("just built");
         let answers = eval_against_model(model, query)?;
         let stats = EvalStats {
             answers: answers.len(),
             groundings: self.groundings - groundings_before,
+            patches: self.patches - patches_before,
+            model_source,
             ..EvalStats::default()
         };
         Ok((answers, stats))
@@ -824,12 +1189,30 @@ fn consensus_model(models: &[Model]) -> Result<Model, EngineError> {
 // Predicate-dependency analysis for targeted invalidation
 // ----------------------------------------------------------------------
 
-/// A predicate identity: rendered ground predicate name plus arity.
-type PredKey = (String, Option<usize>);
+/// A predicate identity: the (ground) predicate-name term plus arity.
+/// Symbols are `Arc`-backed, so cloning a first-order name is one refcount
+/// bump — this key is on the per-atom hot path of the model patch.
+type PredKey = (Term, Option<usize>);
 
 fn pred_key(atom: &Term) -> Option<PredKey> {
     let name = atom.name();
-    name.is_ground().then(|| (name.to_string(), atom.arity()))
+    name.is_ground().then(|| (name.clone(), atom.arity()))
+}
+
+/// Returns `true` if some rule with no positive or negative body atoms (a
+/// remaining bare fact, or a builtin-guarded rule like `f :- 1 < 2.`) still
+/// produces `fact` as a bodyless ground instance.  Used by the DRed
+/// retraction path to decide whether the ground fact survives the removal of
+/// its program-fact occurrence.
+fn spontaneous_fact(program: &Program, fact: &Term) -> bool {
+    let empty = AtomStore::new();
+    program.iter().any(|rule| {
+        rule.positive_atoms().count() == 0
+            && rule.negative_atoms().count() == 0
+            && join_body(rule, &empty, None, NegationMode::Ignore)
+                .map(|thetas| thetas.iter().any(|theta| theta.apply(&rule.head) == *fact))
+                .unwrap_or(false)
+    })
 }
 
 /// Reverse dependency information over the program's predicates, used to
@@ -1214,6 +1597,275 @@ mod tests {
         assert!(plan_json.contains("\"semantics\":\"well-founded\""));
         let stats_json = serde_json::to_string(&result.stats).unwrap();
         assert!(stats_json.contains("\"rule_applications\""));
+    }
+
+    #[test]
+    fn assert_fact_patches_the_model_without_regrounding() {
+        let mut db = game_db();
+        let unbound = parse_query("?- P(a, X).").unwrap();
+        let first = db.query(&unbound).unwrap();
+        assert_eq!(first.stats.groundings, 1);
+        assert_eq!(first.stats.model_source, ModelSource::Rebuilt);
+        // `move` is read by `winning`: not pure EDB, so the old session
+        // dropped the model and re-grounded; now it patches instead.
+        db.assert_fact(parse_term("move(c, d)").unwrap()).unwrap();
+        let plan = db.explain(&unbound);
+        assert!(plan.cached_model);
+        assert!(plan.stale_model, "pending delta not reported by the plan");
+        let second = db.query(&unbound).unwrap();
+        assert_eq!(second.stats.groundings, 0, "patching must not re-ground");
+        assert_eq!(second.stats.patches, 1);
+        assert_eq!(second.stats.model_source, ModelSource::Patched);
+        // The patched model agrees with a fresh session on every atom.
+        let mut fresh = HiLogDb::new(db.program().clone());
+        let fresh_model = fresh.model().unwrap().clone();
+        let patched = db.model().unwrap();
+        for atom in patched.base().iter().chain(fresh_model.base()) {
+            assert_eq!(patched.truth(atom), fresh_model.truth(atom), "{atom}");
+        }
+        let third = db.query(&unbound).unwrap();
+        assert_eq!(third.stats.model_source, ModelSource::Cached);
+        assert_eq!(third.stats.patches, 0);
+    }
+
+    #[test]
+    fn consecutive_asserts_are_folded_into_one_patch() {
+        let mut db = game_db();
+        let unbound = parse_query("?- P(a, X).").unwrap();
+        db.query(&unbound).unwrap();
+        db.assert_fact(parse_term("move(c, d)").unwrap()).unwrap();
+        db.assert_fact(parse_term("move(d, e)").unwrap()).unwrap();
+        let result = db.query(&unbound).unwrap();
+        assert_eq!(result.stats.patches, 1, "deltas were not accumulated");
+        assert_eq!(result.stats.groundings, 0);
+        assert_eq!(
+            db.holds(&parse_term("winning(d)").unwrap()).unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn retract_fact_uses_dred_and_matches_fresh_recomputation() {
+        // tc is derived through the retracted edge: DRed must overdelete the
+        // downstream closure and rederive what other edges still support.
+        let mut db = HiLogDb::new(
+            parse_program(
+                "tc(X, Y) :- edge(X, Y).\n\
+                 tc(X, Y) :- edge(X, Z), tc(Z, Y).\n\
+                 edge(a, b). edge(b, c). edge(a, c).",
+            )
+            .unwrap(),
+        );
+        let unbound = parse_query("?- P(a, X).").unwrap();
+        assert_eq!(db.query(&unbound).unwrap().stats.groundings, 1);
+        db.assert_fact(parse_term("edge(c, d)").unwrap()).unwrap();
+        db.query(&unbound).unwrap();
+        // Retract edge(b, c): tc(a, c) survives via edge(a, c); tc(b, c),
+        // tc(b, d) die.
+        assert!(db.retract_fact(&parse_term("edge(b, c)").unwrap()));
+        let result = db.query(&unbound).unwrap();
+        assert_eq!(result.stats.groundings, 0, "DRed path re-grounded");
+        assert_eq!(result.stats.model_source, ModelSource::Patched);
+        let mut fresh = HiLogDb::new(db.program().clone());
+        let fresh_model = fresh.model().unwrap().clone();
+        let patched = db.model().unwrap();
+        for atom in patched.base().iter().chain(fresh_model.base()) {
+            assert_eq!(patched.truth(atom), fresh_model.truth(atom), "{atom}");
+        }
+        assert_eq!(
+            db.holds(&parse_term("tc(b, c)").unwrap()).unwrap(),
+            Truth::False
+        );
+        assert_eq!(
+            db.holds(&parse_term("tc(a, c)").unwrap()).unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn retracting_a_derived_support_fact_removes_dependent_atoms() {
+        // The acceptance case: retracting a fact that transitively supports
+        // derived atoms provably removes the no-longer-derivable ones.
+        let mut db = HiLogDb::new(
+            parse_program(
+                "reach(Y) :- reach(X), edge(X, Y). reach(a).\n\
+                 edge(a, b). edge(b, c).",
+            )
+            .unwrap(),
+        );
+        let unbound = parse_query("?- P(X).").unwrap();
+        db.query(&unbound).unwrap();
+        assert!(db.retract_fact(&parse_term("edge(a, b)").unwrap()));
+        let result = db.query(&unbound).unwrap();
+        assert_eq!(result.stats.groundings, 0);
+        assert_eq!(
+            db.holds(&parse_term("reach(b)").unwrap()).unwrap(),
+            Truth::False
+        );
+        assert_eq!(
+            db.holds(&parse_term("reach(c)").unwrap()).unwrap(),
+            Truth::False
+        );
+        assert_eq!(
+            db.holds(&parse_term("reach(a)").unwrap()).unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn dred_rederives_atoms_with_cyclic_support_correctly() {
+        // p and q support each other, but only through the seed fact p: after
+        // retracting p, neither may be rederived through the cycle.
+        let mut db = HiLogDb::new(parse_program("p :- q. q :- p. p. r.").unwrap());
+        let unbound = parse_query("?- P(X).").unwrap(); // warms ground+model
+        let _ = db.query(&unbound);
+        db.model().unwrap();
+        assert!(db.retract_fact(&parse_term("p").unwrap()));
+        assert_eq!(db.holds(&parse_term("p").unwrap()).unwrap(), Truth::False);
+        assert_eq!(db.holds(&parse_term("q").unwrap()).unwrap(), Truth::False);
+        assert_eq!(db.holds(&parse_term("r").unwrap()).unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn builtin_guarded_facts_survive_retraction_of_their_edb_twin() {
+        // `s :- 1 < 2.` grounds to the same ground fact as the EDB `s.`;
+        // retracting the EDB occurrence must keep s true (spontaneous
+        // justification), and a second retraction is a no-op returning false.
+        let mut db = HiLogDb::new(parse_program("s :- 1 < 2. s. t :- s.").unwrap());
+        db.model().unwrap();
+        assert!(db.retract_fact(&parse_term("s").unwrap()));
+        assert_eq!(db.holds(&parse_term("s").unwrap()).unwrap(), Truth::True);
+        assert_eq!(db.holds(&parse_term("t").unwrap()).unwrap(), Truth::True);
+        assert!(!db.retract_fact(&parse_term("s").unwrap()));
+    }
+
+    #[test]
+    fn hilog_programs_with_variable_heads_still_patch_the_grounding() {
+        // The HiLog game rule has a non-ground head predicate name, so the
+        // per-predicate dirty scope degenerates to All — but the grounding is
+        // still maintained incrementally (no re-grounding pass).
+        let mut db = HiLogDb::new(
+            parse_program(
+                "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+                 game(m). m(a, b). m(b, c).",
+            )
+            .unwrap(),
+        );
+        let unbound = parse_query("?- game(M), winning(M)(X).").unwrap();
+        // Unbound? game(M) is bound (ground name) — force the model route.
+        let open = parse_query("?- P(a, b).").unwrap();
+        assert_eq!(db.query(&open).unwrap().stats.groundings, 1);
+        db.assert_fact(parse_term("m(c, d)").unwrap()).unwrap();
+        let after = db.query(&open).unwrap();
+        assert_eq!(after.stats.groundings, 0, "HiLog delta re-grounded");
+        assert_eq!(after.stats.model_source, ModelSource::Patched);
+        assert_eq!(
+            db.holds(&parse_term("winning(m)(c)").unwrap()).unwrap(),
+            Truth::True
+        );
+        let _ = db.query(&unbound);
+    }
+
+    #[test]
+    fn retract_rule_removes_derivations_and_keeps_unrelated_tables() {
+        let mut db = HiLogDb::new(
+            parse_program(
+                "winning(X) :- move(X, Y), not winning(Y).\n\
+                 reach(X) :- edge(X, Y).\n\
+                 bonus(X) :- extra(X).\n\
+                 move(a, b). edge(u, v). extra(c).",
+            )
+            .unwrap(),
+        );
+        let win = parse_query("?- winning(X).").unwrap();
+        let reach = parse_query("?- reach(X).").unwrap();
+        let bonus_rule = parse_program("bonus(X) :- extra(X).").unwrap().rules[0].clone();
+        db.query(&win).unwrap();
+        db.query(&reach).unwrap();
+        assert_eq!(
+            db.holds(&parse_term("bonus(c)").unwrap()).unwrap(),
+            Truth::True
+        );
+        assert!(db.retract_rule(&bonus_rule));
+        // Unrelated tables survive...
+        let plan = db.explain(&win);
+        assert!(plan.cached_subqueries > 0, "unrelated tables were dropped");
+        // ...and the retracted rule derives nothing any more.
+        assert_eq!(
+            db.holds(&parse_term("bonus(c)").unwrap()).unwrap(),
+            Truth::False
+        );
+        // Retracting an absent rule reports false.
+        assert!(!db.retract_rule(&bonus_rule));
+    }
+
+    #[test]
+    fn retract_rule_undoes_assert_rule() {
+        let mut db = game_db();
+        let query = parse_query("?- winning(X).").unwrap();
+        let before = db.query(&query).unwrap();
+        let rule = parse_program("winning(X) :- bonus(X).").unwrap().rules[0].clone();
+        db.assert_rule(rule.clone());
+        db.assert_fact(parse_term("bonus(c)").unwrap()).unwrap();
+        assert_eq!(
+            db.holds(&parse_term("winning(c)").unwrap()).unwrap(),
+            Truth::True
+        );
+        assert!(db.retract_rule(&rule));
+        assert!(db.retract_fact(&parse_term("bonus(c)").unwrap()));
+        let after = db.query(&query).unwrap();
+        assert_eq!(after.answers, before.answers);
+    }
+
+    #[test]
+    fn duplicate_asserts_keep_every_cache() {
+        let mut db = game_db();
+        let query = parse_query("?- winning(X).").unwrap();
+        db.query(&query).unwrap();
+        let warm = db.explain(&query).cached_subqueries;
+        assert!(warm > 0);
+        // `move(a, b)` is already a program fact: re-asserting it must not
+        // drop the tables in move's dependency closure.
+        db.assert_fact(parse_term("move(a, b)").unwrap()).unwrap();
+        assert_eq!(
+            db.explain(&query).cached_subqueries,
+            warm,
+            "duplicate assert invalidated caches"
+        );
+        let repeat = db.query(&query).unwrap();
+        assert_eq!(repeat.stats.rule_applications, 0);
+        // Retracting one of the two copies is equally a no-op; retracting
+        // the second is not.
+        assert!(db.retract_fact(&parse_term("move(a, b)").unwrap()));
+        assert_eq!(db.explain(&query).cached_subqueries, warm);
+        assert!(db.retract_fact(&parse_term("move(a, b)").unwrap()));
+        assert_eq!(db.explain(&query).cached_subqueries, 0);
+    }
+
+    #[test]
+    fn pure_edb_asserts_respect_the_cumulative_ground_cap() {
+        // 4 ground rules after the first query; cap at 6 and pour in pure-EDB
+        // facts: the session must fall back to re-grounding (and report the
+        // same LimitExceeded a fresh session would) instead of growing past
+        // the cap.
+        let mut db = HiLogDb::builder()
+            .program(
+                parse_program(
+                    "winning(X) :- move(X, Y), not winning(Y).\n\
+                     move(a, b). colour(a, red).",
+                )
+                .unwrap(),
+            )
+            .options(EvalOptions::with_max_atoms(6))
+            .build();
+        let unbound = parse_query("?- P(a, X).").unwrap();
+        db.query(&unbound).unwrap();
+        for i in 0..4 {
+            db.assert_fact(parse_term(&format!("colour(c{i}, blue)")).unwrap())
+                .unwrap();
+        }
+        let err = db.query(&unbound).unwrap_err();
+        assert!(matches!(err, EngineError::LimitExceeded(_)));
     }
 
     #[test]

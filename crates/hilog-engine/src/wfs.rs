@@ -21,7 +21,7 @@ use crate::error::EngineError;
 use crate::ground::{GroundProgram, IndexedProgram};
 use crate::grounder::{ground_over_universe, relevant_ground};
 use crate::horn::EvalOptions;
-use hilog_core::interpretation::Model;
+use hilog_core::interpretation::{Model, Truth};
 use hilog_core::program::Program;
 use hilog_core::term::Term;
 
@@ -77,8 +77,18 @@ fn t_p(program: &IndexedProgram, i: &Assignment) -> Vec<u32> {
 /// atoms are all founded (the negation of condition 2).  Everything not
 /// founded is unfounded.
 fn greatest_unfounded_set(program: &IndexedProgram, i: &Assignment) -> Vec<bool> {
-    let n = program.atom_count();
-    let mut founded = vec![false; n];
+    greatest_unfounded_set_seeded(program, i, vec![false; program.atom_count()])
+}
+
+/// [`greatest_unfounded_set`] with pre-founded atoms: ids already `true` in
+/// `founded` are treated as externally established (used by
+/// [`well_founded_patch`], where atoms settled by the unaffected part of the
+/// program are founded exactly when they are not false there).
+fn greatest_unfounded_set_seeded(
+    program: &IndexedProgram,
+    i: &Assignment,
+    mut founded: Vec<bool>,
+) -> Vec<bool> {
     // usable[r] = rule r has no witness of unusability of type 1.
     let usable: Vec<bool> = program
         .rules
@@ -142,6 +152,118 @@ pub fn well_founded_of_ground(program: &GroundProgram) -> Model {
         }
     }
     Model::new(base, true_atoms, undefined)
+}
+
+/// Re-evaluates the well-founded model after a localized change, touching
+/// only the *affected* part of the program.
+///
+/// `affected` classifies atoms: affected atoms are recomputed, unaffected
+/// ones keep their truth value from `previous`.  The caller must pass a
+/// classification that is **closed under reverse dependencies** — whenever an
+/// atom is affected, the head of every rule whose body mentions it must be
+/// affected too.  Under that contract the program splits along its
+/// dependency condensation: the unaffected strongly connected components form
+/// a lower module with no edges from the affected components, so (by the
+/// splitting property of the well-founded semantics) their old truth values
+/// are still exact, and the alternating fixpoint only needs to run on the
+/// rules of the affected components, reading unaffected atoms as a fixed
+/// external context.
+///
+/// `previous` is consumed and updated surgically: the unaffected entries are
+/// kept in place, the affected ones are retired and replaced by the
+/// re-evaluation's result — the patch costs O(affected) plus one scan of the
+/// previous base, never a rebuild of the whole model.
+///
+/// [`crate::session::HiLogDb`] derives the classification from the reverse
+/// closure of the mutated predicate in its dependency analysis; passing
+/// `|_| true` degenerates to [`well_founded_of_ground`].
+pub fn well_founded_patch(
+    program: &GroundProgram,
+    previous: Model,
+    mut affected: impl FnMut(&Term) -> bool,
+) -> Model {
+    let affected_rules: GroundProgram = program
+        .rules
+        .iter()
+        .filter(|r| affected(&r.head))
+        .cloned()
+        .collect();
+    let indexed = IndexedProgram::build(&affected_rules);
+    let n = indexed.atom_count();
+    let mut assignment = Assignment::new(n);
+    // Frozen atoms: context from the unaffected part, never updated.  A
+    // frozen atom is pre-founded exactly when it is not false in `previous`
+    // (at the fixpoint of the full computation, the unfounded set is the set
+    // of false atoms).
+    let mut frozen = vec![false; n];
+    let mut pre_founded = vec![false; n];
+    for (id, atom) in indexed.atoms.iter() {
+        if !affected(atom) {
+            let id = id as usize;
+            frozen[id] = true;
+            match previous.truth(atom) {
+                Truth::True => {
+                    assignment.truth[id] = Some(true);
+                    pre_founded[id] = true;
+                }
+                Truth::False => assignment.truth[id] = Some(false),
+                Truth::Undefined => pre_founded[id] = true,
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        let trues = t_p(&indexed, &assignment);
+        let unfounded = greatest_unfounded_set_seeded(&indexed, &assignment, pre_founded.clone());
+        for a in trues {
+            // Heads of affected rules are affected atoms, never frozen.
+            debug_assert!(!frozen[a as usize]);
+            if assignment.truth[a as usize] != Some(true) {
+                assignment.truth[a as usize] = Some(true);
+                changed = true;
+            }
+        }
+        for (a, &unf) in unfounded.iter().enumerate() {
+            if frozen[a] {
+                continue;
+            }
+            if unf && assignment.truth[a] != Some(true) && assignment.truth[a] != Some(false) {
+                assignment.truth[a] = Some(false);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Surgical assembly: retire every previously affected base atom (an
+    // affected atom outside the re-evaluated rules has no rules left and is
+    // false), then install the re-evaluation's result.  Unaffected entries
+    // are never touched; new frozen atoms (context atoms a new rule mentions
+    // for the first time) join the base with their — unchanged — truth.
+    let mut model = previous;
+    let stale: Vec<Term> = model
+        .base()
+        .iter()
+        .filter(|atom| affected(atom))
+        .cloned()
+        .collect();
+    for atom in &stale {
+        model.remove(atom);
+    }
+    for (id, atom) in indexed.atoms.iter() {
+        if frozen[id as usize] {
+            model.add_base_atom(atom.clone());
+            continue;
+        }
+        match assignment.truth[id as usize] {
+            Some(true) => model.set_true(atom.clone()),
+            Some(false) => model.set_false(atom.clone()),
+            None => model.set_undefined(atom.clone()),
+        }
+    }
+    model
 }
 
 /// Checks whether a *total* candidate assignment over the ground program's
@@ -377,5 +499,67 @@ mod tests {
         let m = well_founded_of_ground(&GroundProgram::new());
         assert!(m.is_total());
         assert!(m.base().is_empty());
+    }
+
+    #[test]
+    fn patch_with_everything_affected_is_full_recomputation() {
+        let p = parse_program(
+            "p :- q. q :- p. r :- s, not p. s. t :- not r. u :- not u.\n\
+             winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).",
+        )
+        .unwrap();
+        let gp = relevant_ground(&p, EvalOptions::default()).unwrap();
+        let full = well_founded_of_ground(&gp);
+        let patched = well_founded_patch(&gp, Model::empty(), |_| true);
+        assert_eq!(full, patched);
+    }
+
+    #[test]
+    fn patch_recomputes_only_the_affected_module() {
+        // Two independent games over separate move relations; mutate one and
+        // patch with the other frozen.
+        let before = parse_program(
+            "w1(X) :- m1(X, Y), not w1(Y).\n\
+             w2(X) :- m2(X, Y), not w2(Y).\n\
+             m1(a, b). m2(u, v).",
+        )
+        .unwrap();
+        let after = parse_program(
+            "w1(X) :- m1(X, Y), not w1(Y).\n\
+             w2(X) :- m2(X, Y), not w2(Y).\n\
+             m1(a, b). m2(u, v). m1(b, c).",
+        )
+        .unwrap();
+        let old_model =
+            well_founded_of_ground(&relevant_ground(&before, EvalOptions::default()).unwrap());
+        let new_ground = relevant_ground(&after, EvalOptions::default()).unwrap();
+        // Affected: everything reachable (in reverse) from m1 — the w1/m1
+        // module; the w2/m2 module is frozen.
+        let affected = |atom: &Term| {
+            let name = atom.name().to_string();
+            name == "m1" || name == "w1"
+        };
+        let patched = well_founded_patch(&new_ground, old_model, affected);
+        let fresh = well_founded_of_ground(&new_ground);
+        assert_eq!(patched, fresh);
+        assert_eq!(patched.truth(&t("w1(b)")), Truth::True);
+        assert_eq!(patched.truth(&t("w1(a)")), Truth::False);
+        assert_eq!(patched.truth(&t("w2(u)")), Truth::True);
+    }
+
+    #[test]
+    fn patch_preserves_frozen_undefined_context() {
+        // `u :- not u.` is undefined and unaffected; the affected rule
+        // `p :- u.` must come out undefined too (not false), because the
+        // frozen undefined context atom is founded, not unfounded.
+        let p = parse_program("u :- not u. p :- u. q.").unwrap();
+        let gp = relevant_ground(&p, EvalOptions::default()).unwrap();
+        let old_model = well_founded_of_ground(&gp);
+        let affected = |atom: &Term| atom.name().to_string() == "p";
+        let patched = well_founded_patch(&gp, old_model.clone(), affected);
+        assert_eq!(patched, well_founded_of_ground(&gp));
+        assert_eq!(patched.truth(&t("p")), Truth::Undefined);
+        assert_eq!(patched.truth(&t("u")), Truth::Undefined);
+        assert_eq!(patched.truth(&t("q")), Truth::True);
     }
 }
