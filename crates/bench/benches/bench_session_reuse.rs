@@ -314,7 +314,117 @@ fn update_heavy_parts_rows(rows: &mut Vec<Measurement>) {
     push_update_rows(rows, workload, incremental, recompute);
 }
 
+/// Update-then-bound-query serving on a *sharded HiLog* win/move database:
+/// ten games behind one variable-headed winning rule, updates confined to
+/// games g0..g4, bound magic-route point queries confined to games g5..g9.
+///
+/// The variable-headed rule defeats predicate-level invalidation entirely
+/// (every `winning(M)(X)` table shares the rule), so before instance-level
+/// table maintenance each `assert_fact` cleared every subgoal table and each
+/// query re-solved its game from scratch.  With the recorded-edge closure,
+/// an update to game gK patches gK's fact table in place, drops only
+/// `winning(gK)` tables, and leaves the queried games' tables warm — the
+/// bound queries become pure cache hits.  The baseline is a drop-and-refill
+/// session rebuilt from the extended program after every update.
+fn warm_bound_query_rows(rows: &mut Vec<Measurement>, smoke: bool) {
+    const SHARDS: usize = 10;
+    let per_shard = if smoke { 6 } else { 15 };
+    let updates = if smoke { 10 } else { 50 };
+    let games: Vec<(String, Vec<(usize, usize)>)> = (0..SHARDS)
+        .map(|s| (format!("g{s}"), random_dag(per_shard, 2.0, 7 + s as u64)))
+        .collect();
+    let game_refs: Vec<(&str, Vec<(usize, usize)>)> = games
+        .iter()
+        .map(|(name, edges)| (name.as_str(), edges.clone()))
+        .collect();
+    let program = hilog_game_program(&game_refs);
+    // Updates round-robin over games g0..g4, each a genuinely new edge.
+    let mut cursors = [0usize; SHARDS];
+    let facts: Vec<Term> = (0..updates)
+        .map(|i| {
+            let s = i % (SHARDS / 2);
+            let existing: &[(usize, usize)] = &games[s].1;
+            loop {
+                let c = cursors[s];
+                cursors[s] += 1;
+                let a = c % per_shard;
+                let b = (a + 2 + c / per_shard) % per_shard;
+                if a != b && !existing.contains(&(a, b)) {
+                    return parse_term(&format!("g{s}({}, {})", node_name(a), node_name(b)))
+                        .unwrap();
+                }
+            }
+        })
+        .collect();
+    // Bound point queries round-robin over games g5..g9.
+    let queries: Vec<Query> = (0..updates)
+        .map(|i| {
+            let s = SHARDS / 2 + i % (SHARDS / 2);
+            Query::atom(
+                parse_term(&format!("winning(g{s})({})", node_name(i % per_shard))).unwrap(),
+            )
+        })
+        .collect();
+    let workload = format!(
+        "warm bound queries, sharded HiLog win/move n={} ({SHARDS} games) u={updates}",
+        SHARDS * per_shard
+    );
+
+    let incremental = median_time(REPEATS, || {
+        let mut db = HiLogDb::new(program.clone());
+        // Warm the queried games once, then serve updates + queries.
+        for s in SHARDS / 2..SHARDS {
+            db.query(&Query::atom(
+                parse_term(&format!("winning(g{s})({})", node_name(0))).unwrap(),
+            ))
+            .unwrap();
+        }
+        for (fact, query) in facts.iter().zip(&queries) {
+            db.assert_fact(fact.clone()).unwrap();
+            db.query(query).unwrap();
+        }
+    });
+    let refill = median_time(REPEATS, || {
+        let mut accumulated = program.clone();
+        for (fact, query) in facts.iter().zip(&queries) {
+            accumulated.push(Rule::fact(fact.clone()));
+            let mut db = HiLogDb::new(accumulated.clone());
+            db.query(query).unwrap();
+        }
+    });
+    rows.push(Measurement::new(
+        "TABLES",
+        workload.clone(),
+        "patched_tables_session",
+        secs(incremental) * 1e3,
+        "ms",
+    ));
+    rows.push(Measurement::new(
+        "TABLES",
+        workload.clone(),
+        "drop_and_refill_sessions",
+        secs(refill) * 1e3,
+        "ms",
+    ));
+    rows.push(Measurement::new(
+        "TABLES",
+        workload,
+        "speedup",
+        secs(refill) / secs(incremental).max(f64::EPSILON),
+        "x",
+    ));
+}
+
 fn main() {
+    let smoke = std::env::var("HILOG_BENCH_SMOKE").is_ok();
+    if smoke {
+        // CI smoke: run only the (reduced) warm-query scenario, and do not
+        // overwrite the committed measurements.
+        let mut rows = Vec::new();
+        warm_bound_query_rows(&mut rows, true);
+        print!("{}", to_markdown(&rows));
+        return;
+    }
     let mut rows = Vec::new();
     win_move_rows(&mut rows);
     parts_rows(&mut rows);
@@ -332,5 +442,13 @@ fn main() {
     let json = serde_json::to_string_pretty(&update_rows).expect("measurements serialise");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
     std::fs::write(path, json + "\n").expect("BENCH_incremental.json written");
+    println!("wrote {path}");
+
+    let mut table_rows = Vec::new();
+    warm_bound_query_rows(&mut table_rows, false);
+    print!("{}", to_markdown(&table_rows));
+    let json = serde_json::to_string_pretty(&table_rows).expect("measurements serialise");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tables.json");
+    std::fs::write(path, json + "\n").expect("BENCH_tables.json written");
     println!("wrote {path}");
 }

@@ -11,12 +11,24 @@
 //! relevance behaviour (irrelevant parts of the database are never visited)
 //! is the same, which is what experiment E7 measures.
 //!
-//! When the evaluator detects that settling a negative subgoal requires a
-//! subgoal that is still being evaluated higher up the chain — a negative
-//! dependency cycle at the instance level, as in Example 6.4 — it reports
-//! [`EngineError::NotModularlyStratified`], mirroring the paper's remark that
-//! the magic-sets method "would notice the negative dependency of `p(a)` on
-//! itself ... and not get as far as checking `p(b)`".
+//! Every subgoal table records the positive/negative dependency edges
+//! discovered while it was filled (the instance-level counterpart of the
+//! `dp` / `dn` bookkeeping predicates — see [`crate::magic::DepSign`]).  When
+//! settling a subgoal requires a subgoal that is still being evaluated
+//! higher up the chain — a negative dependency cycle at the instance level,
+//! as in Example 6.4 — the evaluator reports
+//! [`EngineError::NotModularlyStratified`] with the offending cycle read
+//! back from that recorded graph, mirroring the paper's remark that the
+//! magic-sets method "would notice the negative dependency of `p(a)` on
+//! itself ... and not get as far as checking `p(b)`".  Because every scope
+//! is saturated to a true fixpoint (including answers contributed by nested
+//! settles) the set of selected subgoal instances — and therefore the
+//! verdict — depends only on the program and the query, not on which tables
+//! happen to be complete already: a session that reuses completed tables
+//! reaches the same verdict and the same answers as a cold evaluator.
+//! Completed tables keep their edges, which is also what lets
+//! [`crate::session::HiLogDb`] *maintain* tables under mutation instead of
+//! dropping whole predicate closures.
 //!
 //! Subgoals must have ground predicate names and ground negative subgoals at
 //! selection time (the program must not *flounder*, footnote 10); the
@@ -25,6 +37,7 @@
 
 use crate::error::EngineError;
 use crate::horn::EvalOptions;
+use crate::magic::DepSign;
 use hilog_core::literal::{AggregateFunc, Literal};
 use hilog_core::program::Program;
 use hilog_core::rule::{Query, Rule};
@@ -75,6 +88,17 @@ pub struct EvalStats {
     /// Magic-sets plans never consult a model and report
     /// [`ModelSource::NotUsed`].
     pub model_source: ModelSource,
+    /// Number of subgoal tables the session *patched in place* (exact
+    /// answer-level edit of fact-backed tables) across the mutations since
+    /// the previous query.  Always zero for a raw [`QueryEvaluator`].
+    pub tables_patched: usize,
+    /// Number of subgoal tables the session dropped (instance-level reverse
+    /// dependency closure of the mutated atoms) across the mutations since
+    /// the previous query.
+    pub tables_dropped: usize,
+    /// Number of completed subgoal tables that survived into this query and
+    /// were available for reuse when it started.
+    pub tables_reused: usize,
 }
 
 /// How a full-model plan obtained the model it answered from.
@@ -111,11 +135,33 @@ impl serde::Serialize for ModelSource {
     }
 }
 
+/// One subgoal table: the normalised pattern (which is also its key in the
+/// table map), the ground answers derived for it, and the direct dependency
+/// edges discovered while it was filled.  The edges of a *complete* table
+/// describe its entire evaluation: refilling the table from scratch would
+/// select exactly the subgoal instances recorded here, so the session can
+/// use the recorded graph both to propagate invalidation at the instance
+/// level and to rule out masked negative cycles (a complete table's
+/// transitive dependency closure is settled and cycle-free).
 #[derive(Debug, Clone)]
 pub(crate) struct Table {
     pub(crate) pattern: Term,
     pub(crate) answers: BTreeSet<Term>,
     pub(crate) complete: bool,
+    /// Direct subgoal edges: normalised key of the dependency, strongest
+    /// polarity it was selected under ([`DepSign::Neg`] dominates).
+    pub(crate) deps: BTreeMap<Term, DepSign>,
+}
+
+impl Table {
+    fn new(pattern: Term) -> Self {
+        Table {
+            pattern,
+            answers: BTreeSet::new(),
+            complete: false,
+            deps: BTreeMap::new(),
+        }
+    }
 }
 
 /// A memoising query/subquery evaluator over a fixed program.
@@ -123,9 +169,17 @@ pub(crate) struct Table {
 pub struct QueryEvaluator<'p> {
     program: &'p Program,
     opts: EvalOptions,
-    tables: HashMap<String, Table>,
+    /// Subgoal tables keyed by their normalised pattern *structurally* (the
+    /// `Arc`-backed [`Term`] itself), so seeding, lookup and the session's
+    /// maintenance never render a pattern to text — and two patterns that
+    /// would print identically can never share a table.
+    tables: HashMap<Term, Table>,
     rename_counter: u32,
     stats: EvalStats,
+    /// Number of answers inserted by *this* evaluator (seeded answers are
+    /// not counted): the resource-limit measure, so that a warm evaluator
+    /// and a cold one face the same per-query derivation budget.
+    derived: usize,
     /// Rule indices grouped by the (ground) outermost functor and arity of
     /// their head, so that a subgoal only considers rules that could match it
     /// (the discrimination the magic predicates provide in the rewritten
@@ -148,7 +202,7 @@ impl<'p> QueryEvaluator<'p> {
     pub(crate) fn with_tables(
         program: &'p Program,
         opts: EvalOptions,
-        tables: HashMap<String, Table>,
+        tables: HashMap<Term, Table>,
     ) -> Self {
         let mut rules_by_head: HashMap<(Term, Option<usize>), Vec<usize>> = HashMap::new();
         let mut wildcard_rules = Vec::new();
@@ -169,6 +223,7 @@ impl<'p> QueryEvaluator<'p> {
             tables,
             rename_counter: 0,
             stats: EvalStats::default(),
+            derived: 0,
             rules_by_head,
             wildcard_rules,
         }
@@ -176,7 +231,7 @@ impl<'p> QueryEvaluator<'p> {
 
     /// Consumes the evaluator, handing its subgoal tables back to the caller
     /// (the session keeps the complete ones for the next query).
-    pub(crate) fn into_tables(self) -> HashMap<String, Table> {
+    pub(crate) fn into_tables(self) -> HashMap<Term, Table> {
         self.tables
     }
 
@@ -210,7 +265,13 @@ impl<'p> QueryEvaluator<'p> {
     /// Answers a single-atom subgoal: returns all ground instances of
     /// `pattern` that are true in the well-founded model of the program.
     pub fn solve_atom(&mut self, pattern: &Term) -> Result<Vec<Term>, EngineError> {
-        let key = self.evaluate_completely(pattern, &mut Vec::new())?;
+        if pattern.is_var() {
+            return Err(EngineError::Floundering(format!(
+                "subgoal `{pattern}` is an unbound variable"
+            )));
+        }
+        let key = self.normalize(pattern);
+        let key = self.evaluate_completely(key, &mut Vec::new())?;
         Ok(self.tables[&key].answers.iter().cloned().collect())
     }
 
@@ -252,16 +313,10 @@ impl<'p> QueryEvaluator<'p> {
     }
 
     /// Canonical key for a subgoal pattern: variables are renamed in order of
-    /// first occurrence so that variants share a table.
-    fn normalize(&self, pattern: &Term) -> (String, Term) {
-        let vars = pattern.variables();
-        let theta: Substitution = vars
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.clone(), Term::var(format!("_N{i}"))))
-            .collect();
-        let normalized = theta.apply(pattern);
-        (normalized.to_string(), normalized)
+    /// first occurrence so that variants share a table.  The normalised term
+    /// itself is the (structural) table key.
+    fn normalize(&self, pattern: &Term) -> Term {
+        normalize_pattern(pattern)
     }
 
     fn fresh_generation(&mut self) -> u32 {
@@ -269,8 +324,87 @@ impl<'p> QueryEvaluator<'p> {
         self.rename_counter
     }
 
-    /// Ensures the table for `pattern` exists and is complete, evaluating the
-    /// subgoal (and, recursively, everything it needs) to a fixpoint.
+    /// Records the dependency edge `from -> to` with the given polarity
+    /// ([`DepSign::Neg`] dominates a previously recorded positive edge).
+    fn record_edge(&mut self, from: &Term, to: Term, sign: DepSign) {
+        if let Some(table) = self.tables.get_mut(from) {
+            let entry = table.deps.entry(to).or_insert(sign);
+            if sign == DepSign::Neg {
+                *entry = DepSign::Neg;
+            }
+        }
+    }
+
+    /// Builds the [`EngineError::NotModularlyStratified`] report for a
+    /// request to settle `key` while it is still being settled: reads a
+    /// dependency cycle through `key` containing at least one negative edge
+    /// back from the recorded graph.  By construction the closing edge has
+    /// just been recorded, so the cycle is present; the search is bounded by
+    /// visiting each table at most twice (once per "negative edge seen yet"
+    /// state).
+    fn not_modularly_stratified(&self, key: &Term) -> EngineError {
+        /// One DFS frame: the table reached, whether the path to it crossed
+        /// a negative edge, and the edges walked so far (for the report).
+        type Frame = (Term, bool, Vec<(Term, DepSign)>);
+        let mut stack: Vec<Frame> = vec![(key.clone(), false, Vec::new())];
+        let mut visited: BTreeSet<(Term, bool)> = BTreeSet::new();
+        while let Some((node, has_neg, path)) = stack.pop() {
+            if !visited.insert((node.clone(), has_neg)) {
+                continue;
+            }
+            let Some(table) = self.tables.get(&node) else {
+                continue;
+            };
+            for (dep, sign) in &table.deps {
+                let neg = has_neg || sign.is_negative();
+                if dep == key && neg {
+                    let mut rendered = format!("`{key}`");
+                    for (step, sign) in path.iter().chain([(dep.clone(), *sign)].iter()) {
+                        rendered.push_str(if sign.is_negative() {
+                            " -not-> "
+                        } else {
+                            " -> "
+                        });
+                        rendered.push_str(&format!("`{step}`"));
+                    }
+                    return EngineError::NotModularlyStratified(format!(
+                        "the subgoal `{key}` depends on itself through negation or aggregation \
+                         (cf. Example 6.4): {rendered}"
+                    ));
+                }
+                if !visited.contains(&(dep.clone(), neg)) {
+                    let mut next_path = path.clone();
+                    next_path.push((dep.clone(), *sign));
+                    stack.push((dep.clone(), neg, next_path));
+                }
+            }
+        }
+        // Defensive: the closing edge is recorded before this runs, so a
+        // cycle must exist; keep a generic report in case it does not.
+        EngineError::NotModularlyStratified(format!(
+            "the subgoal `{key}` depends on itself through negation or aggregation \
+             (cf. Example 6.4)"
+        ))
+    }
+
+    /// Sum of the answers currently held by the tables in `scope` — the
+    /// fixpoint measure of [`Self::evaluate_completely`].  Computed over the
+    /// scope (not per-expansion deltas) so that answers contributed to a
+    /// scope table by a *nested* settle — e.g. a negative subgoal elsewhere
+    /// in the scope completing a table this scope also reads positively —
+    /// are observed and the affected rule bodies are re-joined.
+    fn scope_answers(&self, scope: &[Term]) -> usize {
+        scope
+            .iter()
+            .map(|k| self.tables.get(k).map_or(0, |t| t.answers.len()))
+            .sum()
+    }
+
+    /// Ensures the table for the *normalised* key exists and is complete,
+    /// evaluating the subgoal (and, recursively, everything it needs) to a
+    /// fixpoint.  Callers normalise once and pass the key (also recording
+    /// the dependency edge first, so a cycle-closing request is already in
+    /// the graph when this detects it).
     ///
     /// `in_progress` tracks the subgoal keys currently being settled; a
     /// request to *completely* settle a key that is already in progress is a
@@ -278,15 +412,14 @@ impl<'p> QueryEvaluator<'p> {
     /// modularly stratified.
     fn evaluate_completely(
         &mut self,
-        pattern: &Term,
-        in_progress: &mut Vec<String>,
-    ) -> Result<String, EngineError> {
-        if !pattern.name().is_ground() && pattern.is_var() {
+        key: Term,
+        in_progress: &mut Vec<Term>,
+    ) -> Result<Term, EngineError> {
+        if !key.name().is_ground() && key.is_var() {
             return Err(EngineError::Floundering(format!(
-                "subgoal `{pattern}` is an unbound variable"
+                "subgoal `{key}` is an unbound variable"
             )));
         }
-        let (key, normalized) = self.normalize(pattern);
         if let Some(table) = self.tables.get(&key) {
             if table.complete {
                 self.stats.cached_subqueries += 1;
@@ -294,44 +427,42 @@ impl<'p> QueryEvaluator<'p> {
             }
             // The subgoal is already being settled further up the negation
             // chain: a dependency cycle through negation at the instance
-            // level (Example 6.4).  A merely *incomplete* table that is not
-            // an ancestor (it belongs to an enclosing positive fixpoint) is
-            // fine — we saturate it here, which only brings its completion
-            // forward.
+            // level (Example 6.4), reported from the recorded dependency
+            // graph (the closing edge was recorded by the caller).  A merely
+            // *incomplete* table that is not an ancestor (it belongs to an
+            // enclosing positive fixpoint) is fine — we saturate it here,
+            // which only brings its completion forward.
             if in_progress.contains(&key) {
-                return Err(EngineError::NotModularlyStratified(format!(
-                    "the subgoal `{normalized}` depends on itself through negation or aggregation \
-                     (cf. Example 6.4)"
-                )));
+                return Err(self.not_modularly_stratified(&key));
             }
         } else {
-            self.tables.insert(
-                key.clone(),
-                Table {
-                    pattern: normalized.clone(),
-                    answers: BTreeSet::new(),
-                    complete: false,
-                },
-            );
+            self.tables.insert(key.clone(), Table::new(key.clone()));
         }
         in_progress.push(key.clone());
 
         // The set of subgoal keys whose fixpoint this evaluation owns.  New
         // positive subgoals encountered during expansion join the scope.
-        let mut scope: Vec<String> = vec![key.clone()];
+        //
+        // The round criterion compares the scope's total answer count, not a
+        // per-expansion "changed" flag: a nested settle (of a negative
+        // subgoal selected within this scope) can complete a table the scope
+        // also reads positively, and the rule bodies whose branches died on
+        // that table while it was still empty must be re-joined — otherwise
+        // the scope completes prematurely, missing answers and masking
+        // negative cycles behind them.
+        let mut scope: Vec<Term> = vec![key.clone()];
         loop {
-            let mut changed = false;
+            let before = self.scope_answers(&scope);
             let mut i = 0;
             while i < scope.len() {
                 let subgoal_key = scope[i].clone();
                 i += 1;
-                changed |= self.expand(&subgoal_key, &mut scope, in_progress)?;
+                self.expand(&subgoal_key, &mut scope, in_progress)?;
             }
-            if !changed {
+            if self.scope_answers(&scope) == before {
                 break;
             }
-            let total_answers: usize = self.tables.values().map(|t| t.answers.len()).sum();
-            if total_answers > self.opts.max_atoms {
+            if self.derived > self.opts.max_atoms {
                 return Err(EngineError::LimitExceeded(format!(
                     "query evaluation derived more than {} answers",
                     self.opts.max_atoms
@@ -347,50 +478,43 @@ impl<'p> QueryEvaluator<'p> {
         Ok(key)
     }
 
-    /// Registers (or finds) the table for a positive subgoal encountered
-    /// during expansion, adding it to the evaluation scope if it is new.
+    /// Registers (or finds) the table for a positive subgoal's *normalised*
+    /// key, adding it to the evaluation scope if it is new.
     fn table_for_positive(
         &mut self,
-        pattern: &Term,
-        scope: &mut Vec<String>,
-        in_progress: &[String],
-    ) -> Result<String, EngineError> {
-        let (key, normalized) = self.normalize(pattern);
+        key: Term,
+        scope: &mut Vec<Term>,
+        in_progress: &[Term],
+    ) -> Result<Term, EngineError> {
         if let Some(table) = self.tables.get(&key) {
             if !table.complete && !scope.contains(&key) {
                 // The subgoal is being settled in an enclosing evaluation
-                // whose completion transitively needs *this* evaluation:
-                // a dependency cycle through negation.
+                // whose completion transitively needs *this* evaluation: a
+                // dependency cycle through negation (the chain from the
+                // ancestor down to this scope crosses at least one settle
+                // boundary, so the recorded cycle has a negative edge).
                 if in_progress.contains(&key) {
-                    return Err(EngineError::NotModularlyStratified(format!(
-                        "the subgoal `{normalized}` is needed (through negation) while it is \
-                         still being settled"
-                    )));
+                    return Err(self.not_modularly_stratified(&key));
                 }
                 scope.push(key.clone());
             }
             return Ok(key);
         }
-        self.tables.insert(
-            key.clone(),
-            Table {
-                pattern: normalized,
-                answers: BTreeSet::new(),
-                complete: false,
-            },
-        );
+        self.tables.insert(key.clone(), Table::new(key.clone()));
         scope.push(key.clone());
         Ok(key)
     }
 
     /// One expansion pass over all rules whose head unifies with the
-    /// subgoal's pattern.  Returns `true` if any new answer was derived.
+    /// subgoal's pattern.  Dependency edges are recorded as subgoals are
+    /// selected — *before* they are settled, so that a cycle-closing
+    /// selection is already in the graph when the settle detects it.
     fn expand(
         &mut self,
-        subgoal_key: &str,
-        scope: &mut Vec<String>,
-        in_progress: &mut Vec<String>,
-    ) -> Result<bool, EngineError> {
+        subgoal_key: &Term,
+        scope: &mut Vec<Term>,
+        in_progress: &mut Vec<Term>,
+    ) -> Result<(), EngineError> {
         let pattern = self.tables[subgoal_key].pattern.clone();
         let mut derived: Vec<Term> = Vec::new();
         for rule_index in self.candidate_rules(&pattern) {
@@ -418,7 +542,9 @@ impl<'p> QueryEvaluator<'p> {
                                      when selected"
                                 )));
                             }
-                            let key = self.table_for_positive(&instantiated, scope, in_progress)?;
+                            let target = self.normalize(&instantiated);
+                            self.record_edge(subgoal_key, target.clone(), DepSign::Pos);
+                            let key = self.table_for_positive(target, scope, in_progress)?;
                             let answers: Vec<Term> =
                                 self.tables[&key].answers.iter().cloned().collect();
                             for answer in answers {
@@ -436,7 +562,9 @@ impl<'p> QueryEvaluator<'p> {
                                      non-ground (the rule order flounders, footnote 10)"
                                 )));
                             }
-                            let key = self.evaluate_completely(&instantiated, in_progress)?;
+                            let target = self.normalize(&instantiated);
+                            self.record_edge(subgoal_key, target.clone(), DepSign::Neg);
+                            let key = self.evaluate_completely(target, in_progress)?;
                             let is_true = self.tables[&key].answers.contains(&instantiated);
                             if !is_true {
                                 next.push(theta);
@@ -452,8 +580,9 @@ impl<'p> QueryEvaluator<'p> {
                         }
                         Literal::Aggregate(agg) => {
                             let instantiated_pattern = theta.apply(&agg.pattern);
-                            let key =
-                                self.evaluate_completely(&instantiated_pattern, in_progress)?;
+                            let target = self.normalize(&instantiated_pattern);
+                            self.record_edge(subgoal_key, target.clone(), DepSign::Neg);
+                            let key = self.evaluate_completely(target, in_progress)?;
                             let answers: Vec<Term> =
                                 self.tables[&key].answers.iter().cloned().collect();
                             // Group by the pattern variables that occur
@@ -532,8 +661,23 @@ impl<'p> QueryEvaluator<'p> {
                 table.answers.insert(d);
             }
         }
-        Ok(table.answers.len() != before)
+        self.derived += table.answers.len() - before;
+        Ok(())
     }
+}
+
+/// Canonical table key for a subgoal pattern: variables renamed to `_N0`,
+/// `_N1`, … in order of first occurrence, so variant patterns share a table.
+/// Exposed to the session facade so a warm single-atom query can look its
+/// table up without constructing an evaluator.
+pub(crate) fn normalize_pattern(pattern: &Term) -> Term {
+    let vars = pattern.variables();
+    let theta: Substitution = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.clone(), Term::var(format!("_N{i}"))))
+        .collect();
+    theta.apply(pattern)
 }
 
 /// Convenience function: answers a query against a program with a fresh
@@ -657,7 +801,7 @@ mod tests {
         let stats = ev.stats();
         // No table mentions move2 positions.
         assert!(
-            !ev.tables.keys().any(|k| k.contains("move2(x")),
+            !ev.tables.keys().any(|k| k.to_string().contains("move2(x")),
             "irrelevant subgoals were tabled: {:?}",
             ev.tables.keys().collect::<Vec<_>>()
         );

@@ -93,6 +93,14 @@ pub struct QueryPlan {
     /// Number of completed subgoal tables the session holds; a magic-sets
     /// route reuses any of them that the query touches.
     pub cached_subqueries: usize,
+    /// Number of subgoal tables the mutations since the last query *patched
+    /// in place* (exact answer-level edits of fact-backed tables, via the
+    /// recorded instance-level dependency graph).
+    pub patched_subqueries: usize,
+    /// Number of subgoal tables the mutations since the last query dropped
+    /// (the instance-level reverse dependency closure of the mutated atoms;
+    /// tables outside it survive untouched).
+    pub dropped_subqueries: usize,
     /// Human-readable reason for the routing decision.
     pub reason: String,
 }
@@ -129,6 +137,13 @@ impl fmt::Display for QueryPlan {
             },
             self.cached_subqueries
         )?;
+        if self.patched_subqueries > 0 || self.dropped_subqueries > 0 {
+            writeln!(
+                f,
+                "  tables:    {} patched in place, {} dropped since the last query",
+                self.patched_subqueries, self.dropped_subqueries
+            )?;
+        }
         write!(f, "  because:   {}", self.reason)
     }
 }

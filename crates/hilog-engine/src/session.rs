@@ -34,7 +34,9 @@ use crate::error::EngineError;
 use crate::ground::{GroundProgram, GroundRule};
 use crate::grounder::{ground_against, ground_delta};
 use crate::horn::{join_body, least_model, AtomStore, EvalOptions, NegationMode};
-use crate::magic_eval::{EvalStats, ModelSource, QueryEvaluator, Table, QUERY_HEAD};
+use crate::magic_eval::{
+    normalize_pattern, EvalStats, ModelSource, QueryEvaluator, Table, QUERY_HEAD,
+};
 use crate::modular::{figure1_procedure, ModularOutcome};
 use crate::plan::{adornment, query_is_bound, PlanStrategy, QueryPlan};
 use crate::stable::{stable_models_of_ground, StableOptions};
@@ -45,7 +47,7 @@ use hilog_core::program::Program;
 use hilog_core::rule::{Query, Rule};
 use hilog_core::subst::Substitution;
 use hilog_core::term::{Term, Var};
-use hilog_core::unify::match_with;
+use hilog_core::unify::{match_with, unify_with};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -238,6 +240,8 @@ impl HiLogDbBuilder {
             scratch: None,
             groundings: 0,
             patches: 0,
+            pending_patched: 0,
+            pending_dropped: 0,
         }
     }
 }
@@ -309,9 +313,13 @@ pub struct HiLogDb {
     stable: Option<Vec<Model>>,
     /// Cached Figure 1 outcome.
     modular: Option<ModularOutcome>,
-    /// Completed subgoal tables of the query-directed evaluator, keyed by
-    /// normalised subgoal pattern.
-    tables: HashMap<String, Table>,
+    /// Completed subgoal tables of the query-directed evaluator, keyed
+    /// structurally by their normalised subgoal pattern.  Each table carries
+    /// the dependency edges recorded while it was filled; mutations walk the
+    /// *reverse* closure of those edges (instance-level, unlike the
+    /// predicate-level `DepAnalysis`) to decide which tables to patch in
+    /// place, which to drop, and which to leave untouched.
+    tables: HashMap<Term, Table>,
     /// Scratch copy of the program used to host the auxiliary rule of
     /// conjunctive queries (cloned lazily, reused until the program mutates).
     scratch: Option<Program>,
@@ -319,6 +327,11 @@ pub struct HiLogDb {
     groundings: usize,
     /// Total incremental model patches performed since construction.
     patches: usize,
+    /// Subgoal tables patched in place by mutations since the last query
+    /// (reported through [`EvalStats::tables_patched`], then reset).
+    pending_patched: usize,
+    /// Subgoal tables dropped by mutations since the last query.
+    pending_dropped: usize,
 }
 
 impl HiLogDb {
@@ -356,9 +369,10 @@ impl HiLogDb {
     /// Asserts a ground fact.
     ///
     /// The dependency analysis is kept (facts add no edges); subgoal tables
-    /// are dropped only for predicates that can reach the fact's predicate,
-    /// and when nothing reads the predicate at all the cached ground program
-    /// and model are *patched* instead of discarded.
+    /// are maintained through their recorded dependency edges (tables
+    /// outside the instance-level closure survive, fact-backed tables are
+    /// patched in place), and when nothing reads the predicate at all the
+    /// cached ground program and model are *patched* instead of discarded.
     pub fn assert_fact(&mut self, fact: Term) -> Result<(), EngineError> {
         if !fact.is_ground() {
             return Err(EngineError::Floundering(format!(
@@ -408,22 +422,23 @@ impl HiLogDb {
         true
     }
 
-    /// Asserts a rule.  Rules add dependency edges, so every cache
-    /// (including the dependency analysis itself) is rebuilt lazily.
+    /// Asserts a rule.  Rules add predicate-level dependency edges, so the
+    /// analysis/grounding/model caches are rebuilt lazily — but the subgoal
+    /// tables are maintained at the instance level: the new rule can only
+    /// derive instances of its head, so only the tables whose pattern
+    /// overlaps the head (plus their recorded-edge reverse closure) are
+    /// dropped, and every other table survives.
     pub fn assert_rule(&mut self, rule: Rule) {
+        self.drop_tables_for_head(&rule.head);
         self.program.push(rule);
-        self.invalidate_all();
+        self.invalidate_caches_keeping_tables();
     }
 
     /// Retracts the first rule structurally equal to `rule`; returns `false`
     /// if the program contains no such rule.
     ///
-    /// Invalidation is targeted like `assert_fact`'s: subgoal tables survive
-    /// for every predicate outside the reverse-dependency closure of the
-    /// rule's head.  A cached (pre-removal) analysis works because its edge
-    /// set is a superset of the new one; an analysis built here sees the
-    /// post-removal program, whose closure from the head is also sufficient
-    /// (the removed rule only contributed edges *into* its head).  The
+    /// Subgoal tables survive outside the instance-level reverse closure of
+    /// the rule's head, exactly as for [`Self::assert_rule`].  The
     /// grounding/model caches have no provenance for the retracted rule's
     /// instantiations and are rebuilt lazily.
     pub fn retract_rule(&mut self, rule: &Rule) -> bool {
@@ -436,30 +451,14 @@ impl HiLogDb {
             self.scratch = None;
             return true;
         }
-        let had_stale_analysis = self.analysis.is_some();
-        let affected = pred_key(&rule.head).and_then(|key| self.analysis().affected_by(&key));
-        match affected {
-            Some(affected) => self
-                .tables
-                .retain(|_, t| pred_key(&t.pattern).is_some_and(|k| !affected.contains(&k))),
-            None => self.tables.clear(),
-        }
-        // An analysis built just now reflects the post-removal program and
-        // stays valid; only a pre-removal one must be dropped.
-        let fresh_analysis = if had_stale_analysis {
-            None
-        } else {
-            self.analysis.take()
-        };
+        self.drop_tables_for_head(&rule.head);
         self.invalidate_caches_keeping_tables();
-        self.analysis = fresh_analysis;
         true
     }
 
     /// Resets every cache except the subgoal tables (the one cache with
-    /// finer-than-global invalidation).  Shared by [`Self::invalidate_all`]
-    /// and [`Self::retract_rule`] so a future cache field cannot be reset in
-    /// one and forgotten in the other.
+    /// finer-than-global invalidation, maintained through the recorded
+    /// dependency edges instead).
     fn invalidate_caches_keeping_tables(&mut self) {
         self.analysis = None;
         self.ground = None;
@@ -471,21 +470,111 @@ impl HiLogDb {
         self.scratch = None;
     }
 
-    fn invalidate_all(&mut self) {
-        self.invalidate_caches_keeping_tables();
-        self.tables.clear();
+    // ------------------------------------------------------------------
+    // Instance-level subgoal-table maintenance over recorded edges
+    // ------------------------------------------------------------------
+
+    /// The keys of every subgoal table whose answers could change when the
+    /// set of atoms matching `probe` changes: the tables whose pattern
+    /// unifies with `probe`, plus the reverse closure under the dependency
+    /// edges the tables recorded while they were filled.
+    ///
+    /// This is *instance-level* where [`DepAnalysis::affected_by`] is
+    /// predicate-level: a mutation to one game of a HiLog win/move database
+    /// leaves the other games' `winning(g)(x)` tables untouched even though
+    /// every one of them shares the (variable-headed) winning rule.  It is
+    /// sound because a kept table's evaluation only ever consulted the
+    /// tables its recorded closure names: if none of them overlaps `probe`,
+    /// refilling the kept table would never read a changed atom — and any
+    /// *newly selectable* subgoal requires some consulted table to gain
+    /// answers first, which puts it inside the closure.
+    fn tables_affected_by(&self, probe: &Term) -> BTreeSet<Term> {
+        let renamed = rename_apart(probe);
+        let mut queue: Vec<Term> = self
+            .tables
+            .iter()
+            .filter(|(_, t)| {
+                let mut theta = Substitution::new();
+                unify_with(&t.pattern, &renamed, &mut theta)
+            })
+            .map(|(key, _)| key.clone())
+            .collect();
+        let mut readers: HashMap<&Term, Vec<&Term>> = HashMap::new();
+        for (key, table) in &self.tables {
+            for dep in table.deps.keys() {
+                readers.entry(dep).or_default().push(key);
+            }
+        }
+        let mut affected: BTreeSet<Term> = BTreeSet::new();
+        while let Some(key) = queue.pop() {
+            if !affected.insert(key.clone()) {
+                continue;
+            }
+            if let Some(rs) = readers.get(&key) {
+                queue.extend(rs.iter().map(|r| (*r).clone()));
+            }
+        }
+        affected
+    }
+
+    /// Folds a fact-level change into the subgoal tables: tables outside
+    /// the instance-level affected set survive untouched; affected tables
+    /// with no recorded subgoal edges (their answers are exactly the
+    /// matching bodyless instances) are *patched* by the exact answer
+    /// delta; affected tables with rule-derived answers are dropped and
+    /// refilled by the next query that needs them.
+    fn maintain_tables_for_fact(&mut self, fact: &Term, asserted: bool) {
+        let affected = self.tables_affected_by(fact);
+        if affected.is_empty() {
+            return;
+        }
+        // The retracted ground instance survives in a table if some other
+        // bodyless route still derives it (a builtin-guarded twin) — the
+        // same check the DRed path applies to the ground program.
+        let spontaneous = !asserted && fact.is_ground() && spontaneous_fact(&self.program, fact);
+        for key in affected {
+            let table = self.tables.get_mut(&key).expect("affected keys exist");
+            let mut theta = Substitution::new();
+            if table.deps.is_empty()
+                && fact.is_ground()
+                && match_with(&table.pattern, fact, &mut theta)
+            {
+                if asserted {
+                    table.answers.insert(fact.clone());
+                } else if !spontaneous {
+                    table.answers.remove(fact);
+                }
+                self.pending_patched += 1;
+            } else {
+                self.tables.remove(&key);
+                self.pending_dropped += 1;
+            }
+        }
+    }
+
+    /// Drops every table in the instance-level reverse closure of a rule
+    /// head (a new or retracted rule can change exactly the instances its
+    /// head covers, and whatever reads them).
+    fn drop_tables_for_head(&mut self, head: &Term) {
+        for key in self.tables_affected_by(head) {
+            self.tables.remove(&key);
+            self.pending_dropped += 1;
+        }
     }
 
     /// Targeted invalidation + incremental maintenance after a fact-level
     /// change to `fact`.  `asserted` is `true` for assertion, `false` for
     /// retraction.
     ///
-    /// Subgoal tables are dropped only for predicates inside the reverse
-    /// dependency closure of the fact's predicate.  The cached grounding is
+    /// Subgoal tables are maintained through the instance-level recorded
+    /// dependency graph ([`Self::maintain_tables_for_fact`]: unaffected
+    /// tables survive, fact-backed tables are patched in place, the rest of
+    /// the affected closure is dropped).  The cached grounding is
     /// *maintained* semi-naively (delta instantiation on assert, DRed
     /// overdelete/rederive on retract), and under the well-founded semantics
-    /// the cached model is marked dirty for exactly that closure — the next
-    /// query that needs it re-evaluates only the affected components.
+    /// the cached model is marked dirty for the predicate-level closure —
+    /// the next query that needs it re-evaluates only the affected
+    /// components.
     fn invalidate_for_fact(&mut self, fact: &Term, asserted: bool) {
         // The scratch program mirrors `self.program` and is always stale
         // after a fact-level change, whatever the dependency analysis says.
@@ -493,6 +582,7 @@ impl HiLogDb {
         // The Figure 1 outcome records the settling order, which even a pure
         // EDB fact can extend; recompute it on demand.
         self.modular = None;
+        self.maintain_tables_for_fact(fact, asserted);
         // `assert_fact` only admits ground atoms, but `assert_rule` (and the
         // builder) accept facts with variable predicate names, and those can
         // reach here through `retract_fact`; without a predicate identity the
@@ -504,14 +594,11 @@ impl HiLogDb {
         let Some((key, affected)) = keyed else {
             // A rule can define arbitrary predicates (variable head name):
             // any predicate may have changed.  The grounding is still
-            // maintainable atom-by-atom; only the per-predicate caches lose
-            // their discrimination.
-            self.tables.clear();
+            // maintainable atom-by-atom; only the per-predicate model caches
+            // lose their discrimination.
             self.apply_fact_delta(fact, asserted, DirtyScope::All);
             return;
         };
-        self.tables
-            .retain(|_, table| pred_key(&table.pattern).is_some_and(|k| !affected.contains(&k)));
         let analysis = self.analysis.as_ref().expect("analysis just built");
         let pure_edb = affected.len() == 1 && !analysis.derived.contains(&key);
         if pure_edb && asserted {
@@ -911,6 +998,8 @@ impl HiLogDb {
             cached_model: self.model.is_some(),
             stale_model: self.model.is_some() && self.dirty.is_some(),
             cached_subqueries: self.tables.values().filter(|t| t.complete).count(),
+            patched_subqueries: self.pending_patched,
+            dropped_subqueries: self.pending_dropped,
             reason,
         }
     }
@@ -919,9 +1008,12 @@ impl HiLogDb {
     /// chooses, reusing every cache the session holds.
     pub fn query(&mut self, query: &Query) -> Result<QueryResult, EngineError> {
         let plan = self.explain(query);
-        match plan.strategy {
+        // Table-maintenance observability: how many tables survived into
+        // this query (read before the route consumes the table map).
+        let tables_reused = self.tables.len();
+        let mut result = match plan.strategy {
             PlanStrategy::MagicSets => match self.query_magic(query) {
-                Ok((answers, stats)) => Ok(assemble(answers, stats, plan, None)),
+                Ok((answers, stats)) => assemble(answers, stats, plan, None),
                 Err(
                     err @ (EngineError::NotModularlyStratified(_) | EngineError::Floundering(_)),
                 ) => {
@@ -929,15 +1021,21 @@ impl HiLogDb {
                     // bottom-up well-founded construction still can.
                     let note = err.to_string();
                     let (answers, stats) = self.query_full(query)?;
-                    Ok(assemble(answers, stats, plan, Some(note)))
+                    assemble(answers, stats, plan, Some(note))
                 }
-                Err(err) => Err(err),
+                Err(err) => return Err(err),
             },
             PlanStrategy::FullModel => {
                 let (answers, stats) = self.query_full(query)?;
-                Ok(assemble(answers, stats, plan, None))
+                assemble(answers, stats, plan, None)
             }
-        }
+        };
+        // Consumed only on success, so a failed query (no stats to carry
+        // them) leaves the mutation window's counters for the next one.
+        result.stats.tables_patched = std::mem::take(&mut self.pending_patched);
+        result.stats.tables_dropped = std::mem::take(&mut self.pending_dropped);
+        result.stats.tables_reused = tables_reused;
+        Ok(result)
     }
 
     /// Three-valued truth of a single ground atom under the session's
@@ -955,6 +1053,32 @@ impl HiLogDb {
     /// completed tables; completed tables flow back into the session.
     fn query_magic(&mut self, query: &Query) -> Result<(Vec<QueryAnswer>, EvalStats), EngineError> {
         let vars = query.variables();
+        // Fast path: a single-atom query whose table is already complete is
+        // answered straight from the session's tables — no evaluator (and no
+        // per-query rule index) is built at all.  Sound because a complete
+        // table's recorded dependency closure is settled and cycle-free, so
+        // a cold evaluation of the same pattern would reach the same
+        // answers and the same (non-)verdict.
+        if let [Literal::Pos(atom)] = query.literals.as_slice() {
+            let key = normalize_pattern(atom);
+            if let Some(table) = self.tables.get(&key) {
+                if table.complete {
+                    let answers = table
+                        .answers
+                        .iter()
+                        .filter_map(|answer| {
+                            let mut theta = Substitution::new();
+                            match_with(atom, answer, &mut theta).then(|| true_answer(&theta, &vars))
+                        })
+                        .collect();
+                    let stats = EvalStats {
+                        cached_subqueries: 1,
+                        ..EvalStats::default()
+                    };
+                    return Ok((answers, stats));
+                }
+            }
+        }
         let tables = std::mem::take(&mut self.tables);
         // `QueryEvaluator::stats` totals over every table it holds, seeded
         // ones included; subtract the seeded counts so the reported stats
@@ -1197,6 +1321,18 @@ type PredKey = (Term, Option<usize>);
 fn pred_key(atom: &Term) -> Option<PredKey> {
     let name = atom.name();
     name.is_ground().then(|| (name.clone(), atom.arity()))
+}
+
+/// Renames a probe term's variables into a reserved generation so that
+/// unifying it against a table's normalised pattern (whose variables are
+/// generation-0 `_N*`) can never capture a variable by name.
+fn rename_apart(probe: &Term) -> Term {
+    let theta: Substitution = probe
+        .variables()
+        .iter()
+        .map(|v| (v.clone(), Term::Var(v.with_generation(u32::MAX))))
+        .collect();
+    theta.apply(probe)
 }
 
 /// Returns `true` if some rule with no positive or negative body atoms (a
@@ -1835,11 +1971,23 @@ mod tests {
         let repeat = db.query(&query).unwrap();
         assert_eq!(repeat.stats.rule_applications, 0);
         // Retracting one of the two copies is equally a no-op; retracting
-        // the second is not.
+        // the second is not: the winning tables are dropped, while the
+        // fact-backed move tables are patched in place and survive.
         assert!(db.retract_fact(&parse_term("move(a, b)").unwrap()));
         assert_eq!(db.explain(&query).cached_subqueries, warm);
         assert!(db.retract_fact(&parse_term("move(a, b)").unwrap()));
-        assert_eq!(db.explain(&query).cached_subqueries, 0);
+        let plan = db.explain(&query);
+        assert!(plan.dropped_subqueries > 0, "winning tables must drop");
+        assert!(plan.patched_subqueries > 0, "move tables must be patched");
+        assert!(
+            plan.cached_subqueries >= plan.patched_subqueries,
+            "patched and untouched tables must survive"
+        );
+        // The patched tables answer correctly: b still wins through
+        // move(b, c), and nothing else does.
+        let after = db.query(&query).unwrap();
+        assert_eq!(after.answers.len(), 1);
+        assert_eq!(after.answers[0].binding("X").unwrap(), &Term::sym("b"));
     }
 
     #[test]

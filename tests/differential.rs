@@ -13,7 +13,10 @@
 //! CI via `HILOG_DIFFERENTIAL_CASES`):
 //!
 //! * random range-restricted normal programs **with negation** — HiLogDb
-//!   well-founded model vs the naive engine's well-founded model;
+//!   well-founded model vs the naive engine's well-founded model, and the
+//!   magic-sets route's three-valued verdict per ground atom vs the model
+//!   (pins the tabled evaluator's fixpoint soundness and the
+//!   path-independence of its negative-cycle detection);
 //! * random **negation-free** normal programs — HiLogDb model (total) vs
 //!   the naive least model and the stratified model;
 //! * random strongly range-restricted **HiLog** programs (outside the
@@ -113,6 +116,36 @@ fn negation_free_programs_agree_with_the_naive_least_and_stratified_models() {
 }
 
 #[test]
+fn bound_queries_agree_with_the_full_model_on_normal_programs() {
+    // Instance-level cross-route oracle on programs *with negation*: every
+    // ground atom of the well-founded model must receive the same
+    // three-valued truth from the magic-sets route — completing with a
+    // two-valued verdict, or falling back on a detected negative cycle and
+    // surfacing the undefined value — as the model assigns.  This is the
+    // check that pins the evaluator's fixpoint soundness (a prematurely
+    // completed scope reports false for atoms the model makes true or
+    // undefined) and, because the session keeps its tables across the atom
+    // loop, the path-independence of the cycle verdict.
+    for seed in seeds(30) {
+        let program = random_range_restricted_normal(NormalProgramConfig::default(), seed);
+        let mut full = HiLogDb::new(program.clone());
+        let model = full.model().expect("model evaluates").clone();
+        let mut magic = HiLogDb::new(program);
+        for atom in model.base() {
+            let result = magic
+                .query(&Query::atom(atom.clone()))
+                .expect("bound query evaluates");
+            assert!(result.plan.is_magic_sets(), "seed {seed}");
+            assert_eq!(
+                result.truth,
+                model.truth(atom),
+                "magic route diverges from the model on `{atom}` (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
 fn hilog_programs_agree_across_plan_families() {
     // Outside the naive engine's normal fragment the oracle is
     // cross-*route*: the full-model plan of one session must agree, atom by
@@ -167,9 +200,9 @@ fn the_regression_corpus_is_committed_and_nonempty() {
         pinned.len() >= 50,
         "the pinned regression corpus must keep at least 50 seeds"
     );
-    // 50 pinned seeds run through four differential suites, plus the
+    // 50 pinned seeds run through five differential suites, plus the
     // generated extras, keeps the default run above the 200-case bar.
-    let total = seeds(70).len() + seeds(30).len() + 2 * seeds(0).len();
+    let total = seeds(70).len() + 2 * seeds(30).len() + 2 * seeds(0).len();
     assert!(
         total >= 200,
         "differential coverage dropped below 200 cases"

@@ -135,30 +135,14 @@ fn check_incremental_agreement(
 // Incremental ≡ from-scratch under randomized mutation *sequences*
 // ---------------------------------------------------------------------
 
-/// Canonical rendering of a result's *true* answers only.
-fn true_answer_set(result: &QueryResult) -> BTreeSet<String> {
-    result
-        .answers
-        .iter()
-        .filter(|a| a.truth == Truth::True)
-        .map(|a| a.to_string())
-        .collect()
-}
-
 /// Queries both the long-lived session and a fresh session built from the
-/// session's current program, and demands equivalent results.
-///
-/// Full-model plans are compared three-valued and answer-for-answer.  For
-/// magic-sets plans the comparison is as strict as the route allows: on
-/// non-modularly-stratified instances the tabled evaluator's cycle detection
-/// is *path-dependent* (whether the offending subgoal is ever selected
-/// depends on which tables are already complete), so a warm session may fall
-/// back to the full model — which additionally reports undefined instances —
-/// while a cold one completes with its true answers.  True answers and
-/// being-true are route-invariant and always compared; the full three-valued
-/// comparison applies whenever both sessions resolved through the same
-/// route.  (Making the detection path-independent is a ROADMAP item of the
-/// magic evaluator, not of incremental maintenance.)
+/// session's current program, and demands strictly equivalent results on
+/// *every* plan route: the same answers with the same three-valued truth,
+/// the same overall truth, and the same verdict (a warm session falls back
+/// to the full model on a non-modularly-stratified instance if and only if
+/// a cold one does — the evaluator's negative-cycle detection is
+/// path-independent, so which subgoal tables happen to be complete cannot
+/// change what the query reports).
 fn check_against_fresh(db: &mut HiLogDb, query: &hilog_core::rule::Query, context: &str) {
     let incremental = db.query(query).expect("incremental session answers");
     let mut fresh = HiLogDb::new(db.program().clone());
@@ -172,26 +156,20 @@ fn check_against_fresh(db: &mut HiLogDb, query: &hilog_core::rule::Query, contex
 
 /// The shared comparison policy of `check_against_fresh` and
 /// `check_incremental_agreement`: full three-valued, answer-for-answer
-/// equality whenever the two results resolved through the same route, and
-/// the route-invariant subset (true answers, being-true) otherwise.
+/// equality, identical overall truth, and an identical
+/// fell-back-to-the-full-model verdict.
 fn assert_results_agree(incremental: &QueryResult, reference: &QueryResult, context: &str) {
-    let same_route = incremental.plan.is_full_model()
-        || (incremental.fallback.is_some() == reference.fallback.is_some());
-    if same_route {
-        assert_eq!(
-            answer_set(incremental),
-            answer_set(reference),
-            "incremental and fresh sessions disagree {context}"
-        );
-        assert_eq!(incremental.truth, reference.truth, "{context}");
-    } else {
-        assert_eq!(
-            true_answer_set(incremental),
-            true_answer_set(reference),
-            "incremental and fresh sessions disagree on true answers {context}"
-        );
-        assert_eq!(incremental.is_true(), reference.is_true(), "{context}");
-    }
+    assert_eq!(
+        answer_set(incremental),
+        answer_set(reference),
+        "incremental and fresh sessions disagree {context}"
+    );
+    assert_eq!(incremental.truth, reference.truth, "{context}");
+    assert_eq!(
+        incremental.fallback.is_some(),
+        reference.fallback.is_some(),
+        "warm and cold sessions took different routes {context}"
+    );
 }
 
 /// Drives one randomized sequence of `assert_fact` / `retract_fact` /
@@ -279,6 +257,186 @@ fn pinned_mutation_sequences_match_fresh_sessions() {
         };
         run_mutation_sequence(seed, 4);
     }
+}
+
+/// The pinned Example 6.4 regression corpus: programs whose instances carry
+/// a dependency cycle through negation (or whose branch ordering makes the
+/// cycle evaluate away), probed from a cold session and from warm sessions
+/// prepared with several different query schedules.  Every schedule must
+/// produce the same verdict — the same fallback-to-the-full-model decision,
+/// with a `not modularly stratified` report when it happens — and the same
+/// three-valued answers.
+#[test]
+fn example_6_4_family_verdicts_are_path_independent() {
+    // (program, warm-up queries, probe queries)
+    type Entry = (
+        &'static str,
+        &'static [&'static str],
+        &'static [&'static str],
+    );
+    let corpus: &[Entry] = &[
+        // Example 6.4 with `not p(Z)` selected first: the self-dependency of
+        // p(a) is reached and the query falls back.
+        (
+            "p(X) :- t(X, Y, Z, P), not p(Z), not p(Y).\n\
+             t(a, b, a, p). t(c, a, b, p).\n\
+             p(b) :- t(X, Y, b, P).",
+            &["?- p(b).", "?- t(X, Y, Z, P)."],
+            &["?- p(a).", "?- p(X).", "?- p(c)."],
+        ),
+        // The paper's original literal order: the offending branch is killed
+        // by `not p(b)` before `not p(a)` is selected, so every session —
+        // warm or cold — completes without a fallback.
+        (
+            "p(X) :- t(X, Y, Z, P), not p(Y), not p(Z).\n\
+             t(a, b, a, p). t(c, a, b, p).\n\
+             p(b) :- t(X, Y, b, P).",
+            &["?- p(b).", "?- p(c)."],
+            &["?- p(a).", "?- p(X)."],
+        ),
+        // Win/move with a two-cycle a <-> b: winning(a) / winning(b) are
+        // undefined, and reaching them must report the cycle identically
+        // however much of the acyclic part is already tabled.
+        (
+            "winning(X) :- move(X, Y), not winning(Y).\n\
+             move(a, b). move(b, a). move(b, c). move(d, e).",
+            &["?- winning(d).", "?- winning(e).", "?- move(X, Y)."],
+            &["?- winning(a).", "?- winning(X)."],
+        ),
+        // Two HiLog games sharing one variable-headed rule, one game cyclic:
+        // warming the acyclic game must not change the cyclic game's
+        // verdict (nor may the cyclic game's tables poison the acyclic one).
+        (
+            "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+             game(g). game(h).\n\
+             g(a, b). g(b, c).\n\
+             h(x, y). h(y, x).",
+            &["?- winning(g)(a).", "?- winning(g)(X).", "?- game(M)."],
+            &[
+                "?- winning(h)(x).",
+                "?- winning(g)(b).",
+                "?- game(M), winning(M)(X).",
+            ],
+        ),
+    ];
+    for (i, (text, warmups, probes)) in corpus.iter().enumerate() {
+        let program = parse_program(text).unwrap();
+        for probe in *probes {
+            let probe_query = parse_query(probe).unwrap();
+            let mut cold = HiLogDb::new(program.clone());
+            let reference = cold.query(&probe_query).expect("cold session answers");
+            let schedules: Vec<Vec<&str>> = vec![
+                vec![],
+                warmups.to_vec(),
+                warmups.iter().rev().copied().collect(),
+                warmups.iter().chain(probes.iter()).copied().collect(),
+            ];
+            for schedule in schedules {
+                let mut warm = HiLogDb::new(program.clone());
+                for w in &schedule {
+                    let _ = warm.query(&parse_query(w).unwrap());
+                }
+                let result = warm.query(&probe_query).expect("warm session answers");
+                assert_results_agree(
+                    &result,
+                    &reference,
+                    &format!("corpus {i}, probe {probe}, warmed by {schedule:?}"),
+                );
+                if let Some(note) = &result.fallback {
+                    assert!(
+                        note.contains("not modularly stratified"),
+                        "unexpected fallback reason: {note}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Instance-level table maintenance: a mutation to one game of a shared
+/// (variable-headed) HiLog rule keeps the other game's tables, patches the
+/// mutated game's fact tables in place, and drops only the mutated game's
+/// derived tables — observable through the new `EvalStats` counters.
+#[test]
+fn mutations_patch_and_keep_tables_at_the_instance_level() {
+    let mut db = HiLogDb::new(
+        parse_program(
+            "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).\n\
+             game(g). game(h).\n\
+             g(a, b). g(b, c).\n\
+             h(x, y). h(y, z).",
+        )
+        .unwrap(),
+    );
+    let g_query = parse_query("?- winning(g)(X).").unwrap();
+    let h_query = parse_query("?- winning(h)(X).").unwrap();
+    db.query(&g_query).unwrap();
+    let h_first = db.query(&h_query).unwrap();
+    assert!(h_first.stats.rule_applications > 0);
+    // A new g edge: the g fact tables are patched, the winning(g) tables are
+    // dropped, and everything h survives untouched.
+    db.assert_fact(parse_term("g(c, d)").unwrap()).unwrap();
+    let plan = db.explain(&h_query);
+    assert!(plan.patched_subqueries > 0, "g fact tables must be patched");
+    assert!(plan.dropped_subqueries > 0, "winning(g) tables must drop");
+    let h_second = db.query(&h_query).unwrap();
+    assert_eq!(
+        h_second.stats.rule_applications, 0,
+        "the untouched game's tables were dropped"
+    );
+    assert!(h_second.stats.cached_subqueries > 0);
+    assert!(h_second.stats.tables_reused > 0);
+    assert_eq!(h_second.stats.tables_patched, plan.patched_subqueries);
+    assert_eq!(h_second.stats.tables_dropped, plan.dropped_subqueries);
+    // The patched g tables answer correctly: chain a -> b -> c -> d.
+    let g_after = db.query(&g_query).unwrap();
+    let xs: BTreeSet<String> = g_after
+        .answers
+        .iter()
+        .map(|a| a.binding("X").unwrap().to_string())
+        .collect();
+    assert_eq!(xs, ["a".to_string(), "c".to_string()].into_iter().collect());
+    check_against_fresh(&mut db, &g_query, "instance-level maintenance");
+}
+
+/// The acceptance scenario: a pure-EDB assert (nothing derives or reads the
+/// predicate beyond its own table) drops zero tables — the fact's own table
+/// is patched in place and every other table is reused.
+#[test]
+fn pure_edb_asserts_drop_zero_tables_and_patch_in_place() {
+    let mut db = HiLogDb::new(
+        parse_program(
+            "winning(X) :- move(X, Y), not winning(Y).\n\
+             move(a, b). move(b, c). colour(a, red).",
+        )
+        .unwrap(),
+    );
+    let win = parse_query("?- winning(X).").unwrap();
+    let colours = parse_query("?- colour(X, C).").unwrap();
+    db.query(&win).unwrap();
+    db.query(&colours).unwrap();
+    let warm = db.explain(&win).cached_subqueries;
+    db.assert_fact(parse_term("colour(b, blue)").unwrap())
+        .unwrap();
+    let result = db.query(&colours).unwrap();
+    assert_eq!(result.stats.tables_dropped, 0, "unrelated tables dropped");
+    assert_eq!(result.stats.tables_patched, 1, "colour table not patched");
+    assert_eq!(result.stats.tables_reused, warm);
+    assert_eq!(
+        result.stats.rule_applications, 0,
+        "the patched colour table should answer without re-evaluation"
+    );
+    let cs: BTreeSet<String> = result
+        .answers
+        .iter()
+        .map(|a| a.binding("C").unwrap().to_string())
+        .collect();
+    assert_eq!(
+        cs,
+        ["red".to_string(), "blue".to_string()]
+            .into_iter()
+            .collect()
+    );
 }
 
 #[test]
