@@ -1,0 +1,148 @@
+//! The argument-index join engine versus the pre-index functor-scan
+//! baseline, on the two join-heavy workloads the index was built for:
+//!
+//! * **join-heavy win/move** — the guarded game rule
+//!   `winning(X) :- position(X), move(X, Y), not winning(Y).` over a random
+//!   DAG: once `position(X)` binds `X`, the `move(X, Y)` literal probes the
+//!   argument-0 index instead of scanning the whole `move/2` extension per
+//!   seed substitution;
+//! * **wide-EDB transitive closure** — `tc(X, Y) :- e(X, Z), tc(Z, Y).` over
+//!   a wide random graph: every semi-naive round probes the (large, growing)
+//!   `tc/2` store on its bound first argument.
+//!
+//! Both sides run the *same* code path end to end; the baseline disables
+//! argument-index probing through `hilog_engine::horn::scan_only_guard`, so
+//! the measured difference is exactly the index.  Besides the markdown table
+//! the run records `BENCH_joins.json` at the repository root (cited in
+//! ROADMAP.md), including the `index_probes` / `index_fallback_scans`
+//! counters so a silent regression to full scans is visible in the data.
+//!
+//! `HILOG_BENCH_SMOKE=1` runs reduced sizes, asserts that the indexed path
+//! actually probes indexes and stays correct against the scan baseline, and
+//! does not overwrite the committed measurements.
+
+use hilog_bench::{median_time, to_markdown, Measurement};
+use hilog_core::program::Program;
+use hilog_engine::horn::{least_model, probe_counters, scan_only_guard, EvalOptions, NegationMode};
+use hilog_engine::session::HiLogDb;
+use hilog_syntax::parse_program;
+use hilog_workloads::{node_name, random_dag};
+use std::time::Duration;
+
+const REPEATS: usize = 3;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// `winning(X) :- position(X), move(X, Y), not winning(Y).` over a random
+/// DAG of `nodes` positions — the join-heavy variant of Example 6.1: the
+/// grounding join binds `X` first, so the `move` literal is an indexable
+/// probe.
+fn guarded_game_program(nodes: usize, seed: u64) -> Program {
+    let mut text = String::from("winning(X) :- position(X), move(X, Y), not winning(Y).\n");
+    for i in 0..nodes {
+        text.push_str(&format!("position({}).\n", node_name(i)));
+    }
+    for (u, v) in random_dag(nodes, 2.0, seed) {
+        text.push_str(&format!("move({}, {}).\n", node_name(u), node_name(v)));
+    }
+    parse_program(&text).expect("guarded game program parses")
+}
+
+/// `tc` over a wide random graph: the EDB is broad and the `tc(Z, Y)`
+/// recursion probes an ever-growing store on its bound first argument.
+fn tc_program(nodes: usize, degree: f64, seed: u64) -> Program {
+    let mut text = String::from(
+        "tc(X, Y) :- e(X, Y).\n\
+         tc(X, Y) :- e(X, Z), tc(Z, Y).\n",
+    );
+    for (u, v) in random_dag(nodes, degree, seed) {
+        text.push_str(&format!("e({}, {}).\n", node_name(u), node_name(v)));
+    }
+    parse_program(&text).expect("tc program parses")
+}
+
+/// Measures `run` with argument indexes on and off, emitting the three
+/// standard rows plus the indexed run's probe counters.  Returns the
+/// (indexed, scanned) durations for the smoke-mode sanity checks.
+fn compare(
+    rows: &mut Vec<Measurement>,
+    workload: &str,
+    mut run: impl FnMut(),
+) -> (Duration, Duration) {
+    let (probes_before, fallbacks_before) = probe_counters();
+    run(); // one counted warm-up pass for the probe statistics
+    let (probes_after, fallbacks_after) = probe_counters();
+    let indexed = median_time(REPEATS, &mut run);
+    let scanned = median_time(REPEATS, || {
+        let _guard = scan_only_guard();
+        run();
+    });
+    for (metric, value, unit) in [
+        ("arg_indexed", secs(indexed) * 1e3, "ms"),
+        ("functor_scan_baseline", secs(scanned) * 1e3, "ms"),
+        (
+            "speedup",
+            secs(scanned) / secs(indexed).max(f64::EPSILON),
+            "x",
+        ),
+        (
+            "index_probes",
+            (probes_after - probes_before) as f64,
+            "probes",
+        ),
+        (
+            "index_fallback_scans",
+            (fallbacks_after - fallbacks_before) as f64,
+            "scans",
+        ),
+    ] {
+        rows.push(Measurement::new("JOINS", workload, metric, value, unit));
+    }
+    (indexed, scanned)
+}
+
+fn main() {
+    let smoke = std::env::var("HILOG_BENCH_SMOKE").is_ok();
+    let mut rows = Vec::new();
+
+    let game_sizes: &[usize] = if smoke { &[40] } else { &[300, 500] };
+    for &nodes in game_sizes {
+        let program = guarded_game_program(nodes, 7);
+        let workload = format!("join-heavy win/move n={nodes}");
+        let (probes0, _) = probe_counters();
+        compare(&mut rows, &workload, || {
+            let mut db = HiLogDb::new(program.clone());
+            db.model().expect("model of the guarded game");
+        });
+        let (probes1, _) = probe_counters();
+        assert!(
+            probes1 > probes0,
+            "the win/move grounding joins never touched an argument index"
+        );
+    }
+
+    let tc_sizes: &[usize] = if smoke { &[30] } else { &[120] };
+    for &nodes in tc_sizes {
+        let program = tc_program(nodes, 3.0, 11);
+        let workload = format!("wide-EDB transitive closure n={nodes}");
+        compare(&mut rows, &workload, || {
+            let m = least_model(&program, NegationMode::Forbid, EvalOptions::default())
+                .expect("tc least model");
+            assert!(!m.is_empty());
+        });
+    }
+
+    print!("{}", to_markdown(&rows));
+    if smoke {
+        // CI smoke: correctness and observability only — the speedup numbers
+        // of a shared runner are noise, and the committed measurements must
+        // not be overwritten.
+        return;
+    }
+    let json = serde_json::to_string_pretty(&rows).expect("measurements serialise");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_joins.json");
+    std::fs::write(path, json + "\n").expect("BENCH_joins.json written");
+    println!("wrote {path}");
+}

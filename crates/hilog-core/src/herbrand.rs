@@ -63,7 +63,7 @@ impl Vocabulary {
             // as argument symbols (e.g. `e` in `tc(e)(a,b)`).
             let mut name = atom.name();
             while let Term::App(inner, args) = name {
-                for a in args {
+                for a in args.iter() {
                     Self::record_argument(a, vocab);
                 }
                 name = inner;
@@ -103,7 +103,7 @@ impl Vocabulary {
                     vocab.function_symbols.insert(s.clone());
                     vocab.argument_symbols.insert(s.clone());
                 }
-                for a in args {
+                for a in args.iter() {
                     Self::record_argument(a, vocab);
                 }
             }

@@ -252,6 +252,32 @@ impl Model {
         &self.base
     }
 
+    /// The base atoms that could match a (possibly partially instantiated)
+    /// atom pattern.
+    ///
+    /// The base is ordered with application terms keyed by their predicate
+    /// name first, so all atoms sharing a ground name form one contiguous
+    /// range: the probe seeks to its start and stops at its end, never
+    /// scanning the rest of the base.  Patterns with a variable predicate
+    /// name (or bare-variable patterns) fall back to the full base.  Callers
+    /// still match/unify against each candidate — this only narrows the
+    /// walk, exactly like the engine's argument-indexed candidate probes.
+    pub fn base_candidates<'a>(&'a self, pattern: &'a Term) -> BaseCandidates<'a> {
+        let name = pattern.name();
+        if let (Term::App(_, _), true) = (pattern, name.is_ground()) {
+            // `App(name, [])` is the least application with this name, and
+            // every non-application orders before all applications, so the
+            // range below starts exactly at the name's first atom.
+            let lower = Term::app(name.clone(), Vec::new());
+            return BaseCandidates::Named {
+                range: self.base.range(lower..),
+                name,
+                arity: pattern.arity(),
+            };
+        }
+        BaseCandidates::All(self.base.iter())
+    }
+
     /// The true atoms.
     pub fn true_atoms(&self) -> &BTreeSet<Term> {
         &self.true_atoms
@@ -403,6 +429,45 @@ impl Model {
     }
 }
 
+/// Iterator returned by [`Model::base_candidates`]: either the contiguous
+/// name-keyed range of the ordered base, or the whole base for patterns
+/// without a ground predicate name.
+#[derive(Debug, Clone)]
+pub enum BaseCandidates<'a> {
+    /// Contiguous range of atoms sharing the pattern's ground name.
+    Named {
+        /// Range cursor positioned at the name's first atom.
+        range: std::collections::btree_set::Range<'a, Term>,
+        /// The pattern's (ground) predicate name.
+        name: &'a Term,
+        /// The pattern's arity; candidates of other arities are skipped.
+        arity: Option<usize>,
+    },
+    /// Full-base fallback (variable predicate name).
+    All(std::collections::btree_set::Iter<'a, Term>),
+}
+
+impl<'a> Iterator for BaseCandidates<'a> {
+    type Item = &'a Term;
+
+    fn next(&mut self) -> Option<&'a Term> {
+        match self {
+            BaseCandidates::Named { range, name, arity } => loop {
+                let atom = range.next()?;
+                // The range is sorted by name first: once the name moves past
+                // the pattern's, no later atom can match.
+                if atom.name() != *name {
+                    return None;
+                }
+                if atom.arity() == *arity {
+                    return Some(atom);
+                }
+            },
+            BaseCandidates::All(iter) => iter.next(),
+        }
+    }
+}
+
 impl fmt::Display for Model {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -437,6 +502,45 @@ mod tests {
 
     fn atom(name: &str) -> Term {
         Term::sym(name)
+    }
+
+    #[test]
+    fn base_candidates_walk_only_the_named_range() {
+        let mk = |name: &str, args: &[&str]| Term::apps(name, args.iter().map(Term::sym).collect());
+        let hilog = Term::app(
+            Term::apps("winning", vec![Term::sym("g")]),
+            vec![Term::sym("x")],
+        );
+        let base = vec![
+            Term::sym("zero_ary"),
+            mk("edge", &["a", "b"]),
+            mk("edge", &["b", "c"]),
+            mk("edge", &["a"]), // same name, different arity
+            mk("move", &["a", "b"]),
+            hilog.clone(),
+        ];
+        let model = Model::new(base.clone(), vec![], vec![]);
+        let probe =
+            |pattern: &Term| -> Vec<Term> { model.base_candidates(pattern).cloned().collect() };
+        // Ground-named binary pattern: exactly the edge/2 atoms.
+        let edges = probe(&mk("edge", &["a", "b"]).clone());
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().all(|a| a.name() == &Term::sym("edge")));
+        // Arity discriminates within the name.
+        assert_eq!(probe(&Term::apps("edge", vec![Term::var("X")])).len(), 1);
+        // HiLog compound names are a range key too.
+        assert_eq!(
+            probe(&Term::app(
+                Term::apps("winning", vec![Term::sym("g")]),
+                vec![Term::var("X")],
+            )),
+            vec![hilog]
+        );
+        // Variable predicate names fall back to the whole base.
+        let open = Term::app(Term::var("P"), vec![Term::var("X"), Term::var("Y")]);
+        assert_eq!(probe(&open).len(), base.len());
+        // Absent names yield nothing.
+        assert!(probe(&Term::apps("absent", vec![Term::var("X")])).is_empty());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod analysis;
 pub mod builtin;
 pub mod error;
 pub mod herbrand;
+pub mod intern;
 pub mod interpretation;
 pub mod literal;
 pub mod program;
@@ -55,6 +56,7 @@ pub mod universal;
 pub use builtin::{BuiltinCall, BuiltinOp};
 pub use error::CoreError;
 pub use herbrand::{HerbrandBounds, HerbrandUniverse, Vocabulary};
+pub use intern::{AtomId, TermInterner};
 pub use interpretation::{Interpretation, Model, Truth};
 pub use literal::{Aggregate, AggregateFunc, Literal};
 pub use program::Program;

@@ -91,28 +91,65 @@ impl Substitution {
 
     /// Applies the substitution to a term, replacing bound variables by their
     /// (recursively substituted) bindings.
+    ///
+    /// Subterms the substitution does not touch are **shared** with the input
+    /// (an `Arc` bump, no rebuild), so repeated applications over mostly
+    /// ground terms cost O(changed) and keep pointer identity — which the
+    /// pointer fast paths of [`Term`]'s equality/ordering then exploit.
     pub fn apply(&self, term: &Term) -> Term {
         if self.map.is_empty() {
             return term.clone();
         }
-        self.apply_inner(term, 0)
+        self.apply_shared(term, 0).unwrap_or_else(|| term.clone())
     }
 
-    fn apply_inner(&self, term: &Term, depth: usize) -> Term {
+    /// Returns `Some(rewritten)` when the substitution changes the term,
+    /// `None` when it leaves it untouched (the caller reuses the original).
+    fn apply_shared(&self, term: &Term, depth: usize) -> Option<Term> {
         // Depth guard: bindings produced by unification with occurs check are
         // acyclic, so this is defensive only.
         const MAX_DEPTH: usize = 10_000;
         match term {
             Term::Var(v) => match self.map.get(v) {
-                Some(t) if depth < MAX_DEPTH && t != term => self.apply_inner(t, depth + 1),
-                Some(t) => t.clone(),
-                None => term.clone(),
+                Some(t) if depth < MAX_DEPTH && t != term => {
+                    Some(self.apply_shared(t, depth + 1).unwrap_or_else(|| t.clone()))
+                }
+                Some(t) => Some(t.clone()),
+                None => None,
             },
-            Term::Sym(_) | Term::Int(_) => term.clone(),
-            Term::App(name, args) => Term::App(
-                Box::new(self.apply_inner(name, depth)),
-                args.iter().map(|a| self.apply_inner(a, depth)).collect(),
-            ),
+            Term::Sym(_) | Term::Int(_) => None,
+            Term::App(name, args) => {
+                let new_name = self.apply_shared(name, depth);
+                // Rebuild the argument vector lazily: untouched prefixes are
+                // copied (cheap Arc bumps) only once a change appears.
+                let mut new_args: Option<Vec<Term>> = None;
+                for (i, a) in args.iter().enumerate() {
+                    match self.apply_shared(a, depth) {
+                        Some(changed) => {
+                            new_args
+                                .get_or_insert_with(|| args[..i].to_vec())
+                                .push(changed);
+                        }
+                        None => {
+                            if let Some(v) = new_args.as_mut() {
+                                v.push(a.clone());
+                            }
+                        }
+                    }
+                }
+                if new_name.is_none() && new_args.is_none() {
+                    return None;
+                }
+                let name = match new_name {
+                    Some(n) => std::sync::Arc::new(n),
+                    None => name.clone(),
+                };
+                let args: std::sync::Arc<[Term]> = match new_args {
+                    Some(v) => v.into(),
+                    None => args.clone(),
+                };
+                Some(Term::App(name, args))
+            }
         }
     }
 

@@ -6,15 +6,33 @@
 //! is therefore just an immutable, cheaply clonable name.
 
 use std::borrow::Borrow;
+use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The global symbol pool: every [`Symbol::new`] hands out the one shared
+/// allocation for its name, so structurally equal symbols are always
+/// pointer-equal and the equality fast path below never misses.
+///
+/// The pool grows monotonically — entries are never drained, so a process
+/// interning unboundedly many *distinct* names (not just unboundedly many
+/// symbols) retains them all.  That is the deliberate trade for lock-free
+/// reads of shared names; a long-running server ingesting arbitrary
+/// user-supplied vocabularies should switch to a weak-reference pool (noted
+/// as an open item in ROADMAP.md).
+fn pool() -> &'static Mutex<HashSet<Arc<str>>> {
+    static POOL: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(HashSet::new()))
+}
 
 /// An interned, immutable HiLog symbol.
 ///
-/// Symbols are cheap to clone (an [`Arc`] bump) and compare by their textual
-/// name.  Equality, ordering and hashing are all derived from the name, so a
-/// symbol created twice from the same string behaves identically regardless
-/// of provenance.
+/// Symbols are hash-consed: [`Symbol::new`] interns the name in a global
+/// pool, so two symbols with the same name always share one allocation.
+/// Cloning is an [`Arc`] bump and equality is a pointer comparison (with a
+/// defensive textual fallback); ordering and hashing remain textual so
+/// collections stay deterministic and `Borrow<str>` lookups keep working.
 ///
 /// ```
 /// use hilog_core::Symbol;
@@ -23,13 +41,20 @@ use std::sync::Arc;
 /// assert_eq!(a, b);
 /// assert_eq!(a.name(), "tc");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone)]
 pub struct Symbol(Arc<str>);
 
 impl Symbol {
-    /// Creates a symbol with the given name.
+    /// Creates a symbol with the given name, interning it in the global pool.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Symbol(Arc::from(name.as_ref()))
+        let name = name.as_ref();
+        let mut pool = pool().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = pool.get(name) {
+            return Symbol(existing.clone());
+        }
+        let arc: Arc<str> = Arc::from(name);
+        pool.insert(arc.clone());
+        Symbol(arc)
     }
 
     /// Returns the textual name of the symbol.
@@ -47,6 +72,39 @@ impl Symbol {
             }
             _ => true,
         }
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning makes equal names pointer-equal; the textual fallback
+        // only matters across pool generations (it cannot occur today, but
+        // keeps equality purely structural by definition).
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Symbol {}
+
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Textual, so it agrees with `str`'s hash (required by `Borrow<str>`).
+        self.0.hash(state);
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        self.0.cmp(&other.0)
     }
 }
 
@@ -108,6 +166,16 @@ mod tests {
         assert_eq!(a, b);
         // Both point at the same allocation.
         assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn independent_constructions_are_hash_consed() {
+        // Two symbols built from the same text share the pooled allocation,
+        // so the equality fast path is a pointer comparison.
+        let a = Symbol::new("hash_consed_probe");
+        let b = Symbol::new(String::from("hash_consed_probe"));
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
     }
 
     #[test]

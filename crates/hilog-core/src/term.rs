@@ -15,8 +15,11 @@
 //! semantics.
 
 use crate::symbol::Symbol;
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A HiLog variable.
 ///
@@ -82,7 +85,14 @@ impl From<&str> for Var {
 }
 
 /// A HiLog term (equivalently, a HiLog atom).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Application nodes are `Arc`-backed, so cloning any term is O(1) reference
+/// bumps — a substitution, a store insertion or a table answer never deep
+/// copies.  Equality and ordering are structural but short-circuit on shared
+/// pointers, which the Arc-sharing [`crate::subst::Substitution::apply`] and
+/// the hash-consed [`Symbol`] pool make the common case on evaluation hot
+/// paths.
+#[derive(Clone)]
 pub enum Term {
     /// A variable.
     Var(Var),
@@ -94,7 +104,7 @@ pub enum Term {
     Int(i64),
     /// An application `name(args...)`: the *name* is itself an arbitrary
     /// term, and `args` may be empty (the 0-ary atom `p()` of footnote 1).
-    App(Box<Term>, Vec<Term>),
+    App(Arc<Term>, Arc<[Term]>),
 }
 
 impl Term {
@@ -115,7 +125,7 @@ impl Term {
 
     /// Builds the application of `name` to `args`.
     pub fn app(name: Term, args: Vec<Term>) -> Term {
-        Term::App(Box::new(name), args)
+        Term::App(Arc::new(name), args.into())
     }
 
     /// Builds the common case `symbol(args...)`.
@@ -221,7 +231,7 @@ impl Term {
             Term::Sym(_) | Term::Int(_) => {}
             Term::App(name, args) => {
                 name.collect_variables(out, seen);
-                for a in args {
+                for a in args.iter() {
                     a.collect_variables(out, seen);
                 }
             }
@@ -255,7 +265,7 @@ impl Term {
             }
             Term::App(name, args) => {
                 name.collect_symbols(out);
-                for a in args {
+                for a in args.iter() {
                     a.collect_symbols(out);
                 }
             }
@@ -271,7 +281,7 @@ impl Term {
             Term::Var(_) | Term::Sym(_) => {}
             Term::App(name, args) => {
                 name.collect_integers(out);
-                for a in args {
+                for a in args.iter() {
                     a.collect_integers(out);
                 }
             }
@@ -340,6 +350,75 @@ impl Term {
                 matches!(**name, Term::Sym(_)) && args.iter().all(Term::is_first_order_term)
             }
             Term::Var(_) => false,
+        }
+    }
+}
+
+impl PartialEq for Term {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Term::Var(a), Term::Var(b)) => a == b,
+            (Term::Sym(a), Term::Sym(b)) => a == b,
+            (Term::Int(a), Term::Int(b)) => a == b,
+            (Term::App(n1, a1), Term::App(n2, a2)) => {
+                (Arc::ptr_eq(n1, n2) || n1 == n2) && (Arc::ptr_eq(a1, a2) || a1 == a2)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Term {}
+
+impl Hash for Term {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Term::Var(v) => v.hash(state),
+            Term::Sym(s) => s.hash(state),
+            Term::Int(i) => i.hash(state),
+            Term::App(name, args) => {
+                name.hash(state);
+                args.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Term {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Variant order matches the previous derived ordering:
+        // Var < Sym < Int < App.
+        match (self, other) {
+            (Term::Var(a), Term::Var(b)) => a.cmp(b),
+            (Term::Var(_), _) => Ordering::Less,
+            (_, Term::Var(_)) => Ordering::Greater,
+            (Term::Sym(a), Term::Sym(b)) => a.cmp(b),
+            (Term::Sym(_), _) => Ordering::Less,
+            (_, Term::Sym(_)) => Ordering::Greater,
+            (Term::Int(a), Term::Int(b)) => a.cmp(b),
+            (Term::Int(_), _) => Ordering::Less,
+            (_, Term::Int(_)) => Ordering::Greater,
+            (Term::App(n1, a1), Term::App(n2, a2)) => {
+                let name_cmp = if Arc::ptr_eq(n1, n2) {
+                    Ordering::Equal
+                } else {
+                    n1.cmp(n2)
+                };
+                name_cmp.then_with(|| {
+                    if Arc::ptr_eq(a1, a2) {
+                        Ordering::Equal
+                    } else {
+                        a1.iter().cmp(a2.iter())
+                    }
+                })
+            }
         }
     }
 }

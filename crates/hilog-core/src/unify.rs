@@ -52,6 +52,12 @@ fn unify_resolved(left: &Term, right: &Term, subst: &mut Substitution) -> bool {
         (Term::Sym(a), Term::Sym(b)) => a == b,
         (Term::Int(a), Term::Int(b)) => a == b,
         (Term::App(n1, a1), Term::App(n2, a2)) => {
+            // Interned fast path: a term always unifies with itself (shared
+            // variables included) without adding bindings, and Arc sharing
+            // makes identical subtrees pointer-equal on the hot paths.
+            if std::sync::Arc::ptr_eq(n1, n2) && std::sync::Arc::ptr_eq(a1, a2) {
+                return true;
+            }
             if a1.len() != a2.len() {
                 return false;
             }
@@ -152,8 +158,8 @@ pub fn rename_term(term: &Term, generation: u32) -> Term {
     match term {
         Term::Var(v) => Term::Var(v.with_generation(generation)),
         Term::Sym(_) | Term::Int(_) => term.clone(),
-        Term::App(name, args) => Term::App(
-            Box::new(rename_term(name, generation)),
+        Term::App(name, args) => Term::app(
+            rename_term(name, generation),
             args.iter().map(|a| rename_term(a, generation)).collect(),
         ),
     }

@@ -81,10 +81,7 @@ pub fn decode_term(term: &Term) -> Term {
                     return Term::app(inner_name, inner_args);
                 }
             }
-            Term::App(
-                Box::new(decode_term(name)),
-                args.iter().map(decode_term).collect(),
-            )
+            Term::app(decode_term(name), args.iter().map(decode_term).collect())
         }
     }
 }

@@ -8,13 +8,17 @@
 //! the *relevant instantiation* used to ground programs with negation.
 
 use crate::error::EngineError;
+use hilog_core::intern::{AtomId, TermInterner};
 use hilog_core::literal::Literal;
 use hilog_core::program::Program;
 use hilog_core::rule::Rule;
 use hilog_core::subst::Substitution;
 use hilog_core::term::Term;
 use hilog_core::unify::match_with;
+use std::borrow::Borrow;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 
 /// Resource limits for bottom-up evaluation.  They exist because HiLog
 /// Herbrand universes are infinite: a non-range-restricted program (or a
@@ -61,12 +65,200 @@ pub enum NegationMode {
     Forbid,
 }
 
-/// A set of ground atoms indexed by `(predicate name, arity)` for fast
-/// candidate lookup during joins.
+thread_local! {
+    /// Whether [`AtomStore::candidates`] may answer from argument indexes.
+    /// Disabled by [`scan_only_guard`] so benchmarks and the index-vs-scan
+    /// property oracle can measure the pure functor-scan baseline through the
+    /// exact same call path.
+    static INDEXING_ENABLED: Cell<bool> = const { Cell::new(true) };
+    /// Cumulative candidate probes answered from an argument index.
+    static INDEX_PROBES: Cell<usize> = const { Cell::new(0) };
+    /// Cumulative candidate probes that fell back to a functor-bucket or
+    /// whole-store (arity) scan.
+    static INDEX_FALLBACK_SCANS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Snapshot of this thread's cumulative `(index_probes, index_fallback_scans)`
+/// counters, maintained by every [`AtomStore::candidates`] call.  The session
+/// facade subtracts snapshots around a query to report per-query numbers in
+/// its `EvalStats`; benchmarks read them directly.  Probes against a
+/// `(functor, arity)` key with no stored atoms count as neither (they are
+/// O(1) rejections, not scans).
+pub fn probe_counters() -> (usize, usize) {
+    (
+        INDEX_PROBES.with(Cell::get),
+        INDEX_FALLBACK_SCANS.with(Cell::get),
+    )
+}
+
+/// RAII guard returned by [`scan_only_guard`]; restores index probing for
+/// this thread when dropped.
+#[derive(Debug)]
+pub struct ScanOnlyGuard {
+    previous: bool,
+}
+
+impl Drop for ScanOnlyGuard {
+    fn drop(&mut self) {
+        INDEXING_ENABLED.with(|flag| flag.set(self.previous));
+    }
+}
+
+/// Disables argument-index probing on this thread until the returned guard
+/// drops: every [`AtomStore::candidates`] call answers with the pre-index
+/// functor-bucket (or arity) scan.  This exists for the `bench_join_index`
+/// baseline and for the property suite pinning *indexed ≡ scanned*; it is
+/// not an evaluation mode.
+pub fn scan_only_guard() -> ScanOnlyGuard {
+    let previous = INDEXING_ENABLED.with(|flag| flag.replace(false));
+    ScanOnlyGuard { previous }
+}
+
+/// The `(predicate name, arity)` identity of a stored relation.
+type RelKey = (Term, Option<usize>);
+
+/// Borrowed view of a [`RelKey`], so relation lookups can use the pattern's
+/// name in place — no `Term` clone or allocation on the probe path (the old
+/// `key_of` cloned the name on every insert/contains/candidates call).
+trait RelKeyRef {
+    fn name(&self) -> &Term;
+    fn arity(&self) -> Option<usize>;
+}
+
+impl RelKeyRef for RelKey {
+    fn name(&self) -> &Term {
+        &self.0
+    }
+    fn arity(&self) -> Option<usize> {
+        self.1
+    }
+}
+
+impl RelKeyRef for (&Term, Option<usize>) {
+    fn name(&self) -> &Term {
+        self.0
+    }
+    fn arity(&self) -> Option<usize> {
+        self.1
+    }
+}
+
+// Hash must mirror `RelKey`'s derived tuple hash (field order), so the
+// borrowed and owned forms agree inside the relation map.
+impl Hash for dyn RelKeyRef + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+        self.arity().hash(state);
+    }
+}
+
+impl PartialEq for dyn RelKeyRef + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity() == other.arity() && self.name() == other.name()
+    }
+}
+
+impl Eq for dyn RelKeyRef + '_ {}
+
+impl<'a> Borrow<dyn RelKeyRef + 'a> for RelKey {
+    fn borrow(&self) -> &(dyn RelKeyRef + 'a) {
+        self
+    }
+}
+
+/// One `(functor, arity)` extension: its live members in insertion order plus
+/// the argument-position hash indexes built for it so far.
+#[derive(Debug, Clone, Default)]
+struct Relation {
+    /// Live member ids, insertion order (removal compacts in place).
+    rows: Vec<AtomId>,
+    /// Lazily built argument indexes: position → argument value → posting
+    /// list of live rows.  Built on the first probe that binds the position
+    /// (under `&self`, hence the cell) and maintained incrementally by every
+    /// later insert/remove, so a warm store never rebuilds an index.
+    indexes: RefCell<HashMap<usize, HashMap<Term, Vec<AtomId>>>>,
+}
+
+impl Relation {
+    /// Probes the most selective argument index over the pattern's ground
+    /// argument positions, building missing indexes on first use.  Returns
+    /// the matching posting list (cloned out, so no index borrow escapes) or
+    /// `None` when the pattern binds no argument position — the caller then
+    /// falls back to the functor-bucket scan.
+    fn probe(&self, pattern: &Term, interner: &TermInterner) -> Option<Vec<AtomId>> {
+        let args = pattern.args();
+        let mut indexes = self.indexes.borrow_mut();
+        for (pos, arg) in args.iter().enumerate() {
+            if arg.is_ground() {
+                indexes
+                    .entry(pos)
+                    .or_insert_with(|| Self::build_index(&self.rows, pos, interner));
+            }
+        }
+        let mut best: Option<&Vec<AtomId>> = None;
+        let mut bound = false;
+        for (pos, arg) in args.iter().enumerate() {
+            if !arg.is_ground() {
+                continue;
+            }
+            bound = true;
+            match indexes[&pos].get(arg) {
+                // An empty posting list is maximally selective: no candidate
+                // can match the pattern at all.
+                None => return Some(Vec::new()),
+                Some(posting) => {
+                    if best.is_none_or(|b| posting.len() < b.len()) {
+                        best = Some(posting);
+                    }
+                }
+            }
+        }
+        if bound {
+            Some(best.cloned().unwrap_or_default())
+        } else {
+            None
+        }
+    }
+
+    fn build_index(
+        rows: &[AtomId],
+        pos: usize,
+        interner: &TermInterner,
+    ) -> HashMap<Term, Vec<AtomId>> {
+        let mut index: HashMap<Term, Vec<AtomId>> = HashMap::new();
+        for &id in rows {
+            if let Some(arg) = interner.resolve(id).args().get(pos) {
+                index.entry(arg.clone()).or_default().push(id);
+            }
+        }
+        index
+    }
+}
+
+/// A set of ground atoms organised for the join hot path: every atom is
+/// interned to a stable [`AtomId`], grouped into per-`(predicate name,
+/// arity)` relations, and each relation carries lazily built hash indexes on
+/// its argument positions.  [`AtomStore::candidates`] probes the most
+/// selective index over a pattern's bound argument positions and only falls
+/// back to the functor-bucket scan for fully open patterns (or to an arity
+/// scan for variable predicate names).
+///
+/// Indexes are built on the first probe that needs them and maintained
+/// incrementally by [`insert`](AtomStore::insert) /
+/// [`remove`](AtomStore::remove), so long-lived stores (the session's
+/// possibly-true store, the evaluator's subgoal tables) keep their indexes
+/// warm across mutations.
 #[derive(Debug, Clone, Default)]
 pub struct AtomStore {
+    /// Stable ids for every atom ever inserted (ids survive removal).
+    interner: TermInterner,
+    /// Per-id liveness; `false` entries are removed (or never-inserted) ids.
+    live: Vec<bool>,
+    live_count: usize,
+    /// Ordered view of the live atoms: deterministic iteration and the
+    /// `atoms()` set view.  Entries share their `Arc`s with the interner.
     atoms: BTreeSet<Term>,
-    by_key: HashMap<(Term, Option<usize>), Vec<Term>>,
+    relations: HashMap<RelKey, Relation>,
 }
 
 impl AtomStore {
@@ -84,8 +276,8 @@ impl AtomStore {
         store
     }
 
-    fn key_of(atom: &Term) -> (Term, Option<usize>) {
-        (atom.name().clone(), atom.arity())
+    fn is_live(&self, id: AtomId) -> bool {
+        self.live.get(id.index()).copied().unwrap_or(false)
     }
 
     /// Inserts a ground atom; returns `true` if it was new.
@@ -94,44 +286,81 @@ impl AtomStore {
             atom.is_ground(),
             "AtomStore::insert of non-ground atom {atom}"
         );
-        if self.atoms.insert(atom.clone()) {
-            self.by_key
-                .entry(Self::key_of(&atom))
-                .or_default()
-                .push(atom);
-            true
-        } else {
-            false
+        let id = self.interner.intern(&atom);
+        if self.live.len() <= id.index() {
+            self.live.resize(id.index() + 1, false);
         }
-    }
-
-    /// Removes a ground atom; returns `true` if it was present.
-    pub fn remove(&mut self, atom: &Term) -> bool {
-        if !self.atoms.remove(atom) {
+        if self.live[id.index()] {
             return false;
         }
-        if let Some(bucket) = self.by_key.get_mut(&Self::key_of(atom)) {
-            bucket.retain(|a| a != atom);
+        self.live[id.index()] = true;
+        self.live_count += 1;
+        self.atoms.insert(atom.clone());
+        let key = (atom.name(), atom.arity());
+        if !self.relations.contains_key(&key as &dyn RelKeyRef) {
+            self.relations
+                .insert((atom.name().clone(), atom.arity()), Relation::default());
+        }
+        let rel = self
+            .relations
+            .get_mut(&key as &dyn RelKeyRef)
+            .expect("relation just ensured");
+        rel.rows.push(id);
+        // Keep every already-built index exact.
+        for (pos, index) in rel.indexes.get_mut().iter_mut() {
+            if let Some(arg) = atom.args().get(*pos) {
+                index.entry(arg.clone()).or_default().push(id);
+            }
         }
         true
     }
 
-    /// Returns `true` if the atom is present.
+    /// Removes a ground atom; returns `true` if it was present.  The atom's
+    /// [`AtomId`] stays reserved (a later re-insert revives it), and every
+    /// built index is maintained in place.
+    pub fn remove(&mut self, atom: &Term) -> bool {
+        let Some(id) = self.interner.get(atom) else {
+            return false;
+        };
+        if !self.is_live(id) {
+            return false;
+        }
+        self.live[id.index()] = false;
+        self.live_count -= 1;
+        self.atoms.remove(atom);
+        if let Some(rel) = self
+            .relations
+            .get_mut(&(atom.name(), atom.arity()) as &dyn RelKeyRef)
+        {
+            rel.rows.retain(|&r| r != id);
+            for (pos, index) in rel.indexes.get_mut().iter_mut() {
+                if let Some(arg) = atom.args().get(*pos) {
+                    if let Some(posting) = index.get_mut(arg) {
+                        posting.retain(|&r| r != id);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the atom is present (one hash probe of the interner,
+    /// no tree walk).
     pub fn contains(&self, atom: &Term) -> bool {
-        self.atoms.contains(atom)
+        self.interner.get(atom).is_some_and(|id| self.is_live(id))
     }
 
     /// Number of atoms.
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.live_count
     }
 
     /// Returns `true` if the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.live_count == 0
     }
 
-    /// Iterates over all atoms.
+    /// Iterates over all atoms in term order.
     pub fn iter(&self) -> impl Iterator<Item = &Term> {
         self.atoms.iter()
     }
@@ -142,33 +371,67 @@ impl AtomStore {
     }
 
     /// Candidate atoms that could match the given (possibly partially
-    /// instantiated) pattern: if the pattern's predicate name is ground the
-    /// lookup is by `(name, arity)`; otherwise every atom of the right arity
-    /// is a candidate (a variable predicate name can match anything of that
-    /// arity).
+    /// instantiated) pattern.
     ///
+    /// Selection, most selective first:
+    ///
+    /// 1. a ground predicate name narrows to the `(name, arity)` relation —
+    ///    an absent relation answers empty immediately;
+    /// 2. within the relation, the *most selective argument index* over the
+    ///    pattern's ground argument positions is probed (indexes are built
+    ///    lazily on first use and maintained by insert/remove);
+    /// 3. a pattern binding no argument scans the relation's rows;
+    /// 4. a variable predicate name scans the whole store by arity.
+    ///
+    /// Candidates are a superset of the actual matches restricted by the
+    /// chosen access path; callers still unify/match against each candidate.
     /// Returns a concrete [`Candidates`] iterator (no boxed trait object —
     /// this is the hot path of [`join_body`]).
     pub fn candidates<'a>(&'a self, pattern: &Term) -> Candidates<'a> {
         let arity = pattern.arity();
-        let inner = if pattern.name().is_ground() {
-            match self.by_key.get(&(pattern.name().clone(), arity)) {
-                Some(v) => CandidatesInner::Keyed(v.iter()),
-                None => CandidatesInner::Empty,
-            }
-        } else {
-            CandidatesInner::ByArity(self.atoms.iter(), arity)
+        if !pattern.name().is_ground() {
+            INDEX_FALLBACK_SCANS.with(|c| c.set(c.get() + 1));
+            return Candidates {
+                inner: CandidatesInner::ByArity(self.atoms.iter(), arity),
+            };
+        }
+        let Some(rel) = self
+            .relations
+            .get(&(pattern.name(), arity) as &dyn RelKeyRef)
+        else {
+            return Candidates {
+                inner: CandidatesInner::Empty,
+            };
         };
-        Candidates { inner }
+        if INDEXING_ENABLED.with(Cell::get) {
+            if let Some(posting) = rel.probe(pattern, &self.interner) {
+                INDEX_PROBES.with(|c| c.set(c.get() + 1));
+                return Candidates {
+                    inner: CandidatesInner::Probe {
+                        ids: posting.into_iter(),
+                        interner: &self.interner,
+                    },
+                };
+            }
+        }
+        INDEX_FALLBACK_SCANS.with(|c| c.set(c.get() + 1));
+        Candidates {
+            inner: CandidatesInner::Keyed {
+                ids: rel.rows.iter(),
+                interner: &self.interner,
+            },
+        }
     }
 }
 
 /// Concrete iterator returned by [`AtomStore::candidates`].
 ///
-/// Ground-named patterns iterate the `(name, arity)` bucket directly; patterns
-/// with a variable predicate name scan the whole store, keeping atoms of the
-/// pattern's arity.  Every yielded atom therefore has the pattern's arity, and
-/// for ground-named patterns also its exact predicate name.
+/// Index probes walk a posting list restricted to the pattern's most
+/// selective bound argument; keyed fallbacks iterate the `(name, arity)`
+/// relation; patterns with a variable predicate name scan the whole store,
+/// keeping atoms of the pattern's arity.  Every yielded atom has the
+/// pattern's arity, for ground-named patterns also its exact predicate name,
+/// and for index probes additionally the probed argument's value.
 #[derive(Debug, Clone)]
 pub struct Candidates<'a> {
     inner: CandidatesInner<'a>,
@@ -177,7 +440,14 @@ pub struct Candidates<'a> {
 #[derive(Debug, Clone)]
 enum CandidatesInner<'a> {
     Empty,
-    Keyed(std::slice::Iter<'a, Term>),
+    Probe {
+        ids: std::vec::IntoIter<AtomId>,
+        interner: &'a TermInterner,
+    },
+    Keyed {
+        ids: std::slice::Iter<'a, AtomId>,
+        interner: &'a TermInterner,
+    },
     ByArity(std::collections::btree_set::Iter<'a, Term>, Option<usize>),
 }
 
@@ -187,7 +457,8 @@ impl<'a> Iterator for Candidates<'a> {
     fn next(&mut self) -> Option<&'a Term> {
         match &mut self.inner {
             CandidatesInner::Empty => None,
-            CandidatesInner::Keyed(iter) => iter.next(),
+            CandidatesInner::Probe { ids, interner } => ids.next().map(|id| interner.resolve(id)),
+            CandidatesInner::Keyed { ids, interner } => ids.next().map(|&id| interner.resolve(id)),
             CandidatesInner::ByArity(iter, arity) => iter.find(|a| a.arity() == *arity),
         }
     }
@@ -195,7 +466,8 @@ impl<'a> Iterator for Candidates<'a> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         match &self.inner {
             CandidatesInner::Empty => (0, Some(0)),
-            CandidatesInner::Keyed(iter) => iter.size_hint(),
+            CandidatesInner::Probe { ids, .. } => ids.size_hint(),
+            CandidatesInner::Keyed { ids, .. } => ids.size_hint(),
             CandidatesInner::ByArity(iter, _) => (0, iter.size_hint().1),
         }
     }
@@ -686,6 +958,95 @@ mod tests {
                 .count(),
             0
         );
+    }
+
+    /// All atoms of `store` matching `pattern`, via whatever access path
+    /// `candidates` picks, verified by one-way matching.
+    fn matches(store: &AtomStore, pattern: &Term) -> BTreeSet<Term> {
+        store
+            .candidates(pattern)
+            .filter(|c| {
+                let mut theta = Substitution::new();
+                match_with(pattern, c, &mut theta)
+            })
+            .cloned()
+            .collect()
+    }
+
+    #[test]
+    fn argument_index_probe_agrees_with_the_functor_scan() {
+        let mut store = AtomStore::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                store.insert(Term::apps(
+                    "edge",
+                    vec![Term::sym(format!("n{i}")), Term::sym(format!("n{j}"))],
+                ));
+            }
+        }
+        let bound_first = Term::apps("edge", vec![Term::sym("n3"), Term::var("Y")]);
+        let bound_second = Term::apps("edge", vec![Term::var("X"), Term::sym("n7")]);
+        let bound_both = Term::apps("edge", vec![Term::sym("n3"), Term::sym("n7")]);
+        for pattern in [&bound_first, &bound_second, &bound_both] {
+            let (probes_before, _) = probe_counters();
+            let indexed = matches(&store, pattern);
+            let (probes_after, _) = probe_counters();
+            assert!(
+                probes_after > probes_before,
+                "bound pattern {pattern} did not use an index"
+            );
+            let scanned = {
+                let _guard = scan_only_guard();
+                matches(&store, pattern)
+            };
+            assert_eq!(indexed, scanned, "index and scan disagree on {pattern}");
+        }
+        assert_eq!(matches(&store, &bound_first).len(), 10);
+        assert_eq!(matches(&store, &bound_both).len(), 1);
+        // An open pattern still scans the relation (and is counted as such).
+        let open = Term::apps("edge", vec![Term::var("X"), Term::var("Y")]);
+        let (_, fallbacks_before) = probe_counters();
+        assert_eq!(matches(&store, &open).len(), 100);
+        let (_, fallbacks_after) = probe_counters();
+        assert!(fallbacks_after > fallbacks_before);
+    }
+
+    #[test]
+    fn built_indexes_are_maintained_by_insert_and_remove() {
+        let mut store = AtomStore::new();
+        for i in 0..6 {
+            store.insert(Term::apps(
+                "edge",
+                vec![Term::sym("hub"), Term::sym(format!("n{i}"))],
+            ));
+        }
+        let from_hub = Term::apps("edge", vec![Term::sym("hub"), Term::var("Y")]);
+        // First probe builds the position-0 index.
+        assert_eq!(matches(&store, &from_hub).len(), 6);
+        // Mutations after the build must keep it exact: remove two, add one,
+        // re-add a removed one.
+        let n0 = Term::apps("edge", vec![Term::sym("hub"), Term::sym("n0")]);
+        let n1 = Term::apps("edge", vec![Term::sym("hub"), Term::sym("n1")]);
+        assert!(store.remove(&n0));
+        assert!(store.remove(&n1));
+        store.insert(Term::apps(
+            "edge",
+            vec![Term::sym("hub"), Term::sym("fresh")],
+        ));
+        store.insert(n0.clone());
+        let indexed = matches(&store, &from_hub);
+        let scanned = {
+            let _guard = scan_only_guard();
+            matches(&store, &from_hub)
+        };
+        assert_eq!(indexed, scanned);
+        assert_eq!(indexed.len(), 6);
+        assert!(indexed.contains(&n0));
+        assert!(!indexed.contains(&n1));
+        // The most selective bound position wins: binding the second argument
+        // probes its (smaller) posting list and yields exactly that atom.
+        let exact = Term::apps("edge", vec![Term::var("X"), Term::sym("fresh")]);
+        assert_eq!(matches(&store, &exact).len(), 1);
     }
 
     #[test]

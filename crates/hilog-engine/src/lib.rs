@@ -59,8 +59,8 @@ pub use extension::{
 pub use ground::{GroundProgram, GroundRule};
 pub use grounder::{ground_delta, ground_over_universe, relevant_ground};
 pub use horn::{
-    consequence_round, extend_least_model, least_model, AtomStore, Candidates, Delta, EvalOptions,
-    NegationMode,
+    consequence_round, extend_least_model, least_model, probe_counters, scan_only_guard, AtomStore,
+    Candidates, Delta, EvalOptions, NegationMode, ScanOnlyGuard,
 };
 pub use magic::{magic_transform, MagicProgram};
 pub use magic_eval::{EvalStats, ModelSource, QueryEvaluator};

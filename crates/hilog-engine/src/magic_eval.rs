@@ -36,7 +36,7 @@
 //! information passing strategy.
 
 use crate::error::EngineError;
-use crate::horn::EvalOptions;
+use crate::horn::{AtomStore, EvalOptions};
 use crate::magic::DepSign;
 use hilog_core::literal::{AggregateFunc, Literal};
 use hilog_core::program::Program;
@@ -99,6 +99,18 @@ pub struct EvalStats {
     /// Number of completed subgoal tables that survived into this query and
     /// were available for reuse when it started.
     pub tables_reused: usize,
+    /// Number of candidate lookups answered from an **argument index** while
+    /// this query ran (`AtomStore::candidates` probing the most selective
+    /// index over the pattern's bound argument positions) — grounding joins
+    /// and subgoal-table joins both count.  Filled per query by
+    /// [`crate::session::HiLogDb::query`]; a raw [`QueryEvaluator`] reports 0
+    /// (read [`crate::horn::probe_counters`] directly instead).
+    pub index_probes: usize,
+    /// Number of candidate lookups that fell back to a functor-bucket or
+    /// whole-store scan (fully open patterns, or patterns with a variable
+    /// predicate name).  A sudden growth relative to `index_probes` is the
+    /// observable signature of a regression to full scans.
+    pub index_fallback_scans: usize,
 }
 
 /// How a full-model plan obtained the model it answered from.
@@ -146,7 +158,12 @@ impl serde::Serialize for ModelSource {
 #[derive(Debug, Clone)]
 pub(crate) struct Table {
     pub(crate) pattern: Term,
-    pub(crate) answers: BTreeSet<Term>,
+    /// Ground answers, held in an argument-indexed [`AtomStore`] so that
+    /// joining a partially instantiated subgoal against a (large, warm)
+    /// table probes an index on its bound argument positions instead of
+    /// scanning every answer.  The indexes are maintained by the session's
+    /// in-place table patches, so they stay warm across mutations.
+    pub(crate) answers: AtomStore,
     pub(crate) complete: bool,
     /// Direct subgoal edges: normalised key of the dependency, strongest
     /// polarity it was selected under ([`DepSign::Neg`] dominates).
@@ -157,7 +174,7 @@ impl Table {
     fn new(pattern: Term) -> Self {
         Table {
             pattern,
-            answers: BTreeSet::new(),
+            answers: AtomStore::new(),
             complete: false,
             deps: BTreeMap::new(),
         }
@@ -545,8 +562,14 @@ impl<'p> QueryEvaluator<'p> {
                             let target = self.normalize(&instantiated);
                             self.record_edge(subgoal_key, target.clone(), DepSign::Pos);
                             let key = self.table_for_positive(target, scope, in_progress)?;
-                            let answers: Vec<Term> =
-                                self.tables[&key].answers.iter().cloned().collect();
+                            // Probe the table's argument indexes with the
+                            // already-resolved subgoal: only answers agreeing
+                            // with its bound argument positions are visited.
+                            let answers: Vec<Term> = self.tables[&key]
+                                .answers
+                                .candidates(&instantiated)
+                                .cloned()
+                                .collect();
                             for answer in answers {
                                 let mut extended = theta.clone();
                                 if unify_with(&instantiated, &answer, &mut extended) {
@@ -583,8 +606,11 @@ impl<'p> QueryEvaluator<'p> {
                             let target = self.normalize(&instantiated_pattern);
                             self.record_edge(subgoal_key, target.clone(), DepSign::Neg);
                             let key = self.evaluate_completely(target, in_progress)?;
-                            let answers: Vec<Term> =
-                                self.tables[&key].answers.iter().cloned().collect();
+                            let answers: Vec<Term> = self.tables[&key]
+                                .answers
+                                .candidates(&instantiated_pattern)
+                                .cloned()
+                                .collect();
                             // Group by the pattern variables that occur
                             // outside the aggregate literal.  All variable
                             // sets are taken *after* applying `theta`: the

@@ -40,7 +40,7 @@ use crate::magic_eval::{
 use crate::modular::{figure1_procedure, ModularOutcome};
 use crate::plan::{adornment, query_is_bound, PlanStrategy, QueryPlan};
 use crate::stable::{stable_models_of_ground, StableOptions};
-use crate::wfs::{well_founded_of_ground, well_founded_patch};
+use crate::wfs::{affected_closure, well_founded_of_ground, well_founded_patch};
 use hilog_core::interpretation::{Model, Truth};
 use hilog_core::literal::Literal;
 use hilog_core::program::Program;
@@ -246,37 +246,17 @@ impl HiLogDbBuilder {
     }
 }
 
-/// Which part of the cached model a pending fact-level delta can reach.
-/// Accumulated across mutations and discharged by the next model patch.
-#[derive(Debug, Clone)]
-enum DirtyScope {
-    /// Only atoms of these predicates may have changed (the reverse
-    /// dependency closure of the mutated predicates).
-    Preds(BTreeSet<PredKey>),
-    /// A variable-headed rule exists, so any predicate may have changed:
-    /// the whole model is re-evaluated (still from the incrementally
-    /// maintained ground program — no re-grounding).
-    All,
-}
-
-impl DirtyScope {
-    fn merge(self, other: DirtyScope) -> DirtyScope {
-        match (self, other) {
-            (DirtyScope::Preds(mut a), DirtyScope::Preds(b)) => {
-                a.extend(b);
-                DirtyScope::Preds(a)
-            }
-            _ => DirtyScope::All,
-        }
-    }
-
-    fn affects(&self, atom: &Term) -> bool {
-        match self {
-            DirtyScope::All => true,
-            // Ground atoms always have a predicate key; default to affected
-            // for safety.
-            DirtyScope::Preds(preds) => pred_key(atom).is_none_or(|k| preds.contains(&k)),
-        }
+/// Returns `true` if `atom` falls inside an optional predicate-level scope
+/// (`None` means "everything" — a variable-headed rule or a fact without a
+/// predicate identity made the mutation global).  Used only to bound the
+/// DRed sweep of [`HiLogDb::retract_from_ground`]; the *model* patch works
+/// at the finer instance level (seed atoms + [`affected_closure`]).
+fn pred_scope_affects(preds: Option<&BTreeSet<PredKey>>, atom: &Term) -> bool {
+    match preds {
+        None => true,
+        // Ground atoms always have a predicate key; default to affected
+        // for safety.
+        Some(preds) => pred_key(atom).is_none_or(|k| preds.contains(&k)),
     }
 }
 
@@ -304,11 +284,16 @@ pub struct HiLogDb {
     possibly: Option<AtomStore>,
     /// Cached full model under `semantics`.
     model: Option<Model>,
-    /// Pending fact-level deltas not yet folded into `model`.  `Some` only
-    /// while both `model` and `ground` are warm under
+    /// Pending fact-level deltas not yet folded into `model`: the **seed
+    /// atoms** the mutations actually touched (new facts, heads of new or
+    /// dropped ground-rule instances), accumulated across mutations.  `Some`
+    /// only while both `model` and `ground` are warm under
     /// [`Semantics::WellFounded`]; discharged lazily by the next query that
-    /// needs the model, which re-evaluates just the affected components.
-    dirty: Option<DirtyScope>,
+    /// needs the model, which re-evaluates only the seeds' instance-level
+    /// reverse closure ([`affected_closure`]) with the rest of the model —
+    /// even inside the same strongly connected component — frozen at its
+    /// previous values.
+    dirty: Option<BTreeSet<Term>>,
     /// Cached stable models (only filled under [`Semantics::Stable`]).
     stable: Option<Vec<Model>>,
     /// Cached Figure 1 outcome.
@@ -585,18 +570,15 @@ impl HiLogDb {
         self.maintain_tables_for_fact(fact, asserted);
         // `assert_fact` only admits ground atoms, but `assert_rule` (and the
         // builder) accept facts with variable predicate names, and those can
-        // reach here through `retract_fact`; without a predicate identity the
-        // change is global.
+        // reach here through `retract_fact`; without a predicate identity
+        // the predicate-level scope is global.  (The *model* patch is scoped
+        // at the instance level either way — see `apply_fact_delta`.)
         let keyed = match pred_key(fact) {
             Some(key) => self.analysis().affected_by(&key).map(|set| (key, set)),
             None => None,
         };
         let Some((key, affected)) = keyed else {
-            // A rule can define arbitrary predicates (variable head name):
-            // any predicate may have changed.  The grounding is still
-            // maintainable atom-by-atom; only the per-predicate model caches
-            // lose their discrimination.
-            self.apply_fact_delta(fact, asserted, DirtyScope::All);
+            self.apply_fact_delta(fact, asserted, None);
             return;
         };
         let analysis = self.analysis.as_ref().expect("analysis just built");
@@ -652,7 +634,7 @@ impl HiLogDb {
                 }
             }
         } else {
-            self.apply_fact_delta(fact, asserted, DirtyScope::Preds(affected));
+            self.apply_fact_delta(fact, asserted, Some(affected));
         }
     }
 
@@ -661,30 +643,38 @@ impl HiLogDb {
     // ------------------------------------------------------------------
 
     /// Folds a fact-level change into the warm caches: the grounding is
-    /// patched in place, and the model is marked dirty for `scope` so the
-    /// next use re-evaluates only the affected components.  Cold (or
-    /// unmaintainable) caches are dropped and rebuilt lazily as before.
-    fn apply_fact_delta(&mut self, fact: &Term, asserted: bool, scope: DirtyScope) {
+    /// patched in place, and the model is marked dirty with the **seed
+    /// atoms** the maintenance actually touched, so the next use re-evaluates
+    /// only their instance-level reverse closure.  `preds` is the
+    /// predicate-level reverse closure (when one exists) and only bounds the
+    /// DRed sweep of a retraction.  Cold (or unmaintainable) caches are
+    /// dropped and rebuilt lazily as before.
+    fn apply_fact_delta(&mut self, fact: &Term, asserted: bool, preds: Option<BTreeSet<PredKey>>) {
         // Stable models are not patchable (the delta can flip whole models in
         // and out of existence), but they are rebuilt from the *maintained*
         // grounding, which is where the expensive work sits.
         self.stable = None;
-        let maintained = self.ground.is_some()
-            && self.possibly.is_some()
-            && if asserted {
+        let seeds = if self.ground.is_some() && self.possibly.is_some() {
+            if asserted {
                 self.assert_into_ground(fact)
             } else {
-                self.retract_from_ground(fact, &scope)
-            };
-        if !maintained {
+                self.retract_from_ground(fact, preds.as_ref())
+            }
+        } else {
+            None
+        };
+        let Some(seeds) = seeds else {
             self.ground = None;
             self.possibly = None;
-        }
-        if maintained && self.semantics == Semantics::WellFounded && self.model.is_some() {
-            self.dirty = Some(match self.dirty.take() {
-                Some(previous) => previous.merge(scope),
-                None => scope,
-            });
+            self.model = None;
+            self.dirty = None;
+            return;
+        };
+        if self.semantics == Semantics::WellFounded && self.model.is_some() {
+            match self.dirty.as_mut() {
+                Some(previous) => previous.extend(seeds),
+                None => self.dirty = Some(seeds),
+            }
         } else {
             self.model = None;
             self.dirty = None;
@@ -696,12 +686,19 @@ impl HiLogDb {
     /// round's frontier enables *as the frontier lands* (one join pass per
     /// round — the heads and the instantiations come from the same joins,
     /// never re-joined against the accumulated delta), and appends them
-    /// (deduplicated) to the cached ground program.  Returns `false` when
-    /// the continuation cannot be completed (e.g. a resource limit); the
-    /// caller then falls back to full re-grounding.
-    fn assert_into_ground(&mut self, fact: &Term) -> bool {
+    /// (deduplicated) to the cached ground program.
+    ///
+    /// Returns the **seed atoms** of the change — the fact plus the head of
+    /// every appended instantiation, i.e. every atom whose rule set grew —
+    /// from which the model patch derives its instance-level affected
+    /// closure.  Returns `None` when the continuation cannot be completed
+    /// (e.g. a resource limit); the caller then falls back to full
+    /// re-grounding.
+    fn assert_into_ground(&mut self, fact: &Term) -> Option<BTreeSet<Term>> {
         let possibly = self.possibly.as_mut().expect("checked by caller");
         let ground = self.ground.as_mut().expect("checked by caller");
+        let mut seeds: BTreeSet<Term> = BTreeSet::new();
+        seeds.insert(fact.clone());
         let fact_was_new = !possibly.contains(fact);
         // The asserted fact's bodyless instance is new unless the atom was
         // already a ground fact (a duplicate assertion, or a builtin-guarded
@@ -720,7 +717,7 @@ impl HiLogDb {
             while !frontier.is_empty() {
                 rounds += 1;
                 if rounds > self.opts.max_rounds {
-                    return false;
+                    return None;
                 }
                 // Ground this frontier while the store holds exactly the
                 // rounds up to it.  The instantiations' heads *are* the
@@ -728,18 +725,19 @@ impl HiLogDb {
                 // frontier falls out of the same single join pass.
                 let rules = match ground_delta(&self.program, possibly, &frontier, self.opts) {
                     Ok(rules) => rules,
-                    Err(_) => return false,
+                    Err(_) => return None,
                 };
                 let mut next = AtomStore::new();
                 for rule in rules {
                     if !possibly.contains(&rule.head) {
                         if possibly.len() >= self.opts.max_atoms {
-                            return false;
+                            return None;
                         }
                         possibly.insert(rule.head.clone());
                         next.insert(rule.head.clone());
                     }
                     if appended.insert(rule.clone()) {
+                        seeds.insert(rule.head.clone());
                         ground.push(rule);
                     }
                 }
@@ -751,33 +749,37 @@ impl HiLogDb {
         // silently grow past what `ensure_ground` would reject.  Falling back
         // surfaces the `LimitExceeded` on the next query, exactly like a
         // fresh session.
-        ground.rules.len() <= self.opts.max_atoms
+        (ground.rules.len() <= self.opts.max_atoms).then_some(seeds)
     }
 
     /// DRed-style maintenance for a retracted fact: *overdelete* the forward
     /// closure of the fact through the cached ground rules, then *rederive*
     /// every overdeleted atom that still has a supported instantiation, and
-    /// finally drop the instantiations that lost support.  Returns `false`
-    /// if the caches cannot be maintained.
+    /// finally drop the instantiations that lost support.
     ///
-    /// `scope` is the caller's reverse-dependency closure: every atom that
-    /// can be overdeleted (and every rule that can lose support) has its
-    /// head inside it, so the index and the final sweep skip rules headed
-    /// outside the scope entirely — a retraction confined to one component
-    /// never walks the others' rules.
-    fn retract_from_ground(&mut self, fact: &Term, scope: &DirtyScope) -> bool {
-        let Some(possibly) = self.possibly.as_mut() else {
-            return false;
-        };
-        let Some(ground) = self.ground.as_mut() else {
-            return false;
-        };
+    /// Returns the **seed atoms** of the change — the fact, every atom that
+    /// stayed deleted, and the head of every dropped instantiation (an atom
+    /// that lost a rule may change truth even if other rules keep it
+    /// possibly-true) — or `None` if the caches cannot be maintained.
+    ///
+    /// `preds` is the predicate-level reverse-dependency closure (when one
+    /// exists): every atom that can be overdeleted (and every rule that can
+    /// lose support) has its head inside it, so the index and the final
+    /// sweep skip rules headed outside it entirely — a retraction confined
+    /// to one component never walks the others' rules.
+    fn retract_from_ground(
+        &mut self,
+        fact: &Term,
+        preds: Option<&BTreeSet<PredKey>>,
+    ) -> Option<BTreeSet<Term>> {
+        let possibly = self.possibly.as_mut()?;
+        let ground = self.ground.as_mut()?;
         // One pass over the in-scope rules builds the index both fixpoints
         // run on (rules by positive body atom), so neither loop ever rescans
         // the ground program per round.
         let mut rules_by_pos: HashMap<&Term, Vec<usize>> = HashMap::new();
         for (i, rule) in ground.rules.iter().enumerate() {
-            if !scope.affects(&rule.head) {
+            if !pred_scope_affects(preds, &rule.head) {
                 continue;
             }
             for atom in &rule.pos {
@@ -843,15 +845,24 @@ impl HiLogDb {
                 }
             }
         }
+        // Seeds for the instance-level model patch: the fact, whatever
+        // stayed deleted, and (below) the head of every dropped rule.
+        let mut seeds: BTreeSet<Term> = BTreeSet::new();
+        seeds.insert(fact.clone());
+        seeds.extend(deleted.iter().cloned());
         // Drop the instantiations that lost support.  (`possibly` shrank, so
         // this is exactly what a fresh relevant instantiation would omit;
         // out-of-scope rules cannot have lost anything.)
         ground.rules.retain(|r| {
-            !scope.affects(&r.head)
+            let keep = !pred_scope_affects(preds, &r.head)
                 || (r.pos.iter().all(|a| possibly.contains(a))
-                    && !(r.is_fact() && r.head == *fact && !spontaneous))
+                    && !(r.is_fact() && r.head == *fact && !spontaneous));
+            if !keep {
+                seeds.insert(r.head.clone());
+            }
+            keep
         });
-        true
+        Some(seeds)
     }
 
     // ------------------------------------------------------------------
@@ -899,7 +910,7 @@ impl HiLogDb {
     /// folded in by re-evaluating only the affected components), or rebuilt.
     fn ensure_model(&mut self) -> Result<ModelSource, EngineError> {
         if self.model.is_some() {
-            let Some(scope) = self.dirty.take() else {
+            let Some(seeds) = self.dirty.take() else {
                 return Ok(ModelSource::Cached);
             };
             // Invariant: `dirty` is only set while the grounding is warm and
@@ -907,8 +918,14 @@ impl HiLogDb {
             debug_assert!(self.semantics == Semantics::WellFounded);
             self.ensure_ground()?;
             let ground = self.ground.as_ref().expect("dirty implies warm ground");
+            // Instance-level warm start: only the seeds' reverse closure
+            // through the maintained ground rules is re-evaluated; everything
+            // else — including untouched atoms of the *same* strongly
+            // connected component — keeps its previous truth as frozen
+            // context.
+            let closure = affected_closure(ground, seeds);
             let previous = self.model.take().expect("checked above");
-            let patched = well_founded_patch(ground, previous, |atom| scope.affects(atom));
+            let patched = well_founded_patch(ground, previous, |atom| closure.contains(atom));
             self.model = Some(patched);
             self.patches += 1;
             return Ok(ModelSource::Patched);
@@ -1011,6 +1028,10 @@ impl HiLogDb {
         // Table-maintenance observability: how many tables survived into
         // this query (read before the route consumes the table map).
         let tables_reused = self.tables.len();
+        // Join-index observability: every candidate lookup this query causes
+        // (grounding joins and subgoal-table joins alike) lands in these
+        // thread-cumulative counters; the deltas are the per-query numbers.
+        let (probes_before, fallbacks_before) = crate::horn::probe_counters();
         let mut result = match plan.strategy {
             PlanStrategy::MagicSets => match self.query_magic(query) {
                 Ok((answers, stats)) => assemble(answers, stats, plan, None),
@@ -1035,6 +1056,9 @@ impl HiLogDb {
         result.stats.tables_patched = std::mem::take(&mut self.pending_patched);
         result.stats.tables_dropped = std::mem::take(&mut self.pending_dropped);
         result.stats.tables_reused = tables_reused;
+        let (probes_after, fallbacks_after) = crate::horn::probe_counters();
+        result.stats.index_probes = probes_after - probes_before;
+        result.stats.index_fallback_scans = fallbacks_after - fallbacks_before;
         Ok(result)
     }
 
@@ -1217,7 +1241,9 @@ fn eval_against_model(model: &Model, query: &Query) -> Result<Vec<QueryAnswer>, 
                             t => next.push((theta.clone(), conj(truth, t))),
                         }
                     } else {
-                        for candidate in model.base() {
+                        // Ground-named patterns walk only the name's
+                        // contiguous range of the ordered base.
+                        for candidate in model.base_candidates(&instantiated) {
                             let t = model.truth(candidate);
                             if t == Truth::False {
                                 continue;
@@ -1762,6 +1788,58 @@ mod tests {
         let third = db.query(&unbound).unwrap();
         assert_eq!(third.stats.model_source, ModelSource::Cached);
         assert_eq!(third.stats.patches, 0);
+    }
+
+    #[test]
+    fn single_scc_patch_freezes_untouched_instances() {
+        // One long chain game is a single predicate-level SCC; asserting an
+        // edge at its tail must patch the model by re-evaluating only the
+        // instance-level reverse closure of the change (the upstream
+        // positions), with every downstream truth frozen — and agree with a
+        // fresh session on every atom.
+        let mut text = String::from("winning(X) :- move(X, Y), not winning(Y).\n");
+        for i in 0..30 {
+            text.push_str(&format!("move(p{}, p{}).\n", i, i + 1));
+        }
+        let mut db = HiLogDb::new(parse_program(&text).unwrap());
+        let open = parse_query("?- P(p0, X).").unwrap();
+        db.query(&open).unwrap();
+        db.assert_fact(parse_term("move(p30, p31)").unwrap())
+            .unwrap();
+        let result = db.query(&open).unwrap();
+        assert_eq!(result.stats.groundings, 0);
+        assert_eq!(result.stats.model_source, ModelSource::Patched);
+        let mut fresh = HiLogDb::new(db.program().clone());
+        let fresh_model = fresh.model().unwrap().clone();
+        let patched = db.model().unwrap();
+        for atom in patched.base().iter().chain(fresh_model.base()) {
+            assert_eq!(patched.truth(atom), fresh_model.truth(atom), "{atom}");
+        }
+    }
+
+    #[test]
+    fn stats_surface_index_probes_and_serialise() {
+        let mut db = HiLogDb::new(
+            parse_program(
+                "tc(X, Y) :- e(X, Y).\n\
+                 tc(X, Y) :- e(X, Z), tc(Z, Y).\n\
+                 e(a, b). e(b, c). e(c, d).",
+            )
+            .unwrap(),
+        );
+        // The full-model route grounds the program: the tc(Z, Y) join probes
+        // the argument index on Z.
+        let result = db.query(&parse_query("?- P(a, X).").unwrap()).unwrap();
+        assert!(
+            result.stats.index_probes > 0,
+            "grounding joins never probed"
+        );
+        let json = serde_json::to_string(&result.stats).unwrap();
+        assert!(json.contains("\"index_probes\""));
+        assert!(json.contains("\"index_fallback_scans\""));
+        // The magic route joins warm tables through the same API.
+        let bound = db.query(&parse_query("?- tc(a, Y).").unwrap()).unwrap();
+        assert_eq!(bound.answers.len(), 3);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::horn::EvalOptions;
 use hilog_core::interpretation::{Model, Truth};
 use hilog_core::program::Program;
 use hilog_core::term::Term;
+use std::collections::{BTreeSet, HashMap};
 
 /// A three-valued assignment over the atoms of an [`IndexedProgram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -264,6 +265,42 @@ pub fn well_founded_patch(
         }
     }
     model
+}
+
+/// Instance-level reverse dependency closure over a ground program: the
+/// least superset of `seeds` closed under "the head of any rule whose body
+/// (positive *or negative*) mentions a member is also a member".
+///
+/// This is exactly the `affected` classification [`well_founded_patch`]
+/// requires — whenever an atom is in the closure, so is the head of every
+/// rule reading it — computed at the **instance** level rather than the
+/// predicate level.  Feeding it the atoms an incremental mutation actually
+/// touched (new facts, heads of new or dropped rule instances) *warm-starts*
+/// the alternating fixpoint inside a strongly connected component: only the
+/// atoms reachable in reverse from the change are re-evaluated, and the rest
+/// of the component keeps the previous model's values as frozen context.
+/// [`crate::session::HiLogDb`] uses this for every fact-level model patch.
+pub fn affected_closure(
+    program: &GroundProgram,
+    seeds: impl IntoIterator<Item = Term>,
+) -> BTreeSet<Term> {
+    let mut readers: HashMap<&Term, Vec<&Term>> = HashMap::new();
+    for rule in &program.rules {
+        for body in rule.pos.iter().chain(rule.neg.iter()) {
+            readers.entry(body).or_default().push(&rule.head);
+        }
+    }
+    let mut affected: BTreeSet<Term> = BTreeSet::new();
+    let mut queue: Vec<Term> = seeds.into_iter().collect();
+    while let Some(atom) = queue.pop() {
+        if !affected.insert(atom.clone()) {
+            continue;
+        }
+        if let Some(heads) = readers.get(&atom) {
+            queue.extend(heads.iter().map(|h| (*h).clone()));
+        }
+    }
+    affected
 }
 
 /// Checks whether a *total* candidate assignment over the ground program's
@@ -545,6 +582,51 @@ mod tests {
         assert_eq!(patched.truth(&t("w1(b)")), Truth::True);
         assert_eq!(patched.truth(&t("w1(a)")), Truth::False);
         assert_eq!(patched.truth(&t("w2(u)")), Truth::True);
+    }
+
+    #[test]
+    fn instance_level_patch_inside_one_scc_matches_fresh_recomputation() {
+        // One predicate-level SCC (the whole chain game), mutated at its far
+        // end: the instance-level closure of the new edge contains only the
+        // upstream positions, and patching exactly that closure — with the
+        // rest of the component frozen at the previous model — reproduces
+        // the fresh model.
+        let chain = |n: usize, extra: bool| {
+            let mut text = String::from("winning(X) :- move(X, Y), not winning(Y).\n");
+            for i in 0..n {
+                text.push_str(&format!("move(p{}, p{}).\n", i, i + 1));
+            }
+            if extra {
+                text.push_str(&format!("move(p{}, p{}).\n", n, n + 1));
+            }
+            parse_program(&text).unwrap()
+        };
+        let old_ground = relevant_ground(&chain(6, false), EvalOptions::default()).unwrap();
+        let old_model = well_founded_of_ground(&old_ground);
+        let new_ground = relevant_ground(&chain(6, true), EvalOptions::default()).unwrap();
+        // Seeds: what the mutation touched — the new edge and the heads of
+        // the rule instances it enabled.
+        let seeds = [t("move(p6, p7)"), t("winning(p6)")];
+        let closure = affected_closure(&new_ground, seeds);
+        // The closure climbs the chain through the alternating rules but
+        // never leaves it, and includes every winning(pK).
+        assert!(closure.contains(&t("winning(p0)")));
+        assert!(closure.contains(&t("winning(p6)")));
+        assert!(!closure.contains(&t("move(p0, p1)")));
+        let patched = well_founded_patch(&new_ground, old_model, |atom| closure.contains(atom));
+        assert_eq!(patched, well_founded_of_ground(&new_ground));
+    }
+
+    #[test]
+    fn affected_closure_follows_negative_edges_and_stops_elsewhere() {
+        let p = parse_program("a :- e. b :- not a. c :- b. unrelated :- other. other. e.").unwrap();
+        let gp = relevant_ground(&p, EvalOptions::default()).unwrap();
+        let closure = affected_closure(&gp, [t("e")]);
+        for atom in ["e", "a", "b", "c"] {
+            assert!(closure.contains(&t(atom)), "{atom} missing");
+        }
+        assert!(!closure.contains(&t("unrelated")));
+        assert!(!closure.contains(&t("other")));
     }
 
     #[test]

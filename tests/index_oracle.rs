@@ -1,0 +1,200 @@
+//! Property oracle for the argument-indexed `AtomStore`: whatever access
+//! path `candidates` picks — an argument-index probe, the functor-bucket
+//! fallback, or the arity scan for variable predicate names — the matches it
+//! yields must be **exactly** the full-scan-and-unify set, and every lazily
+//! built index must stay consistent through arbitrary insert/remove churn.
+//!
+//! The suite drives randomized stores (first-order and HiLog-shaped atoms,
+//! duplicate keys, shared argument values) and randomized patterns (argument
+//! subsets opened to variables, variable predicate names), comparing three
+//! answers per probe:
+//!
+//! 1. the indexed `candidates` path (indexes built lazily by the probes
+//!    themselves, maintained incrementally by the mutations);
+//! 2. the same call under `scan_only_guard` (the pre-index baseline);
+//! 3. a brute-force match over `store.iter()`.
+//!
+//! Seeds are pinned (`SEED_BASE` + case index) so failures reproduce;
+//! `HILOG_INDEX_ORACLE_CASES` scales the case count up in CI.
+
+use hilog_engine::horn::{scan_only_guard, AtomStore};
+use hilog_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+const SEED_BASE: u64 = 0x00A7_0A57;
+
+fn cases() -> u64 {
+    std::env::var("HILOG_INDEX_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+const FUNCTORS: &[&str] = &["move", "edge", "game", "winning", "p", "q"];
+const CONSTANTS: &[&str] = &["a", "b", "c", "d", "e", "hub", "n1", "n2"];
+
+/// A random ground atom: first-order (`f(c, ...)`) with arity 0..=3, a bare
+/// symbol, or HiLog-shaped (`winning(g)(c)` — a compound predicate name).
+fn random_atom(rng: &mut StdRng) -> Term {
+    let constant = |rng: &mut StdRng| -> Term {
+        if rng.gen_bool(0.2) {
+            Term::int(rng.gen_range(0..5))
+        } else {
+            Term::sym(CONSTANTS[rng.gen_range(0..CONSTANTS.len())])
+        }
+    };
+    match rng.gen_range(0..10u32) {
+        0 => Term::sym(FUNCTORS[rng.gen_range(0..FUNCTORS.len())]),
+        1 | 2 => {
+            // HiLog: compound name applied to one argument.
+            let name = Term::apps(
+                FUNCTORS[rng.gen_range(0..FUNCTORS.len())],
+                vec![constant(rng)],
+            );
+            Term::app(name, vec![constant(rng)])
+        }
+        _ => {
+            let arity = rng.gen_range(0..4usize);
+            Term::apps(
+                FUNCTORS[rng.gen_range(0..FUNCTORS.len())],
+                (0..arity).map(|_| constant(rng)).collect(),
+            )
+        }
+    }
+}
+
+/// A random pattern: take an atom shape and open a random subset of argument
+/// positions (sometimes the predicate name too) to variables.
+fn random_pattern(rng: &mut StdRng, population: &[Term]) -> Term {
+    let template = if population.is_empty() || rng.gen_bool(0.3) {
+        random_atom(rng)
+    } else {
+        population[rng.gen_range(0..population.len())].clone()
+    };
+    let name = if rng.gen_bool(0.15) {
+        Term::var("P")
+    } else {
+        template.name().clone()
+    };
+    if template.args().is_empty() && template.arity().is_none() {
+        return template;
+    }
+    let args: Vec<Term> = template
+        .args()
+        .iter()
+        .enumerate()
+        .map(|(i, arg)| {
+            if rng.gen_bool(0.5) {
+                Term::var(format!("X{i}"))
+            } else {
+                arg.clone()
+            }
+        })
+        .collect();
+    Term::app(name, args)
+}
+
+/// The matches of `pattern` via whatever path `candidates` takes.
+fn via_candidates(store: &AtomStore, pattern: &Term) -> BTreeSet<Term> {
+    store
+        .candidates(pattern)
+        .filter(|c| {
+            let mut theta = Substitution::new();
+            hilog_core::unify::match_with(pattern, c, &mut theta)
+        })
+        .cloned()
+        .collect()
+}
+
+/// Brute-force oracle: match every stored atom.
+fn via_full_scan(store: &AtomStore, pattern: &Term) -> BTreeSet<Term> {
+    store
+        .iter()
+        .filter(|c| {
+            let mut theta = Substitution::new();
+            hilog_core::unify::match_with(pattern, c, &mut theta)
+        })
+        .cloned()
+        .collect()
+}
+
+fn check_pattern(store: &AtomStore, pattern: &Term, seed: u64) {
+    let indexed = via_candidates(store, pattern);
+    let scanned = {
+        let _guard = scan_only_guard();
+        via_candidates(store, pattern)
+    };
+    let brute = via_full_scan(store, pattern);
+    assert_eq!(
+        indexed, brute,
+        "seed {seed}: indexed candidates diverge from the full scan for `{pattern}`"
+    );
+    assert_eq!(
+        scanned, brute,
+        "seed {seed}: scan-only candidates diverge from the full scan for `{pattern}`"
+    );
+}
+
+#[test]
+fn candidates_via_any_index_equal_the_scan_and_unify_filter() {
+    for case in 0..cases() {
+        let seed = SEED_BASE + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(5..120usize);
+        let atoms: Vec<Term> = (0..n).map(|_| random_atom(&mut rng)).collect();
+        let store = AtomStore::from_atoms(atoms.iter().cloned());
+        for _ in 0..12 {
+            let pattern = random_pattern(&mut rng, &atoms);
+            check_pattern(&store, &pattern, seed);
+        }
+    }
+}
+
+#[test]
+fn insert_and_remove_keep_every_lazily_built_index_consistent() {
+    for case in 0..cases() {
+        let seed = SEED_BASE ^ (0x5EED << 16) ^ case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = AtomStore::new();
+        // Mirror model: the plain set the store must stay equivalent to.
+        let mut mirror: BTreeSet<Term> = BTreeSet::new();
+        let mut population: Vec<Term> = (0..40).map(|_| random_atom(&mut rng)).collect();
+        for step in 0..60 {
+            let atom = population[rng.gen_range(0..population.len())].clone();
+            if rng.gen_bool(0.6) {
+                assert_eq!(
+                    store.insert(atom.clone()),
+                    mirror.insert(atom.clone()),
+                    "seed {seed} step {step}: insert novelty diverged for `{atom}`"
+                );
+            } else {
+                assert_eq!(
+                    store.remove(&atom),
+                    mirror.remove(&atom),
+                    "seed {seed} step {step}: remove presence diverged for `{atom}`"
+                );
+            }
+            if rng.gen_bool(0.15) {
+                population.push(random_atom(&mut rng));
+            }
+            // Probing *during* the mutation sequence is the point: it forces
+            // indexes to exist early, so later inserts/removes must maintain
+            // them rather than rebuild them.
+            let pattern = random_pattern(&mut rng, &population);
+            check_pattern(&store, &pattern, seed);
+            assert_eq!(store.len(), mirror.len(), "seed {seed} step {step}");
+            assert_eq!(
+                store.atoms(),
+                &mirror,
+                "seed {seed} step {step}: atom set diverged"
+            );
+        }
+        // Final sweep over every population member, bound and open.
+        for atom in &population {
+            assert_eq!(store.contains(atom), mirror.contains(atom));
+            check_pattern(&store, atom, seed);
+        }
+    }
+}
