@@ -1,0 +1,279 @@
+//! Mixed read/write serving load: N reader threads answering planned
+//! queries against pinned snapshots while one writer streams batches
+//! through the incremental path and publishes each with an atomic swap.
+//!
+//! Two variants of the same workload:
+//!
+//! * **in-process** — readers query `SnapshotHandle::current()` directly,
+//!   measuring the serving layer itself (no sockets, no JSON);
+//! * **HTTP** — readers and the writer go through `hilog-server` with the
+//!   crate's minimal blocking client, measuring the full front-end.
+//!
+//! For each variant and reader count the bench records sustained queries
+//! per second and p50/p99 per-query latency, plus the writer's publish
+//! rate.  Run with `cargo bench -p hilog-bench --bench bench_serving`;
+//! besides the markdown table on stdout it records the measurements in
+//! `BENCH_serving.json` at the repository root.  `HILOG_BENCH_SMOKE=1`
+//! runs a reduced load and does not overwrite the committed numbers.
+
+use hilog_bench::{to_markdown, Measurement};
+use hilog_core::rule::Query;
+use hilog_engine::session::HiLogDb;
+use hilog_server::{client, Server, ServerConfig};
+use hilog_syntax::{parse_query, parse_term};
+use hilog_workloads::serving::{serving_workload, ServingWorkload, ServingWorkloadConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-run latency summary.
+struct LoadSummary {
+    queries: usize,
+    wall: Duration,
+    p50: Duration,
+    p99: Duration,
+    publishes: usize,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn summarize(latencies: Vec<Duration>, wall: Duration, publishes: usize) -> LoadSummary {
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    LoadSummary {
+        queries: sorted.len(),
+        wall,
+        p50: percentile(&sorted, 0.50),
+        p99: percentile(&sorted, 0.99),
+        publishes,
+    }
+}
+
+fn push_rows(rows: &mut Vec<Measurement>, workload: String, summary: &LoadSummary) {
+    let secs = summary.wall.as_secs_f64().max(f64::EPSILON);
+    rows.push(Measurement::new(
+        "SERVING",
+        workload.clone(),
+        "qps",
+        summary.queries as f64 / secs,
+        "1/s",
+    ));
+    rows.push(Measurement::new(
+        "SERVING",
+        workload.clone(),
+        "p50_latency",
+        summary.p50.as_secs_f64() * 1e6,
+        "us",
+    ));
+    rows.push(Measurement::new(
+        "SERVING",
+        workload.clone(),
+        "p99_latency",
+        summary.p99.as_secs_f64() * 1e6,
+        "us",
+    ));
+    rows.push(Measurement::new(
+        "SERVING",
+        workload,
+        "writer_publish_rate",
+        summary.publishes as f64 / secs,
+        "1/s",
+    ));
+}
+
+/// In-process variant: readers pin snapshots through the handle; the writer
+/// cycles the workload's batches (re-asserts are no-ops, re-retracts miss —
+/// both still publish) until every reader has finished its quota.
+fn in_process_load(
+    workload: &ServingWorkload,
+    readers: usize,
+    queries_per_reader: usize,
+) -> LoadSummary {
+    let (mut writer, handle) = HiLogDb::new(workload.program.clone()).into_serving();
+    let queries: Vec<Query> = workload
+        .queries
+        .iter()
+        .map(|q| parse_query(q).expect("workload query parses"))
+        .collect();
+    let readers_done = AtomicUsize::new(0);
+    let mut publishes = 0usize;
+
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for reader in 0..readers {
+            let handle = handle.clone();
+            let queries = &queries;
+            let readers_done = &readers_done;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::with_capacity(queries_per_reader);
+                for i in 0..queries_per_reader {
+                    let query = &queries[(reader * queries_per_reader + i) % queries.len()];
+                    let t = Instant::now();
+                    let snapshot = handle.current();
+                    snapshot.query(query).expect("snapshot query succeeds");
+                    local.push(t.elapsed());
+                }
+                readers_done.fetch_add(1, Ordering::SeqCst);
+                local
+            }));
+        }
+        // The writer streams batches for the whole measurement window.
+        let mut round = 0usize;
+        while readers_done.load(Ordering::SeqCst) < readers {
+            let batch = &workload.batches[round % workload.batches.len()];
+            round += 1;
+            for fact in &batch.facts {
+                let term = parse_term(fact).expect("workload fact parses");
+                if batch.assert {
+                    writer.assert_fact(term).expect("workload facts are ground");
+                } else {
+                    writer.retract_fact(&term);
+                }
+            }
+            writer.publish();
+            publishes += 1;
+            // Let readers run between publishes — on few cores an unthrottled
+            // writer loop would otherwise starve them under timeslicing.
+            std::thread::yield_now();
+        }
+        for h in handles {
+            latencies.extend(h.join().expect("reader thread joins"));
+        }
+    });
+    summarize(latencies, start.elapsed(), publishes)
+}
+
+/// HTTP variant: the same load shape through `hilog-server` and the
+/// blocking client, one connection per request.
+fn http_load(
+    workload: &ServingWorkload,
+    readers: usize,
+    queries_per_reader: usize,
+    workers: usize,
+) -> LoadSummary {
+    let db = HiLogDb::new(workload.program.clone());
+    let server = Server::bind(ServerConfig::ephemeral().workers(workers), db).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.handle();
+    let serving = std::thread::spawn(move || server.serve());
+
+    let query_bodies: Vec<String> = workload
+        .queries
+        .iter()
+        .map(|q| {
+            let mut body = String::from("{\"query\":");
+            serde::write_json_string(&mut body, q);
+            body.push('}');
+            body
+        })
+        .collect();
+    let batch_bodies: Vec<(&'static str, String)> = workload
+        .batches
+        .iter()
+        .map(|batch| {
+            let route = if batch.assert { "/assert" } else { "/retract" };
+            let mut body = String::from("{\"facts\":");
+            serde::Serialize::write_json(&batch.facts, &mut body);
+            body.push('}');
+            (route, body)
+        })
+        .collect();
+
+    let readers_done = AtomicUsize::new(0);
+    let mut publishes = 0usize;
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for reader in 0..readers {
+            let bodies = &query_bodies;
+            let readers_done = &readers_done;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::with_capacity(queries_per_reader);
+                for i in 0..queries_per_reader {
+                    let body = &bodies[(reader * queries_per_reader + i) % bodies.len()];
+                    let t = Instant::now();
+                    let response = client::post(addr, "/query", body).expect("query round-trip");
+                    local.push(t.elapsed());
+                    assert_eq!(response.status, 200, "{}", response.body);
+                }
+                readers_done.fetch_add(1, Ordering::SeqCst);
+                local
+            }));
+        }
+        let mut round = 0usize;
+        while readers_done.load(Ordering::SeqCst) < readers {
+            let (route, body) = &batch_bodies[round % batch_bodies.len()];
+            round += 1;
+            let response = client::post(addr, route, body).expect("mutation round-trip");
+            assert_eq!(response.status, 200, "{}", response.body);
+            publishes += 1;
+            std::thread::yield_now();
+        }
+        for h in handles {
+            latencies.extend(h.join().expect("reader thread joins"));
+        }
+    });
+    let summary = summarize(latencies, start.elapsed(), publishes);
+    shutdown.shutdown();
+    serving.join().expect("server thread exits");
+    summary
+}
+
+fn main() {
+    let smoke = std::env::var("HILOG_BENCH_SMOKE").is_ok();
+    let config = if smoke {
+        ServingWorkloadConfig {
+            nodes: 24,
+            churn_pool: 12,
+            write_batches: 8,
+            queries: 64,
+            ..ServingWorkloadConfig::default()
+        }
+    } else {
+        ServingWorkloadConfig::default()
+    };
+    let queries_per_reader = if smoke { 40 } else { 400 };
+    let workload = serving_workload(&config, 0xBEEF);
+
+    let mut rows = Vec::new();
+    for readers in [1usize, 4, 8] {
+        let summary = in_process_load(&workload, readers, queries_per_reader);
+        push_rows(
+            &mut rows,
+            format!(
+                "in-process n={} readers={readers} q={}",
+                config.nodes, summary.queries
+            ),
+            &summary,
+        );
+    }
+    for readers in [1usize, 4] {
+        let summary = http_load(&workload, readers, queries_per_reader, readers.max(2) * 2);
+        push_rows(
+            &mut rows,
+            format!(
+                "http n={} readers={readers} q={}",
+                config.nodes, summary.queries
+            ),
+            &summary,
+        );
+    }
+
+    print!("{}", to_markdown(&rows));
+    if smoke {
+        // CI smoke: exercise both variants but keep the committed numbers.
+        return;
+    }
+    let json = serde_json::to_string_pretty(&rows).expect("measurements serialise");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, json + "\n").expect("BENCH_serving.json written");
+    println!("wrote {path}");
+}

@@ -137,6 +137,19 @@ pub fn match_with(pattern: &Term, target: &Term, subst: &mut Substitution) -> bo
         Term::Int(a) => matches!(target, Term::Int(b) if a == b),
         Term::App(n1, a1) => match target {
             Term::App(n2, a2) if a1.len() == a2.len() => {
+                // Interned fast path, mirroring `unify_resolved`: a *ground*
+                // pattern sharing the target's `Arc`s matches without walking
+                // either term.  The groundness guard matters — a pattern with
+                // variables matching itself would still need to record their
+                // bindings, so only the variable-free case can short-circuit.
+                // On the warm-table probe path most patterns are exactly the
+                // interned atoms they are probed against, so this hits often.
+                if std::sync::Arc::ptr_eq(n1, n2)
+                    && std::sync::Arc::ptr_eq(a1, a2)
+                    && pattern.is_ground()
+                {
+                    return true;
+                }
                 if !match_with(n1, n2, subst) {
                     return false;
                 }
@@ -286,6 +299,22 @@ mod tests {
             &Term::apps("q", vec![Term::sym("a")]),
             &mut theta2
         ));
+    }
+
+    #[test]
+    fn matching_a_shared_term_against_itself() {
+        // Ground shared term: the pointer fast path answers true with no
+        // bindings, exactly like the structural walk would.
+        let ground = app2(Term::sym("move"), Term::sym("a"), Term::sym("b"));
+        let theta = match_term(&ground, &ground.clone()).unwrap();
+        assert!(theta.is_empty());
+        // Non-ground shared term: the fast path must NOT fire — matching a
+        // pattern against itself still records the identity bindings of its
+        // variables, which later literals may rely on.
+        let open = app2(Term::sym("move"), Term::var("X"), Term::sym("b"));
+        let theta = match_term(&open, &open.clone()).unwrap();
+        assert_eq!(theta.apply(&Term::var("X")), Term::var("X"));
+        assert!(!theta.is_empty());
     }
 
     #[test]

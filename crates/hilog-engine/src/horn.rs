@@ -16,9 +16,10 @@ use hilog_core::subst::Substitution;
 use hilog_core::term::Term;
 use hilog_core::unify::match_with;
 use std::borrow::Borrow;
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::{PoisonError, RwLock};
 
 /// Resource limits for bottom-up evaluation.  They exist because HiLog
 /// Herbrand universes are infinite: a non-range-restricted program (or a
@@ -168,44 +169,80 @@ impl<'a> Borrow<dyn RelKeyRef + 'a> for RelKey {
 
 /// One `(functor, arity)` extension: its live members in insertion order plus
 /// the argument-position hash indexes built for it so far.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 struct Relation {
     /// Live member ids, insertion order (removal compacts in place).
     rows: Vec<AtomId>,
     /// Lazily built argument indexes: position → argument value → posting
     /// list of live rows.  Built on the first probe that binds the position
-    /// (under `&self`, hence the cell) and maintained incrementally by every
-    /// later insert/remove, so a warm store never rebuilds an index.
-    indexes: RefCell<HashMap<usize, HashMap<Term, Vec<AtomId>>>>,
+    /// (under `&self`, hence the lock) and maintained incrementally by every
+    /// later insert/remove, so a warm store never rebuilds an index.  An
+    /// `RwLock` rather than a `RefCell` so a shared [`AtomStore`] is `Sync`:
+    /// concurrent snapshot readers probing the same warm relation only take
+    /// the read lock; the write lock is held briefly when a reader is the
+    /// first to need an index at some position.
+    indexes: RwLock<HashMap<usize, HashMap<Term, Vec<AtomId>>>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            rows: self.rows.clone(),
+            indexes: RwLock::new(
+                self.indexes
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl Relation {
     /// Probes the most selective argument index over the pattern's ground
     /// argument positions, building missing indexes on first use.  Returns
-    /// the matching posting list (cloned out, so no index borrow escapes) or
+    /// the matching posting list (cloned out, so no lock guard escapes) or
     /// `None` when the pattern binds no argument position — the caller then
-    /// falls back to the functor-bucket scan.
+    /// falls back to the functor-bucket scan.  Warm probes only take the
+    /// read lock; a probe that needs a missing index upgrades to the write
+    /// lock to build it.
     fn probe(&self, pattern: &Term, interner: &TermInterner) -> Option<Vec<AtomId>> {
         let args = pattern.args();
-        let mut indexes = self.indexes.borrow_mut();
-        for (pos, arg) in args.iter().enumerate() {
-            if arg.is_ground() {
-                indexes
-                    .entry(pos)
-                    .or_insert_with(|| Self::build_index(&self.rows, pos, interner));
-            }
+        let ground: Vec<usize> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, arg)| arg.is_ground())
+            .map(|(pos, _)| pos)
+            .collect();
+        if ground.is_empty() {
+            return None;
         }
+        let read = self.indexes.read().unwrap_or_else(PoisonError::into_inner);
+        if ground.iter().all(|pos| read.contains_key(pos)) {
+            return Some(Self::pick_posting(&read, args, &ground));
+        }
+        drop(read);
+        let mut write = self.indexes.write().unwrap_or_else(PoisonError::into_inner);
+        for &pos in &ground {
+            write
+                .entry(pos)
+                .or_insert_with(|| Self::build_index(&self.rows, pos, interner));
+        }
+        Some(Self::pick_posting(&write, args, &ground))
+    }
+
+    /// The smallest posting list over the pattern's bound positions; empty if
+    /// any bound position has no posting at all (an empty posting list is
+    /// maximally selective: no candidate can match the pattern).
+    fn pick_posting(
+        indexes: &HashMap<usize, HashMap<Term, Vec<AtomId>>>,
+        args: &[Term],
+        ground: &[usize],
+    ) -> Vec<AtomId> {
         let mut best: Option<&Vec<AtomId>> = None;
-        let mut bound = false;
-        for (pos, arg) in args.iter().enumerate() {
-            if !arg.is_ground() {
-                continue;
-            }
-            bound = true;
-            match indexes[&pos].get(arg) {
-                // An empty posting list is maximally selective: no candidate
-                // can match the pattern at all.
-                None => return Some(Vec::new()),
+        for &pos in ground {
+            match indexes[&pos].get(&args[pos]) {
+                None => return Vec::new(),
                 Some(posting) => {
                     if best.is_none_or(|b| posting.len() < b.len()) {
                         best = Some(posting);
@@ -213,11 +250,7 @@ impl Relation {
                 }
             }
         }
-        if bound {
-            Some(best.cloned().unwrap_or_default())
-        } else {
-            None
-        }
+        best.cloned().unwrap_or_default()
     }
 
     fn build_index(
@@ -306,8 +339,14 @@ impl AtomStore {
             .get_mut(&key as &dyn RelKeyRef)
             .expect("relation just ensured");
         rel.rows.push(id);
-        // Keep every already-built index exact.
-        for (pos, index) in rel.indexes.get_mut().iter_mut() {
+        // Keep every already-built index exact (`get_mut` is lock-free: the
+        // `&mut self` receiver proves exclusive access).
+        for (pos, index) in rel
+            .indexes
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter_mut()
+        {
             if let Some(arg) = atom.args().get(*pos) {
                 index.entry(arg.clone()).or_default().push(id);
             }
@@ -333,7 +372,12 @@ impl AtomStore {
             .get_mut(&(atom.name(), atom.arity()) as &dyn RelKeyRef)
         {
             rel.rows.retain(|&r| r != id);
-            for (pos, index) in rel.indexes.get_mut().iter_mut() {
+            for (pos, index) in rel
+                .indexes
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter_mut()
+            {
                 if let Some(arg) = atom.args().get(*pos) {
                     if let Some(posting) = index.get_mut(arg) {
                         posting.retain(|&r| r != id);

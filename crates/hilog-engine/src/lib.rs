@@ -32,6 +32,10 @@
 //!   cache invalidation, and routes every query through an explainable
 //!   [`QueryPlan`].  The one-shot free functions remain available as
 //!   deprecated shims.
+//! * **The concurrent serving split** ([`snapshot`]): an immutable,
+//!   `Send + Sync` [`DbSnapshot`] whose query routes take `&self`, published
+//!   per batch by a single [`DbWriter`] through an epoch-swapped shared cell
+//!   — readers never block and never observe a half-applied batch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +51,7 @@ pub mod magic_eval;
 pub mod modular;
 pub mod plan;
 pub mod session;
+pub mod snapshot;
 pub mod stable;
 pub mod wfs;
 
@@ -67,6 +72,7 @@ pub use magic_eval::{EvalStats, ModelSource, QueryEvaluator};
 pub use modular::ModularOutcome;
 pub use plan::{PlanStrategy, QueryPlan};
 pub use session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
+pub use snapshot::{DbSnapshot, DbWriter, SnapshotHandle};
 pub use stable::{stable_models_over_universe, StableOptions};
 pub use wfs::{well_founded_model_over_universe, well_founded_of_ground, well_founded_patch};
 
@@ -95,6 +101,7 @@ pub mod prelude {
     pub use crate::modular::ModularOutcome;
     pub use crate::plan::{PlanStrategy, QueryPlan};
     pub use crate::session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
+    pub use crate::snapshot::{DbSnapshot, DbWriter, SnapshotHandle};
     pub use crate::stable::StableOptions;
     pub use crate::wfs::{well_founded_model_over_universe, well_founded_patch};
 

@@ -45,6 +45,7 @@ use hilog_core::subst::Substitution;
 use hilog_core::term::{Term, Var};
 use hilog_core::unify::{match_with, unify_with};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Head predicate name of the auxiliary rule that wraps conjunctive queries,
 /// shared by [`QueryEvaluator::answer_query`] and the session facade (which
@@ -189,8 +190,11 @@ pub struct QueryEvaluator<'p> {
     /// Subgoal tables keyed by their normalised pattern *structurally* (the
     /// `Arc`-backed [`Term`] itself), so seeding, lookup and the session's
     /// maintenance never render a pattern to text — and two patterns that
-    /// would print identically can never share a table.
-    tables: HashMap<Term, Table>,
+    /// would print identically can never share a table.  Tables are `Arc`d
+    /// so seeding from a published [`crate::snapshot::DbSnapshot`] shares
+    /// them structurally; `Arc::make_mut` copies a table on its first write
+    /// only if a snapshot still holds it (copy-on-write).
+    tables: HashMap<Term, Arc<Table>>,
     rename_counter: u32,
     stats: EvalStats,
     /// Number of answers inserted by *this* evaluator (seeded answers are
@@ -219,7 +223,7 @@ impl<'p> QueryEvaluator<'p> {
     pub(crate) fn with_tables(
         program: &'p Program,
         opts: EvalOptions,
-        tables: HashMap<Term, Table>,
+        tables: HashMap<Term, Arc<Table>>,
     ) -> Self {
         let mut rules_by_head: HashMap<(Term, Option<usize>), Vec<usize>> = HashMap::new();
         let mut wildcard_rules = Vec::new();
@@ -248,7 +252,7 @@ impl<'p> QueryEvaluator<'p> {
 
     /// Consumes the evaluator, handing its subgoal tables back to the caller
     /// (the session keeps the complete ones for the next query).
-    pub(crate) fn into_tables(self) -> HashMap<Term, Table> {
+    pub(crate) fn into_tables(self) -> HashMap<Term, Arc<Table>> {
         self.tables
     }
 
@@ -345,6 +349,7 @@ impl<'p> QueryEvaluator<'p> {
     /// ([`DepSign::Neg`] dominates a previously recorded positive edge).
     fn record_edge(&mut self, from: &Term, to: Term, sign: DepSign) {
         if let Some(table) = self.tables.get_mut(from) {
+            let table = Arc::make_mut(table);
             let entry = table.deps.entry(to).or_insert(sign);
             if sign == DepSign::Neg {
                 *entry = DepSign::Neg;
@@ -453,7 +458,8 @@ impl<'p> QueryEvaluator<'p> {
                 return Err(self.not_modularly_stratified(&key));
             }
         } else {
-            self.tables.insert(key.clone(), Table::new(key.clone()));
+            self.tables
+                .insert(key.clone(), Arc::new(Table::new(key.clone())));
         }
         in_progress.push(key.clone());
 
@@ -488,7 +494,7 @@ impl<'p> QueryEvaluator<'p> {
         }
         for k in &scope {
             if let Some(t) = self.tables.get_mut(k) {
-                t.complete = true;
+                Arc::make_mut(t).complete = true;
             }
         }
         in_progress.pop();
@@ -517,7 +523,8 @@ impl<'p> QueryEvaluator<'p> {
             }
             return Ok(key);
         }
-        self.tables.insert(key.clone(), Table::new(key.clone()));
+        self.tables
+            .insert(key.clone(), Arc::new(Table::new(key.clone())));
         scope.push(key.clone());
         Ok(key)
     }
@@ -680,14 +687,17 @@ impl<'p> QueryEvaluator<'p> {
         }
         let table = self.tables.get_mut(subgoal_key).expect("table exists");
         let before = table.answers.len();
-        for d in derived {
-            // Only keep instances of the subgoal pattern.
-            let mut m = Substitution::new();
-            if match_with(&table.pattern, &d, &mut m) {
-                table.answers.insert(d);
+        if !derived.is_empty() {
+            let table = Arc::make_mut(table);
+            for d in derived {
+                // Only keep instances of the subgoal pattern.
+                let mut m = Substitution::new();
+                if match_with(&table.pattern, &d, &mut m) {
+                    table.answers.insert(d);
+                }
             }
         }
-        self.derived += table.answers.len() - before;
+        self.derived += self.tables[subgoal_key].answers.len() - before;
         Ok(())
     }
 }
@@ -709,18 +719,31 @@ pub(crate) fn normalize_pattern(pattern: &Term) -> Term {
 /// Convenience function: answers a query against a program with a fresh
 /// evaluator, returning the substitutions and the evaluation statistics.
 #[deprecated(
-    note = "construct a `HiLogDb` (`crate::session`) and call `.query(..)`; the session \
-            reuses subgoal tables across queries instead of starting from scratch"
+    note = "construct a `HiLogDb` (`crate::session`) and call `.query(..)`, or share a \
+            `DbSnapshot` (`crate::snapshot`) across threads; both reuse subgoal tables \
+            across queries instead of starting from scratch"
 )]
 pub fn answer_query(
     program: &Program,
     query: &Query,
     opts: EvalOptions,
 ) -> Result<(Vec<Substitution>, EvalStats), EngineError> {
-    let mut evaluator = QueryEvaluator::new(program, opts);
-    let answers = evaluator.answer_query(query)?;
-    let stats = evaluator.stats();
-    Ok((answers, stats))
+    // One-shot over the snapshot read path: bound queries take the tabled
+    // route exactly as before, unbound ones now answer from the full model
+    // (the session facade's planning applied to a single-use snapshot).
+    let (_writer, handle) = crate::session::HiLogDb::builder()
+        .program(program.clone())
+        .options(opts)
+        .build()
+        .into_serving();
+    let result = handle.current().query(query)?;
+    let answers = result
+        .answers
+        .into_iter()
+        .filter(|a| a.truth == hilog_core::interpretation::Truth::True)
+        .map(|a| a.bindings.into_iter().collect::<Substitution>())
+        .collect();
+    Ok((answers, result.stats))
 }
 
 #[cfg(test)]

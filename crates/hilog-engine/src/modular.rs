@@ -85,13 +85,14 @@ impl ModularOutcome {
 /// stratified".
 #[deprecated(
     note = "construct a `HiLogDb` (`crate::session`) and call `.check_modular()` (or query \
-            under `Semantics::ModularCheck`); the session caches the outcome"
+            under `Semantics::ModularCheck`), or share a `DbSnapshot` (`crate::snapshot`) \
+            across threads; both cache the outcome"
 )]
 pub fn modularly_stratified_hilog(
     program: &Program,
     opts: EvalOptions,
 ) -> Result<ModularOutcome, EngineError> {
-    figure1_procedure(program, opts)
+    one_shot_check(program, opts)
 }
 
 /// Non-deprecated internal form of [`modularly_stratified_hilog`], shared by
@@ -259,8 +260,8 @@ pub(crate) fn figure1_procedure(
 /// this coincides with the HiLog procedure on normal programs, so the same
 /// procedure is run after checking normality.
 #[deprecated(
-    note = "construct a `HiLogDb` (`crate::session`) and call `.check_modular()`; the session \
-            caches the outcome"
+    note = "construct a `HiLogDb` (`crate::session`) and call `.check_modular()`, or share a \
+            `DbSnapshot` (`crate::snapshot`) across threads; both cache the outcome"
 )]
 pub fn modularly_stratified_normal(
     program: &Program,
@@ -272,7 +273,19 @@ pub fn modularly_stratified_normal(
                 .into(),
         ));
     }
-    figure1_procedure(program, opts)
+    one_shot_check(program, opts)
+}
+
+/// Shared body of the deprecated shims: a one-shot run over the snapshot
+/// read path (the same route concurrent readers take).
+fn one_shot_check(program: &Program, opts: EvalOptions) -> Result<ModularOutcome, EngineError> {
+    let (_writer, handle) = crate::session::HiLogDb::builder()
+        .program(program.clone())
+        .options(opts)
+        .semantics(crate::session::Semantics::ModularCheck)
+        .build()
+        .into_serving();
+    Ok(handle.current().check_modular()?.as_ref().clone())
 }
 
 fn rule_has_variable_predicate_name(rule: &Rule) -> bool {

@@ -51,6 +51,7 @@ use hilog_core::unify::{match_with, unify_with};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which semantics a [`HiLogDb`] answers queries under.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -225,7 +226,7 @@ impl HiLogDbBuilder {
     /// lazily by the first query that needs it.
     pub fn build(self) -> HiLogDb {
         HiLogDb {
-            program: self.program,
+            program: Arc::new(self.program),
             opts: self.opts,
             stable_opts: self.stable_opts,
             semantics: self.semantics,
@@ -267,7 +268,12 @@ fn pred_scope_affects(preds: Option<&BTreeSet<PredKey>>, atom: &Term) -> bool {
 /// shape and a usage example.
 #[derive(Debug)]
 pub struct HiLogDb {
-    program: Program,
+    /// The program, `Arc`d so publishing a [`crate::snapshot::DbSnapshot`]
+    /// shares it with the session; mutations go through `Arc::make_mut`
+    /// (copy-on-write: the clone happens only while a snapshot still holds
+    /// the previous version).  Every other heavyweight cache below is `Arc`d
+    /// for the same reason.
+    program: Arc<Program>,
     opts: EvalOptions,
     stable_opts: StableOptions,
     semantics: Semantics,
@@ -277,13 +283,13 @@ pub struct HiLogDb {
     /// Cached relevant instantiation of the program, maintained
     /// *incrementally* under fact-level mutations (delta grounding on
     /// assert, DRed overdelete/rederive on retract).
-    ground: Option<GroundProgram>,
+    ground: Option<Arc<GroundProgram>>,
     /// The over-approximated true-or-undefined store backing `ground` (the
     /// least model of the positive program).  Kept in lockstep with `ground`
     /// so the semi-naive continuation has a closed store to extend.
-    possibly: Option<AtomStore>,
+    possibly: Option<Arc<AtomStore>>,
     /// Cached full model under `semantics`.
-    model: Option<Model>,
+    model: Option<Arc<Model>>,
     /// Pending fact-level deltas not yet folded into `model`: the **seed
     /// atoms** the mutations actually touched (new facts, heads of new or
     /// dropped ground-rule instances), accumulated across mutations.  `Some`
@@ -295,16 +301,16 @@ pub struct HiLogDb {
     /// previous values.
     dirty: Option<BTreeSet<Term>>,
     /// Cached stable models (only filled under [`Semantics::Stable`]).
-    stable: Option<Vec<Model>>,
+    stable: Option<Arc<Vec<Model>>>,
     /// Cached Figure 1 outcome.
-    modular: Option<ModularOutcome>,
+    modular: Option<Arc<ModularOutcome>>,
     /// Completed subgoal tables of the query-directed evaluator, keyed
     /// structurally by their normalised subgoal pattern.  Each table carries
     /// the dependency edges recorded while it was filled; mutations walk the
     /// *reverse* closure of those edges (instance-level, unlike the
     /// predicate-level `DepAnalysis`) to decide which tables to patch in
     /// place, which to drop, and which to leave untouched.
-    tables: HashMap<Term, Table>,
+    tables: HashMap<Term, Arc<Table>>,
     /// Scratch copy of the program used to host the auxiliary rule of
     /// conjunctive queries (cloned lazily, reused until the program mutates).
     scratch: Option<Program>,
@@ -334,7 +340,7 @@ impl HiLogDb {
     /// The current program (initial rules plus asserted facts and rules,
     /// minus retracted facts).
     pub fn program(&self) -> &Program {
-        &self.program
+        self.program.as_ref()
     }
 
     /// The session's evaluation limits.
@@ -372,7 +378,7 @@ impl HiLogDb {
             .rules
             .iter()
             .any(|r| r.is_fact() && r.head == fact);
-        self.program.push(Rule::fact(fact.clone()));
+        Arc::make_mut(&mut self.program).push(Rule::fact(fact.clone()));
         if already_present {
             self.scratch = None;
             return Ok(());
@@ -392,7 +398,7 @@ impl HiLogDb {
         else {
             return false;
         };
-        self.program.rules.remove(pos);
+        Arc::make_mut(&mut self.program).rules.remove(pos);
         self.scratch = None;
         // A duplicate assertion may still be present; then nothing changed
         // semantically and every cache stays valid.
@@ -415,7 +421,7 @@ impl HiLogDb {
     /// dropped, and every other table survives.
     pub fn assert_rule(&mut self, rule: Rule) {
         self.drop_tables_for_head(&rule.head);
-        self.program.push(rule);
+        Arc::make_mut(&mut self.program).push(rule);
         self.invalidate_caches_keeping_tables();
     }
 
@@ -430,7 +436,7 @@ impl HiLogDb {
         let Some(pos) = self.program.rules.iter().position(|r| r == rule) else {
             return false;
         };
-        self.program.rules.remove(pos);
+        Arc::make_mut(&mut self.program).rules.remove(pos);
         // A structurally identical copy may remain; then nothing changed.
         if self.program.rules.iter().any(|r| r == rule) {
             self.scratch = None;
@@ -524,6 +530,7 @@ impl HiLogDb {
                 && fact.is_ground()
                 && match_with(&table.pattern, fact, &mut theta)
             {
+                let table = Arc::make_mut(table);
                 if asserted {
                     table.answers.insert(fact.clone());
                 } else if !spontaneous {
@@ -590,10 +597,10 @@ impl HiLogDb {
             // duplicate short-circuit in `assert_fact` guarantees this is a
             // genuinely new fact.)
             if let Some(possibly) = &mut self.possibly {
-                possibly.insert(fact.clone());
+                Arc::make_mut(possibly).insert(fact.clone());
             }
             if let Some(ground) = &mut self.ground {
-                ground.push(GroundRule::fact(fact.clone()));
+                Arc::make_mut(ground).push(GroundRule::fact(fact.clone()));
             }
             // Same cumulative cap as `assert_into_ground`: fall back to full
             // re-grounding (and its `LimitExceeded`) instead of silently
@@ -611,25 +618,27 @@ impl HiLogDb {
                 return;
             }
             if let Some(model) = &mut self.model {
-                model.set_true(fact.clone());
+                Arc::make_mut(model).set_true(fact.clone());
             }
             if let Some(models) = &mut self.stable {
-                for m in models.iter_mut() {
+                for m in Arc::make_mut(models).iter_mut() {
                     m.set_true(fact.clone());
                 }
             }
         } else if pure_edb {
             if let Some(possibly) = &mut self.possibly {
-                possibly.remove(fact);
+                Arc::make_mut(possibly).remove(fact);
             }
             if let Some(ground) = &mut self.ground {
-                ground.rules.retain(|r| !(r.is_fact() && r.head == *fact));
+                Arc::make_mut(ground)
+                    .rules
+                    .retain(|r| !(r.is_fact() && r.head == *fact));
             }
             if let Some(model) = &mut self.model {
-                model.set_false(fact.clone());
+                Arc::make_mut(model).set_false(fact.clone());
             }
             if let Some(models) = &mut self.stable {
-                for m in models.iter_mut() {
+                for m in Arc::make_mut(models).iter_mut() {
                     m.set_false(fact.clone());
                 }
             }
@@ -695,8 +704,8 @@ impl HiLogDb {
     /// (e.g. a resource limit); the caller then falls back to full
     /// re-grounding.
     fn assert_into_ground(&mut self, fact: &Term) -> Option<BTreeSet<Term>> {
-        let possibly = self.possibly.as_mut().expect("checked by caller");
-        let ground = self.ground.as_mut().expect("checked by caller");
+        let possibly = Arc::make_mut(self.possibly.as_mut().expect("checked by caller"));
+        let ground = Arc::make_mut(self.ground.as_mut().expect("checked by caller"));
         let mut seeds: BTreeSet<Term> = BTreeSet::new();
         seeds.insert(fact.clone());
         let fact_was_new = !possibly.contains(fact);
@@ -772,8 +781,8 @@ impl HiLogDb {
         fact: &Term,
         preds: Option<&BTreeSet<PredKey>>,
     ) -> Option<BTreeSet<Term>> {
-        let possibly = self.possibly.as_mut()?;
-        let ground = self.ground.as_mut()?;
+        let possibly = Arc::make_mut(self.possibly.as_mut()?);
+        let ground = Arc::make_mut(self.ground.as_mut()?);
         // One pass over the in-scope rules builds the index both fixpoints
         // run on (rules by positive body atom), so neither loop ever rescans
         // the ground program per round.
@@ -882,8 +891,12 @@ impl HiLogDb {
             // the possibly-true store is kept: it is the closed store the
             // semi-naive continuation of `assert_fact` extends.
             let possibly = least_model(&self.program, NegationMode::Ignore, self.opts)?;
-            self.ground = Some(ground_against(&self.program, &possibly, self.opts)?);
-            self.possibly = Some(possibly);
+            self.ground = Some(Arc::new(ground_against(
+                &self.program,
+                &possibly,
+                self.opts,
+            )?));
+            self.possibly = Some(Arc::new(possibly));
             self.groundings += 1;
         }
         Ok(())
@@ -893,7 +906,7 @@ impl HiLogDb {
     /// use.
     pub fn ground_program(&mut self) -> Result<&GroundProgram, EngineError> {
         self.ensure_ground()?;
-        Ok(self.ground.as_ref().expect("just grounded"))
+        Ok(self.ground.as_deref().expect("just grounded"))
     }
 
     /// The cached full model under the session's semantics, computing it on
@@ -902,7 +915,7 @@ impl HiLogDb {
     /// model (or an error if the program is rejected).
     pub fn model(&mut self) -> Result<&Model, EngineError> {
         self.ensure_model()?;
-        Ok(self.model.as_ref().expect("just built"))
+        Ok(self.model.as_deref().expect("just built"))
     }
 
     /// Ensures the cached model is usable and *exact*, reporting how it was
@@ -924,9 +937,9 @@ impl HiLogDb {
             // connected component — keeps its previous truth as frozen
             // context.
             let closure = affected_closure(ground, seeds);
-            let previous = self.model.take().expect("checked above");
+            let previous = Arc::unwrap_or_clone(self.model.take().expect("checked above"));
             let patched = well_founded_patch(ground, previous, |atom| closure.contains(atom));
-            self.model = Some(patched);
+            self.model = Some(Arc::new(patched));
             self.patches += 1;
             return Ok(ModelSource::Patched);
         }
@@ -934,7 +947,7 @@ impl HiLogDb {
         let model = match self.semantics {
             Semantics::WellFounded => {
                 self.ensure_ground()?;
-                well_founded_of_ground(self.ground.as_ref().expect("just grounded"))
+                well_founded_of_ground(self.ground.as_deref().expect("just grounded"))
             }
             Semantics::Stable => consensus_model(self.stable_models()?)?,
             Semantics::ModularCheck => {
@@ -951,7 +964,7 @@ impl HiLogDb {
                 }
             }
         };
-        self.model = Some(model);
+        self.model = Some(Arc::new(model));
         Ok(ModelSource::Rebuilt)
     }
 
@@ -960,8 +973,8 @@ impl HiLogDb {
     pub fn stable_models(&mut self) -> Result<&[Model], EngineError> {
         if self.stable.is_none() {
             self.ensure_ground()?;
-            let ground = self.ground.as_ref().expect("just grounded");
-            self.stable = Some(stable_models_of_ground(ground, self.stable_opts)?);
+            let ground = self.ground.as_deref().expect("just grounded");
+            self.stable = Some(Arc::new(stable_models_of_ground(ground, self.stable_opts)?));
         }
         Ok(self.stable.as_deref().expect("just computed"))
     }
@@ -969,9 +982,9 @@ impl HiLogDb {
     /// Runs (and caches) the Figure 1 modular-stratification procedure.
     pub fn check_modular(&mut self) -> Result<&ModularOutcome, EngineError> {
         if self.modular.is_none() {
-            self.modular = Some(figure1_procedure(&self.program, self.opts)?);
+            self.modular = Some(Arc::new(figure1_procedure(&self.program, self.opts)?));
         }
-        Ok(self.modular.as_ref().expect("just checked"))
+        Ok(self.modular.as_deref().expect("just checked"))
     }
 
     // ------------------------------------------------------------------
@@ -981,44 +994,15 @@ impl HiLogDb {
     /// Builds the plan [`query`](HiLogDb::query) would execute, without
     /// evaluating anything.
     pub fn explain(&self, query: &Query) -> QueryPlan {
-        let bound = query_is_bound(query);
-        let (strategy, reason) = if self.semantics != Semantics::WellFounded {
-            (
-                PlanStrategy::FullModel,
-                format!(
-                    "the {} semantics is defined through the full model, so the query is \
-                     answered from the session's cached model",
-                    self.semantics
-                ),
-            )
-        } else if bound {
-            (
-                PlanStrategy::MagicSets,
-                "the first literal has a ground predicate name, so query-directed \
-                 (magic-sets) evaluation visits only the relevant subgoals and reuses the \
-                 session's completed tables"
-                    .to_string(),
-            )
-        } else {
-            (
-                PlanStrategy::FullModel,
-                "the query has no leading positive literal with a ground predicate name \
-                 (it is unbound), so it is answered from the session's cached full model"
-                    .to_string(),
-            )
-        };
-        QueryPlan {
-            strategy,
-            semantics: self.semantics,
-            query: query.to_string(),
-            adornment: adornment(query),
-            cached_model: self.model.is_some(),
-            stale_model: self.model.is_some() && self.dirty.is_some(),
-            cached_subqueries: self.tables.values().filter(|t| t.complete).count(),
-            patched_subqueries: self.pending_patched,
-            dropped_subqueries: self.pending_dropped,
-            reason,
-        }
+        build_plan(
+            self.semantics,
+            query,
+            self.model.is_some(),
+            self.model.is_some() && self.dirty.is_some(),
+            self.tables.values().filter(|t| t.complete).count(),
+            self.pending_patched,
+            self.pending_dropped,
+        )
     }
 
     /// Answers a query through the plan [`explain`](HiLogDb::explain)
@@ -1142,7 +1126,7 @@ impl HiLogDb {
                 vars.iter().map(|v| Term::Var(v.clone())).collect(),
             );
             if self.scratch.is_none() {
-                self.scratch = Some(self.program.clone());
+                self.scratch = Some(Program::clone(&self.program));
             }
             let scratch = self.scratch.as_mut().expect("just cloned");
             scratch.push(Rule::new(head.clone(), query.literals.clone()));
@@ -1184,9 +1168,126 @@ impl HiLogDb {
         };
         Ok((answers, stats))
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot export (the writer half of the serving split)
+    // ------------------------------------------------------------------
+
+    /// Converts the session into a serving pair: a single
+    /// [`DbWriter`](crate::snapshot::DbWriter) owning this session's
+    /// incremental mutation path, and a [`SnapshotHandle`](crate::snapshot::SnapshotHandle)
+    /// any number of reader threads can clone to pin immutable
+    /// [`DbSnapshot`](crate::snapshot::DbSnapshot)s.  The initial snapshot
+    /// (epoch 0) is published immediately.
+    pub fn into_serving(self) -> (crate::snapshot::DbWriter, crate::snapshot::SnapshotHandle) {
+        crate::snapshot::DbWriter::from_db(self)
+    }
+
+    /// Cheap `Arc` clones of every cache a published snapshot shares with the
+    /// session.  Pending model deltas are discharged first (the incremental
+    /// patch the next query would have applied), so the exported model is
+    /// exact; if the discharge fails the model is dropped and the snapshot
+    /// rebuilds it lazily, surfacing the error per query exactly like a
+    /// fresh session would.
+    pub(crate) fn snapshot_parts(&mut self) -> SnapshotParts {
+        if self.dirty.is_some() && self.ensure_model().is_err() {
+            self.model = None;
+            self.dirty = None;
+        }
+        SnapshotParts {
+            program: self.program.clone(),
+            opts: self.opts,
+            stable_opts: self.stable_opts,
+            semantics: self.semantics,
+            ground: self.ground.clone(),
+            possibly: self.possibly.clone(),
+            model: self.model.clone(),
+            stable: self.stable.clone(),
+            modular: self.modular.clone(),
+            tables: self.tables.clone(),
+        }
+    }
+
+    /// Folds completed subgoal tables a snapshot derived (against the same
+    /// program epoch) back into the session, so queries answered on reader
+    /// threads warm the writer's table cache too.  Only fills gaps: a table
+    /// the session already holds (and maintains under mutation) wins.
+    pub(crate) fn adopt_tables(&mut self, fresh: HashMap<Term, Arc<Table>>) {
+        for (key, table) in fresh {
+            self.tables.entry(key).or_insert(table);
+        }
+    }
 }
 
-fn assemble(
+/// `Arc` clones of the session caches a [`crate::snapshot::DbSnapshot`] is
+/// assembled from; produced by [`HiLogDb::snapshot_parts`].
+pub(crate) struct SnapshotParts {
+    pub(crate) program: Arc<Program>,
+    pub(crate) opts: EvalOptions,
+    pub(crate) stable_opts: StableOptions,
+    pub(crate) semantics: Semantics,
+    pub(crate) ground: Option<Arc<GroundProgram>>,
+    pub(crate) possibly: Option<Arc<AtomStore>>,
+    pub(crate) model: Option<Arc<Model>>,
+    pub(crate) stable: Option<Arc<Vec<Model>>>,
+    pub(crate) modular: Option<Arc<ModularOutcome>>,
+    pub(crate) tables: HashMap<Term, Arc<Table>>,
+}
+
+/// Builds the [`QueryPlan`] for a query given the cache state of whichever
+/// side is planning it — the mutable [`HiLogDb`] session or an immutable
+/// [`crate::snapshot::DbSnapshot`] (whose model is never stale and whose
+/// tables are never patched or dropped, only gained).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_plan(
+    semantics: Semantics,
+    query: &Query,
+    cached_model: bool,
+    stale_model: bool,
+    cached_subqueries: usize,
+    patched_subqueries: usize,
+    dropped_subqueries: usize,
+) -> QueryPlan {
+    let bound = query_is_bound(query);
+    let (strategy, reason) = if semantics != Semantics::WellFounded {
+        (
+            PlanStrategy::FullModel,
+            format!(
+                "the {semantics} semantics is defined through the full model, so the query is \
+                 answered from the session's cached model"
+            ),
+        )
+    } else if bound {
+        (
+            PlanStrategy::MagicSets,
+            "the first literal has a ground predicate name, so query-directed \
+             (magic-sets) evaluation visits only the relevant subgoals and reuses the \
+             session's completed tables"
+                .to_string(),
+        )
+    } else {
+        (
+            PlanStrategy::FullModel,
+            "the query has no leading positive literal with a ground predicate name \
+             (it is unbound), so it is answered from the session's cached full model"
+                .to_string(),
+        )
+    };
+    QueryPlan {
+        strategy,
+        semantics,
+        query: query.to_string(),
+        adornment: adornment(query),
+        cached_model,
+        stale_model,
+        cached_subqueries,
+        patched_subqueries,
+        dropped_subqueries,
+        reason,
+    }
+}
+
+pub(crate) fn assemble(
     answers: Vec<QueryAnswer>,
     stats: EvalStats,
     plan: QueryPlan,
@@ -1214,7 +1315,7 @@ fn overall_truth(answers: &[QueryAnswer]) -> Truth {
     best
 }
 
-fn true_answer(theta: &Substitution, vars: &[Var]) -> QueryAnswer {
+pub(crate) fn true_answer(theta: &Substitution, vars: &[Var]) -> QueryAnswer {
     QueryAnswer {
         bindings: vars
             .iter()
@@ -1226,7 +1327,10 @@ fn true_answer(theta: &Substitution, vars: &[Var]) -> QueryAnswer {
 
 /// Three-valued conjunctive evaluation of a query against a model.  Branches
 /// carry the weakest truth seen so far; false literals prune.
-fn eval_against_model(model: &Model, query: &Query) -> Result<Vec<QueryAnswer>, EngineError> {
+pub(crate) fn eval_against_model(
+    model: &Model,
+    query: &Query,
+) -> Result<Vec<QueryAnswer>, EngineError> {
     let vars = query.variables();
     let mut branches: Vec<(Substitution, Truth)> = vec![(Substitution::new(), Truth::True)];
     for lit in &query.literals {
@@ -1315,7 +1419,7 @@ fn conj(a: Truth, b: Truth) -> Truth {
 }
 
 /// The consensus model of Definition 3.7 over a set of stable models.
-fn consensus_model(models: &[Model]) -> Result<Model, EngineError> {
+pub(crate) fn consensus_model(models: &[Model]) -> Result<Model, EngineError> {
     if models.is_empty() {
         return Err(EngineError::NoStableModels);
     }

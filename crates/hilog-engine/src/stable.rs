@@ -16,7 +16,7 @@
 
 use crate::error::EngineError;
 use crate::ground::{GroundProgram, GroundRule};
-use crate::grounder::{ground_over_universe, relevant_ground};
+use crate::grounder::ground_over_universe;
 use crate::horn::EvalOptions;
 use crate::wfs::{is_two_valued_fixpoint, well_founded_of_ground};
 use hilog_core::interpretation::{Model, Truth};
@@ -228,15 +228,24 @@ pub fn gelfond_lifschitz_check(program: &GroundProgram, candidate: &Model) -> bo
 
 /// Enumerates stable models of a program via relevant instantiation.
 #[deprecated(
-    note = "construct a `HiLogDb` (`crate::session`) and call `.stable_models()`; the session \
-            caches the grounding and the models across queries"
+    note = "construct a `HiLogDb` (`crate::session`) and call `.stable_models()`, or share a \
+            `DbSnapshot` (`crate::snapshot`) across threads; both cache the grounding and \
+            the models across queries"
 )]
 pub fn stable_models(
     program: &Program,
     eval: EvalOptions,
     opts: StableOptions,
 ) -> Result<Vec<Model>, EngineError> {
-    stable_models_of_ground(&relevant_ground(program, eval)?, opts)
+    // One-shot over the snapshot read path.
+    let (_writer, handle) = crate::session::HiLogDb::builder()
+        .program(program.clone())
+        .options(eval)
+        .stable_options(opts)
+        .semantics(crate::session::Semantics::Stable)
+        .build()
+        .into_serving();
+    Ok(handle.current().stable_models()?.as_ref().clone())
 }
 
 /// Enumerates stable models of a program instantiated over an explicit
@@ -273,6 +282,7 @@ pub fn stable_consensus_truth(models: &[Model], atom: &Term) -> Option<Truth> {
 #[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::grounder::relevant_ground;
     use hilog_syntax::{parse_program, parse_term};
 
     fn models(text: &str) -> Vec<Model> {

@@ -335,11 +335,19 @@ pub fn is_two_valued_fixpoint(program: &GroundProgram, candidate: &Model) -> boo
 /// Computes the well-founded model of a program via relevant instantiation
 /// (the practical path for range-restricted and Datahilog programs).
 #[deprecated(
-    note = "construct a `HiLogDb` (`crate::session`) and call `.model()`; the session caches \
-            the grounding and the model across queries instead of recomputing them"
+    note = "construct a `HiLogDb` (`crate::session`) and call `.model()`, or share a \
+            `DbSnapshot` (`crate::snapshot`) across threads; both cache the grounding and \
+            the model across queries instead of recomputing them"
 )]
 pub fn well_founded_model(program: &Program, opts: EvalOptions) -> Result<Model, EngineError> {
-    wfs_model(program, opts)
+    // One-shot over the snapshot read path: the same route concurrent
+    // readers take, minus the sharing.
+    let (_writer, handle) = crate::session::HiLogDb::builder()
+        .program(program.clone())
+        .options(opts)
+        .build()
+        .into_serving();
+    Ok(handle.current().model()?.as_ref().clone())
 }
 
 /// Non-deprecated internal form of [`well_founded_model`], shared by the

@@ -1,0 +1,137 @@
+//! Typed request/response shapes of the JSON API, between the HTTP layer
+//! and the handlers.  Requests parse from [`serde_json::Value`]; responses
+//! serialise through the workspace `serde` stub (the engine's
+//! `QueryResult`/`QueryPlan`/`EvalStats` already implement it).
+
+use hilog_engine::session::QueryResult;
+use serde::Serialize;
+use serde_json::Value;
+
+/// `POST /query` body: `{"query": "?- winning(X)."}`.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The query in concrete HiLog syntax (with or without the `?-` prefix).
+    pub query: String,
+}
+
+impl QueryRequest {
+    /// Parses the request body, reporting a client-facing message on error.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let query = value
+            .get("query")
+            .and_then(Value::as_str)
+            .ok_or("expected a JSON object with a string `query` member")?;
+        Ok(QueryRequest {
+            query: query.to_string(),
+        })
+    }
+}
+
+/// `POST /assert` / `POST /retract` body:
+/// `{"facts": ["move(a, b)"], "rules": ["winning(X) :- ..."]}` — both
+/// members optional, both lists of strings in concrete syntax.
+#[derive(Debug, Clone, Default)]
+pub struct MutateRequest {
+    /// Ground facts, e.g. `"move(a, b)"`.
+    pub facts: Vec<String>,
+    /// Rules in concrete syntax (trailing `.` optional).
+    pub rules: Vec<String>,
+}
+
+impl MutateRequest {
+    /// Parses the request body, reporting a client-facing message on error.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        if value.as_object().is_none() {
+            return Err("expected a JSON object with `facts` and/or `rules` lists".into());
+        }
+        let list = |key: &str| -> Result<Vec<String>, String> {
+            match value.get(key) {
+                None => Ok(Vec::new()),
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("`{key}` must be a list of strings"))
+                    })
+                    .collect(),
+                Some(_) => Err(format!("`{key}` must be a list of strings")),
+            }
+        };
+        let request = MutateRequest {
+            facts: list("facts")?,
+            rules: list("rules")?,
+        };
+        if request.facts.is_empty() && request.rules.is_empty() {
+            return Err("expected at least one entry in `facts` or `rules`".into());
+        }
+        Ok(request)
+    }
+}
+
+/// `POST /query` response: the engine's full [`QueryResult`] (answers,
+/// truth, stats, plan) plus the epoch of the snapshot that answered.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// Epoch of the snapshot the query ran against.
+    pub epoch: u64,
+    /// The engine's result, serialised verbatim.
+    pub result: QueryResult,
+}
+
+impl Serialize for QueryResponse {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        serde::write_field(out, "epoch", &self.epoch, true);
+        serde::write_field(out, "result", &self.result, false);
+        out.push('}');
+    }
+}
+
+/// `POST /assert` / `POST /retract` response.
+#[derive(Debug)]
+pub struct MutateResponse {
+    /// Epoch of the snapshot published by this batch.
+    pub epoch: u64,
+    /// Number of facts/rules applied.
+    pub applied: usize,
+    /// Entries that were not present (retract only; empty for assert).
+    pub missing: Vec<String>,
+}
+
+impl Serialize for MutateResponse {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        serde::write_field(out, "epoch", &self.epoch, true);
+        serde::write_field(out, "applied", &self.applied, false);
+        serde::write_field(out, "missing", &self.missing, false);
+        out.push('}');
+    }
+}
+
+/// `GET /stats` response: a cheap view of the serving state.
+#[derive(Debug)]
+pub struct StatsResponse {
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Rules (facts included) in the published program.
+    pub rules: usize,
+    /// Completed subgoal tables held by the published snapshot.
+    pub cached_subqueries: usize,
+    /// The semantics queries are answered under.
+    pub semantics: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+}
+
+impl Serialize for StatsResponse {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        serde::write_field(out, "epoch", &self.epoch, true);
+        serde::write_field(out, "rules", &self.rules, false);
+        serde::write_field(out, "cached_subqueries", &self.cached_subqueries, false);
+        serde::write_field(out, "semantics", &self.semantics, false);
+        serde::write_field(out, "workers", &self.workers, false);
+        out.push('}');
+    }
+}

@@ -1,0 +1,54 @@
+//! A tiny blocking HTTP client, just enough to exercise the server from
+//! tests and benchmarks without crates.io dependencies.  One request per
+//! connection, mirroring the server's `Connection: close` policy.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A completed exchange: status code and response body.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw response body (JSON for every route of this server).
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Parses the JSON body.
+    pub fn json(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::from_str(&self.body)
+    }
+}
+
+fn exchange(addr: SocketAddr, request: &str) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::other("malformed status line"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    Ok(ClientResponse { status, body })
+}
+
+/// Sends `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: hilog\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    exchange(addr, &request)
+}
+
+/// Sends `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+    let request = format!("GET {path} HTTP/1.1\r\nHost: hilog\r\nConnection: close\r\n\r\n");
+    exchange(addr, &request)
+}

@@ -1,0 +1,50 @@
+//! Server configuration.
+
+/// Configuration for [`Server::bind`](crate::Server::bind).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:7171"`.  Port 0 asks the OS for a
+    /// free port (the bound address is reported by
+    /// [`Server::local_addr`](crate::Server::local_addr)).
+    pub addr: String,
+    /// Number of worker threads answering requests.  Readers scale with
+    /// workers — each queries the published snapshot through its own pinned
+    /// `Arc` — while mutations serialise on the single writer.
+    pub workers: usize,
+    /// Maximum accepted request-body size in bytes; larger requests are
+    /// rejected with `413 Payload Too Large`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            workers: 4,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config bound to an OS-assigned free port — the right choice for
+    /// tests and benchmarks.
+    pub fn ephemeral() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Sets the bind address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}

@@ -1,0 +1,166 @@
+//! Route dispatch: maps parsed HTTP requests onto the snapshot/writer pair.
+//!
+//! Reads (`POST /query`, `GET /stats`) pin the currently published
+//! [`DbSnapshot`](hilog_engine::DbSnapshot) and never take the writer lock.
+//! Mutations (`POST /assert`, `POST /retract`) serialise on the single
+//! [`DbWriter`](hilog_engine::DbWriter): each request is one batch, applied
+//! and published atomically, so readers only ever observe whole batches.
+
+use crate::api_types::{MutateRequest, MutateResponse, QueryRequest, QueryResponse, StatsResponse};
+use crate::http::{Request, Response};
+use crate::ServerState;
+use hilog_core::term::Term;
+use hilog_core::Rule;
+use hilog_syntax::{parse_query, parse_rule, parse_term};
+use serde::Serialize;
+use std::sync::PoisonError;
+
+/// Serialises a response body (infallible with the vendored serde stub).
+fn to_string<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_default()
+}
+
+/// Dispatches one request to its route handler.
+pub fn handle_request(state: &ServerState, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/query") => query(state, &request.body),
+        ("POST", "/assert") => mutate(state, &request.body, Mutation::Assert),
+        ("POST", "/retract") => mutate(state, &request.body, Mutation::Retract),
+        ("GET", "/stats") => stats(state),
+        (_, "/query" | "/assert" | "/retract") => {
+            Response::error(405, "use POST for this endpoint")
+        }
+        (_, "/stats") => Response::error(405, "use GET /stats"),
+        _ => Response::error(404, "no such route (try /query, /assert, /retract, /stats)"),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<serde_json::Value, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "request body is not valid UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| Response::error(400, &format!("request body is not valid JSON: {e}")))
+}
+
+fn query(state: &ServerState, body: &[u8]) -> Response {
+    let value = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let request = match QueryRequest::from_json(&value) {
+        Ok(r) => r,
+        Err(message) => return Response::error(400, &message),
+    };
+    let parsed = match parse_query(&request.query) {
+        Ok(q) => q,
+        Err(e) => return Response::error(422, &format!("query does not parse: {e}")),
+    };
+    // Pin the published snapshot: the query runs against exactly this epoch
+    // even if the writer publishes mid-evaluation.
+    let snapshot = state.snapshots.current();
+    match snapshot.query(&parsed) {
+        Ok(result) => Response::ok(to_string(&QueryResponse {
+            epoch: snapshot.epoch(),
+            result,
+        })),
+        Err(e) => Response::error(422, &format!("query failed: {e}")),
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Mutation {
+    Assert,
+    Retract,
+}
+
+fn mutate(state: &ServerState, body: &[u8], mutation: Mutation) -> Response {
+    let value = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let request = match MutateRequest::from_json(&value) {
+        Ok(r) => r,
+        Err(message) => return Response::error(400, &message),
+    };
+    // Parse and validate the whole batch before touching the writer, so a
+    // bad entry rejects the batch without applying a prefix of it.
+    let mut facts: Vec<(Term, String)> = Vec::with_capacity(request.facts.len());
+    for text in &request.facts {
+        let term = match parse_term(text) {
+            Ok(t) => t,
+            Err(e) => return Response::error(422, &format!("fact `{text}` does not parse: {e}")),
+        };
+        if !term.is_ground() {
+            return Response::error(422, &format!("fact `{text}` is not ground"));
+        }
+        facts.push((term, text.clone()));
+    }
+    let mut rules: Vec<(Rule, String)> = Vec::with_capacity(request.rules.len());
+    for text in &request.rules {
+        let mut normalized = text.trim().to_string();
+        if !normalized.ends_with('.') {
+            normalized.push('.');
+        }
+        let rule = match parse_rule(&normalized) {
+            Ok(r) => r,
+            Err(e) => return Response::error(422, &format!("rule `{text}` does not parse: {e}")),
+        };
+        rules.push((rule, text.clone()));
+    }
+
+    let mut writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut applied = 0usize;
+    let mut missing = Vec::new();
+    match mutation {
+        Mutation::Assert => {
+            for (term, text) in facts {
+                match writer.assert_fact(term) {
+                    Ok(()) => applied += 1,
+                    Err(e) => {
+                        // Groundness was pre-checked, so this is unexpected;
+                        // publish what was applied and report the failure.
+                        let _ = writer.publish();
+                        return Response::error(500, &format!("assert `{text}` failed: {e}"));
+                    }
+                }
+            }
+            for (rule, _) in rules {
+                writer.assert_rule(rule);
+                applied += 1;
+            }
+        }
+        Mutation::Retract => {
+            for (term, text) in facts {
+                if writer.retract_fact(&term) {
+                    applied += 1;
+                } else {
+                    missing.push(text);
+                }
+            }
+            for (rule, text) in rules {
+                if writer.retract_rule(&rule) {
+                    applied += 1;
+                } else {
+                    missing.push(text);
+                }
+            }
+        }
+    }
+    let snapshot = writer.publish();
+    Response::ok(to_string(&MutateResponse {
+        epoch: snapshot.epoch(),
+        applied,
+        missing,
+    }))
+}
+
+fn stats(state: &ServerState) -> Response {
+    let snapshot = state.snapshots.current();
+    Response::ok(to_string(&StatsResponse {
+        epoch: snapshot.epoch(),
+        rules: snapshot.program().rules.len(),
+        cached_subqueries: snapshot.cached_subqueries(),
+        semantics: snapshot.semantics().to_string(),
+        workers: state.workers,
+    }))
+}

@@ -1,0 +1,116 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net` — just enough to
+//! parse one request per connection and write one response, so the serving
+//! layer needs no crates.io dependencies.  Connections are `close`-only:
+//! every response carries `Connection: close` and the stream is dropped.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed request: method, path (query strings are not split off —
+/// the API routes don't use them), and body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target, e.g. `/query`.
+    pub path: String,
+    /// The raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A response about to be written: status code plus JSON body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body; always serialised JSON in this server.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn ok(body: String) -> Self {
+        Response { status: 200, body }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        serde::write_json_string(&mut body, message);
+        body.push('}');
+        Response { status, body }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request from the stream.  Returns `Err` with a response to
+/// write when the request is malformed or oversized.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, Response> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| Response::error(400, &format!("failed to read request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Err(Response::error(400, "malformed request line")),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| Response::error(400, &format!("failed to read header: {e}")))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Response::error(400, "invalid Content-Length"))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(Response::error(
+            413,
+            &format!("request body exceeds {max_body} bytes"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| Response::error(400, &format!("failed to read body: {e}")))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes the response and flushes; the caller drops the stream afterwards
+/// (`Connection: close`).
+pub fn write_response(stream: &mut TcpStream, response: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+    );
+    // A peer that hung up mid-write is not an error worth surfacing.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}

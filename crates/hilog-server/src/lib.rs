@@ -1,0 +1,181 @@
+//! # hilog-server — a JSON-over-HTTP front-end for the serving layer
+//!
+//! This crate puts the engine's snapshot/writer split
+//! ([`DbSnapshot`](hilog_engine::DbSnapshot) / [`DbWriter`])
+//! behind a deliberately small HTTP/1.1 server built on nothing but
+//! `std::net` — the workspace has no crates.io access, so the HTTP layer,
+//! JSON parser, and worker pool are all local.
+//!
+//! ## Routes
+//!
+//! | Route           | Body                                      | Effect |
+//! |-----------------|-------------------------------------------|--------|
+//! | `POST /query`   | `{"query": "?- winning(X)."}`             | Answers against the pinned snapshot; returns `{epoch, result}` |
+//! | `POST /assert`  | `{"facts": [...], "rules": [...]}`        | One batch: apply, publish, return `{epoch, applied, missing}` |
+//! | `POST /retract` | `{"facts": [...], "rules": [...]}`        | Same, removing entries; absent ones land in `missing` |
+//! | `GET /stats`    | —                                         | `{epoch, rules, cached_subqueries, semantics, workers}` |
+//!
+//! ## Concurrency model
+//!
+//! Worker threads answering `/query` pin the currently published snapshot
+//! (one `Arc` clone) and evaluate against it without blocking each other or
+//! the writer.  `/assert` and `/retract` serialise on a single mutex-guarded
+//! [`DbWriter`]; each request is one batch that is applied through the
+//! incremental maintenance path and published with an atomic snapshot swap.
+//! A query that races a publish simply answers at the epoch it pinned —
+//! exactly the session-level guarantee, now over HTTP.
+//!
+//! ```no_run
+//! use hilog_engine::HiLogDb;
+//! use hilog_server::{Server, ServerConfig};
+//! use hilog_syntax::parse_program;
+//!
+//! let program = parse_program("edge(a, b). tc(G)(X, Y) :- G(X, Y).").unwrap();
+//! let db = HiLogDb::new(program);
+//! let server = Server::bind(ServerConfig::ephemeral(), db).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.serve();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api_types;
+pub mod client;
+pub mod config;
+pub mod handlers;
+pub mod http;
+pub mod threadpool;
+
+pub use config::ServerConfig;
+
+use hilog_engine::session::HiLogDb;
+use hilog_engine::{DbWriter, SnapshotHandle};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Shared state the worker threads operate on: the read side (lock-free
+/// snapshot pinning) and the write side (mutex-serialised batches).
+#[derive(Debug)]
+pub struct ServerState {
+    /// Read path: pins the currently published snapshot.
+    pub snapshots: SnapshotHandle,
+    /// Write path: one writer, one batch per mutation request.
+    pub writer: Mutex<DbWriter>,
+    /// Worker-thread count (reported by `/stats`).
+    pub workers: usize,
+    /// Maximum accepted request-body size.
+    pub max_body_bytes: usize,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-serving server.  [`Server::serve`] blocks running the
+/// accept loop; use [`Server::handle`] first to keep a shutdown switch.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+/// A cloneable remote control for a serving [`Server`]: stops the accept
+/// loop and can read snapshots in-process.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and wraps `db` in the snapshot/writer pair.  The
+    /// server owns the only writer; keep a [`SnapshotHandle`] (via
+    /// [`Server::snapshots`]) for in-process reads if needed.
+    pub fn bind(config: ServerConfig, db: HiLogDb) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let (writer, snapshots) = db.into_serving();
+        Ok(Server {
+            listener,
+            local_addr,
+            state: Arc::new(ServerState {
+                snapshots,
+                writer: Mutex::new(writer),
+                workers: config.workers.max(1),
+                max_body_bytes: config.max_body_bytes,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0 / [`ServerConfig::ephemeral`]).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A shutdown handle; clone freely, works from any thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr,
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// The read side of the serving pair, for in-process queries that skip
+    /// HTTP entirely (the bench's no-HTTP variant uses this).
+    pub fn snapshots(&self) -> SnapshotHandle {
+        self.state.snapshots.clone()
+    }
+
+    /// Runs the accept loop, dispatching connections to the worker pool.
+    /// Blocks until [`ServerHandle::shutdown`] is called.
+    pub fn serve(self) {
+        let state = &self.state;
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                threadpool::run_pool(state.workers, receiver, |mut stream: TcpStream| {
+                    let response = match http::read_request(&mut stream, state.max_body_bytes) {
+                        Ok(request) => handlers::handle_request(state, &request),
+                        Err(error_response) => error_response,
+                    };
+                    http::write_response(&mut stream, &response);
+                });
+            });
+            for incoming in self.listener.incoming() {
+                // Checked after every accept: shutdown() wakes the loop by
+                // opening (and immediately dropping) one connection.
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = incoming {
+                    // Workers exit when the sender drops; a send can only
+                    // fail after that, i.e. never while the loop runs.
+                    let _ = sender.send(stream);
+                }
+            }
+            drop(sender);
+        });
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The read side of the serving pair, for in-process queries.
+    pub fn snapshots(&self) -> SnapshotHandle {
+        self.state.snapshots.clone()
+    }
+
+    /// Stops the accept loop: sets the shutdown flag, then opens a throwaway
+    /// connection so a blocked `accept` observes it.  In-flight requests
+    /// finish; [`Server::serve`] returns once the pool drains.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        drop(TcpStream::connect(self.addr));
+    }
+}

@@ -1,0 +1,109 @@
+//! The `hilog-server` binary: serve a HiLog program over JSON/HTTP.
+//!
+//! ```text
+//! hilog-server [--addr HOST:PORT] [--workers N] [--semantics wfs|stable|modular] [--program FILE]
+//! ```
+//!
+//! Without `--program` the server starts on an empty program; populate it
+//! with `POST /assert`.  The process serves until killed.
+
+use hilog_engine::session::{HiLogDb, Semantics};
+use hilog_server::{Server, ServerConfig};
+use hilog_syntax::parse_program;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hilog-server [--addr HOST:PORT] [--workers N] \
+         [--semantics wfs|stable|modular] [--program FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut semantics = Semantics::WellFounded;
+    let mut program_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| eprintln!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => match value("--addr") {
+                Ok(addr) => config.addr = addr,
+                Err(()) => return usage(),
+            },
+            "--workers" => match value("--workers").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => config.workers = n,
+                _ => {
+                    eprintln!("--workers requires a positive integer");
+                    return usage();
+                }
+            },
+            "--semantics" => match value("--semantics").as_deref() {
+                Ok("wfs" | "well-founded") => semantics = Semantics::WellFounded,
+                Ok("stable") => semantics = Semantics::Stable,
+                Ok("modular") => semantics = Semantics::ModularCheck,
+                _ => {
+                    eprintln!("--semantics must be wfs, stable, or modular");
+                    return usage();
+                }
+            },
+            "--program" => match value("--program") {
+                Ok(path) => program_path = Some(path),
+                Err(()) => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let program = match &program_path {
+        None => hilog_core::Program::new(),
+        Some(path) => {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_program(&source) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let db = HiLogDb::builder()
+        .program(program)
+        .semantics(semantics)
+        .build();
+    let server = match Server::bind(config.clone(), db) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "hilog-server listening on http://{} ({} workers, {} semantics)",
+        server.local_addr(),
+        config.workers,
+        semantics,
+    );
+    server.serve();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,55 @@
+//! A small scoped-thread worker pool: N workers drain a channel of jobs
+//! until the sender is dropped.  Scoped threads let the workers borrow the
+//! server state without `'static` bounds or reference counting.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, PoisonError};
+
+/// Runs `job` over every item the receiver yields, on `workers` scoped
+/// threads.  Returns when the channel's sender is dropped and the queue is
+/// drained.  A panicking job takes down its worker (and, through the scope,
+/// the pool) — handlers are expected to turn failures into responses
+/// instead.
+pub fn run_pool<T, F>(workers: usize, receiver: Receiver<T>, job: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let receiver = Mutex::new(receiver);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                // Hold the lock only for the dequeue, not the job.
+                let item = receiver
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .recv();
+                match item {
+                    Ok(item) => job(item),
+                    Err(_) => break, // sender dropped: pool shutdown
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn pool_processes_every_item_then_exits() {
+        let (tx, rx) = mpsc::channel();
+        let done = AtomicUsize::new(0);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        run_pool(4, rx, |_item: usize| {
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+}

@@ -15,7 +15,10 @@
 //!   program of Section 6;
 //! * [`random_programs`] — random range-restricted normal programs, strongly
 //!   range-restricted HiLog programs, and ground extension programs `Q` for
-//!   the preservation-under-extensions experiments of Section 5.
+//!   the preservation-under-extensions experiments of Section 5;
+//! * [`serving`] — deterministic mixed read/write op streams (reader queries
+//!   plus writer batches) for the concurrent serving layer's bench and
+//!   concurrency oracle.
 //!
 //! All generators take explicit `u64` seeds and are deterministic, so test
 //! failures and benchmark runs are reproducible.
@@ -28,6 +31,7 @@ pub mod games;
 pub mod graphs;
 pub mod parts;
 pub mod random_programs;
+pub mod serving;
 
 pub use closure::{generic_closure_program, specialized_closure_program};
 pub use games::{hilog_game_program, normal_game_program};
@@ -37,3 +41,4 @@ pub use random_programs::{
     random_ground_extension, random_range_restricted_normal, random_strongly_restricted_hilog,
     ExtensionConfig, HilogProgramConfig, NormalProgramConfig,
 };
+pub use serving::{serving_workload, ServingWorkload, ServingWorkloadConfig, WriteBatch};

@@ -1,0 +1,238 @@
+//! Concurrency oracle for the serving layer, plus an HTTP round-trip check.
+//!
+//! The oracle's contract: a query answered through a pinned [`DbSnapshot`]
+//! must be *exactly* the answer a fresh single-threaded [`HiLogDb`] session
+//! gives for that snapshot's program — no matter how many reader threads
+//! are querying concurrently or how fast the writer is publishing batches.
+//! Readers therefore observe only whole published batches, at a single
+//! well-defined epoch per query.
+//!
+//! Scaled up in CI via `HILOG_SERVING_READERS` (reader-thread count) and
+//! `HILOG_SERVING_QUERIES` (queries per reader).
+
+use hilog_repro::prelude::*;
+use hilog_workloads::serving::{serving_workload, ServingWorkloadConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A comparable key for a query's outcome: overall truth plus the sorted
+/// answer set.  Stats and plans are intentionally excluded — caching and
+/// table reuse may differ between a warm snapshot and a fresh session, but
+/// the answers may not.
+fn answer_key(result: &QueryResult) -> (String, Vec<String>) {
+    let mut answers: Vec<String> = result
+        .answers
+        .iter()
+        .map(|a| format!("{:?} {:?}", a.bindings, a.truth))
+        .collect();
+    answers.sort();
+    (format!("{:?}", result.truth), answers)
+}
+
+/// N scoped reader threads query pinned snapshots while the writer streams
+/// randomized batches; every response must exactly equal a fresh
+/// single-threaded session at that snapshot's epoch.
+#[test]
+fn concurrent_readers_agree_with_fresh_sessions_at_every_epoch() {
+    let readers = env_usize("HILOG_SERVING_READERS", 4);
+    let queries_per_reader = env_usize("HILOG_SERVING_QUERIES", 60);
+    let workload = serving_workload(
+        &ServingWorkloadConfig {
+            queries: queries_per_reader * readers,
+            ..ServingWorkloadConfig::default()
+        },
+        0xC0FFEE,
+    );
+
+    let (mut writer, handle) = HiLogDb::new(workload.program.clone()).into_serving();
+    let writer_done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for reader in 0..readers {
+            let handle = handle.clone();
+            let queries = &workload.queries;
+            let writer_done = &writer_done;
+            scope.spawn(move || {
+                let mut checked = 0;
+                let mut pass = 0;
+                // Keep cycling until the writer finishes, so reads genuinely
+                // overlap the publish stream even on slow machines.
+                while checked < queries_per_reader || !writer_done.load(Ordering::SeqCst) {
+                    let q = &queries[(reader * queries_per_reader + pass) % queries.len()];
+                    pass += 1;
+                    let query = parse_query(q).expect("workload query parses");
+                    let snapshot = handle.current();
+                    let served = snapshot.query(&query).expect("snapshot query succeeds");
+                    // The oracle: a fresh, single-threaded session over this
+                    // snapshot's exact program.
+                    let mut oracle = HiLogDb::new(snapshot.program().clone());
+                    let expected = oracle.query(&query).expect("oracle query succeeds");
+                    assert_eq!(
+                        answer_key(&served),
+                        answer_key(&expected),
+                        "reader {reader} diverged from the oracle at epoch {} on {q}",
+                        snapshot.epoch(),
+                    );
+                    checked += 1;
+                    if checked >= queries_per_reader * 4 {
+                        break; // don't spin forever if the writer stalls
+                    }
+                }
+                assert!(checked >= queries_per_reader);
+            });
+        }
+
+        let mut last_epoch = handle.current().epoch();
+        for batch in &workload.batches {
+            for fact in &batch.facts {
+                let term = parse_term(fact).expect("workload fact parses");
+                if batch.assert {
+                    writer.assert_fact(term).expect("workload facts are ground");
+                } else {
+                    assert!(writer.retract_fact(&term), "retract of live fact {fact}");
+                }
+            }
+            let snapshot = writer.publish();
+            assert_eq!(snapshot.epoch(), last_epoch + 1, "epochs are monotone");
+            last_epoch = snapshot.epoch();
+        }
+        writer_done.store(true, Ordering::SeqCst);
+    });
+}
+
+/// A reader that pinned a snapshot keeps answering at that epoch while the
+/// writer publishes past it.
+#[test]
+fn pinned_snapshot_is_immune_to_later_publishes() {
+    let workload = serving_workload(&ServingWorkloadConfig::default(), 42);
+    let (mut writer, handle) = HiLogDb::new(workload.program.clone()).into_serving();
+
+    let pinned = handle.current();
+    let pinned_program = pinned.program().clone();
+    let query = parse_query("?- winning(X).").unwrap();
+    let before = pinned.query(&query).unwrap();
+
+    for batch in workload.batches.iter().take(6) {
+        for fact in &batch.facts {
+            let term = parse_term(fact).unwrap();
+            if batch.assert {
+                writer.assert_fact(term).unwrap();
+            } else {
+                writer.retract_fact(&term);
+            }
+        }
+        writer.publish();
+    }
+
+    assert_eq!(pinned.epoch(), 0, "the pinned snapshot does not move");
+    assert!(handle.current().epoch() > 0, "the handle sees new epochs");
+    let after = pinned.query(&query).unwrap();
+    assert_eq!(answer_key(&before), answer_key(&after));
+    let mut oracle = HiLogDb::new(pinned_program);
+    let expected = oracle.query(&query).unwrap();
+    assert_eq!(answer_key(&after), answer_key(&expected));
+}
+
+/// HTTP round-trip: the server's `/query` answers must match the in-process
+/// snapshot answers, and `/assert`/`/retract`/`/stats` must behave.
+#[test]
+fn http_round_trip_matches_in_process_answers() {
+    use hilog_server::{client, Server, ServerConfig};
+
+    let workload = serving_workload(
+        &ServingWorkloadConfig {
+            nodes: 30,
+            queries: 12,
+            ..ServingWorkloadConfig::default()
+        },
+        7,
+    );
+    let db = HiLogDb::new(workload.program.clone());
+    let server = Server::bind(ServerConfig::ephemeral().workers(3), db).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.handle();
+    let snapshots = server.snapshots();
+    let serving = std::thread::spawn(move || server.serve());
+
+    // Queries on the quiescent server must match the in-process snapshot.
+    for q in &workload.queries {
+        let body = serde_json::to_string(&QueryBody { query: q }).unwrap();
+        let response = client::post(addr, "/query", &body).expect("query round-trip");
+        assert_eq!(response.status, 200, "{q}: {}", response.body);
+        let json = response.json().expect("response parses");
+        let served = json.get("result").expect("result member");
+        let snapshot = snapshots.current();
+        let expected = snapshot.query(&parse_query(q).unwrap()).unwrap();
+        let expected_json: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&expected).unwrap()).unwrap();
+        // Stats and plans legitimately differ between the two runs (table
+        // caching on the shared snapshot); answers and truth may not.
+        for member in ["answers", "truth"] {
+            assert_eq!(
+                served.get(member),
+                expected_json.get(member),
+                "HTTP and in-process `{member}` diverge on {q}"
+            );
+        }
+    }
+
+    // Mutations publish new epochs and report missing retractions.
+    let response = client::post(addr, "/assert", r#"{"facts": ["move(p0, p29)"]}"#).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let json = response.json().unwrap();
+    assert_eq!(json.get("epoch").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(json.get("applied").and_then(|v| v.as_u64()), Some(1));
+
+    let response = client::post(
+        addr,
+        "/retract",
+        r#"{"facts": ["move(p0, p29)", "move(p0, p0)"]}"#,
+    )
+    .unwrap();
+    let json = response.json().unwrap();
+    assert_eq!(json.get("epoch").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(json.get("applied").and_then(|v| v.as_u64()), Some(1));
+    let missing = json.get("missing").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(missing.len(), 1);
+
+    let response = client::get(addr, "/stats").unwrap();
+    assert_eq!(response.status, 200);
+    let json = response.json().unwrap();
+    assert_eq!(json.get("epoch").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        json.get("semantics").and_then(|v| v.as_str()),
+        Some("well-founded")
+    );
+
+    // Bad requests are rejected with client errors, not hangs or panics.
+    let response = client::post(addr, "/query", "not json").unwrap();
+    assert_eq!(response.status, 400);
+    let response = client::post(addr, "/query", r#"{"query": "winning(X"}"#).unwrap();
+    assert_eq!(response.status, 422);
+    let response = client::post(addr, "/assert", r#"{"facts": ["move(X, p1)"]}"#).unwrap();
+    assert_eq!(response.status, 422, "non-ground fact is rejected");
+    let response = client::get(addr, "/missing").unwrap();
+    assert_eq!(response.status, 404);
+
+    shutdown.shutdown();
+    serving.join().expect("server thread exits cleanly");
+}
+
+/// Serialisation helper for the round-trip test's query bodies.
+struct QueryBody<'a> {
+    query: &'a str,
+}
+
+impl serde::Serialize for QueryBody<'_> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        serde::write_field(out, "query", &self.query, true);
+        out.push('}');
+    }
+}

@@ -1,19 +1,34 @@
 //! Offline stub of the [`serde_json`](https://crates.io/crates/serde_json)
-//! functions used by this workspace: [`to_string`] and [`to_string_pretty`]
-//! over the vendored JSON-only `serde::Serialize` trait.
+//! surface used by this workspace: [`to_string`] and [`to_string_pretty`]
+//! over the vendored JSON-only `serde::Serialize` trait, plus a dynamic
+//! [`Value`] with a [`from_str`] parser (used by `hilog-server` to read
+//! request bodies).
 
 #![forbid(unsafe_code)]
 
 use serde::Serialize;
 
-/// Error type for serialisation (the stub's serialisers cannot fail; this
-/// exists so call sites keep the `Result` shape of real serde_json).
+mod value;
+
+pub use value::{from_str, Value};
+
+/// Error type for serialisation and parsing.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(message: String) -> Self {
+        Error(message)
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json stub error")
+        if self.0.is_empty() {
+            f.write_str("serde_json stub error")
+        } else {
+            f.write_str(&self.0)
+        }
     }
 }
 
