@@ -28,7 +28,10 @@
 //!   stratification and local stratification (Definitions 6.1–6.2)
 //!   ([`restriction`], [`analysis`]);
 //! * program **analysis**: predicate-name extraction, dependency graphs and
-//!   strongly connected components ([`analysis`]).
+//!   strongly connected components ([`analysis`]);
+//! * a stable **binary codec** for symbols, terms and rules with
+//!   payload-local interning tables, used by the durable storage layer
+//!   ([`codec`]).
 //!
 //! Evaluation (grounding, well-founded and stable semantics, modular
 //! stratification, magic sets) lives in the companion crate `hilog-engine`;
@@ -39,6 +42,7 @@
 
 pub mod analysis;
 pub mod builtin;
+pub mod codec;
 pub mod error;
 pub mod herbrand;
 pub mod intern;
@@ -54,6 +58,7 @@ pub mod unify;
 pub mod universal;
 
 pub use builtin::{BuiltinCall, BuiltinOp};
+pub use codec::{crc32, CodecError, PayloadReader, PayloadWriter};
 pub use error::CoreError;
 pub use herbrand::{HerbrandBounds, HerbrandUniverse, Vocabulary};
 pub use intern::{AtomId, TermInterner};
@@ -63,7 +68,7 @@ pub use program::Program;
 pub use restriction::{ProgramClass, RestrictionReport};
 pub use rule::{Query, Rule};
 pub use subst::Substitution;
-pub use symbol::Symbol;
+pub use symbol::{gc_symbol_pool, symbol_pool_stats, Symbol, SymbolPoolStats};
 pub use term::{Term, Var};
 
 /// Convenience prelude re-exporting the types used by almost every consumer.

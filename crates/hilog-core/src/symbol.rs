@@ -15,12 +15,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// allocation for its name, so structurally equal symbols are always
 /// pointer-equal and the equality fast path below never misses.
 ///
-/// The pool grows monotonically — entries are never drained, so a process
-/// interning unboundedly many *distinct* names (not just unboundedly many
-/// symbols) retains them all.  That is the deliberate trade for lock-free
-/// reads of shared names; a long-running server ingesting arbitrary
-/// user-supplied vocabularies should switch to a weak-reference pool (noted
-/// as an open item in ROADMAP.md).
+/// The pool grows while names are interned and is drained explicitly:
+/// [`gc_symbol_pool`] drops every entry whose only owner is the pool itself,
+/// which the durable serving layer runs at checkpoint time so a long-running
+/// server ingesting arbitrary vocabularies no longer retains dead names for
+/// process lifetime.  Persisted files use payload-local symbol ids (see
+/// [`crate::codec`]), so collecting the pool never invalidates anything on
+/// disk.
 fn pool() -> &'static Mutex<HashSet<Arc<str>>> {
     static POOL: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
     POOL.get_or_init(|| Mutex::new(HashSet::new()))
@@ -75,11 +76,48 @@ impl Symbol {
     }
 }
 
+/// A point-in-time census of the global symbol pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolPoolStats {
+    /// Total names currently interned (live or not).
+    pub interned: usize,
+    /// Names with at least one owner outside the pool.  While the pool lock
+    /// is held no `Symbol` can be created or destroyed, so the strong-count
+    /// probe is exact, not racy.
+    pub live: usize,
+}
+
+/// Counts interned and live names in the global pool.
+pub fn symbol_pool_stats() -> SymbolPoolStats {
+    let pool = pool().lock().unwrap_or_else(|e| e.into_inner());
+    let live = pool.iter().filter(|arc| Arc::strong_count(arc) > 1).count();
+    SymbolPoolStats {
+        interned: pool.len(),
+        live,
+    }
+}
+
+/// Garbage-collects the global symbol pool: drops every interned name whose
+/// only remaining owner is the pool itself, returning how many were dropped.
+///
+/// Soundness: `Symbol::new` takes the same lock, so no new reference to an
+/// entry can appear between the strong-count check and the drop.  A name
+/// collected here and re-interned later simply gets a fresh allocation; the
+/// textual fallback in `PartialEq` keeps equality correct across pool
+/// generations.
+pub fn gc_symbol_pool() -> usize {
+    let mut pool = pool().lock().unwrap_or_else(|e| e.into_inner());
+    let before = pool.len();
+    pool.retain(|arc| Arc::strong_count(arc) > 1);
+    before - pool.len()
+}
+
 impl PartialEq for Symbol {
     fn eq(&self, other: &Self) -> bool {
         // Interning makes equal names pointer-equal; the textual fallback
-        // only matters across pool generations (it cannot occur today, but
-        // keeps equality purely structural by definition).
+        // matters across pool generations — after `gc_symbol_pool` a
+        // re-interned name gets a fresh allocation, so equality stays
+        // structural by definition.
         Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
     }
 }
@@ -209,6 +247,42 @@ mod tests {
         let s = Symbol::new("assoc");
         let set: HashSet<Symbol> = [s.clone()].into_iter().collect();
         assert!(set.contains("assoc"));
+    }
+
+    #[test]
+    fn gc_drops_only_pool_owned_names() {
+        // Other tests share the global pool, so assert relative effects on
+        // names no other test uses.
+        let keep = Symbol::new("gc_probe_kept_zq");
+        {
+            let _drop_me = Symbol::new("gc_probe_dropped_zq");
+        }
+        let stats = symbol_pool_stats();
+        assert!(stats.interned >= stats.live);
+        gc_symbol_pool();
+        let pool = pool().lock().unwrap_or_else(|e| e.into_inner());
+        assert!(pool.get("gc_probe_kept_zq").is_some());
+        assert!(pool.get("gc_probe_dropped_zq").is_none());
+        drop(pool);
+        // A collected name re-interns fine and stays equal to survivors of
+        // the same text.
+        let again = Symbol::new("gc_probe_dropped_zq");
+        assert_eq!(again, Symbol::new("gc_probe_dropped_zq"));
+        assert_eq!(keep, Symbol::new("gc_probe_kept_zq"));
+    }
+
+    #[test]
+    fn equality_survives_pool_generations() {
+        let old = Symbol::new("gc_generation_probe_zq");
+        // Simulate a pool generation change: force the entry out, re-intern.
+        {
+            let mut pool = pool().lock().unwrap_or_else(|e| e.into_inner());
+            pool.remove("gc_generation_probe_zq");
+        }
+        let new = Symbol::new("gc_generation_probe_zq");
+        assert!(!Arc::ptr_eq(&old.0, &new.0));
+        assert_eq!(old, new);
+        assert_eq!(old.cmp(&new), std::cmp::Ordering::Equal);
     }
 
     #[test]

@@ -112,6 +112,12 @@ pub struct EvalStats {
     /// predicate name).  A sudden growth relative to `index_probes` is the
     /// observable signature of a regression to full scans.
     pub index_fallback_scans: usize,
+    /// Number of names in the global symbol pool with at least one live
+    /// reference when this query finished — the observability hook for the
+    /// pool's checkpoint-time garbage collection
+    /// ([`hilog_core::symbol::gc_symbol_pool`]).  A raw [`QueryEvaluator`]
+    /// reports 0; the session and snapshot query paths fill it.
+    pub live_symbols: usize,
 }
 
 /// How a full-model plan obtained the model it answered from.

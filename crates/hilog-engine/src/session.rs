@@ -187,6 +187,7 @@ pub struct HiLogDbBuilder {
     opts: EvalOptions,
     stable_opts: StableOptions,
     semantics: Semantics,
+    warm_model: Option<Model>,
 }
 
 impl HiLogDbBuilder {
@@ -222,6 +223,22 @@ impl HiLogDbBuilder {
         self
     }
 
+    /// Seeds the session with an already-computed full model for the initial
+    /// program, so the first full-model query skips evaluation entirely.
+    ///
+    /// This is the recovery path of the durable storage layer: a checkpoint
+    /// persists the model alongside the program, and restoring it here makes
+    /// restart-to-first-answer independent of model (re)computation.  The
+    /// caller asserts the model is *the* model of `program` under the chosen
+    /// semantics — grounding and subgoal tables still rebuild lazily, and
+    /// every mutation path treats the seeded model exactly like one the
+    /// session computed itself (patched in place when the grounding is warm,
+    /// dropped when it cannot be maintained).
+    pub fn warm_model(mut self, model: Model) -> Self {
+        self.warm_model = Some(model);
+        self
+    }
+
     /// Builds the session.  No evaluation happens yet; every cache is filled
     /// lazily by the first query that needs it.
     pub fn build(self) -> HiLogDb {
@@ -233,7 +250,7 @@ impl HiLogDbBuilder {
             analysis: None,
             ground: None,
             possibly: None,
-            model: None,
+            model: self.warm_model.map(Arc::new),
             dirty: None,
             stable: None,
             modular: None,
@@ -351,6 +368,11 @@ impl HiLogDb {
     /// The semantics queries are answered under.
     pub fn semantics(&self) -> Semantics {
         self.semantics
+    }
+
+    /// The session's stable-model search limits.
+    pub fn stable_options(&self) -> StableOptions {
+        self.stable_opts
     }
 
     // ------------------------------------------------------------------
@@ -1043,6 +1065,7 @@ impl HiLogDb {
         let (probes_after, fallbacks_after) = crate::horn::probe_counters();
         result.stats.index_probes = probes_after - probes_before;
         result.stats.index_fallback_scans = fallbacks_after - fallbacks_before;
+        result.stats.live_symbols = hilog_core::symbol::symbol_pool_stats().live;
         Ok(result)
     }
 
@@ -1181,6 +1204,31 @@ impl HiLogDb {
     /// (epoch 0) is published immediately.
     pub fn into_serving(self) -> (crate::snapshot::DbWriter, crate::snapshot::SnapshotHandle) {
         crate::snapshot::DbWriter::from_db(self)
+    }
+
+    /// [`HiLogDb::into_serving`], but with the initial snapshot published at
+    /// `epoch` instead of 0.  This is the recovery path: a session restored
+    /// from a checkpoint plus a WAL tail resumes serving at the epoch it had
+    /// reached when it went down, so clients never observe epochs moving
+    /// backwards across a restart.
+    pub fn into_serving_at(
+        self,
+        epoch: u64,
+    ) -> (crate::snapshot::DbWriter, crate::snapshot::SnapshotHandle) {
+        crate::snapshot::DbWriter::from_db_at(self, epoch)
+    }
+
+    /// The cached full model, if one is warm — pending fact-level deltas are
+    /// discharged first so the returned model is exact (`None` if the
+    /// discharge fails or no model has been computed).  Checkpointing uses
+    /// this to persist the model without forcing an evaluation: a session
+    /// that never computed its model simply checkpoints without one.
+    pub fn cached_model(&mut self) -> Option<Arc<Model>> {
+        if self.dirty.is_some() && self.ensure_model().is_err() {
+            self.model = None;
+            self.dirty = None;
+        }
+        self.model.clone()
     }
 
     /// Cheap `Arc` clones of every cache a published snapshot shares with the

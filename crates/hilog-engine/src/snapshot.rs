@@ -238,6 +238,7 @@ impl DbSnapshot {
         let (probes_after, fallbacks_after) = crate::horn::probe_counters();
         result.stats.index_probes = probes_after - probes_before;
         result.stats.index_fallback_scans = fallbacks_after - fallbacks_before;
+        result.stats.live_symbols = hilog_core::symbol::symbol_pool_stats().live;
         Ok(result)
     }
 
@@ -515,14 +516,21 @@ impl DbWriter {
     /// Splits a session into the serving pair, publishing its current state
     /// as the epoch-0 snapshot.  (Also reachable as
     /// [`HiLogDb::into_serving`].)
-    pub(crate) fn from_db(mut db: HiLogDb) -> (DbWriter, SnapshotHandle) {
-        let snapshot = Arc::new(DbSnapshot::from_parts(db.snapshot_parts(), 0));
+    pub(crate) fn from_db(db: HiLogDb) -> (DbWriter, SnapshotHandle) {
+        DbWriter::from_db_at(db, 0)
+    }
+
+    /// [`DbWriter::from_db`], but publishing the initial snapshot at `epoch`.
+    /// The recovery path of the durable storage layer uses this so a session
+    /// rebuilt from checkpoint + WAL resumes at the epoch it went down with.
+    pub(crate) fn from_db_at(mut db: HiLogDb, epoch: u64) -> (DbWriter, SnapshotHandle) {
+        let snapshot = Arc::new(DbSnapshot::from_parts(db.snapshot_parts(), epoch));
         let cell = Arc::new(RwLock::new(snapshot));
         let handle = SnapshotHandle { cell: cell.clone() };
         (
             DbWriter {
                 db,
-                epoch: 0,
+                epoch,
                 batch_dirty: false,
                 cell,
             },
@@ -561,6 +569,13 @@ impl DbWriter {
     /// The semantics queries are answered under.
     pub fn semantics(&self) -> Semantics {
         self.db.semantics()
+    }
+
+    /// The session's cached full model, pending deltas discharged (see
+    /// [`HiLogDb::cached_model`]).  Checkpointing persists this alongside
+    /// the program; `None` simply means the checkpoint carries no model.
+    pub fn cached_model(&mut self) -> Option<Arc<Model>> {
+        self.db.cached_model()
     }
 
     /// Marks the batch open, adopting reader-computed tables first if this

@@ -109,7 +109,7 @@ impl Serialize for MutateResponse {
     }
 }
 
-/// `GET /stats` response: a cheap view of the serving state.
+/// `GET /stats` response: a cheap view of the serving *and* storage state.
 #[derive(Debug)]
 pub struct StatsResponse {
     /// Epoch of the currently published snapshot.
@@ -122,6 +122,22 @@ pub struct StatsResponse {
     pub semantics: String,
     /// Worker threads serving requests.
     pub workers: usize,
+    /// Whether a durable store backs the server (`false`: every storage
+    /// counter below is zero).
+    pub durable: bool,
+    /// Mutation batches in the write-ahead log since the last checkpoint.
+    pub wal_records: usize,
+    /// Bytes in the write-ahead log.
+    pub wal_bytes: u64,
+    /// Epoch of the most recent checkpoint, if one was ever written.
+    pub last_checkpoint_epoch: Option<u64>,
+    /// Total on-disk size of the data directory, in bytes.
+    pub data_dir_bytes: u64,
+    /// Interned symbols still referenced outside the global pool.
+    pub live_symbols: usize,
+    /// Total entries in the global symbol pool (live plus pool-only, the
+    /// latter reclaimed by the checkpoint-time GC).
+    pub interned_symbols: usize,
 }
 
 impl Serialize for StatsResponse {
@@ -132,6 +148,45 @@ impl Serialize for StatsResponse {
         serde::write_field(out, "cached_subqueries", &self.cached_subqueries, false);
         serde::write_field(out, "semantics", &self.semantics, false);
         serde::write_field(out, "workers", &self.workers, false);
+        serde::write_field(out, "durable", &self.durable, false);
+        serde::write_field(out, "wal_records", &self.wal_records, false);
+        serde::write_field(out, "wal_bytes", &self.wal_bytes, false);
+        serde::write_field(
+            out,
+            "last_checkpoint_epoch",
+            &self.last_checkpoint_epoch,
+            false,
+        );
+        serde::write_field(out, "data_dir_bytes", &self.data_dir_bytes, false);
+        serde::write_field(out, "live_symbols", &self.live_symbols, false);
+        serde::write_field(out, "interned_symbols", &self.interned_symbols, false);
+        out.push('}');
+    }
+}
+
+/// `POST /checkpoint` response.
+#[derive(Debug)]
+pub struct CheckpointResponse {
+    /// The epoch the checkpoint captured.
+    pub epoch: u64,
+    /// `false` when the server runs in-memory (nothing was written).
+    pub durable: bool,
+    /// Path of the checkpoint file, when one was written.
+    pub path: Option<String>,
+    /// Symbol-pool entries reclaimed by the checkpoint-time GC.
+    pub symbols_dropped: usize,
+    /// Symbols still live after the GC.
+    pub live_symbols: usize,
+}
+
+impl Serialize for CheckpointResponse {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        serde::write_field(out, "epoch", &self.epoch, true);
+        serde::write_field(out, "durable", &self.durable, false);
+        serde::write_field(out, "path", &self.path, false);
+        serde::write_field(out, "symbols_dropped", &self.symbols_dropped, false);
+        serde::write_field(out, "live_symbols", &self.live_symbols, false);
         out.push('}');
     }
 }

@@ -1,5 +1,8 @@
 //! Server configuration.
 
+use hilog_store::FsyncPolicy;
+use std::path::PathBuf;
+
 /// Configuration for [`Server::bind`](crate::Server::bind).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -14,6 +17,17 @@ pub struct ServerConfig {
     /// Maximum accepted request-body size in bytes; larger requests are
     /// rejected with `413 Payload Too Large`.
     pub max_body_bytes: usize,
+    /// Directory for the write-ahead log and checkpoints.  `None` (the
+    /// default) serves purely from memory, exactly as before the storage
+    /// layer existed; `Some` makes every mutation batch durable and enables
+    /// crash recovery on the next boot.
+    pub data_dir: Option<PathBuf>,
+    /// When WAL appends reach stable storage (ignored without `data_dir`).
+    pub fsync: FsyncPolicy,
+    /// Write a final checkpoint when [`Server::serve`](crate::Server::serve)
+    /// returns after a graceful shutdown (ignored without `data_dir`).  On
+    /// by default: the next boot then skips WAL replay entirely.
+    pub checkpoint_on_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -22,6 +36,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7171".to_string(),
             workers: 4,
             max_body_bytes: 1 << 20,
+            data_dir: None,
+            fsync: FsyncPolicy::PerBatch,
+            checkpoint_on_shutdown: true,
         }
     }
 }
@@ -45,6 +62,18 @@ impl ServerConfig {
     /// Sets the worker-thread count (clamped to at least 1).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables durable storage under `dir`.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the WAL fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
         self
     }
 }

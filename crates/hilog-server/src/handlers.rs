@@ -1,16 +1,19 @@
 //! Route dispatch: maps parsed HTTP requests onto the snapshot/writer pair.
 //!
-//! Reads (`POST /query`, `GET /stats`) pin the currently published
+//! Reads (`POST /query`) pin the currently published
 //! [`DbSnapshot`](hilog_engine::DbSnapshot) and never take the writer lock.
 //! Mutations (`POST /assert`, `POST /retract`) serialise on the single
-//! [`DbWriter`](hilog_engine::DbWriter): each request is one batch, applied
-//! and published atomically, so readers only ever observe whole batches.
+//! [`PersistentWriter`](hilog_store::PersistentWriter): each request is one
+//! batch, WAL-appended before it is applied (the commit point, a no-op for
+//! the in-memory backend) and published atomically, so readers only ever
+//! observe whole batches and a crash never loses an acknowledged one.
 
-use crate::api_types::{MutateRequest, MutateResponse, QueryRequest, QueryResponse, StatsResponse};
+use crate::api_types::{
+    CheckpointResponse, MutateRequest, MutateResponse, QueryRequest, QueryResponse, StatsResponse,
+};
 use crate::http::{Request, Response};
 use crate::ServerState;
-use hilog_core::term::Term;
-use hilog_core::Rule;
+use hilog_store::{Op, StoreError};
 use hilog_syntax::{parse_query, parse_rule, parse_term};
 use serde::Serialize;
 use std::sync::PoisonError;
@@ -26,12 +29,16 @@ pub fn handle_request(state: &ServerState, request: &Request) -> Response {
         ("POST", "/query") => query(state, &request.body),
         ("POST", "/assert") => mutate(state, &request.body, Mutation::Assert),
         ("POST", "/retract") => mutate(state, &request.body, Mutation::Retract),
+        ("POST", "/checkpoint") => checkpoint(state),
         ("GET", "/stats") => stats(state),
-        (_, "/query" | "/assert" | "/retract") => {
+        (_, "/query" | "/assert" | "/retract" | "/checkpoint") => {
             Response::error(405, "use POST for this endpoint")
         }
         (_, "/stats") => Response::error(405, "use GET /stats"),
-        _ => Response::error(404, "no such route (try /query, /assert, /retract, /stats)"),
+        _ => Response::error(
+            404,
+            "no such route (try /query, /assert, /retract, /checkpoint, /stats)",
+        ),
     }
 }
 
@@ -83,8 +90,11 @@ fn mutate(state: &ServerState, body: &[u8], mutation: Mutation) -> Response {
         Err(message) => return Response::error(400, &message),
     };
     // Parse and validate the whole batch before touching the writer, so a
-    // bad entry rejects the batch without applying a prefix of it.
-    let mut facts: Vec<(Term, String)> = Vec::with_capacity(request.facts.len());
+    // bad entry rejects the batch before anything reaches the log.  `ops`
+    // and `texts` stay parallel: facts first, then rules, matching the
+    // order `apply_batch` applies them in.
+    let mut ops: Vec<Op> = Vec::with_capacity(request.facts.len() + request.rules.len());
+    let mut texts: Vec<String> = Vec::with_capacity(ops.capacity());
     for text in &request.facts {
         let term = match parse_term(text) {
             Ok(t) => t,
@@ -93,9 +103,12 @@ fn mutate(state: &ServerState, body: &[u8], mutation: Mutation) -> Response {
         if !term.is_ground() {
             return Response::error(422, &format!("fact `{text}` is not ground"));
         }
-        facts.push((term, text.clone()));
+        ops.push(match mutation {
+            Mutation::Assert => Op::AssertFact(term),
+            Mutation::Retract => Op::RetractFact(term),
+        });
+        texts.push(text.clone());
     }
-    let mut rules: Vec<(Rule, String)> = Vec::with_capacity(request.rules.len());
     for text in &request.rules {
         let mut normalized = text.trim().to_string();
         if !normalized.ends_with('.') {
@@ -105,62 +118,70 @@ fn mutate(state: &ServerState, body: &[u8], mutation: Mutation) -> Response {
             Ok(r) => r,
             Err(e) => return Response::error(422, &format!("rule `{text}` does not parse: {e}")),
         };
-        rules.push((rule, text.clone()));
+        ops.push(match mutation {
+            Mutation::Assert => Op::AssertRule(rule),
+            Mutation::Retract => Op::RetractRule(rule),
+        });
+        texts.push(text.clone());
     }
 
     let mut writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
-    let mut applied = 0usize;
-    let mut missing = Vec::new();
-    match mutation {
-        Mutation::Assert => {
-            for (term, text) in facts {
-                match writer.assert_fact(term) {
-                    Ok(()) => applied += 1,
-                    Err(e) => {
-                        // Groundness was pre-checked, so this is unexpected;
-                        // publish what was applied and report the failure.
-                        let _ = writer.publish();
-                        return Response::error(500, &format!("assert `{text}` failed: {e}"));
-                    }
-                }
-            }
-            for (rule, _) in rules {
-                writer.assert_rule(rule);
-                applied += 1;
-            }
+    match writer.apply_batch(&ops) {
+        Ok(outcome) => Response::ok(to_string(&MutateResponse {
+            epoch: outcome.epoch,
+            applied: outcome.applied,
+            missing: outcome
+                .missing
+                .into_iter()
+                .map(|index| texts[index].clone())
+                .collect(),
+        })),
+        // Groundness was pre-checked, so an engine rejection is unexpected;
+        // the applied prefix is already published and the batch is on disk,
+        // so replay reproduces exactly this state.
+        Err(StoreError::Engine { applied, error }) => {
+            let entry = texts.get(applied).map(String::as_str).unwrap_or("?");
+            Response::error(500, &format!("assert `{entry}` failed: {error}"))
         }
-        Mutation::Retract => {
-            for (term, text) in facts {
-                if writer.retract_fact(&term) {
-                    applied += 1;
-                } else {
-                    missing.push(text);
-                }
-            }
-            for (rule, text) in rules {
-                if writer.retract_rule(&rule) {
-                    applied += 1;
-                } else {
-                    missing.push(text);
-                }
-            }
-        }
+        // Storage failures happen before anything is applied: the batch is
+        // rejected whole and the published snapshot is unchanged.
+        Err(e) => Response::error(500, &format!("storage error, batch not applied: {e}")),
     }
-    let snapshot = writer.publish();
-    Response::ok(to_string(&MutateResponse {
-        epoch: snapshot.epoch(),
-        applied,
-        missing,
-    }))
+}
+
+fn checkpoint(state: &ServerState) -> Response {
+    let mut writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
+    match writer.checkpoint() {
+        Ok(outcome) => Response::ok(to_string(&CheckpointResponse {
+            epoch: outcome.epoch,
+            durable: outcome.path.is_some(),
+            path: outcome.path.map(|p| p.display().to_string()),
+            symbols_dropped: outcome.symbols_dropped,
+            live_symbols: outcome.live_symbols,
+        })),
+        Err(e) => Response::error(500, &format!("checkpoint failed: {e}")),
+    }
 }
 
 fn stats(state: &ServerState) -> Response {
     let snapshot = state.snapshots.current();
+    let storage = {
+        let writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        writer.storage_stats()
+    };
+    let symbols = hilog_core::symbol_pool_stats();
     Response::ok(to_string(&StatsResponse {
         epoch: snapshot.epoch(),
         rules: snapshot.program().rules.len(),
         cached_subqueries: snapshot.cached_subqueries(),
         semantics: snapshot.semantics().to_string(),
         workers: state.workers,
+        durable: storage.durable,
+        wal_records: storage.wal_records,
+        wal_bytes: storage.wal_bytes,
+        last_checkpoint_epoch: storage.last_checkpoint_epoch,
+        data_dir_bytes: storage.data_dir_bytes,
+        live_symbols: symbols.live,
+        interned_symbols: symbols.interned,
     }))
 }

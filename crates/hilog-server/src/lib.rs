@@ -1,7 +1,7 @@
 //! # hilog-server — a JSON-over-HTTP front-end for the serving layer
 //!
 //! This crate puts the engine's snapshot/writer split
-//! ([`DbSnapshot`](hilog_engine::DbSnapshot) / [`DbWriter`])
+//! ([`DbSnapshot`](hilog_engine::DbSnapshot) / [`DbWriter`](hilog_engine::DbWriter))
 //! behind a deliberately small HTTP/1.1 server built on nothing but
 //! `std::net` — the workspace has no crates.io access, so the HTTP layer,
 //! JSON parser, and worker pool are all local.
@@ -11,19 +11,29 @@
 //! | Route           | Body                                      | Effect |
 //! |-----------------|-------------------------------------------|--------|
 //! | `POST /query`   | `{"query": "?- winning(X)."}`             | Answers against the pinned snapshot; returns `{epoch, result}` |
-//! | `POST /assert`  | `{"facts": [...], "rules": [...]}`        | One batch: apply, publish, return `{epoch, applied, missing}` |
+//! | `POST /assert`  | `{"facts": [...], "rules": [...]}`        | One batch: WAL-append, apply, publish, return `{epoch, applied, missing}` |
 //! | `POST /retract` | `{"facts": [...], "rules": [...]}`        | Same, removing entries; absent ones land in `missing` |
-//! | `GET /stats`    | —                                         | `{epoch, rules, cached_subqueries, semantics, workers}` |
+//! | `POST /checkpoint` | —                                      | Writes a checkpoint, truncates the WAL, GCs the symbol pool |
+//! | `GET /stats`    | —                                         | Serving + storage counters (epoch, rules, WAL, checkpoints, symbols) |
 //!
 //! ## Concurrency model
 //!
 //! Worker threads answering `/query` pin the currently published snapshot
 //! (one `Arc` clone) and evaluate against it without blocking each other or
 //! the writer.  `/assert` and `/retract` serialise on a single mutex-guarded
-//! [`DbWriter`]; each request is one batch that is applied through the
-//! incremental maintenance path and published with an atomic snapshot swap.
-//! A query that races a publish simply answers at the epoch it pinned —
-//! exactly the session-level guarantee, now over HTTP.
+//! [`PersistentWriter`]; each request is one
+//! batch that is WAL-appended (when a data directory is configured), applied
+//! through the incremental maintenance path, and published with an atomic
+//! snapshot swap.  A query that races a publish simply answers at the epoch
+//! it pinned — exactly the session-level guarantee, now over HTTP.
+//!
+//! ## Durability
+//!
+//! With [`ServerConfig::data_dir`] set, the server writes every mutation
+//! batch to a write-ahead log *before* applying it and recovers on the next
+//! boot from the newest checkpoint plus the WAL tail (see the `hilog-store`
+//! crate).  Graceful shutdown flushes the log and, by default, writes a
+//! final checkpoint so the next boot skips replay.
 //!
 //! ```no_run
 //! use hilog_engine::HiLogDb;
@@ -50,7 +60,8 @@ pub mod threadpool;
 pub use config::ServerConfig;
 
 use hilog_engine::session::HiLogDb;
-use hilog_engine::{DbWriter, SnapshotHandle};
+use hilog_engine::SnapshotHandle;
+use hilog_store::{PersistentWriter, RecoveryReport, StoreConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -62,12 +73,14 @@ use std::sync::{mpsc, Arc, Mutex};
 pub struct ServerState {
     /// Read path: pins the currently published snapshot.
     pub snapshots: SnapshotHandle,
-    /// Write path: one writer, one batch per mutation request.
-    pub writer: Mutex<DbWriter>,
+    /// Write path: one writer, one batch per mutation request.  Batches go
+    /// through the storage backend first (a no-op without a data directory).
+    pub writer: Mutex<PersistentWriter>,
     /// Worker-thread count (reported by `/stats`).
     pub workers: usize,
     /// Maximum accepted request-body size.
     pub max_body_bytes: usize,
+    checkpoint_on_shutdown: bool,
     shutdown: AtomicBool,
 }
 
@@ -78,6 +91,7 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     state: Arc<ServerState>,
+    recovery: RecoveryReport,
 }
 
 /// A cloneable remote control for a serving [`Server`]: stops the accept
@@ -92,10 +106,29 @@ impl Server {
     /// Binds the listener and wraps `db` in the snapshot/writer pair.  The
     /// server owns the only writer; keep a [`SnapshotHandle`] (via
     /// [`Server::snapshots`]) for in-process reads if needed.
+    ///
+    /// With [`ServerConfig::data_dir`] set this opens (or recovers) the
+    /// durable store: an existing directory wins over `db`, whose program is
+    /// then ignored in favour of the recovered state — check
+    /// [`Server::recovery`] to see which happened.
     pub fn bind(config: ServerConfig, db: HiLogDb) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let (writer, snapshots) = db.into_serving();
+        let (writer, snapshots, recovery) = match &config.data_dir {
+            None => {
+                let (writer, snapshots) = PersistentWriter::in_memory(db);
+                (writer, snapshots, RecoveryReport::default())
+            }
+            Some(dir) => {
+                let store = StoreConfig {
+                    data_dir: dir.clone(),
+                    fsync: config.fsync,
+                    keep_checkpoints: 2,
+                };
+                PersistentWriter::open(&store, db)
+                    .map_err(|e| io::Error::other(format!("cannot open {}: {e}", dir.display())))?
+            }
+        };
         Ok(Server {
             listener,
             local_addr,
@@ -104,9 +137,17 @@ impl Server {
                 writer: Mutex::new(writer),
                 workers: config.workers.max(1),
                 max_body_bytes: config.max_body_bytes,
+                checkpoint_on_shutdown: config.checkpoint_on_shutdown,
                 shutdown: AtomicBool::new(false),
             }),
+            recovery,
         })
+    }
+
+    /// How [`Server::bind`] brought the session up: fresh, or recovered from
+    /// a checkpoint plus a WAL tail.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
     }
 
     /// The bound address (useful with port 0 / [`ServerConfig::ephemeral`]).
@@ -129,7 +170,8 @@ impl Server {
     }
 
     /// Runs the accept loop, dispatching connections to the worker pool.
-    /// Blocks until [`ServerHandle::shutdown`] is called.
+    /// Blocks until [`ServerHandle::shutdown`] is called, then flushes the
+    /// write-ahead log and (when configured) writes a final checkpoint.
     pub fn serve(self) {
         let state = &self.state;
         let (sender, receiver) = mpsc::channel::<TcpStream>();
@@ -157,6 +199,15 @@ impl Server {
             }
             drop(sender);
         });
+        // The pool has drained: no request holds the writer any more.
+        let mut writer = self
+            .state
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Err(e) = writer.shutdown(self.state.checkpoint_on_shutdown) {
+            eprintln!("hilog-server: shutdown persistence failed: {e}");
+        }
     }
 }
 

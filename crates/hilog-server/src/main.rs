@@ -1,21 +1,29 @@
 //! The `hilog-server` binary: serve a HiLog program over JSON/HTTP.
 //!
 //! ```text
-//! hilog-server [--addr HOST:PORT] [--workers N] [--semantics wfs|stable|modular] [--program FILE]
+//! hilog-server [--addr HOST:PORT] [--workers N] [--semantics wfs|stable|modular]
+//!              [--program FILE] [--data-dir DIR] [--fsync batch|interval|never]
+//!              [--no-final-checkpoint]
 //! ```
 //!
 //! Without `--program` the server starts on an empty program; populate it
-//! with `POST /assert`.  The process serves until killed.
+//! with `POST /assert`.  With `--data-dir` every mutation batch is written
+//! to a write-ahead log before it is applied, and a restart on the same
+//! directory recovers the exact pre-crash state (`--program` then only
+//! seeds a *fresh* directory).  The process serves until killed.
 
 use hilog_engine::session::{HiLogDb, Semantics};
 use hilog_server::{Server, ServerConfig};
+use hilog_store::FsyncPolicy;
 use hilog_syntax::parse_program;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hilog-server [--addr HOST:PORT] [--workers N] \
-         [--semantics wfs|stable|modular] [--program FILE]"
+         [--semantics wfs|stable|modular] [--program FILE] \
+         [--data-dir DIR] [--fsync batch|interval|never] [--no-final-checkpoint]"
     );
     ExitCode::FAILURE
 }
@@ -56,6 +64,22 @@ fn main() -> ExitCode {
                 Ok(path) => program_path = Some(path),
                 Err(()) => return usage(),
             },
+            "--data-dir" => match value("--data-dir") {
+                Ok(dir) => config.data_dir = Some(dir.into()),
+                Err(()) => return usage(),
+            },
+            "--fsync" => match value("--fsync").as_deref() {
+                Ok("batch") => config.fsync = FsyncPolicy::PerBatch,
+                // Bounds acknowledgement-to-durability at ~50ms while keeping
+                // the fsync off the per-request path.
+                Ok("interval") => config.fsync = FsyncPolicy::Interval(Duration::from_millis(50)),
+                Ok("never") => config.fsync = FsyncPolicy::Never,
+                _ => {
+                    eprintln!("--fsync must be batch, interval, or never");
+                    return usage();
+                }
+            },
+            "--no-final-checkpoint" => config.checkpoint_on_shutdown = false,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -98,11 +122,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let recovery = server.recovery();
+    if recovery.recovered {
+        println!(
+            "hilog-server recovered from checkpoint epoch {} (+{} WAL records, {} ops)",
+            recovery.checkpoint_epoch.unwrap_or(0),
+            recovery.replayed_records,
+            recovery.replayed_ops,
+        );
+    }
     println!(
-        "hilog-server listening on http://{} ({} workers, {} semantics)",
+        "hilog-server listening on http://{} ({} workers, {} semantics{})",
         server.local_addr(),
         config.workers,
         semantics,
+        match &config.data_dir {
+            Some(dir) => format!(", durable under {}", dir.display()),
+            None => String::new(),
+        },
     );
     server.serve();
     ExitCode::SUCCESS

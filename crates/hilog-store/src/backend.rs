@@ -1,0 +1,215 @@
+//! The storage facade the serving layer writes through.
+//!
+//! [`StorageBackend`] is deliberately narrow — append a batch, write a
+//! checkpoint, flush, report stats — so the writer path stays identical
+//! whether anything touches disk or not.  [`InMemory`] is a no-op (today's
+//! behaviour, zero overhead); [`Durable`] composes the [`crate::wal`] and
+//! [`crate::checkpoint`] modules under one data directory:
+//!
+//! ```text
+//! <data-dir>/
+//!   wal.log                            the write-ahead log
+//!   checkpoint-<epoch:020>.hsnp        newest-first recovery candidates
+//! ```
+
+use crate::checkpoint::{
+    load_latest_checkpoint, prune_checkpoints, save_checkpoint, CheckpointData,
+};
+use crate::error::StoreError;
+use crate::ops::Op;
+use crate::wal::{FsyncPolicy, Wal, WalRecord, WAL_FILE};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Configuration of a [`Durable`] backend.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the WAL and checkpoints (created if absent).
+    pub data_dir: PathBuf,
+    /// When WAL appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Checkpoints retained after each new one (older files are pruned).
+    /// The newest is always kept; 2 keeps one fallback behind it.
+    pub keep_checkpoints: usize,
+}
+
+impl StoreConfig {
+    /// Durable defaults: per-batch fsync, two retained checkpoints.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::PerBatch,
+            keep_checkpoints: 2,
+        }
+    }
+
+    /// Switches to interval fsync (the `<10%` serving-overhead setting).
+    pub fn fsync_interval(mut self, window: Duration) -> Self {
+        self.fsync = FsyncPolicy::Interval(window);
+        self
+    }
+}
+
+/// A point-in-time view of the storage layer, reported by `GET /stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// `false` for [`InMemory`] (every other field is then zero).
+    pub durable: bool,
+    /// Records currently in the WAL (since the last checkpoint/truncate).
+    pub wal_records: usize,
+    /// Bytes currently in the WAL.
+    pub wal_bytes: u64,
+    /// Epoch of the most recent checkpoint written or recovered from, if
+    /// any.
+    pub last_checkpoint_epoch: Option<u64>,
+    /// Total size of the data directory (WAL + checkpoints), in bytes.
+    pub data_dir_bytes: u64,
+}
+
+/// What the serving layer asks of storage.  Object-safe so the server holds
+/// a `Box<dyn StorageBackend>` chosen at startup.
+pub trait StorageBackend: std::fmt::Debug + Send {
+    /// Makes the batch that will publish `epoch` durable *before* it is
+    /// applied.  This is the commit point: a batch whose append returned is
+    /// replayed after a crash; one whose append tore is truncated away.
+    fn append_batch(&mut self, epoch: u64, ops: &[Op]) -> Result<(), StoreError>;
+
+    /// Persists a whole-store checkpoint, prunes old ones and truncates the
+    /// WAL (whose records the checkpoint subsumes).  Returns the file path,
+    /// or `None` for backends that store nothing.
+    fn write_checkpoint(&mut self, data: &CheckpointData) -> Result<Option<PathBuf>, StoreError>;
+
+    /// Forces everything buffered to stable storage (graceful shutdown).
+    fn flush(&mut self) -> Result<(), StoreError>;
+
+    /// Current storage counters.
+    fn stats(&self) -> StorageStats;
+}
+
+/// The zero-overhead backend: nothing is stored, every call succeeds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InMemory;
+
+impl StorageBackend for InMemory {
+    fn append_batch(&mut self, _epoch: u64, _ops: &[Op]) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn write_checkpoint(&mut self, _data: &CheckpointData) -> Result<Option<PathBuf>, StoreError> {
+        Ok(None)
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn stats(&self) -> StorageStats {
+        StorageStats::default()
+    }
+}
+
+/// What [`Durable::open`] found on disk, for the recovery path to replay.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The newest valid checkpoint, if any.
+    pub checkpoint: Option<CheckpointData>,
+    /// Every valid WAL record, oldest first (the torn tail is already
+    /// truncated).  May include records at or below the checkpoint epoch if
+    /// the process died between writing a checkpoint and truncating the log;
+    /// replay skips those.
+    pub wal_records: Vec<WalRecord>,
+}
+
+/// WAL + checkpoints under one data directory.
+#[derive(Debug)]
+pub struct Durable {
+    dir: PathBuf,
+    wal: Wal,
+    last_checkpoint_epoch: Option<u64>,
+    keep_checkpoints: usize,
+}
+
+impl Durable {
+    /// Opens (creating if needed) the data directory, validating the WAL and
+    /// locating the newest valid checkpoint.  The caller replays
+    /// [`Recovered`] before serving.
+    pub fn open(config: &StoreConfig) -> Result<(Durable, Recovered), StoreError> {
+        fs::create_dir_all(&config.data_dir)?;
+        let checkpoint = load_latest_checkpoint(&config.data_dir)?;
+        let (wal, wal_records) = Wal::open(config.data_dir.join(WAL_FILE), config.fsync)?;
+        let (checkpoint, last_checkpoint_epoch) = match checkpoint {
+            Some((data, _path)) => {
+                let epoch = data.epoch;
+                (Some(data), Some(epoch))
+            }
+            None => (None, None),
+        };
+        if checkpoint.is_none() && !wal_records.is_empty() {
+            // The protocol writes checkpoint-0 before the first append, so a
+            // WAL with no checkpoint means every checkpoint was lost: the
+            // records have no base state to replay onto.
+            return Err(StoreError::Corrupt(format!(
+                "{} holds a write-ahead log but no valid checkpoint",
+                config.data_dir.display()
+            )));
+        }
+        Ok((
+            Durable {
+                dir: config.data_dir.clone(),
+                wal,
+                last_checkpoint_epoch,
+                keep_checkpoints: config.keep_checkpoints,
+            },
+            Recovered {
+                checkpoint,
+                wal_records,
+            },
+        ))
+    }
+
+    /// The data directory this backend writes under.
+    pub fn data_dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl StorageBackend for Durable {
+    fn append_batch(&mut self, epoch: u64, ops: &[Op]) -> Result<(), StoreError> {
+        self.wal.append(epoch, ops)
+    }
+
+    fn write_checkpoint(&mut self, data: &CheckpointData) -> Result<Option<PathBuf>, StoreError> {
+        let path = save_checkpoint(&self.dir, data)?;
+        self.last_checkpoint_epoch = Some(data.epoch);
+        prune_checkpoints(&self.dir, self.keep_checkpoints)?;
+        // Truncate last: if we die before this, recovery loads the new
+        // checkpoint and skips the stale records by epoch.
+        self.wal.truncate()?;
+        Ok(Some(path))
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        self.wal.flush()
+    }
+
+    fn stats(&self) -> StorageStats {
+        let data_dir_bytes = fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| e.metadata().ok())
+                    .filter(|m| m.is_file())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0);
+        StorageStats {
+            durable: true,
+            wal_records: self.wal.records(),
+            wal_bytes: self.wal.bytes(),
+            last_checkpoint_epoch: self.last_checkpoint_epoch,
+            data_dir_bytes,
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Binary checkpoints: whole-store snapshot files.
+//!
+//! A checkpoint captures everything the writer cannot rebuild from thin air
+//! — the program's rules (initial + asserted, minus retracted) and, when the
+//! session had one warm, the full model — stamped with the epoch it
+//! represents.  Derived state (grounding, per-argument indexes, subgoal
+//! tables, stable models) deliberately stays out of the file: it rebuilds
+//! lazily on first use, which keeps checkpoints compact and the format
+//! stable under engine-internal changes.
+//!
+//! ## File format
+//!
+//! `checkpoint-<epoch, 20 digits>.hsnp`, laid out as
+//!
+//! ```text
+//! [magic "HSNP"][version: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! with the payload a [`hilog_core::codec`] payload: epoch `u64`, semantics
+//! tag `u8`, rule count + rules, model flag `u8` and — when present — the
+//! model's true / undefined / remaining-base atom sets as term-reference
+//! lists (the codec's term table stores every atom once, structure-shared).
+//!
+//! Writes go through a temp file + `fsync` + atomic rename + directory
+//! `fsync`, so a crash leaves either the old set of checkpoints or the old
+//! set plus one complete new file — never a half-written `.hsnp`.  Loading
+//! takes the newest file that validates, skipping corrupt ones.
+
+use crate::error::StoreError;
+use hilog_core::codec::{crc32, PayloadReader, PayloadWriter};
+use hilog_core::{Model, Program};
+use hilog_engine::Semantics;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"HSNP";
+const VERSION: u32 = 1;
+
+const SEM_WELL_FOUNDED: u8 = 0;
+const SEM_STABLE: u8 = 1;
+const SEM_MODULAR: u8 = 2;
+
+/// What a checkpoint file carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointData {
+    /// The published epoch this state corresponds to.
+    pub epoch: u64,
+    /// The semantics the session answers under.
+    pub semantics: Semantics,
+    /// The full current program (rules + facts).
+    pub program: Program,
+    /// The full model, when the session had computed one; restoring it makes
+    /// the first full-model query free.  `None` is always sound — the model
+    /// rebuilds lazily.
+    pub model: Option<Model>,
+}
+
+fn semantics_tag(semantics: Semantics) -> u8 {
+    match semantics {
+        Semantics::WellFounded => SEM_WELL_FOUNDED,
+        Semantics::Stable => SEM_STABLE,
+        Semantics::ModularCheck => SEM_MODULAR,
+    }
+}
+
+fn semantics_from_tag(tag: u8) -> Result<Semantics, StoreError> {
+    Ok(match tag {
+        SEM_WELL_FOUNDED => Semantics::WellFounded,
+        SEM_STABLE => Semantics::Stable,
+        SEM_MODULAR => Semantics::ModularCheck,
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "unknown semantics tag {other}"
+            )))
+        }
+    })
+}
+
+/// The canonical file name of the checkpoint for `epoch` (zero-padded so
+/// lexicographic order is numeric order).
+pub fn checkpoint_file_name(epoch: u64) -> String {
+    format!("checkpoint-{epoch:020}.hsnp")
+}
+
+fn parse_checkpoint_epoch(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("checkpoint-")?.strip_suffix(".hsnp")?;
+    digits.parse().ok()
+}
+
+fn encode(data: &CheckpointData) -> Vec<u8> {
+    let mut writer = PayloadWriter::new();
+    writer.write_u64(data.epoch);
+    writer.write_u8(semantics_tag(data.semantics));
+    writer.write_u32(data.program.rules.len() as u32);
+    for rule in &data.program.rules {
+        writer.write_rule(rule);
+    }
+    match &data.model {
+        None => writer.write_u8(0),
+        Some(model) => {
+            writer.write_u8(1);
+            // True and undefined atoms, then the base atoms not already in
+            // either set (`Model::new` re-extends the base with both).
+            writer.write_u32(model.true_atoms().len() as u32);
+            for atom in model.true_atoms() {
+                writer.write_term(atom);
+            }
+            writer.write_u32(model.undefined_atoms().len() as u32);
+            for atom in model.undefined_atoms() {
+                writer.write_term(atom);
+            }
+            let rest: Vec<_> = model.false_base_atoms().collect();
+            writer.write_u32(rest.len() as u32);
+            for atom in rest {
+                writer.write_term(atom);
+            }
+        }
+    }
+    writer.finish()
+}
+
+fn decode(payload: &[u8]) -> Result<CheckpointData, StoreError> {
+    let mut reader = PayloadReader::new(payload)?;
+    let epoch = reader.read_u64()?;
+    let semantics = semantics_from_tag(reader.read_u8()?)?;
+    let rule_count = reader.read_u32()? as usize;
+    let mut program = Program::new();
+    for _ in 0..rule_count {
+        program.push(reader.read_rule()?);
+    }
+    let model = match reader.read_u8()? {
+        0 => None,
+        1 => {
+            let read_terms = |reader: &mut PayloadReader<'_>| -> Result<Vec<_>, StoreError> {
+                let count = reader.read_u32()? as usize;
+                let mut atoms = Vec::with_capacity(count);
+                for _ in 0..count {
+                    atoms.push(reader.read_term()?);
+                }
+                Ok(atoms)
+            };
+            let true_atoms = read_terms(&mut reader)?;
+            let undefined = read_terms(&mut reader)?;
+            let base_rest = read_terms(&mut reader)?;
+            Some(Model::new(base_rest, true_atoms, undefined))
+        }
+        other => {
+            return Err(StoreError::Corrupt(format!("unknown model flag {other}")));
+        }
+    };
+    if !reader.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing byte(s) in checkpoint payload",
+            reader.remaining()
+        )));
+    }
+    Ok(CheckpointData {
+        epoch,
+        semantics,
+        program,
+        model,
+    })
+}
+
+/// Fsyncs a directory so a rename inside it is durable.  Best-effort on
+/// platforms where directories cannot be opened for sync.
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+/// Writes the checkpoint for `data.epoch` into `dir` atomically (temp file,
+/// fsync, rename, directory fsync) and returns its path.
+pub fn save_checkpoint(dir: &Path, data: &CheckpointData) -> Result<PathBuf, StoreError> {
+    let payload = encode(data);
+    let mut bytes = Vec::with_capacity(payload.len() + 12);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let final_path = dir.join(checkpoint_file_name(data.epoch));
+    let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(data.epoch)));
+    {
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(&bytes)?;
+        tmp.sync_data()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir);
+    Ok(final_path)
+}
+
+/// Reads and validates one checkpoint file.
+pub fn load_checkpoint(path: &Path) -> Result<CheckpointData, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 12 || &bytes[..4] != MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "{} is not a checkpoint file",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[12..];
+    if crc32(payload) != crc {
+        return Err(StoreError::Corrupt(format!(
+            "checksum mismatch in {}",
+            path.display()
+        )));
+    }
+    decode(payload)
+}
+
+/// Loads the newest checkpoint in `dir` that validates, skipping (but not
+/// deleting) corrupt or torn files.  `Ok(None)` when none exists.
+pub fn load_latest_checkpoint(dir: &Path) -> Result<Option<(CheckpointData, PathBuf)>, StoreError> {
+    let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(epoch) = parse_checkpoint_epoch(name) {
+            candidates.push((epoch, entry.path()));
+        }
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (_, path) in candidates {
+        match load_checkpoint(&path) {
+            Ok(data) => return Ok(Some((data, path))),
+            // A corrupt newer file falls back to the previous checkpoint —
+            // with its WAL already truncated the fallback can lose epochs,
+            // but it still recovers a consistent (older) state instead of
+            // nothing.
+            Err(StoreError::Corrupt(_) | StoreError::Codec(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes all but the newest `keep` checkpoints (and any leftover `.tmp`
+/// files).  Returns how many files were removed.
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> Result<usize, StoreError> {
+    let mut checkpoints: Vec<(u64, PathBuf)> = Vec::new();
+    let mut removed = 0;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("checkpoint-") && name.ends_with(".tmp") {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        } else if let Some(epoch) = parse_checkpoint_epoch(name) {
+            checkpoints.push((epoch, entry.path()));
+        }
+    }
+    checkpoints.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (_, path) in checkpoints.into_iter().skip(keep.max(1)) {
+        fs::remove_file(path)?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilog_syntax::parse_program;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("hilog-ckpt-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(epoch: u64, with_model: bool) -> CheckpointData {
+        let program = parse_program(
+            "winning(X) :- move(X, Y), not winning(Y).\n\
+             move(a, b). move(b, c).",
+        )
+        .unwrap();
+        let model = with_model.then(|| {
+            let mut db = hilog_engine::HiLogDb::new(program.clone());
+            db.model().unwrap().clone()
+        });
+        CheckpointData {
+            epoch,
+            semantics: Semantics::WellFounded,
+            program,
+            model,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_with_model() {
+        let dir = temp_dir("roundtrip");
+        let data = sample(17, true);
+        let path = save_checkpoint(&dir, &data).unwrap();
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded, data);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_load_roundtrip_without_model() {
+        let dir = temp_dir("nomodel");
+        let data = sample(0, false);
+        let path = save_checkpoint(&dir, &data).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), data);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_skips_corrupt_files() {
+        let dir = temp_dir("corrupt");
+        save_checkpoint(&dir, &sample(1, false)).unwrap();
+        let newer = save_checkpoint(&dir, &sample(2, true)).unwrap();
+        // Corrupt the newer file's payload.
+        let mut bytes = fs::read(&newer).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newer, &bytes).unwrap();
+        let (data, path) = load_latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(data.epoch, 1);
+        assert!(path.to_string_lossy().contains("00000000000000000001"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = temp_dir("prune");
+        for epoch in 1..=4 {
+            save_checkpoint(&dir, &sample(epoch, false)).unwrap();
+        }
+        // A stray tmp file is cleaned up too.
+        fs::write(dir.join("checkpoint-x.tmp"), b"junk").unwrap();
+        let removed = prune_checkpoints(&dir, 2).unwrap();
+        assert_eq!(removed, 3);
+        let (data, _) = load_latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(data.epoch, 4);
+        assert!(!dir.join(checkpoint_file_name(1)).exists());
+        assert!(dir.join(checkpoint_file_name(3)).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        let dir = temp_dir("empty");
+        assert!(load_latest_checkpoint(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

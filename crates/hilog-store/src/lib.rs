@@ -1,0 +1,48 @@
+//! # hilog-store — durable storage for the HiLog serving stack
+//!
+//! PR 6 split the engine into a single [`DbWriter`](hilog_engine::DbWriter)
+//! and lock-free reader snapshots; this crate makes the writer's state
+//! survive the process.  Three pieces, composed behind one trait:
+//!
+//! * a **write-ahead log** ([`wal`]) of mutation batches — length-prefixed,
+//!   CRC-32-checksummed records, one per published epoch, appended *before*
+//!   the batch is applied;
+//! * **binary checkpoints** ([`checkpoint`]) of the store — program rules
+//!   plus (when warm) the full model, interned through the payload-local
+//!   symbol/term tables of [`hilog_core::codec`] and stamped with the epoch
+//!   they capture;
+//! * **recovery** ([`serving::PersistentWriter::open`]) — load the newest
+//!   valid checkpoint, replay the WAL tail through the same incremental
+//!   mutation path the live server uses (torn final record truncated,
+//!   checksums verified), resume serving at the recovered epoch.
+//!
+//! The [`backend::StorageBackend`] trait hides all of it from the serving
+//! layer: [`backend::InMemory`] is today's behaviour at zero overhead,
+//! [`backend::Durable`] is WAL + checkpoints under a `--data-dir`.  The
+//! publish pipeline becomes
+//!
+//! ```text
+//! WAL-append  →  apply incrementally  →  Arc-swap snapshot
+//! ```
+//!
+//! so every published epoch is durable (at the chosen
+//! [`wal::FsyncPolicy`]) before any reader can observe it.  Checkpointing
+//! truncates the log and garbage-collects the global symbol pool — persisted
+//! files use payload-local ids, so collection never remaps anything on disk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod checkpoint;
+pub mod error;
+pub mod ops;
+pub mod serving;
+pub mod wal;
+
+pub use backend::{Durable, InMemory, StorageBackend, StorageStats, StoreConfig};
+pub use checkpoint::CheckpointData;
+pub use error::StoreError;
+pub use ops::Op;
+pub use serving::{BatchOutcome, CheckpointOutcome, PersistentWriter, RecoveryReport};
+pub use wal::{FsyncPolicy, Wal, WalRecord};

@@ -1,0 +1,475 @@
+//! The durable writer: [`hilog_engine::DbWriter`] behind a
+//! [`StorageBackend`].
+//!
+//! [`PersistentWriter`] is what a server holds instead of a bare `DbWriter`.
+//! Its publish pipeline is
+//!
+//! ```text
+//! WAL-append (commit point)  →  apply incrementally  →  Arc-swap snapshot
+//! ```
+//!
+//! so the log always runs *ahead of* or *level with* the applied state —
+//! never behind it.  Replay applies each record through the same engine
+//! mutation path, in the same order, with the same absent-fact/rule and
+//! error handling, so a recovered session is bit-for-bit the session a
+//! crash interrupted (the crash/replay differential oracle in
+//! `tests/recovery.rs` checks this against fresh evaluation).
+
+use crate::backend::{Durable, InMemory, StorageBackend, StorageStats, StoreConfig};
+use crate::checkpoint::CheckpointData;
+use crate::error::StoreError;
+use crate::ops::Op;
+use hilog_core::{gc_symbol_pool, symbol_pool_stats};
+use hilog_engine::{DbSnapshot, DbWriter, EngineError, HiLogDb, Semantics, SnapshotHandle};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// What one [`PersistentWriter::apply_batch`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// The epoch the batch published.
+    pub epoch: u64,
+    /// Operations that took effect.
+    pub applied: usize,
+    /// Indexes (into the submitted batch) of retractions that found nothing
+    /// to remove — no-ops on both the live and the replay path.
+    pub missing: Vec<usize>,
+}
+
+/// What one [`PersistentWriter::checkpoint`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// The epoch the checkpoint captured.
+    pub epoch: u64,
+    /// Where it was written (`None` for the in-memory backend).
+    pub path: Option<PathBuf>,
+    /// Names the checkpoint-time symbol-pool GC dropped.
+    pub symbols_dropped: usize,
+    /// Names still live after the GC.
+    pub live_symbols: usize,
+}
+
+/// How [`PersistentWriter::open`] brought the session up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// `true` if state was restored from disk (`false`: fresh directory —
+    /// the seed session was used and a baseline checkpoint written).
+    pub recovered: bool,
+    /// Epoch of the checkpoint that seeded recovery.
+    pub checkpoint_epoch: Option<u64>,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: usize,
+    /// Operations inside those records.
+    pub replayed_ops: usize,
+}
+
+/// A [`DbWriter`] whose batches are durable before they are visible.
+#[derive(Debug)]
+pub struct PersistentWriter {
+    writer: DbWriter,
+    backend: Box<dyn StorageBackend>,
+}
+
+/// Applies `ops` in order through the writer's incremental mutation path.
+/// Stops at the first engine error (everything before it stays applied —
+/// deterministic, so replay reproduces the same prefix); absent retractions
+/// are recorded, not errors.
+fn apply_ops(writer: &mut DbWriter, ops: &[Op]) -> (usize, Vec<usize>, Option<EngineError>) {
+    let mut applied = 0;
+    let mut missing = Vec::new();
+    for (index, op) in ops.iter().enumerate() {
+        match op {
+            Op::AssertFact(fact) => match writer.assert_fact(fact.clone()) {
+                Ok(()) => applied += 1,
+                Err(error) => return (applied, missing, Some(error)),
+            },
+            Op::RetractFact(fact) => {
+                if writer.retract_fact(fact) {
+                    applied += 1;
+                } else {
+                    missing.push(index);
+                }
+            }
+            Op::AssertRule(rule) => {
+                writer.assert_rule(rule.clone());
+                applied += 1;
+            }
+            Op::RetractRule(rule) => {
+                if writer.retract_rule(rule) {
+                    applied += 1;
+                } else {
+                    missing.push(index);
+                }
+            }
+        }
+    }
+    (applied, missing, None)
+}
+
+impl PersistentWriter {
+    /// Wraps a session with the zero-overhead in-memory backend — behaviour
+    /// identical to `db.into_serving()`.
+    pub fn in_memory(db: HiLogDb) -> (PersistentWriter, SnapshotHandle) {
+        let (writer, handle) = db.into_serving();
+        (
+            PersistentWriter {
+                writer,
+                backend: Box::new(InMemory),
+            },
+            handle,
+        )
+    }
+
+    /// Opens a durable writer under `config.data_dir`.
+    ///
+    /// * **Fresh directory** — serve `seed` as-is and immediately write the
+    ///   epoch-0 baseline checkpoint (the WAL alone never carries the
+    ///   initial program, so recovery is always checkpoint + tail).
+    /// * **Existing directory** — rebuild the session from the newest valid
+    ///   checkpoint (program, semantics, and — when present — the model,
+    ///   seeded warm), replay the WAL tail through the live mutation path,
+    ///   and resume publishing at the recovered epoch.  `seed` contributes
+    ///   only its evaluation options; its program is ignored in favour of
+    ///   the recovered one.
+    pub fn open(
+        config: &StoreConfig,
+        seed: HiLogDb,
+    ) -> Result<(PersistentWriter, SnapshotHandle, RecoveryReport), StoreError> {
+        let (backend, recovered) = Durable::open(config)?;
+        let mut backend = Box::new(backend);
+        match recovered.checkpoint {
+            None => {
+                let (writer, handle) = seed.into_serving();
+                let mut this = PersistentWriter { writer, backend };
+                this.checkpoint()?;
+                Ok((this, handle, RecoveryReport::default()))
+            }
+            Some(ckpt) => {
+                let report_epoch = ckpt.epoch;
+                let mut builder = HiLogDb::builder()
+                    .program(ckpt.program)
+                    .semantics(ckpt.semantics)
+                    .options(seed.options())
+                    .stable_options(seed.stable_options());
+                if let Some(model) = ckpt.model {
+                    builder = builder.warm_model(model);
+                }
+                let db = builder.build();
+                // Replay strictly after the checkpoint: records at or below
+                // its epoch survive only when the process died between
+                // checkpointing and truncating the log.
+                let (mut writer, handle) = db.into_serving_at(report_epoch);
+                let mut replayed_records = 0;
+                let mut replayed_ops = 0;
+                for record in recovered.wal_records {
+                    if record.epoch <= report_epoch {
+                        continue;
+                    }
+                    // Reproduce the live outcome exactly, including an
+                    // engine-rejected suffix: the prefix stays applied and
+                    // the next record continues, just as the server kept
+                    // serving after returning the error to that client.
+                    let _ = apply_ops(&mut writer, &record.ops);
+                    let snapshot = writer.publish();
+                    debug_assert_eq!(snapshot.epoch(), record.epoch);
+                    replayed_records += 1;
+                    replayed_ops += record.ops.len();
+                }
+                // `into_serving_at` numbered replay publishes from the
+                // checkpoint epoch; the records' own epochs are contiguous
+                // above it, so the writer now sits at the last record's
+                // epoch and new batches extend the same monotone sequence.
+                backend.flush()?;
+                Ok((
+                    PersistentWriter { writer, backend },
+                    handle,
+                    RecoveryReport {
+                        recovered: true,
+                        checkpoint_epoch: Some(report_epoch),
+                        replayed_records,
+                        replayed_ops,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Applies one mutation batch: WAL-append (the commit point), apply
+    /// through the incremental path, publish.  On an engine error the
+    /// already-applied prefix is still published — the same state replay
+    /// reproduces — and the error is surfaced.
+    pub fn apply_batch(&mut self, ops: &[Op]) -> Result<BatchOutcome, StoreError> {
+        let epoch = self.writer.epoch() + 1;
+        self.backend.append_batch(epoch, ops)?;
+        let (applied, missing, failure) = apply_ops(&mut self.writer, ops);
+        let snapshot = self.writer.publish();
+        debug_assert_eq!(snapshot.epoch(), epoch);
+        match failure {
+            Some(error) => Err(StoreError::Engine { applied, error }),
+            None => Ok(BatchOutcome {
+                epoch,
+                applied,
+                missing,
+            }),
+        }
+    }
+
+    /// Writes a checkpoint of the current state (truncating the WAL) and
+    /// garbage-collects the global symbol pool.  Persisted files use
+    /// payload-local symbol ids, so the GC never remaps anything on disk.
+    pub fn checkpoint(&mut self) -> Result<CheckpointOutcome, StoreError> {
+        let data = CheckpointData {
+            epoch: self.writer.epoch(),
+            semantics: self.writer.semantics(),
+            program: self.writer.program().clone(),
+            model: self.writer.cached_model().map(|m| (*m).clone()),
+        };
+        let path = self.backend.write_checkpoint(&data)?;
+        let symbols_dropped = gc_symbol_pool();
+        let live_symbols = symbol_pool_stats().live;
+        Ok(CheckpointOutcome {
+            epoch: data.epoch,
+            path,
+            symbols_dropped,
+            live_symbols,
+        })
+    }
+
+    /// Forces buffered WAL records to stable storage.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.backend.flush()
+    }
+
+    /// Graceful shutdown: flush the WAL and, when `checkpoint` is set, write
+    /// a final checkpoint so the next boot skips replay entirely.
+    pub fn shutdown(&mut self, checkpoint: bool) -> Result<(), StoreError> {
+        self.backend.flush()?;
+        if checkpoint {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Storage counters for `GET /stats`.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.backend.stats()
+    }
+
+    /// Epoch of the most recently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.writer.epoch()
+    }
+
+    /// The writer's current program.
+    pub fn program(&self) -> &hilog_core::Program {
+        self.writer.program()
+    }
+
+    /// The semantics queries are answered under.
+    pub fn semantics(&self) -> Semantics {
+        self.writer.semantics()
+    }
+
+    /// A fresh reader endpoint.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.writer.handle()
+    }
+
+    /// The currently published snapshot.
+    pub fn current(&self) -> Arc<DbSnapshot> {
+        self.writer.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilog_syntax::{parse_program, parse_query, parse_term};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("hilog-pw-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn game_db() -> HiLogDb {
+        HiLogDb::new(
+            parse_program(
+                "winning(X) :- move(X, Y), not winning(Y).\n\
+                 move(a, b). move(b, c).",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn assert_true(handle: &SnapshotHandle, query: &str) {
+        let result = handle
+            .current()
+            .query(&parse_query(query).unwrap())
+            .unwrap();
+        assert!(result.is_true(), "{query} should hold");
+    }
+
+    #[test]
+    fn fresh_open_writes_baseline_checkpoint() {
+        let dir = temp_dir("baseline");
+        let config = StoreConfig::new(&dir);
+        let (writer, handle, report) = PersistentWriter::open(&config, game_db()).unwrap();
+        assert!(!report.recovered);
+        assert_eq!(writer.epoch(), 0);
+        assert_true(&handle, "?- winning(b).");
+        let stats = writer.storage_stats();
+        assert!(stats.durable);
+        assert_eq!(stats.last_checkpoint_epoch, Some(0));
+        assert_eq!(stats.wal_records, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutate_drop_reopen_recovers_exactly() {
+        let dir = temp_dir("recover");
+        let config = StoreConfig::new(&dir);
+        {
+            let (mut writer, handle, _) = PersistentWriter::open(&config, game_db()).unwrap();
+            writer
+                .apply_batch(&[Op::AssertFact(parse_term("move(c, d)").unwrap())])
+                .unwrap();
+            writer
+                .apply_batch(&[
+                    Op::RetractFact(parse_term("move(a, b)").unwrap()),
+                    Op::AssertFact(parse_term("move(a, c)").unwrap()),
+                ])
+                .unwrap();
+            assert_eq!(writer.epoch(), 2);
+            assert_true(&handle, "?- winning(c).");
+            // Simulated crash: writer dropped, no checkpoint.
+        }
+        let (writer, handle, report) = PersistentWriter::open(&config, game_db()).unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.checkpoint_epoch, Some(0));
+        assert_eq!(report.replayed_records, 2);
+        assert_eq!(report.replayed_ops, 3);
+        assert_eq!(writer.epoch(), 2);
+        // One recovered base fact and one derived atom (c moves to the dead
+        // end d, so c is winning).
+        assert_true(&handle, "?- move(c, d).");
+        assert_true(&handle, "?- winning(c).");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives_reopen() {
+        let dir = temp_dir("ckpt");
+        let config = StoreConfig::new(&dir);
+        {
+            let (mut writer, _handle, _) = PersistentWriter::open(&config, game_db()).unwrap();
+            writer
+                .apply_batch(&[Op::AssertFact(parse_term("move(c, d)").unwrap())])
+                .unwrap();
+            let outcome = writer.checkpoint().unwrap();
+            assert_eq!(outcome.epoch, 1);
+            assert!(outcome.path.is_some());
+            let stats = writer.storage_stats();
+            assert_eq!(stats.wal_records, 0);
+            assert_eq!(stats.last_checkpoint_epoch, Some(1));
+        }
+        let (writer, handle, report) = PersistentWriter::open(&config, game_db()).unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.checkpoint_epoch, Some(1));
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(writer.epoch(), 1);
+        assert_true(&handle, "?- move(c, d).");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_restores_model_warm() {
+        let dir = temp_dir("warm");
+        let config = StoreConfig::new(&dir);
+        {
+            let (mut writer, _handle, _) = PersistentWriter::open(&config, game_db()).unwrap();
+            // Warm the writer-side model so the checkpoint persists it.
+            writer.writer.db().model().unwrap();
+            let _ = writer.checkpoint().unwrap();
+        }
+        let (_writer, handle, report) = PersistentWriter::open(&config, game_db()).unwrap();
+        assert!(report.recovered);
+        // A variable in predicate position forces the full-model route; the
+        // model must come back warm from the checkpoint — answered without
+        // rebuilding (and without any grounding pass).
+        let result = handle
+            .current()
+            .query(&parse_query("?- P(a, b).").unwrap())
+            .unwrap();
+        assert_eq!(result.answers.len(), 1); // P = move
+        assert_eq!(result.stats.model_source, hilog_engine::ModelSource::Cached);
+        assert_eq!(result.stats.groundings, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rules_and_retract_rules_recover() {
+        let dir = temp_dir("rules");
+        let config = StoreConfig::new(&dir);
+        let rule = parse_program("reach(X, Y) :- move(X, Y).")
+            .unwrap()
+            .rules
+            .remove(0);
+        {
+            let (mut writer, _, _) = PersistentWriter::open(&config, game_db()).unwrap();
+            writer.apply_batch(&[Op::AssertRule(rule.clone())]).unwrap();
+            writer
+                .apply_batch(&[Op::RetractFact(parse_term("move(b, c)").unwrap())])
+                .unwrap();
+        }
+        let (writer, handle, _) = PersistentWriter::open(&config, game_db()).unwrap();
+        assert_true(&handle, "?- reach(a, b).");
+        let result = handle
+            .current()
+            .query(&parse_query("?- reach(b, c).").unwrap())
+            .unwrap();
+        assert!(!result.is_true());
+        assert_eq!(
+            writer.program().rules.len(),
+            game_db().program().rules.len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_retractions_are_reported_and_replay_identically() {
+        let dir = temp_dir("missing");
+        let config = StoreConfig::new(&dir);
+        {
+            let (mut writer, _, _) = PersistentWriter::open(&config, game_db()).unwrap();
+            let outcome = writer
+                .apply_batch(&[
+                    Op::RetractFact(parse_term("move(x, y)").unwrap()),
+                    Op::AssertFact(parse_term("move(c, d)").unwrap()),
+                ])
+                .unwrap();
+            assert_eq!(outcome.missing, vec![0]);
+            assert_eq!(outcome.applied, 1);
+        }
+        let (writer, handle, _) = PersistentWriter::open(&config, game_db()).unwrap();
+        assert_eq!(writer.epoch(), 1);
+        assert_true(&handle, "?- move(c, d).");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_backend_reports_not_durable() {
+        let (mut writer, handle) = PersistentWriter::in_memory(game_db());
+        writer
+            .apply_batch(&[Op::AssertFact(parse_term("move(c, d)").unwrap())])
+            .unwrap();
+        assert_true(&handle, "?- winning(c).");
+        let stats = writer.storage_stats();
+        assert!(!stats.durable);
+        let outcome = writer.checkpoint().unwrap();
+        assert!(outcome.path.is_none());
+    }
+}

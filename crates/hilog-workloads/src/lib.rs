@@ -18,7 +18,10 @@
 //!   the preservation-under-extensions experiments of Section 5;
 //! * [`serving`] — deterministic mixed read/write op streams (reader queries
 //!   plus writer batches) for the concurrent serving layer's bench and
-//!   concurrency oracle.
+//!   concurrency oracle;
+//! * [`durability`] — EDB-heavy ingest streams (large batched fact loads
+//!   plus cheap bound probes) for the durable storage layer's bench and the
+//!   crash/recovery CI job.
 //!
 //! All generators take explicit `u64` seeds and are deterministic, so test
 //! failures and benchmark runs are reproducible.
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod closure;
+pub mod durability;
 pub mod games;
 pub mod graphs;
 pub mod parts;
@@ -34,6 +38,7 @@ pub mod random_programs;
 pub mod serving;
 
 pub use closure::{generic_closure_program, specialized_closure_program};
+pub use durability::{durability_workload, DurabilityWorkload, DurabilityWorkloadConfig};
 pub use games::{hilog_game_program, normal_game_program};
 pub use graphs::{chain, cycle, edges_to_facts, layered_game_graph, node_name, random_dag, Edge};
 pub use parts::{random_part_hierarchy, PartHierarchy};

@@ -1,0 +1,414 @@
+//! Crash/replay differential oracle for the durable storage layer, plus an
+//! HTTP restart round-trip.
+//!
+//! The oracle's contract extends `tests/serving.rs` to crashes: a store
+//! reopened after a simulated crash — writer dropped mid-stream, with or
+//! without an intervening checkpoint, possibly with a *torn* final WAL
+//! record — must answer every query exactly like a fresh single-threaded
+//! [`HiLogDb`] built from the program the pre-crash writer had published.
+//! Randomized mutation sequences come from the same distribution as
+//! `tests/session_api.rs` (EDB/IDB fact asserts, present-fact retractions,
+//! rule churn over random range-restricted normal programs), so recovery is
+//! exercised on every incremental-maintenance path the session oracle
+//! covers.
+//!
+//! Scaled up in CI via `HILOG_RECOVERY_CASES` (randomized cases to run).
+
+use hilog_repro::prelude::*;
+use hilog_store::{Op, PersistentWriter, StoreConfig};
+use hilog_workloads::random_programs::{random_range_restricted_normal, NormalProgramConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn temp_dir(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hilog-recovery-{tag}-{}-{case}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn answer_set(result: &QueryResult) -> BTreeSet<String> {
+    result.answers.iter().map(|a| a.to_string()).collect()
+}
+
+/// The session-oracle comparison policy, applied across a crash: identical
+/// answers with identical three-valued truth, identical overall truth, and
+/// an identical fell-back-to-the-full-model verdict.
+fn assert_results_agree(recovered: &QueryResult, reference: &QueryResult, context: &str) {
+    assert_eq!(
+        answer_set(recovered),
+        answer_set(reference),
+        "recovered and fresh sessions disagree {context}"
+    );
+    assert_eq!(recovered.truth, reference.truth, "{context}");
+    assert_eq!(
+        recovered.fallback.is_some(),
+        reference.fallback.is_some(),
+        "recovered and fresh sessions took different routes {context}"
+    );
+}
+
+/// Draws one mutation batch from the `session_api` distribution, using the
+/// writer's current program to aim retractions at entries that exist.
+fn random_batch(rng: &mut StdRng, program: &hilog_core::Program) -> Vec<Op> {
+    let constant = |i: usize| Term::sym(format!("c{i}"));
+    let mut ops = Vec::new();
+    for _ in 0..rng.gen_range(1..=3usize) {
+        match rng.gen_range(0..10u32) {
+            // Assert an EDB fact (the common serving mutation).
+            0..=3 => ops.push(Op::AssertFact(Term::apps(
+                format!("edb{}", rng.gen_range(0..2)),
+                vec![constant(rng.gen_range(0..5)), constant(rng.gen_range(0..5))],
+            ))),
+            // Assert an IDB fact: stresses the non-pure-EDB delta path.
+            4 => ops.push(Op::AssertFact(Term::apps(
+                format!("idb{}", rng.gen_range(0..3)),
+                vec![constant(rng.gen_range(0..5))],
+            ))),
+            // Retract a present fact, or (sometimes) a missing one.
+            5..=6 => {
+                let facts: Vec<Term> = program.facts().map(|r| r.head.clone()).collect();
+                if facts.is_empty() || rng.gen_bool(0.2) {
+                    ops.push(Op::RetractFact(Term::apps(
+                        "edb0",
+                        vec![Term::sym("nope"), Term::sym("nope")],
+                    )));
+                } else {
+                    ops.push(Op::RetractFact(
+                        facts[rng.gen_range(0..facts.len())].clone(),
+                    ));
+                }
+            }
+            // Assert a fresh rule (full invalidation path).
+            7 => {
+                let head = Term::apps(format!("idb{}", rng.gen_range(0..3)), vec![Term::var("X")]);
+                let mut body = vec![Literal::pos(Term::apps(
+                    format!("edb{}", rng.gen_range(0..2)),
+                    vec![Term::var("X"), Term::var("Y")],
+                ))];
+                if rng.gen_bool(0.5) {
+                    body.push(Literal::neg(Term::apps(
+                        format!("idb{}", rng.gen_range(0..3)),
+                        vec![Term::var("Y")],
+                    )));
+                }
+                ops.push(Op::AssertRule(Rule::new(head, body)));
+            }
+            // Retract a present proper rule.
+            _ => {
+                let rules: Vec<Rule> = program.proper_rules().cloned().collect();
+                if rules.is_empty() {
+                    continue;
+                }
+                ops.push(Op::RetractRule(
+                    rules[rng.gen_range(0..rules.len())].clone(),
+                ));
+            }
+        }
+    }
+    if ops.is_empty() {
+        ops.push(Op::AssertFact(Term::apps(
+            "edb0",
+            vec![constant(0), constant(1)],
+        )));
+    }
+    ops
+}
+
+/// One randomized crash/replay case.  Applies a batch stream with a
+/// checkpoint at a random point, crashes (drops the writer cold), optionally
+/// damages the WAL tail the way a real torn write would, reopens, and
+/// compares the recovered store against fresh evaluation of the expected
+/// program.
+fn run_recovery_case(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE);
+    let dir = temp_dir("case", seed);
+    let config = StoreConfig::new(&dir);
+    let seed_db = || {
+        HiLogDb::new(random_range_restricted_normal(
+            NormalProgramConfig::default(),
+            seed,
+        ))
+    };
+
+    let batches = rng.gen_range(3..=8usize);
+    let checkpoint_after = rng.gen_range(0..=batches);
+    // Torn tail: half the cases append a partial frame (a crash mid-append
+    // of a batch that was never acknowledged); recovery must discard it and
+    // keep everything acknowledged.
+    let tear_tail = rng.gen_bool(0.5);
+
+    // `programs[k]` is the published program after k batches.
+    let mut programs = Vec::with_capacity(batches + 1);
+    let expected_epoch;
+    {
+        let (mut writer, _handle, report) =
+            PersistentWriter::open(&config, seed_db()).expect("fresh open");
+        assert!(!report.recovered);
+        programs.push(writer.program().clone());
+        for k in 0..batches {
+            let ops = random_batch(&mut rng, writer.program());
+            writer.apply_batch(&ops).expect("batch applies");
+            programs.push(writer.program().clone());
+            if k + 1 == checkpoint_after {
+                writer.checkpoint().expect("mid-stream checkpoint");
+            }
+        }
+        expected_epoch = writer.epoch();
+        assert_eq!(expected_epoch, batches as u64);
+        // Simulated crash: dropped cold, no flush, no final checkpoint.
+    }
+
+    if tear_tail {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.log"))
+            .expect("open wal for tearing");
+        // A length prefix promising more payload than follows: exactly what
+        // a crash mid-append leaves behind.
+        let torn = [0xFFu8, 0x00, 0x00, 0x00, 0xAB, 0xCD];
+        file.write_all(&torn[..rng.gen_range(1..=torn.len())])
+            .expect("append torn frame");
+    }
+
+    let expected = &programs[batches];
+    let (recovered_writer, handle, report) =
+        PersistentWriter::open(&config, seed_db()).expect("recovery open");
+    assert!(report.recovered, "seed {seed}: reopen must recover");
+    assert_eq!(
+        recovered_writer.epoch(),
+        expected_epoch,
+        "seed {seed}: recovered epoch"
+    );
+    assert_eq!(
+        recovered_writer.program(),
+        expected,
+        "seed {seed}: recovered program (checkpoint after {checkpoint_after}, torn={tear_tail})"
+    );
+
+    // The differential oracle: every plan route against fresh evaluation.
+    let mut fresh = HiLogDb::new(expected.clone());
+    let snapshot = handle.current();
+    for query_text in ["?- idb0(X).", "?- idb1(X).", "?- idb2(X).", "?- P(X)."] {
+        let query = parse_query(query_text).unwrap();
+        let recovered = snapshot.query(&query).expect("recovered store answers");
+        let reference = fresh.query(&query).expect("fresh session answers");
+        assert_results_agree(
+            &recovered,
+            &reference,
+            &format!("(seed {seed}, query {query_text})"),
+        );
+    }
+    drop((recovered_writer, handle, snapshot));
+
+    // Recovery is idempotent: reopening the untouched directory lands on
+    // the same epoch and program again.
+    let (again, _, report) = PersistentWriter::open(&config, seed_db()).expect("second reopen");
+    assert!(report.recovered);
+    assert_eq!(again.epoch(), expected_epoch, "seed {seed}: second reopen");
+    assert_eq!(again.program(), expected, "seed {seed}: second reopen");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Randomized crash points, checkpoint positions, and torn tails; the case
+/// count scales in CI via `HILOG_RECOVERY_CASES`.
+#[test]
+fn recovered_stores_answer_like_fresh_sessions() {
+    let cases = env_usize("HILOG_RECOVERY_CASES", 8);
+    for case in 0..cases {
+        run_recovery_case(0xD0_0D + case as u64);
+    }
+}
+
+/// Losing the *final acknowledged* record to corruption truncates recovery
+/// to the previous epoch — the documented contract for bytes that never
+/// reached the disk intact — while every earlier batch survives.
+#[test]
+fn corrupted_final_record_recovers_the_previous_epoch() {
+    let seed = 0xBAD_F00D;
+    let dir = temp_dir("torn-final", 0);
+    let config = StoreConfig::new(&dir);
+    let seed_db = || {
+        HiLogDb::new(random_range_restricted_normal(
+            NormalProgramConfig::default(),
+            seed,
+        ))
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut programs = Vec::new();
+    let wal_before_last;
+    {
+        let (mut writer, _, _) = PersistentWriter::open(&config, seed_db()).expect("fresh open");
+        programs.push(writer.program().clone());
+        for _ in 0..3 {
+            let ops = random_batch(&mut rng, writer.program());
+            writer.apply_batch(&ops).expect("batch applies");
+            programs.push(writer.program().clone());
+        }
+        wal_before_last = {
+            let stats = writer.storage_stats();
+            // Bytes the first three records occupy; everything past this
+            // belongs to the fourth.
+            let ops = random_batch(&mut rng, writer.program());
+            writer.apply_batch(&ops).expect("final batch applies");
+            programs.push(writer.program().clone());
+            stats.wal_bytes
+        };
+    }
+
+    // Cut into the final record at an arbitrary depth: the tail scan must
+    // drop exactly that record and keep the three intact ones.
+    let wal_path = dir.join("wal.log");
+    let full = std::fs::metadata(&wal_path).unwrap().len();
+    assert!(full > wal_before_last);
+    let cut = wal_before_last + (full - wal_before_last) / 2;
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .unwrap();
+    file.set_len(cut).unwrap();
+    drop(file);
+
+    let (writer, handle, report) = PersistentWriter::open(&config, seed_db()).expect("reopen");
+    assert!(report.recovered);
+    assert_eq!(report.replayed_records, 3);
+    assert_eq!(writer.epoch(), 3, "recovery lands on the last intact epoch");
+    assert_eq!(writer.program(), &programs[3]);
+
+    let mut fresh = HiLogDb::new(programs[3].clone());
+    let query = parse_query("?- idb0(X).").unwrap();
+    let recovered = handle.current().query(&query).unwrap();
+    let reference = fresh.query(&query).unwrap();
+    assert_results_agree(&recovered, &reference, "(torn final record)");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// HTTP restart round-trip: mutate a durable server, shut it down
+/// gracefully (final checkpoint), start a second server on the same
+/// directory, and demand identical answers plus truthful storage stats.
+#[test]
+fn http_server_restart_recovers_answers_and_reports_storage() {
+    use hilog_server::{client, Server, ServerConfig};
+
+    let dir = temp_dir("http", 0);
+    let program = parse_program(
+        "winning(X) :- move(X, Y), not winning(Y).\n\
+         move(a, b). move(b, c).",
+    )
+    .unwrap();
+
+    // First life: assert through HTTP, checkpoint through HTTP, mutate some
+    // more (leaving a WAL tail), then shut down gracefully.
+    {
+        let server = Server::bind(
+            ServerConfig::ephemeral().workers(2).data_dir(&dir),
+            HiLogDb::new(program.clone()),
+        )
+        .expect("bind durable server");
+        assert!(!server.recovery().recovered, "first boot is fresh");
+        let addr = server.local_addr();
+        let shutdown = server.handle();
+        let serving = std::thread::spawn(move || server.serve());
+
+        let response = client::post(
+            addr,
+            "/assert",
+            r#"{"facts": ["move(c, d)", "move(d, e)"]}"#,
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+
+        let response = client::post(addr, "/checkpoint", "").unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let json = response.json().unwrap();
+        assert_eq!(json.get("epoch").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(json.get("durable").and_then(|v| v.as_bool()), Some(true));
+
+        let response = client::post(addr, "/retract", r#"{"facts": ["move(a, b)"]}"#).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+
+        let response = client::get(addr, "/stats").unwrap();
+        let json = response.json().unwrap();
+        assert_eq!(json.get("durable").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(json.get("wal_records").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            json.get("last_checkpoint_epoch").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert!(json.get("live_symbols").and_then(|v| v.as_u64()).unwrap() > 0);
+
+        shutdown.shutdown();
+        serving.join().expect("server thread exits");
+    }
+
+    // Second life: an *empty* seed program — everything must come back from
+    // the data directory alone.
+    {
+        let server = Server::bind(
+            ServerConfig::ephemeral().workers(2).data_dir(&dir),
+            HiLogDb::new(hilog_core::Program::new()),
+        )
+        .expect("bind recovered server");
+        let report = server.recovery();
+        assert!(report.recovered, "second boot recovers");
+        assert_eq!(
+            report.replayed_records, 0,
+            "graceful shutdown checkpointed, so no replay"
+        );
+        let addr = server.local_addr();
+        let shutdown = server.handle();
+        let serving = std::thread::spawn(move || server.serve());
+
+        // The full recovered state: c -> d -> e, a no longer moves.
+        for (query, truth) in [
+            ("?- move(c, d).", true),
+            ("?- move(d, e).", true),
+            ("?- move(a, b).", false),
+            ("?- winning(d).", true),
+        ] {
+            let mut body = String::from("{\"query\":");
+            serde::write_json_string(&mut body, query);
+            body.push('}');
+            let response = client::post(addr, "/query", &body).unwrap();
+            assert_eq!(response.status, 200, "{query}: {}", response.body);
+            let json = response.json().unwrap();
+            let served = json
+                .get("result")
+                .and_then(|r| r.get("truth"))
+                .and_then(|v| v.as_str())
+                .expect("truth member");
+            assert_eq!(served == "true", truth, "{query} after restart");
+        }
+
+        let response = client::get(addr, "/stats").unwrap();
+        let json = response.json().unwrap();
+        assert_eq!(json.get("epoch").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(json.get("wal_records").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(
+            json.get("last_checkpoint_epoch").and_then(|v| v.as_u64()),
+            Some(2),
+            "shutdown checkpoint is the newest"
+        );
+
+        shutdown.shutdown();
+        serving.join().expect("server thread exits");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
