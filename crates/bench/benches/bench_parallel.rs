@@ -1,0 +1,181 @@
+//! Parallel evaluation: the SCC-wave well-founded fixpoint against the
+//! serial whole-program alternation, swept over sharded win/move workloads
+//! (random-DAG games and deep chain games) and evaluation thread counts.
+//!
+//! Two metrics per (shards, threads) cell:
+//!
+//! * **wfs_fixpoint** — the fixpoint itself on a pre-computed grounding
+//!   (`well_founded_eval`), isolating the evaluator from the grounder;
+//! * **cold_model** — a cold `HiLogDb::model()` end to end, grounding
+//!   included (Amdahl's share of the win in a real cold query).
+//!
+//! `threads = 1` runs the exact pre-parallel serial path, so the reported
+//! `fixpoint_speedup_vs_serial` is serial-vs-wave, not wave-vs-wave.  Note
+//! that the wave schedule also wins *algorithmically*: the serial evaluator
+//! re-scans the whole program once per global `W_P` iteration, while the
+//! wave evaluator settles each strongly connected component locally and
+//! never revisits it — so on a machine with few hardware threads (the
+//! recorded `hardware_threads` row says how many this run had) most of the
+//! measured speedup is the schedule, not the concurrency.  Every cell's
+//! model is asserted identical to the serial model before it is timed.
+//!
+//! Run with `cargo bench -p hilog-bench --bench bench_parallel`; besides
+//! the markdown table on stdout it records the measurements in
+//! `BENCH_parallel.json` at the repository root.  `HILOG_BENCH_SMOKE=1`
+//! runs a reduced sweep, asserts that pooled tasks actually executed, and
+//! does not overwrite the committed numbers.
+
+use hilog_bench::{median_time, to_markdown, Measurement};
+use hilog_engine::horn::EvalOptions;
+use hilog_engine::session::HiLogDb;
+use hilog_engine::{parallel_counters, relevant_ground, well_founded_eval};
+use hilog_workloads::{sharded_chain_game_program, sharded_game_program};
+use std::time::Duration;
+
+const REPEATS: usize = 5;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let smoke = std::env::var("HILOG_BENCH_SMOKE").is_ok();
+    // Two workload families: random-DAG games (skip edges keep the game's
+    // remoteness shallow, so these show the wave machinery's overhead floor)
+    // and chain games (remoteness grows with the chain, so the serial
+    // evaluator's per-global-iteration full rescan compounds — the deep end
+    // where the wave schedule's one-settle-per-component pays off).
+    let (cells, thread_counts): (Vec<(String, _)>, Vec<usize>) = if smoke {
+        (
+            vec![
+                (
+                    "win/move shards=4 per_shard=8".into(),
+                    sharded_game_program(4, 8, 7),
+                ),
+                (
+                    "win/move chain shards=2 len=40".into(),
+                    sharded_chain_game_program(2, 40),
+                ),
+            ],
+            vec![1, 4],
+        )
+    } else {
+        (
+            vec![
+                (
+                    "win/move shards=1 per_shard=15".into(),
+                    sharded_game_program(1, 15, 7),
+                ),
+                (
+                    "win/move shards=4 per_shard=15".into(),
+                    sharded_game_program(4, 15, 7),
+                ),
+                (
+                    "win/move shards=10 per_shard=15".into(),
+                    sharded_game_program(10, 15, 7),
+                ),
+                (
+                    "win/move shards=16 per_shard=15".into(),
+                    sharded_game_program(16, 15, 7),
+                ),
+                (
+                    "win/move shards=10 per_shard=60".into(),
+                    sharded_game_program(10, 60, 7),
+                ),
+                (
+                    "win/move chain shards=10 len=320".into(),
+                    sharded_chain_game_program(10, 320),
+                ),
+                (
+                    "win/move chain shards=10 len=640".into(),
+                    sharded_chain_game_program(10, 640),
+                ),
+                (
+                    "win/move chain shards=16 len=640".into(),
+                    sharded_chain_game_program(16, 640),
+                ),
+            ],
+            vec![1, 2, 4, 8],
+        )
+    };
+
+    let mut rows = Vec::new();
+    rows.push(Measurement::new(
+        "PARALLEL",
+        "environment",
+        "hardware_threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1) as f64,
+        "threads",
+    ));
+
+    for (name, program) in &cells {
+        let ground = relevant_ground(program, EvalOptions::default()).expect("workload grounds");
+        let serial_model = well_founded_eval(&ground, 1);
+        let mut serial_fixpoint: Option<Duration> = None;
+        for &threads in &thread_counts {
+            // Correctness gate before timing: every thread count must
+            // reproduce the serial model exactly.
+            assert_eq!(
+                well_founded_eval(&ground, threads),
+                serial_model,
+                "threads={threads} diverged from the serial model"
+            );
+            let (_, _, tasks_before) = parallel_counters();
+            let fixpoint = median_time(REPEATS, || {
+                std::hint::black_box(well_founded_eval(&ground, threads));
+            });
+            let (_, _, tasks_after) = parallel_counters();
+            if threads > 1 {
+                assert!(
+                    tasks_after > tasks_before,
+                    "threads={threads} never dispatched a pooled task"
+                );
+            }
+            let cold = median_time(REPEATS, || {
+                let mut db = HiLogDb::builder()
+                    .program(program.clone())
+                    .options(EvalOptions::with_eval_threads(threads))
+                    .build();
+                db.model().expect("workload model builds");
+            });
+
+            let workload = format!("{name} threads={threads}");
+            rows.push(Measurement::new(
+                "PARALLEL",
+                workload.clone(),
+                "wfs_fixpoint",
+                ms(fixpoint),
+                "ms",
+            ));
+            rows.push(Measurement::new(
+                "PARALLEL",
+                workload.clone(),
+                "cold_model",
+                ms(cold),
+                "ms",
+            ));
+            match serial_fixpoint {
+                None => serial_fixpoint = Some(fixpoint),
+                Some(serial) => rows.push(Measurement::new(
+                    "PARALLEL",
+                    workload,
+                    "fixpoint_speedup_vs_serial",
+                    serial.as_secs_f64() / fixpoint.as_secs_f64().max(f64::EPSILON),
+                    "x",
+                )),
+            }
+        }
+    }
+
+    print!("{}", to_markdown(&rows));
+    if smoke {
+        // CI smoke: exercise the sweep but keep the committed numbers.
+        return;
+    }
+    let json = serde_json::to_string_pretty(&rows).expect("measurements serialise");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, json + "\n").expect("BENCH_parallel.json written");
+    println!("wrote {path}");
+}

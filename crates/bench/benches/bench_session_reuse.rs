@@ -16,9 +16,10 @@ use hilog_engine::aggregate::parts_explosion_program;
 use hilog_engine::horn::EvalOptions;
 use hilog_engine::magic_eval::QueryEvaluator;
 use hilog_engine::session::HiLogDb;
-use hilog_syntax::{parse_program, parse_query, parse_term};
+use hilog_syntax::{parse_query, parse_term};
 use hilog_workloads::{
     hilog_game_program, node_name, normal_game_program, random_dag, random_part_hierarchy,
+    sharded_game_edges, sharded_game_program,
 };
 use std::time::Duration;
 
@@ -206,26 +207,11 @@ fn update_heavy_sharded_rows(rows: &mut Vec<Measurement>) {
     const SHARDS: usize = 10;
     const PER_SHARD: usize = 15;
     const UPDATES: usize = 50;
-    let mut text = String::new();
-    for s in 0..SHARDS {
-        text.push_str(&format!(
-            "winning{s}(X) :- move{s}(X, Y), not winning{s}(Y).\n"
-        ));
-        for (u, v) in random_dag(PER_SHARD, 2.0, 7 + s as u64) {
-            text.push_str(&format!("move{s}(s{s}n{u}, s{s}n{v}).\n"));
-        }
-    }
-    let program = parse_program(&text).expect("sharded game program parses");
+    let program = sharded_game_program(SHARDS, PER_SHARD, 7);
     // Updates go round-robin across the shards, each a distinct pair that
     // also avoids the shard's existing edges — every assert is a genuinely
     // new edge (never a duplicate no-op the session would short-circuit).
-    let existing: Vec<std::collections::BTreeSet<(usize, usize)>> = (0..SHARDS)
-        .map(|s| {
-            random_dag(PER_SHARD, 2.0, 7 + s as u64)
-                .into_iter()
-                .collect()
-        })
-        .collect();
+    let existing = sharded_game_edges(SHARDS, PER_SHARD, 7);
     let mut cursors = [0usize; SHARDS];
     let facts: Vec<Term> = (0..UPDATES)
         .map(|i| {

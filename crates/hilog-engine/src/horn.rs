@@ -32,6 +32,14 @@ pub struct EvalOptions {
     pub max_atoms: usize,
     /// Maximum number of semi-naive rounds before aborting.
     pub max_rounds: usize,
+    /// Worker threads for parallel evaluation: SCC waves of the well-founded
+    /// fixpoint and hash-partitioned semi-naive join rounds.  `1` keeps
+    /// every route on the exact pre-parallel serial code path; the default
+    /// is [`crate::pool::default_eval_threads`] (the machine's available
+    /// parallelism, overridable with `HILOG_EVAL_THREADS`).  Evaluation
+    /// results are identical at every thread count — only the schedule and
+    /// the `parallel_*` stats change.
+    pub eval_threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -39,6 +47,7 @@ impl Default for EvalOptions {
         EvalOptions {
             max_atoms: 500_000,
             max_rounds: 100_000,
+            eval_threads: crate::pool::default_eval_threads(),
         }
     }
 }
@@ -50,6 +59,21 @@ impl EvalOptions {
             max_atoms,
             ..EvalOptions::default()
         }
+    }
+
+    /// Options with an explicit worker-thread count (clamped to at least 1).
+    pub fn with_eval_threads(eval_threads: usize) -> Self {
+        EvalOptions {
+            eval_threads: eval_threads.max(1),
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Returns these options with the worker-thread count replaced (clamped
+    /// to at least 1).
+    pub fn eval_threads(mut self, eval_threads: usize) -> Self {
+        self.eval_threads = eval_threads.max(1);
+        self
     }
 }
 
@@ -642,25 +666,47 @@ pub fn least_model(
             )));
         }
         let mut next_delta = AtomStore::new();
-        for rule in program.iter() {
-            let positives = rule.positive_atoms().count();
-            for delta_idx in 0..positives {
-                for theta in join_body(rule, &store, Some((&delta, delta_idx)), mode)? {
-                    let head = theta.apply(&rule.head);
-                    if !head.is_ground() {
-                        return Err(EngineError::Floundering(format!(
-                            "rule `{rule}` derives the non-ground head `{head}`"
+        if partition_count(&delta, opts) > 1 {
+            // Partitioned round: the frontier splits by hash of the first
+            // bound argument and the partitions join concurrently against
+            // the frozen store.  Sound because the frontier is already in
+            // `store` (a rule matching frontier atoms from two partitions
+            // fires in either one, drawing the other from `store`), and the
+            // merge below deduplicates into the same sets the serial round
+            // fills.
+            for head in consequence_round_partitioned(program, &store, &delta, mode, opts)? {
+                if !store.contains(&head) {
+                    if store.len() >= opts.max_atoms {
+                        return Err(EngineError::LimitExceeded(format!(
+                            "least-model computation exceeded {} atoms",
+                            opts.max_atoms
                         )));
                     }
-                    if !store.contains(&head) {
-                        if store.len() >= opts.max_atoms {
-                            return Err(EngineError::LimitExceeded(format!(
-                                "least-model computation exceeded {} atoms",
-                                opts.max_atoms
+                    store.insert(head.clone());
+                    next_delta.insert(head);
+                }
+            }
+        } else {
+            for rule in program.iter() {
+                let positives = rule.positive_atoms().count();
+                for delta_idx in 0..positives {
+                    for theta in join_body(rule, &store, Some((&delta, delta_idx)), mode)? {
+                        let head = theta.apply(&rule.head);
+                        if !head.is_ground() {
+                            return Err(EngineError::Floundering(format!(
+                                "rule `{rule}` derives the non-ground head `{head}`"
                             )));
                         }
-                        store.insert(head.clone());
-                        next_delta.insert(head);
+                        if !store.contains(&head) {
+                            if store.len() >= opts.max_atoms {
+                                return Err(EngineError::LimitExceeded(format!(
+                                    "least-model computation exceeded {} atoms",
+                                    opts.max_atoms
+                                )));
+                            }
+                            store.insert(head.clone());
+                            next_delta.insert(head);
+                        }
                     }
                 }
             }
@@ -759,6 +805,77 @@ pub fn consequence_round(
     Ok(out)
 }
 
+/// Frontiers smaller than this evaluate serially even when `eval_threads`
+/// allows partitioning: below it the per-partition bookkeeping costs more
+/// than the joins it spreads.
+const PARTITION_MIN_FRONTIER: usize = 64;
+
+/// How many partitions a frontier should split into under `opts`: the
+/// thread count when the frontier is large enough to be worth splitting,
+/// otherwise 1 (serial).
+fn partition_count(frontier: &AtomStore, opts: EvalOptions) -> usize {
+    if opts.eval_threads > 1 && frontier.len() >= PARTITION_MIN_FRONTIER {
+        opts.eval_threads
+    } else {
+        1
+    }
+}
+
+/// The partition an atom belongs to: hash of its first argument (the
+/// position the per-argument indexes make cheap to join on), falling back
+/// to the whole atom for 0-ary atoms.  Any within-process assignment works
+/// for correctness — partitioning only redistributes which task derives a
+/// head, and every sink deduplicates — but hashing the first argument keeps
+/// the rows of one join key together, so a partition's joins stay on warm
+/// posting lists.
+fn partition_of(atom: &Term, partitions: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    match atom.args().first() {
+        Some(arg) => arg.hash(&mut hasher),
+        None => atom.hash(&mut hasher),
+    }
+    (hasher.finish() as usize) % partitions
+}
+
+/// [`consequence_round`] with the frontier split into hash partitions joined
+/// concurrently on the engine work pool ([`crate::pool`]).
+///
+/// Requires the caller's invariant that the frontier is a subset of `store`
+/// (both [`least_model`] and [`extend_least_model`] maintain it): a rule
+/// whose body matches frontier atoms from several partitions then fires in
+/// each of their tasks, drawing the others from `store`, so no derivation is
+/// lost to the split.  Duplicated derivations — and the schedule-dependent
+/// concatenation order — are absorbed by the deduplicating stores every
+/// caller merges into, which is what keeps the computed model independent of
+/// the thread count.
+pub fn consequence_round_partitioned(
+    program: &Program,
+    store: &AtomStore,
+    frontier: &AtomStore,
+    mode: NegationMode,
+    opts: EvalOptions,
+) -> Result<Vec<Term>, EngineError> {
+    let partitions = partition_count(frontier, opts);
+    if partitions <= 1 {
+        return consequence_round(program, store, frontier, mode);
+    }
+    let mut parts: Vec<AtomStore> = (0..partitions).map(|_| AtomStore::new()).collect();
+    for atom in frontier.iter() {
+        parts[partition_of(atom, partitions)].insert(atom.clone());
+    }
+    parts.retain(|p| !p.is_empty());
+    crate::pool::note_partitioned_round();
+    let tasks: Vec<_> = parts
+        .iter()
+        .map(|part| move || consequence_round(program, store, part, mode))
+        .collect();
+    let mut out = Vec::new();
+    for derived in crate::pool::run_tasks(opts.eval_threads, tasks) {
+        out.extend(derived?);
+    }
+    Ok(out)
+}
+
 /// Semi-naive *continuation*: extends an existing least-model store with new
 /// seed atoms, running the delta-aware consequence operator to a fixpoint.
 ///
@@ -796,7 +913,7 @@ pub fn extend_least_model(
                 opts.max_rounds
             )));
         }
-        let derived = consequence_round(program, store, delta.frontier(), mode)?;
+        let derived = consequence_round_partitioned(program, store, delta.frontier(), mode, opts)?;
         let mut next = AtomStore::new();
         for head in derived {
             if !store.contains(&head) {

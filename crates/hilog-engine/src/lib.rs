@@ -50,6 +50,7 @@ pub mod magic;
 pub mod magic_eval;
 pub mod modular;
 pub mod plan;
+pub mod pool;
 pub mod session;
 pub mod snapshot;
 pub mod stable;
@@ -71,10 +72,14 @@ pub use magic::{magic_transform, MagicProgram};
 pub use magic_eval::{EvalStats, ModelSource, QueryEvaluator};
 pub use modular::ModularOutcome;
 pub use plan::{PlanStrategy, QueryPlan};
+pub use pool::{default_eval_threads, parallel_counters, run_tasks};
 pub use session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
 pub use snapshot::{DbSnapshot, DbWriter, SnapshotHandle};
 pub use stable::{stable_models_over_universe, StableOptions};
-pub use wfs::{well_founded_model_over_universe, well_founded_of_ground, well_founded_patch};
+pub use wfs::{
+    well_founded_eval, well_founded_model_over_universe, well_founded_of_ground,
+    well_founded_patch, well_founded_patch_with,
+};
 
 // Deprecated one-shot entry points, kept as working shims over the session.
 #[allow(deprecated)]
@@ -100,10 +105,14 @@ pub mod prelude {
     pub use crate::magic_eval::{EvalStats, ModelSource, QueryEvaluator};
     pub use crate::modular::ModularOutcome;
     pub use crate::plan::{PlanStrategy, QueryPlan};
+    pub use crate::pool::{default_eval_threads, parallel_counters, run_tasks};
     pub use crate::session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
     pub use crate::snapshot::{DbSnapshot, DbWriter, SnapshotHandle};
     pub use crate::stable::StableOptions;
-    pub use crate::wfs::{well_founded_model_over_universe, well_founded_patch};
+    pub use crate::wfs::{
+        well_founded_eval, well_founded_model_over_universe, well_founded_patch,
+        well_founded_patch_with,
+    };
 
     // Deprecated shims, still re-exported so existing downstream code keeps
     // compiling (their use sites get the deprecation pointer to `HiLogDb`).

@@ -118,6 +118,21 @@ pub struct EvalStats {
     /// ([`hilog_core::symbol::gc_symbol_pool`]).  A raw [`QueryEvaluator`]
     /// reports 0; the session and snapshot query paths fill it.
     pub live_symbols: usize,
+    /// Number of SCC waves the well-founded evaluator (full or patch)
+    /// scheduled onto the work pool while this query ran.  Zero whenever the
+    /// query reused a cached model or `eval_threads <= 1` (the serial path
+    /// never touches the pool).  Like the other parallel counters this is a
+    /// delta of process-wide totals — concurrent sessions see each other's
+    /// pool activity (see [`crate::pool::parallel_counters`]).
+    pub parallel_waves: usize,
+    /// Number of semi-naive rounds evaluated as hash-partitioned concurrent
+    /// joins (frontier split by the first bound argument, partitions joined
+    /// on the pool) while this query ran.
+    pub parallel_partitioned_rounds: usize,
+    /// Number of tasks (SCC evaluations + join partitions) executed on pool
+    /// worker threads while this query ran.  Inline serial fallbacks don't
+    /// count, so a non-zero value certifies parallel execution happened.
+    pub parallel_tasks: usize,
 }
 
 /// How a full-model plan obtained the model it answered from.

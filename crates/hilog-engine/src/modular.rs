@@ -32,7 +32,7 @@
 use crate::error::EngineError;
 use crate::grounder::relevant_ground;
 use crate::horn::EvalOptions;
-use crate::wfs::well_founded_of_ground;
+use crate::wfs::well_founded_eval;
 use hilog_core::analysis::{ground_predicate_name, DependencyGraph, EdgeSign};
 use hilog_core::interpretation::Model;
 use hilog_core::literal::{AggregateFunc, Literal};
@@ -233,7 +233,7 @@ pub(crate) fn figure1_procedure(
                 rounds,
             ));
         }
-        let component_model = well_founded_of_ground(&ground_component);
+        let component_model = well_founded_eval(&ground_component, opts.eval_threads);
         debug_assert!(
             component_model.is_total(),
             "locally stratified component must have a total well-founded model"

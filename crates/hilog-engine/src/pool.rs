@@ -1,0 +1,335 @@
+//! A small scoped-thread work pool for parallel evaluation.
+//!
+//! The vendored-stub build environment has no rayon, so the engine brings
+//! its own fork/join primitive: [`run_tasks`] runs a batch of independent
+//! closures on up to `threads` scoped worker threads and returns their
+//! results **in task order**, which is what makes the SCC-wave scheduler in
+//! [`crate::wfs`] and the partitioned semi-naive rounds in [`crate::horn`]
+//! deterministic — workers race over the queue, but every result lands in
+//! its task's slot and is merged in a fixed order afterwards.
+//!
+//! The pool is deliberately batch-shaped (spawn, drain, join) rather than a
+//! long-lived executor: evaluation work arrives in waves with a barrier
+//! between them, and scoped threads let tasks borrow the shared read-only
+//! evaluation state (`IndexedProgram`, `AtomStore`, the settled assignment)
+//! without `Arc` plumbing.  `hilog-server` uses the same primitive for its
+//! request workers (see `hilog-server/src/threadpool.rs`).
+//!
+//! The module also owns the process-wide observability counters surfaced as
+//! `EvalStats.parallel_{waves,partitioned_rounds,tasks}`.  They are global
+//! atomics rather than thread-locals because the work they count happens on
+//! pool workers, not on the thread that later reads the counters.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// SCC waves dispatched to the pool (by the wave-parallel well-founded
+/// fixpoint and its incremental patch variant).
+static PARALLEL_WAVES: AtomicUsize = AtomicUsize::new(0);
+/// Semi-naive rounds evaluated as hash-partitioned concurrent joins.
+static PARALLEL_PARTITIONED_ROUNDS: AtomicUsize = AtomicUsize::new(0);
+/// Tasks executed on pool worker threads (serial fallbacks don't count).
+static PARALLEL_TASKS: AtomicUsize = AtomicUsize::new(0);
+
+/// Snapshot of the process-wide cumulative `(parallel_waves,
+/// parallel_partitioned_rounds, parallel_tasks)` counters.  The session and
+/// snapshot facades subtract snapshots taken around a query to report
+/// per-query numbers in `EvalStats`; benchmarks read the deltas directly.
+///
+/// Unlike the thread-local join-index probe counters, these are process
+/// totals: concurrent sessions evaluating at the same time attribute each
+/// other's pool work to their own queries.  They are observability, not part
+/// of the answer, and are excluded from determinism comparisons.
+pub fn parallel_counters() -> (usize, usize, usize) {
+    (
+        PARALLEL_WAVES.load(Ordering::Relaxed),
+        PARALLEL_PARTITIONED_ROUNDS.load(Ordering::Relaxed),
+        PARALLEL_TASKS.load(Ordering::Relaxed),
+    )
+}
+
+/// Records one SCC wave scheduled onto the pool.
+pub(crate) fn note_wave() {
+    PARALLEL_WAVES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one semi-naive round evaluated as partitioned concurrent joins.
+pub(crate) fn note_partitioned_round() {
+    PARALLEL_PARTITIONED_ROUNDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The default `eval_threads` for [`crate::horn::EvalOptions`]: the
+/// `HILOG_EVAL_THREADS` environment variable when set (clamped to at least
+/// 1, read once per process — this is how CI runs the whole suite with a
+/// parallel default), otherwise the machine's available parallelism.
+pub fn default_eval_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Some(n) = std::env::var("HILOG_EVAL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs every task, on up to `threads` scoped worker threads, and returns
+/// the results in task order.
+///
+/// With `threads <= 1` or fewer than two tasks the batch runs inline on the
+/// calling thread — no threads are spawned, no counters move, and the call
+/// is exactly a `map`.  Otherwise `min(threads, tasks)` workers race over a
+/// shared queue; each finished task's result is stored in its own slot, so
+/// the returned order never depends on the schedule.  A panicking task
+/// propagates through the scope and panics the caller.
+pub fn run_tasks<T, F>(threads: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if threads <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let queue: Vec<(usize, F)> = tasks.into_iter().enumerate().collect();
+    let queue = Mutex::new(queue.into_iter());
+    let workers = threads.min(slots.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Hold the queue lock only for the dequeue, not the task.
+                let next = queue.lock().unwrap_or_else(PoisonError::into_inner).next();
+                let Some((index, task)) = next else { break };
+                let out = task();
+                PARALLEL_TASKS.fetch_add(1, Ordering::Relaxed);
+                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every queued task ran to completion")
+        })
+        .collect()
+}
+
+/// A worker pool whose threads persist across many small batches.
+///
+/// [`run_tasks`] spawns fresh threads per call, which is fine for a handful
+/// of chunky tasks but ruinous for the SCC-wave scheduler: a deep program
+/// produces dozens of waves of sub-microsecond component evaluations, and a
+/// thread spawn costs more than an entire wave.  [`with_wave_pool`] spawns
+/// the workers once per evaluation; each [`WavePool::run_batch`] then costs
+/// one mutex round-trip per job, and the publishing thread drains the queue
+/// alongside the workers, so a single-job wave usually runs inline without
+/// waking anyone.
+///
+/// Jobs return nothing — they communicate through state they capture (the
+/// wave evaluator writes per-atom cells owned by exactly one job, so batch
+/// results are schedule-independent).  `run_batch` returns only when every
+/// published job has finished; the mutex hand-off makes those writes
+/// visible to the next batch's jobs.
+pub struct WavePool<'scope> {
+    state: Mutex<WaveState<'scope>>,
+    /// Signalled when jobs are published (workers wait on this).
+    work_ready: Condvar,
+    /// Signalled when the last pending job of a batch finishes (the
+    /// publisher waits on this).
+    batch_done: Condvar,
+}
+
+/// A boxed batch job for [`WavePool::run_batch`]; communicates through
+/// captured state rather than a return value.
+pub type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+struct WaveState<'scope> {
+    queue: VecDeque<Job<'scope>>,
+    /// Jobs published but not yet finished (queued + running).
+    pending: usize,
+    shutdown: bool,
+}
+
+fn lock_state<'a, 'scope>(pool: &'a WavePool<'scope>) -> MutexGuard<'a, WaveState<'scope>> {
+    pool.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<'scope> WavePool<'scope> {
+    fn new() -> Self {
+        WavePool {
+            state: Mutex::new(WaveState {
+                queue: VecDeque::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            batch_done: Condvar::new(),
+        }
+    }
+
+    /// Worker loop: take a job or sleep until one is published; exit on
+    /// shutdown.  A guard decrements `pending` even if the job panics, so
+    /// the publisher is never left waiting on a batch that cannot finish.
+    fn work(&self) {
+        loop {
+            let job = {
+                let mut state = lock_state(self);
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        break job;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = self
+                        .work_ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            self.finish_one(job);
+        }
+    }
+
+    /// Runs one dequeued job and retires it from the pending count.
+    fn finish_one(&self, job: Job<'scope>) {
+        struct Retire<'a, 'scope>(&'a WavePool<'scope>);
+        impl Drop for Retire<'_, '_> {
+            fn drop(&mut self) {
+                let mut state = lock_state(self.0);
+                state.pending -= 1;
+                if state.pending == 0 {
+                    self.0.batch_done.notify_all();
+                }
+            }
+        }
+        let retire = Retire(self);
+        job();
+        PARALLEL_TASKS.fetch_add(1, Ordering::Relaxed);
+        drop(retire);
+    }
+
+    /// Publishes a batch of jobs, helps drain the queue on the calling
+    /// thread, and returns when every job of the batch has finished.
+    ///
+    /// `wake_workers: false` keeps the workers asleep so the whole batch
+    /// runs inline on the calling thread — the right call when the batch is
+    /// smaller than the cost of a context switch.  The hint changes only
+    /// *where* jobs run, never their results, so callers may derive it from
+    /// workload shape without losing schedule independence.
+    pub fn run_batch(&self, jobs: Vec<Job<'scope>>, wake_workers: bool) {
+        if jobs.is_empty() {
+            return;
+        }
+        let multiple = jobs.len() > 1;
+        {
+            let mut state = lock_state(self);
+            state.pending += jobs.len();
+            state.queue.extend(jobs);
+        }
+        if wake_workers && multiple {
+            self.work_ready.notify_all();
+        }
+        // Help: the publisher drains alongside the workers, so a
+        // single-job batch usually runs right here with no context switch.
+        loop {
+            let job = lock_state(self).queue.pop_front();
+            match job {
+                Some(job) => self.finish_one(job),
+                None => break,
+            }
+        }
+        let mut state = lock_state(self);
+        while state.pending > 0 {
+            state = self
+                .batch_done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Runs `body` with a [`WavePool`] of `threads - 1` persistent workers (the
+/// publishing thread itself is the remaining one).  With `threads <= 1` no
+/// worker is spawned and every batch drains inline on the calling thread —
+/// still through the pool API, still counting tasks.
+///
+/// `'env` is the lifetime of the evaluation state the jobs borrow; it
+/// outlives the pool, so batches can capture references to it freely.
+pub fn with_wave_pool<'env, R>(threads: usize, body: impl FnOnce(&WavePool<'env>) -> R) -> R {
+    // Declared before the scope so the workers' borrow of it outlives them.
+    let pool: WavePool<'env> = WavePool::new();
+    // Wakes the workers for shutdown even if `body` panics — otherwise the
+    // scope's implicit join would wait on sleeping workers forever.
+    struct Shutdown<'a, 'env>(&'a WavePool<'env>);
+    impl Drop for Shutdown<'_, '_> {
+        fn drop(&mut self) {
+            lock_state(self.0).shutdown = true;
+            self.0.work_ready.notify_all();
+        }
+    }
+    std::thread::scope(|scope| {
+        let shutdown = Shutdown(&pool);
+        for _ in 1..threads.max(1) {
+            scope.spawn(|| pool.work());
+        }
+        let out = body(&pool);
+        drop(shutdown);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<_> = (0..64).map(|i| move || i * 2).collect();
+        let out = run_tasks(4, tasks);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallback_does_not_touch_the_task_counter() {
+        let (_, _, before) = parallel_counters();
+        assert_eq!(run_tasks(1, vec![|| 1, || 2, || 3]), vec![1, 2, 3]);
+        assert_eq!(run_tasks(8, vec![|| 42]), vec![42]);
+        let (_, _, after) = parallel_counters();
+        assert_eq!(after, before, "inline execution must not count as pooled");
+    }
+
+    #[test]
+    fn pooled_execution_counts_tasks() {
+        let (_, _, before) = parallel_counters();
+        let tasks: Vec<_> = (0..10).map(|i| move || i).collect();
+        assert_eq!(run_tasks(3, tasks), (0..10).collect::<Vec<_>>());
+        let (_, _, after) = parallel_counters();
+        assert!(after >= before + 10);
+    }
+
+    #[test]
+    fn tasks_can_borrow_shared_state() {
+        let data: Vec<usize> = (0..100).collect();
+        let tasks: Vec<_> = (0..4)
+            .map(|chunk| {
+                let data = &data;
+                move || data.iter().skip(chunk * 25).take(25).sum::<usize>()
+            })
+            .collect();
+        let partials = run_tasks(2, tasks);
+        assert_eq!(partials.iter().sum::<usize>(), 4950);
+    }
+
+    #[test]
+    fn default_eval_threads_is_at_least_one() {
+        assert!(default_eval_threads() >= 1);
+    }
+}

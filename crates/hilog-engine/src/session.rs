@@ -40,7 +40,7 @@ use crate::magic_eval::{
 use crate::modular::{figure1_procedure, ModularOutcome};
 use crate::plan::{adornment, query_is_bound, PlanStrategy, QueryPlan};
 use crate::stable::{stable_models_of_ground, StableOptions};
-use crate::wfs::{affected_closure, well_founded_of_ground, well_founded_patch};
+use crate::wfs::{affected_closure, well_founded_eval, well_founded_patch_with};
 use hilog_core::interpretation::{Model, Truth};
 use hilog_core::literal::Literal;
 use hilog_core::program::Program;
@@ -363,6 +363,13 @@ impl HiLogDb {
     /// The session's evaluation limits.
     pub fn options(&self) -> EvalOptions {
         self.opts
+    }
+
+    /// Overrides the evaluation thread count (clamped to at least 1) without
+    /// touching any cache: the thread count changes the evaluation schedule,
+    /// never its result, so cached models and tables stay valid.
+    pub fn set_eval_threads(&mut self, eval_threads: usize) {
+        self.opts.eval_threads = eval_threads.max(1);
     }
 
     /// The semantics queries are answered under.
@@ -960,7 +967,12 @@ impl HiLogDb {
             // context.
             let closure = affected_closure(ground, seeds);
             let previous = Arc::unwrap_or_clone(self.model.take().expect("checked above"));
-            let patched = well_founded_patch(ground, previous, |atom| closure.contains(atom));
+            let patched = well_founded_patch_with(
+                ground,
+                previous,
+                |atom| closure.contains(atom),
+                self.opts.eval_threads,
+            );
             self.model = Some(Arc::new(patched));
             self.patches += 1;
             return Ok(ModelSource::Patched);
@@ -969,7 +981,10 @@ impl HiLogDb {
         let model = match self.semantics {
             Semantics::WellFounded => {
                 self.ensure_ground()?;
-                well_founded_of_ground(self.ground.as_deref().expect("just grounded"))
+                well_founded_eval(
+                    self.ground.as_deref().expect("just grounded"),
+                    self.opts.eval_threads,
+                )
             }
             Semantics::Stable => consensus_model(self.stable_models()?)?,
             Semantics::ModularCheck => {
@@ -1038,6 +1053,9 @@ impl HiLogDb {
         // (grounding joins and subgoal-table joins alike) lands in these
         // thread-cumulative counters; the deltas are the per-query numbers.
         let (probes_before, fallbacks_before) = crate::horn::probe_counters();
+        // Parallel observability: process-wide pool counters, read as deltas
+        // around the query (see `pool::parallel_counters` for the caveats).
+        let (waves_before, rounds_before, tasks_before) = crate::pool::parallel_counters();
         let mut result = match plan.strategy {
             PlanStrategy::MagicSets => match self.query_magic(query) {
                 Ok((answers, stats)) => assemble(answers, stats, plan, None),
@@ -1065,6 +1083,10 @@ impl HiLogDb {
         let (probes_after, fallbacks_after) = crate::horn::probe_counters();
         result.stats.index_probes = probes_after - probes_before;
         result.stats.index_fallback_scans = fallbacks_after - fallbacks_before;
+        let (waves_after, rounds_after, tasks_after) = crate::pool::parallel_counters();
+        result.stats.parallel_waves = waves_after - waves_before;
+        result.stats.parallel_partitioned_rounds = rounds_after - rounds_before;
+        result.stats.parallel_tasks = tasks_after - tasks_before;
         result.stats.live_symbols = hilog_core::symbol::symbol_pool_stats().live;
         Ok(result)
     }

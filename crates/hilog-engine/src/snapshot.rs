@@ -70,7 +70,7 @@ use crate::session::{
     QueryResult, Semantics, SnapshotParts,
 };
 use crate::stable::{stable_models_of_ground, StableOptions};
-use crate::wfs::well_founded_of_ground;
+use crate::wfs::well_founded_eval;
 use hilog_core::interpretation::{Model, Truth};
 use hilog_core::literal::Literal;
 use hilog_core::program::Program;
@@ -214,6 +214,10 @@ impl DbSnapshot {
         // The join-index probe counters are thread-local, so the deltas are
         // per-query even with many readers querying concurrently.
         let (probes_before, fallbacks_before) = crate::horn::probe_counters();
+        // Parallel counters are process-wide (pool workers can't write a
+        // reader's thread-locals), so with concurrent readers the deltas may
+        // include each other's pool work — observability, not answers.
+        let (waves_before, rounds_before, tasks_before) = crate::pool::parallel_counters();
         let mut result = match plan.strategy {
             PlanStrategy::MagicSets => match self.query_magic(query) {
                 Ok((answers, stats)) => assemble(answers, stats, plan, None),
@@ -238,6 +242,10 @@ impl DbSnapshot {
         let (probes_after, fallbacks_after) = crate::horn::probe_counters();
         result.stats.index_probes = probes_after - probes_before;
         result.stats.index_fallback_scans = fallbacks_after - fallbacks_before;
+        let (waves_after, rounds_after, tasks_after) = crate::pool::parallel_counters();
+        result.stats.parallel_waves = waves_after - waves_before;
+        result.stats.parallel_partitioned_rounds = rounds_after - rounds_before;
+        result.stats.parallel_tasks = tasks_after - tasks_before;
         result.stats.live_symbols = hilog_core::symbol::symbol_pool_stats().live;
         Ok(result)
     }
@@ -392,7 +400,10 @@ impl DbSnapshot {
         let model = match self.semantics {
             Semantics::WellFounded => {
                 groundings += self.ensure_ground_locked(&mut core)?;
-                well_founded_of_ground(core.ground.as_deref().expect("just grounded"))
+                well_founded_eval(
+                    core.ground.as_deref().expect("just grounded"),
+                    self.opts.eval_threads,
+                )
             }
             Semantics::Stable => {
                 let stable = self.ensure_stable_locked(&mut core)?;

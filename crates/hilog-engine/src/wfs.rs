@@ -25,6 +25,7 @@ use hilog_core::interpretation::{Model, Truth};
 use hilog_core::program::Program;
 use hilog_core::term::Term;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A three-valued assignment over the atoms of an [`IndexedProgram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,7 +141,14 @@ pub fn well_founded_of_ground(program: &GroundProgram) -> Model {
             break;
         }
     }
+    assemble_model(&indexed, &assignment)
+}
 
+/// Builds a [`Model`] from a settled assignment over an indexed program's
+/// atoms.  Shared by the whole-program fixpoint and the wave evaluator; the
+/// result depends only on the assignment values (the model's sets are
+/// ordered), never on the schedule that produced them.
+fn assemble_model(indexed: &IndexedProgram, assignment: &Assignment) -> Model {
     let mut true_atoms = Vec::new();
     let mut undefined = Vec::new();
     let mut base = Vec::new();
@@ -153,6 +161,335 @@ pub fn well_founded_of_ground(program: &GroundProgram) -> Model {
         }
     }
     Model::new(base, true_atoms, undefined)
+}
+
+/// Computes the well-founded model with `threads` workers.
+///
+/// `threads <= 1` is exactly [`well_founded_of_ground`] — the pre-parallel
+/// serial path, unchanged.  With more threads the atom dependency graph is
+/// condensed into strongly connected components, the condensation is
+/// levelled into topological *waves* (an SCC's wave is one past the deepest
+/// wave it depends on), and each wave's components — mutually independent by
+/// construction — are evaluated concurrently on the engine work pool, each
+/// by an alternating fixpoint over its own rules with every earlier-settled
+/// atom read as fixed external context.  This is the splitting property of
+/// the well-founded semantics (the same one [`well_founded_patch`] relies
+/// on) applied along the whole condensation, so the result is the identical
+/// model at every thread count; beyond the parallelism, settling each
+/// component locally also avoids re-scanning the entire program once per
+/// global iteration, which is why the wave schedule wins even on one core.
+pub fn well_founded_eval(program: &GroundProgram, threads: usize) -> Model {
+    if threads <= 1 {
+        return well_founded_of_ground(program);
+    }
+    let indexed = IndexedProgram::build(program);
+    let n = indexed.atom_count();
+    let frozen = vec![false; n];
+    let assignment = wave_fixpoint(&indexed, Assignment::new(n), &frozen, threads);
+    assemble_model(&indexed, &assignment)
+}
+
+/// The condensation of the (non-frozen) atom dependency graph, levelled
+/// into topological waves.
+struct Waves {
+    /// Strongly connected components (sorted member lists), emitted in an
+    /// order where every component appears after the components it depends
+    /// on (Tarjan emission order over head → body edges).
+    sccs: Vec<Vec<u32>>,
+    /// `waves[k]` holds indices into `sccs` whose longest dependency chain
+    /// through other components has length `k`.  Components of one wave
+    /// share no dependency edges, so they evaluate concurrently; waves run
+    /// in index order with a barrier between them.
+    waves: Vec<Vec<usize>>,
+}
+
+/// Condenses the dependency graph of the non-frozen atoms: one vertex per
+/// atom, an edge from every rule head to each of its (positive *and*
+/// negative) body atoms.  Frozen atoms are fixed external context and join
+/// no component.  Hand-rolled iterative Tarjan — the build environment has
+/// no petgraph, and recursion would overflow on deep chain programs.
+fn condensation_waves(indexed: &IndexedProgram, frozen: &[bool]) -> Waves {
+    let n = indexed.atom_count();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for rule in &indexed.rules {
+        debug_assert!(!frozen[rule.head as usize], "rule head is frozen context");
+        for &b in rule.pos.iter().chain(rule.neg.iter()) {
+            if !frozen[b as usize] {
+                adj[rule.head as usize].push(b);
+            }
+        }
+    }
+
+    const UNVISITED: u32 = u32::MAX;
+    let mut order = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut sccs: Vec<Vec<u32>> = Vec::new();
+    let mut next_order = 0u32;
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if frozen[start as usize] || order[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        while let Some(frame) = frames.last_mut() {
+            let (v, child) = (frame.0, frame.1);
+            if child == 0 {
+                order[v as usize] = next_order;
+                lowlink[v as usize] = next_order;
+                next_order += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            if let Some(&w) = adj[v as usize].get(child) {
+                frame.1 += 1;
+                if order[w as usize] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(order[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == order[v as usize] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("root is on the Tarjan stack");
+                        on_stack[w as usize] = false;
+                        scc_of[w as usize] = sccs.len();
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.sort_unstable();
+                    sccs.push(members);
+                }
+            }
+        }
+    }
+
+    // Wave levels: Tarjan emits dependencies before dependents, so each
+    // component's cross-component successors are already levelled.
+    let mut level = vec![0usize; sccs.len()];
+    let mut max_level = 0usize;
+    for si in 0..sccs.len() {
+        let mut lvl = 0usize;
+        for &m in &sccs[si] {
+            for &w in &adj[m as usize] {
+                let ws = scc_of[w as usize];
+                if ws != si {
+                    debug_assert!(ws < si, "dependency emitted after dependent");
+                    lvl = lvl.max(level[ws] + 1);
+                }
+            }
+        }
+        level[si] = lvl;
+        max_level = max_level.max(lvl);
+    }
+    let mut waves: Vec<Vec<usize>> =
+        vec![Vec::new(); if sccs.is_empty() { 0 } else { max_level + 1 }];
+    for (si, &lvl) in level.iter().enumerate() {
+        waves[lvl].push(si);
+    }
+    Waves { sccs, waves }
+}
+
+/// Truth encoding for the shared wave-evaluation cells: `0` = undefined /
+/// unsettled, `1` = false, `2` = true.
+fn encode_truth(value: Option<bool>) -> u8 {
+    match value {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    }
+}
+
+fn decode_truth(cell: u8) -> Option<bool> {
+    match cell {
+        1 => Some(false),
+        2 => Some(true),
+        _ => None,
+    }
+}
+
+/// Runs the wave schedule to a settled assignment: every wave's components
+/// evaluate concurrently against the assignment settled so far, and their
+/// results land before the next wave starts.  Frozen entries of the initial
+/// assignment are external context and are never written.
+///
+/// The assignment lives in shared atomic cells so the pool workers can
+/// publish component results directly: each atom is written by exactly one
+/// component of one wave, components of a wave are mutually independent, and
+/// `run_batch` only returns once the whole wave has finished — so every read
+/// sees exactly the settled prefix, at every thread count and schedule.  The
+/// workers persist across waves ([`crate::pool::with_wave_pool`]); spawning
+/// per wave would cost more than the waves themselves on deep programs.
+/// Below this many ground rules, a wave is cheaper to evaluate inline on
+/// the publishing thread than to hand to a sleeping worker.
+const PARALLEL_WAVE_MIN_RULES: usize = 256;
+
+fn wave_fixpoint(
+    indexed: &IndexedProgram,
+    init: Assignment,
+    frozen: &[bool],
+    threads: usize,
+) -> Assignment {
+    let Waves { sccs, waves } = condensation_waves(indexed, frozen);
+    let shared: Vec<AtomicU8> = init
+        .truth
+        .iter()
+        .map(|&value| AtomicU8::new(encode_truth(value)))
+        .collect();
+    let shared = &shared;
+    crate::pool::with_wave_pool(threads, |pool| {
+        for wave in &waves {
+            crate::pool::note_wave();
+            // Waking a worker costs a context switch; only do it when the
+            // wave carries more work than that.  The estimate reads wave
+            // structure alone, so the schedule stays thread-count-honest
+            // and the results identical either way.
+            let wave_rules: usize = wave
+                .iter()
+                .flat_map(|&si| sccs[si].iter())
+                .map(|&m| indexed.rules_by_head[m as usize].len())
+                .sum();
+            let wake_workers = wave_rules >= PARALLEL_WAVE_MIN_RULES;
+            // One job per chunk of components, not per component: a wave of
+            // hundreds of singleton SCCs would otherwise pay queue traffic
+            // and allocation per atom.  Chunking is by wave position —
+            // deterministic — and writes stay disjoint.
+            let chunk_size = wave.len().div_ceil(threads.max(1));
+            let jobs: Vec<crate::pool::Job<'_>> = wave
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let sccs = &sccs;
+                    Box::new(move || {
+                        for &si in chunk {
+                            for (atom, value) in eval_component(indexed, &sccs[si], shared) {
+                                shared[atom as usize].store(encode_truth(value), Ordering::Release);
+                            }
+                        }
+                    }) as crate::pool::Job<'_>
+                })
+                .collect();
+            pool.run_batch(jobs, wake_workers);
+        }
+    });
+    Assignment {
+        truth: shared
+            .iter()
+            .map(|cell| decode_truth(cell.load(Ordering::Acquire)))
+            .collect(),
+    }
+}
+
+/// Settles one strongly connected component: the alternating `W_P` fixpoint
+/// restricted to the rules whose head lies in the component, with every
+/// non-member body atom read from the settled assignment as fixed context.
+/// A settled external atom counts as founded exactly when it is not false —
+/// the same convention [`well_founded_patch`] applies to its frozen context.
+/// Returns the members' final truth values; writing them back is the
+/// caller's (single-threaded) job.
+fn eval_component(
+    indexed: &IndexedProgram,
+    members: &[u32],
+    settled: &[AtomicU8],
+) -> Vec<(u32, Option<bool>)> {
+    // Members are sorted, so a binary search beats a hash map at the
+    // typical component size (a singleton, for any stratified program).
+    let local_idx = |a: u32| members.binary_search(&a).ok();
+    let mut local: Vec<Option<bool>> = vec![None; members.len()];
+    let rule_ids: Vec<u32> = members
+        .iter()
+        .flat_map(|&m| indexed.rules_by_head[m as usize].iter().copied())
+        .collect();
+    let value = |local: &[Option<bool>], a: u32| -> Option<bool> {
+        match local_idx(a) {
+            Some(li) => local[li],
+            None => decode_truth(settled[a as usize].load(Ordering::Acquire)),
+        }
+    };
+
+    loop {
+        let mut changed = false;
+        // T_P restricted to the component's rules.
+        let mut trues: Vec<usize> = Vec::new();
+        'rules: for &ri in &rule_ids {
+            let rule = &indexed.rules[ri as usize];
+            for &p in &rule.pos {
+                if value(&local, p) != Some(true) {
+                    continue 'rules;
+                }
+            }
+            for &q in &rule.neg {
+                if value(&local, q) != Some(false) {
+                    continue 'rules;
+                }
+            }
+            trues.push(local_idx(rule.head).expect("rule head is a member"));
+        }
+        // Greatest unfounded set restricted to the members: the founded
+        // least fixpoint over the component's rules, externals pre-founded
+        // unless false.
+        let usable: Vec<bool> = rule_ids
+            .iter()
+            .map(|&ri| {
+                let rule = &indexed.rules[ri as usize];
+                rule.pos.iter().all(|&p| value(&local, p) != Some(false))
+                    && rule.neg.iter().all(|&q| value(&local, q) != Some(true))
+            })
+            .collect();
+        let mut founded = vec![false; members.len()];
+        let mut grew = true;
+        while grew {
+            grew = false;
+            for (k, &ri) in rule_ids.iter().enumerate() {
+                if !usable[k] {
+                    continue;
+                }
+                let rule = &indexed.rules[ri as usize];
+                let head = local_idx(rule.head).expect("rule head is a member");
+                if founded[head] {
+                    continue;
+                }
+                let supported = rule.pos.iter().all(|&p| match local_idx(p) {
+                    Some(pl) => founded[pl],
+                    None => {
+                        decode_truth(settled[p as usize].load(Ordering::Acquire)) != Some(false)
+                    }
+                });
+                if supported {
+                    founded[head] = true;
+                    grew = true;
+                }
+            }
+        }
+        for li in trues {
+            if local[li] != Some(true) {
+                local[li] = Some(true);
+                changed = true;
+            }
+        }
+        for (li, &f) in founded.iter().enumerate() {
+            if !f && local[li].is_none() {
+                local[li] = Some(false);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    members
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (m, local[i]))
+        .collect()
 }
 
 /// Re-evaluates the well-founded model after a localized change, touching
@@ -243,6 +580,72 @@ pub fn well_founded_patch(
     // false), then install the re-evaluation's result.  Unaffected entries
     // are never touched; new frozen atoms (context atoms a new rule mentions
     // for the first time) join the base with their — unchanged — truth.
+    let mut model = previous;
+    let stale: Vec<Term> = model
+        .base()
+        .iter()
+        .filter(|atom| affected(atom))
+        .cloned()
+        .collect();
+    for atom in &stale {
+        model.remove(atom);
+    }
+    for (id, atom) in indexed.atoms.iter() {
+        if frozen[id as usize] {
+            model.add_base_atom(atom.clone());
+            continue;
+        }
+        match assignment.truth[id as usize] {
+            Some(true) => model.set_true(atom.clone()),
+            Some(false) => model.set_false(atom.clone()),
+            None => model.set_undefined(atom.clone()),
+        }
+    }
+    model
+}
+
+/// [`well_founded_patch`] with `threads` workers.
+///
+/// `threads <= 1` dispatches to the serial patch unchanged.  Otherwise the
+/// affected sub-program's condensation is evaluated wave-parallel (see
+/// [`well_founded_eval`]): frozen atoms carry the previous model's values as
+/// fixed context — a frozen atom counts as founded exactly when it is not
+/// false, matching the serial patch's `pre_founded` seeding — and the final
+/// surgical assembly into the previous model is the serial patch's,
+/// verbatim.  The result is identical at every thread count.
+pub fn well_founded_patch_with(
+    program: &GroundProgram,
+    previous: Model,
+    mut affected: impl FnMut(&Term) -> bool,
+    threads: usize,
+) -> Model {
+    if threads <= 1 {
+        return well_founded_patch(program, previous, affected);
+    }
+    let affected_rules: GroundProgram = program
+        .rules
+        .iter()
+        .filter(|r| affected(&r.head))
+        .cloned()
+        .collect();
+    let indexed = IndexedProgram::build(&affected_rules);
+    let n = indexed.atom_count();
+    let mut assignment = Assignment::new(n);
+    let mut frozen = vec![false; n];
+    for (id, atom) in indexed.atoms.iter() {
+        if !affected(atom) {
+            let id = id as usize;
+            frozen[id] = true;
+            assignment.truth[id] = match previous.truth(atom) {
+                Truth::True => Some(true),
+                Truth::False => Some(false),
+                Truth::Undefined => None,
+            };
+        }
+    }
+    let assignment = wave_fixpoint(&indexed, assignment, &frozen, threads);
+
+    // Surgical assembly, exactly as in `well_founded_patch`.
     let mut model = previous;
     let stale: Vec<Term> = model
         .base()
@@ -651,5 +1054,76 @@ mod tests {
         assert_eq!(patched.truth(&t("p")), Truth::Undefined);
         assert_eq!(patched.truth(&t("u")), Truth::Undefined);
         assert_eq!(patched.truth(&t("q")), Truth::True);
+    }
+
+    #[test]
+    fn wave_evaluation_matches_serial_on_mixed_programs() {
+        // Total, partial, cyclic, and multi-SCC shapes; every thread count
+        // must reproduce the serial model exactly.
+        let programs = [
+            "p :- q. q :- p. r :- s, not p. s. t :- not r. u :- not u.",
+            "p :- not q. q :- not p. r :- p. r :- q. t :- p, not p.",
+            "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c). move(c, a).",
+            "w1(X) :- m1(X, Y), not w1(Y). w2(X) :- m2(X, Y), not w2(Y).\n\
+             m1(a, b). m1(b, c). m2(u, v). m2(v, u).",
+            "reach(X) :- source(X). reach(Y) :- reach(X), edge(X, Y).\n\
+             blocked(X) :- node(X), not reach(X).\n\
+             source(a). edge(a, b). node(a). node(b). node(c). edge(b, b).",
+        ];
+        for text in programs {
+            let gp =
+                relevant_ground(&parse_program(text).unwrap(), EvalOptions::default()).unwrap();
+            let serial = well_founded_of_ground(&gp);
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    well_founded_eval(&gp, threads),
+                    serial,
+                    "threads={threads} diverged on `{text}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wave_evaluation_of_empty_program_is_empty() {
+        let m = well_founded_eval(&GroundProgram::new(), 4);
+        assert!(m.is_total());
+        assert!(m.base().is_empty());
+    }
+
+    #[test]
+    fn parallel_patch_matches_serial_patch() {
+        let chain = |n: usize, extra: bool| {
+            let mut text = String::from(
+                "winning(X) :- move(X, Y), not winning(Y).\n\
+                                         u :- not u. p :- u. q.\n",
+            );
+            for i in 0..n {
+                text.push_str(&format!("move(p{}, p{}).\n", i, i + 1));
+            }
+            if extra {
+                text.push_str(&format!("move(p{}, p{}).\n", n, n + 1));
+            }
+            parse_program(&text).unwrap()
+        };
+        let old_ground = relevant_ground(&chain(6, false), EvalOptions::default()).unwrap();
+        let old_model = well_founded_of_ground(&old_ground);
+        let new_ground = relevant_ground(&chain(6, true), EvalOptions::default()).unwrap();
+        let seeds = [t("move(p6, p7)"), t("winning(p6)")];
+        let closure = affected_closure(&new_ground, seeds);
+        let serial = well_founded_patch(&new_ground, old_model.clone(), |atom| {
+            closure.contains(atom)
+        });
+        for threads in [2, 4, 8] {
+            let parallel = well_founded_patch_with(
+                &new_ground,
+                old_model.clone(),
+                |atom| closure.contains(atom),
+                threads,
+            );
+            assert_eq!(parallel, serial, "patch diverged at threads={threads}");
+        }
+        // The frozen-undefined convention survives the wave path too.
+        assert_eq!(serial.truth(&t("p")), Truth::Undefined);
     }
 }

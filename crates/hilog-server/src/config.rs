@@ -28,6 +28,12 @@ pub struct ServerConfig {
     /// returns after a graceful shutdown (ignored without `data_dir`).  On
     /// by default: the next boot then skips WAL replay entirely.
     pub checkpoint_on_shutdown: bool,
+    /// Worker threads used *inside* a single evaluation (the engine's
+    /// SCC-wave well-founded fixpoint and partitioned semi-naive rounds).
+    /// Independent of `workers`, which scales concurrent requests.  `1` is
+    /// the exact serial evaluation path; the default follows the engine
+    /// (`HILOG_EVAL_THREADS` or the machine's available parallelism).
+    pub eval_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +45,7 @@ impl Default for ServerConfig {
             data_dir: None,
             fsync: FsyncPolicy::PerBatch,
             checkpoint_on_shutdown: true,
+            eval_threads: hilog_engine::default_eval_threads(),
         }
     }
 }
@@ -74,6 +81,13 @@ impl ServerConfig {
     /// Sets the WAL fsync policy.
     pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
         self.fsync = policy;
+        self
+    }
+
+    /// Sets the per-evaluation thread count (clamped to at least 1; `1` is
+    /// the exact serial path).
+    pub fn eval_threads(mut self, eval_threads: usize) -> Self {
+        self.eval_threads = eval_threads.max(1);
         self
     }
 }

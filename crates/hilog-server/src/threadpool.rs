@@ -1,6 +1,8 @@
-//! A small scoped-thread worker pool: N workers drain a channel of jobs
-//! until the sender is dropped.  Scoped threads let the workers borrow the
-//! server state without `'static` bounds or reference counting.
+//! The server's request worker pool, built on the engine's batch primitive
+//! ([`hilog_engine::run_tasks`]): each worker is one long-lived task that
+//! drains a shared channel of jobs until the sender is dropped.  Scoped
+//! threads (inside `run_tasks`) let the workers borrow the server state
+//! without `'static` bounds or reference counting.
 
 use std::sync::mpsc::Receiver;
 use std::sync::{Mutex, PoisonError};
@@ -10,15 +12,24 @@ use std::sync::{Mutex, PoisonError};
 /// drained.  A panicking job takes down its worker (and, through the scope,
 /// the pool) — handlers are expected to turn failures into responses
 /// instead.
+///
+/// With one worker the drain loop runs inline on the calling thread — the
+/// same serial fallback the engine's evaluation paths get.  Each worker
+/// counts as a single pool task over the server's lifetime, a negligible
+/// (and documented) contribution to the process-wide
+/// `EvalStats.parallel_tasks` totals.
 pub fn run_pool<T, F>(workers: usize, receiver: Receiver<T>, job: F)
 where
     T: Send,
     F: Fn(T) + Sync,
 {
     let receiver = Mutex::new(receiver);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
+    let workers = workers.max(1);
+    let drains: Vec<_> = (0..workers)
+        .map(|_| {
+            let receiver = &receiver;
+            let job = &job;
+            move || loop {
                 // Hold the lock only for the dequeue, not the job.
                 let item = receiver
                     .lock()
@@ -28,9 +39,10 @@ where
                     Ok(item) => job(item),
                     Err(_) => break, // sender dropped: pool shutdown
                 }
-            });
-        }
-    });
+            }
+        })
+        .collect();
+    hilog_engine::run_tasks(workers, drains);
 }
 
 #[cfg(test)]
@@ -51,5 +63,19 @@ mod tests {
             done.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline() {
+        let (tx, rx) = mpsc::channel();
+        let done = AtomicUsize::new(0);
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        run_pool(1, rx, |_item: usize| {
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 10);
     }
 }

@@ -1,8 +1,9 @@
 //! Builders for the win/move game programs of Examples 6.1 and 6.3.
 
-use crate::graphs::{edges_to_facts, Edge};
+use crate::graphs::{chain, edges_to_facts, random_dag, Edge};
 use hilog_core::program::Program;
 use hilog_syntax::parse_program;
+use std::collections::BTreeSet;
 
 /// The normal win/move program of Example 6.1 over the given move edges:
 ///
@@ -33,6 +34,83 @@ pub fn hilog_game_program(games: &[(&str, Vec<Edge>)]) -> Program {
     parse_program(&text).expect("generated HiLog game program parses")
 }
 
+/// The source text of a *sharded* win/move database: `shards` independent
+/// games of `per_shard` positions each, shard `s` over its own predicates
+/// `winning{s}` / `move{s}` with moves from a random DAG seeded with
+/// `seed + s`:
+///
+/// ```text
+/// winning0(X) :- move0(X, Y), not winning0(Y).
+/// move0(s0n0, s0n1). ...
+/// winning1(X) :- move1(X, Y), not winning1(Y).
+/// ...
+/// ```
+///
+/// The shards share no atoms, so the dependency condensation splits into
+/// `shards` independent blocks — the canonical workload for per-component
+/// patching and wave-parallel evaluation.  Serving/parallel benchmarks sweep
+/// the shard count against the thread count.
+pub fn sharded_game_text(shards: usize, per_shard: usize, seed: u64) -> String {
+    let mut text = String::new();
+    for s in 0..shards {
+        text.push_str(&format!(
+            "winning{s}(X) :- move{s}(X, Y), not winning{s}(Y).\n"
+        ));
+        for (u, v) in random_dag(per_shard, 2.0, seed + s as u64) {
+            text.push_str(&format!("move{s}(s{s}n{u}, s{s}n{v}).\n"));
+        }
+    }
+    text
+}
+
+/// [`sharded_game_text`], parsed.
+pub fn sharded_game_program(shards: usize, per_shard: usize, seed: u64) -> Program {
+    parse_program(&sharded_game_text(shards, per_shard, seed))
+        .expect("generated sharded game program parses")
+}
+
+/// The source text of a sharded *chain* win/move database: `shards`
+/// independent games, each played on a single path of `len` moves
+/// (`move{s}(p0, p1). move{s}(p1, p2). ...`).
+///
+/// The chain is the deep end of the win/move family.  Position `p{u}` is
+/// winning exactly when `len - u` is odd, and deciding `p{u}` requires the
+/// entire settled suffix below it, so the game's remoteness — and with it
+/// the number of global alternating iterations a whole-program well-founded
+/// evaluator performs — grows linearly with `len`.  A component-at-a-time
+/// schedule settles each position exactly once instead, which is why the
+/// parallel benchmark uses chains to expose the wave evaluator's scheduling
+/// advantage independently of the hardware thread count.
+pub fn sharded_chain_game_text(shards: usize, len: usize) -> String {
+    let mut text = String::new();
+    for s in 0..shards {
+        text.push_str(&format!(
+            "winning{s}(X) :- move{s}(X, Y), not winning{s}(Y).\n"
+        ));
+        text.push_str(&edges_to_facts(&format!("move{s}"), &chain(len)));
+    }
+    text
+}
+
+/// [`sharded_chain_game_text`], parsed.
+pub fn sharded_chain_game_program(shards: usize, len: usize) -> Program {
+    parse_program(&sharded_chain_game_text(shards, len))
+        .expect("generated sharded chain game program parses")
+}
+
+/// Each shard's move-edge set (same seeding as [`sharded_game_text`]), for
+/// callers that need to generate *fresh* edges — update workloads that must
+/// avoid asserting a duplicate the session would short-circuit.
+pub fn sharded_game_edges(shards: usize, per_shard: usize, seed: u64) -> Vec<BTreeSet<Edge>> {
+    (0..shards)
+        .map(|s| {
+            random_dag(per_shard, 2.0, seed + s as u64)
+                .into_iter()
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +138,34 @@ mod tests {
     fn empty_game_list_still_parses() {
         let p = hilog_game_program(&[]);
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn sharded_chain_game_has_one_rule_and_len_moves_per_shard() {
+        let p = sharded_chain_game_program(3, 5);
+        assert!(p.is_normal());
+        assert!(is_range_restricted_normal(&p));
+        // Per shard: the winning rule plus `len` move facts.
+        assert_eq!(p.len(), 3 * (1 + 5));
+        // Shards are disjoint: shard 0 of a wider database is unchanged.
+        let narrow = sharded_chain_game_text(1, 5);
+        assert!(sharded_chain_game_text(3, 5).starts_with(&narrow));
+    }
+
+    #[test]
+    fn sharded_game_scales_with_the_shard_count() {
+        let small = sharded_game_program(1, 8, 7);
+        let large = sharded_game_program(4, 8, 7);
+        assert!(is_range_restricted_normal(&large));
+        // One game rule per shard plus that shard's move facts.
+        assert!(large.len() > small.len());
+        let edges = sharded_game_edges(4, 8, 7);
+        assert_eq!(edges.len(), 4);
+        assert_eq!(
+            large.len(),
+            4 + edges.iter().map(|e| e.len()).sum::<usize>()
+        );
+        // Same seed, same prefix: shard 0 is identical in both programs.
+        assert_eq!(edges[0], sharded_game_edges(1, 8, 7)[0]);
     }
 }

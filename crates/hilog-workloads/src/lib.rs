@@ -39,7 +39,10 @@ pub mod serving;
 
 pub use closure::{generic_closure_program, specialized_closure_program};
 pub use durability::{durability_workload, DurabilityWorkload, DurabilityWorkloadConfig};
-pub use games::{hilog_game_program, normal_game_program};
+pub use games::{
+    hilog_game_program, normal_game_program, sharded_chain_game_program, sharded_chain_game_text,
+    sharded_game_edges, sharded_game_program, sharded_game_text,
+};
 pub use graphs::{chain, cycle, edges_to_facts, layered_game_graph, node_name, random_dag, Edge};
 pub use parts::{random_part_hierarchy, PartHierarchy};
 pub use random_programs::{

@@ -1,0 +1,261 @@
+//! Differential oracle for parallel evaluation: at every thread count the
+//! engine must produce *exactly* the model, stable sets, and query answers
+//! of the serial path.
+//!
+//! `EvalOptions::eval_threads = 1` runs the pre-parallel serial evaluator
+//! unchanged, so these tests pin the SCC-wave fixpoint, the wave-parallel
+//! model patching, and the partitioned semi-naive rounds against it on the
+//! same randomized program families as `tests/differential.rs` — the pinned
+//! regression corpus in `tests/corpus/differential_seeds.txt` always runs
+//! first, and `HILOG_PARALLEL_CASES` scales the total case count in CI.
+//!
+//! Determinism is checked separately from agreement: repeated evaluations at
+//! the *same* thread count (and across different thread counts) must yield
+//! byte-identical answer/truth/plan JSON and identical model iteration
+//! order.  Evaluation statistics are deliberately excluded from those
+//! comparisons — the pooled-task counters are process-wide and legitimately
+//! vary with scheduling — which is exactly why the determinism guarantee is
+//! stated over answers, not over stats.
+
+use hilog_repro::prelude::*;
+use hilog_workloads::random_programs::{
+    random_range_restricted_normal, random_strongly_restricted_hilog, HilogProgramConfig,
+    NormalProgramConfig,
+};
+use hilog_workloads::{sharded_chain_game_program, sharded_game_program};
+
+/// Thread counts every oracle runs at; `1` is the serial reference.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The committed regression corpus shared with `tests/differential.rs`.
+fn pinned_seeds() -> Vec<u64> {
+    include_str!("corpus/differential_seeds.txt")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.trim().parse().expect("corpus seeds are integers"))
+        .collect()
+}
+
+/// Pinned seeds plus `extra` generated ones; `HILOG_PARALLEL_CASES`
+/// overrides the *total* case count (never dropping below the corpus).
+fn seeds(extra: usize) -> Vec<u64> {
+    let pinned = pinned_seeds();
+    let total = std::env::var("HILOG_PARALLEL_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(pinned.len() + extra)
+        .max(pinned.len());
+    let mut out = pinned;
+    let mut next = 2_000_000u64;
+    while out.len() < total {
+        out.push(next);
+        next += 1;
+    }
+    out
+}
+
+/// A session evaluating with exactly `threads` worker threads.
+fn db_with_threads(program: Program, threads: usize) -> HiLogDb {
+    HiLogDb::builder()
+        .program(program)
+        .options(EvalOptions::with_eval_threads(threads))
+        .build()
+}
+
+#[test]
+fn normal_programs_have_thread_count_independent_models() {
+    for seed in seeds(20) {
+        let program = random_range_restricted_normal(NormalProgramConfig::default(), seed);
+        let serial = db_with_threads(program.clone(), 1)
+            .model()
+            .expect("serial model evaluates")
+            .clone();
+        for threads in THREAD_COUNTS {
+            let parallel = db_with_threads(program.clone(), threads)
+                .model()
+                .expect("parallel model evaluates")
+                .clone();
+            assert_eq!(
+                parallel, serial,
+                "threads={threads} diverged from serial (seed {seed}, normal)"
+            );
+        }
+    }
+}
+
+#[test]
+fn hilog_programs_have_thread_count_independent_models() {
+    for seed in seeds(0) {
+        let program = random_strongly_restricted_hilog(HilogProgramConfig::default(), seed);
+        let serial = db_with_threads(program.clone(), 1)
+            .model()
+            .expect("serial model evaluates")
+            .clone();
+        for threads in THREAD_COUNTS {
+            let parallel = db_with_threads(program.clone(), threads)
+                .model()
+                .expect("parallel model evaluates")
+                .clone();
+            assert_eq!(
+                parallel, serial,
+                "threads={threads} diverged from serial (seed {seed}, HiLog)"
+            );
+        }
+    }
+}
+
+#[test]
+fn stable_models_are_thread_count_independent() {
+    // Stable-set enumeration shares the session's grounding with the
+    // parallel well-founded path; the enumerated models must not depend on
+    // the evaluation thread count either.
+    for seed in seeds(0).into_iter().take(20) {
+        let program = random_range_restricted_normal(NormalProgramConfig::default(), seed);
+        let mut serial = db_with_threads(program.clone(), 1);
+        let reference = serial.stable_models().expect("serial stable sets").to_vec();
+        for threads in THREAD_COUNTS {
+            let mut db = db_with_threads(program.clone(), threads);
+            let models = db.stable_models().expect("parallel stable sets");
+            assert_eq!(
+                models,
+                &reference[..],
+                "stable sets diverge at threads={threads} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_queries_agree_across_thread_counts() {
+    // Instance-level oracle: every ground atom of the serial model receives
+    // the same three-valued verdict from a parallel session's magic-sets
+    // route (which exercises the partitioned semi-naive rounds).
+    for seed in seeds(0).into_iter().take(25) {
+        let program = random_range_restricted_normal(NormalProgramConfig::default(), seed);
+        let model = db_with_threads(program.clone(), 1)
+            .model()
+            .expect("serial model evaluates")
+            .clone();
+        for threads in [2, 4, 8] {
+            let mut magic = db_with_threads(program.clone(), threads);
+            for atom in model.base() {
+                let result = magic
+                    .query(&Query::atom(atom.clone()))
+                    .expect("bound query evaluates");
+                assert_eq!(
+                    result.truth,
+                    model.truth(atom),
+                    "bound query diverges on `{atom}` at threads={threads} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_patching_agrees_across_thread_counts() {
+    // The wave-parallel patch path against the serial patch path: the same
+    // assertion sequence applied to sessions at every thread count must
+    // pass through identical models at every step.
+    for seed in seeds(0).into_iter().take(25) {
+        let program = random_strongly_restricted_hilog(HilogProgramConfig::default(), seed);
+        let mut sessions: Vec<(usize, HiLogDb)> = THREAD_COUNTS
+            .iter()
+            .map(|&t| (t, db_with_threads(program.clone(), t)))
+            .collect();
+        for (_, db) in &mut sessions {
+            db.model().expect("warm the caches");
+        }
+        for step in 0..3u64 {
+            let fact = parse_term(&format!("r0(c0, c{})", 1 + ((seed + step) % 3))).unwrap();
+            let mut reference: Option<Model> = None;
+            for (threads, db) in &mut sessions {
+                db.assert_fact(fact.clone()).expect("fact asserts");
+                let patched = db.model().expect("patched model").clone();
+                match &reference {
+                    None => reference = Some(patched),
+                    Some(expected) => assert_eq!(
+                        &patched, expected,
+                        "patched model diverges at threads={threads} \
+                         (seed {seed}, step {step})"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The stable observable part of a query result: answers, overall truth,
+/// plan, and fallback — everything except the stats member, whose pooled
+/// counters are process-wide and may vary between runs.
+fn observable_json(result: &QueryResult) -> Vec<(String, String)> {
+    let full: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(result).unwrap()).unwrap();
+    ["answers", "truth", "plan", "fallback"]
+        .iter()
+        .map(|m| {
+            (
+                m.to_string(),
+                serde_json::to_string(full.get(m).expect("member present")).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn query_results_are_deterministic_within_and_across_thread_counts() {
+    // Deep chains maximise wave count, the random-DAG shards maximise
+    // per-wave width; both must answer identically — bytes included — on
+    // every run at every thread count.
+    let programs = [
+        ("chain", sharded_chain_game_program(3, 60)),
+        ("dag", sharded_game_program(4, 12, 7)),
+    ];
+    for (family, program) in programs {
+        let queries = ["?- winning0(X).", "?- winning1(X).", "?- move2(X, Y)."];
+        let mut reference: Option<Vec<Vec<(String, String)>>> = None;
+        for threads in THREAD_COUNTS {
+            for run in 0..2 {
+                let mut db = db_with_threads(program.clone(), threads);
+                let observed: Vec<_> = queries
+                    .iter()
+                    .map(|q| {
+                        let result = db.query(&parse_query(q).unwrap()).expect("query evaluates");
+                        observable_json(&result)
+                    })
+                    .collect();
+                match &reference {
+                    None => reference = Some(observed),
+                    Some(expected) => assert_eq!(
+                        &observed, expected,
+                        "nondeterministic answers ({family}, threads={threads}, run {run})"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn model_iteration_order_is_thread_count_independent() {
+    let program = sharded_chain_game_program(4, 50);
+    let mut reference: Option<Vec<String>> = None;
+    for threads in THREAD_COUNTS {
+        let mut db = db_with_threads(program.clone(), threads);
+        let model = db.model().expect("model evaluates");
+        let order: Vec<String> = model
+            .base()
+            .iter()
+            .chain(model.true_atoms().iter())
+            .chain(model.undefined_atoms().iter())
+            .map(|t| t.to_string())
+            .collect();
+        match &reference {
+            None => reference = Some(order),
+            Some(expected) => assert_eq!(
+                &order, expected,
+                "model iteration order changed at threads={threads}"
+            ),
+        }
+    }
+}

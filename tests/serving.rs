@@ -106,6 +106,102 @@ fn concurrent_readers_agree_with_fresh_sessions_at_every_epoch() {
     });
 }
 
+/// The same racing-readers contract with parallel evaluation enabled: the
+/// writer session evaluates with four worker threads, so every *cold*
+/// published snapshot warms its model through the SCC-wave fixpoint while
+/// readers race the publish stream.  The oracle is deliberately a fresh
+/// **single-threaded** session at the answering epoch — pinning the serving
+/// layer and the parallel evaluator against the serial semantics at once.
+#[test]
+fn parallel_snapshots_agree_with_serial_sessions_under_racing_readers() {
+    let readers = env_usize("HILOG_SERVING_READERS", 4);
+    let queries_per_reader = env_usize("HILOG_SERVING_QUERIES", 40);
+    let workload = serving_workload(
+        &ServingWorkloadConfig {
+            queries: queries_per_reader * readers,
+            ..ServingWorkloadConfig::default()
+        },
+        0xBEEF,
+    );
+
+    let db = HiLogDb::builder()
+        .program(workload.program.clone())
+        .options(EvalOptions::with_eval_threads(4))
+        .build();
+    let (mut writer, handle) = db.into_serving();
+    let writer_done = AtomicBool::new(false);
+    let (_, _, tasks_before) = parallel_counters();
+
+    std::thread::scope(|scope| {
+        for reader in 0..readers {
+            let handle = handle.clone();
+            let queries = &workload.queries;
+            let writer_done = &writer_done;
+            scope.spawn(move || {
+                let mut checked = 0;
+                let mut pass = 0;
+                while checked < queries_per_reader || !writer_done.load(Ordering::SeqCst) {
+                    let q = &queries[(reader * queries_per_reader + pass) % queries.len()];
+                    pass += 1;
+                    let query = parse_query(q).expect("workload query parses");
+                    let snapshot = handle.current();
+                    let served = snapshot.query(&query).expect("snapshot query succeeds");
+                    let mut oracle = HiLogDb::builder()
+                        .program(snapshot.program().clone())
+                        .options(EvalOptions::with_eval_threads(1))
+                        .build();
+                    let expected = oracle.query(&query).expect("oracle query succeeds");
+                    assert_eq!(
+                        answer_key(&served),
+                        answer_key(&expected),
+                        "reader {reader} diverged from the serial oracle at epoch {} on {q}",
+                        snapshot.epoch(),
+                    );
+                    // Every few queries, warm the snapshot's full model —
+                    // queries route through the tabled evaluator, so this is
+                    // what actually drives the cold snapshot through the
+                    // wave-parallel fixpoint — and hold it to the serial
+                    // oracle's model.
+                    if checked % 4 == 0 {
+                        let served_model = snapshot.model().expect("snapshot model evaluates");
+                        let expected_model = oracle.model().expect("oracle model evaluates");
+                        assert_eq!(
+                            &*served_model,
+                            expected_model,
+                            "reader {reader}: parallel-warmed model diverged at epoch {}",
+                            snapshot.epoch(),
+                        );
+                    }
+                    checked += 1;
+                    if checked >= queries_per_reader * 4 {
+                        break; // don't spin forever if the writer stalls
+                    }
+                }
+                assert!(checked >= queries_per_reader);
+            });
+        }
+
+        for batch in &workload.batches {
+            for fact in &batch.facts {
+                let term = parse_term(fact).expect("workload fact parses");
+                if batch.assert {
+                    writer.assert_fact(term).expect("workload facts are ground");
+                } else {
+                    assert!(writer.retract_fact(&term), "retract of live fact {fact}");
+                }
+            }
+            writer.publish();
+        }
+        writer_done.store(true, Ordering::SeqCst);
+    });
+
+    let (_, _, tasks_after) = parallel_counters();
+    assert!(
+        tasks_after > tasks_before,
+        "parallel serving never dispatched a pooled task"
+    );
+}
+
 /// A reader that pinned a snapshot keeps answering at that epoch while the
 /// writer publishes past it.
 #[test]
