@@ -8,6 +8,7 @@
 //! the *relevant instantiation* used to ground programs with negation.
 
 use crate::error::EngineError;
+use crate::storage::RelationStorage;
 use hilog_core::intern::{AtomId, TermInterner};
 use hilog_core::literal::Literal;
 use hilog_core::program::Program;
@@ -438,6 +439,18 @@ impl AtomStore {
         &self.atoms
     }
 
+    /// Number of `(name, arity)` relations ever touched.
+    pub(crate) fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Iterates the ordered atom view from `lower` (inclusive) — the range
+    /// walk behind the trait's name-keyed probe.
+    pub(crate) fn atoms_from<'a>(&'a self, lower: &Term) -> impl Iterator<Item = &'a Term> {
+        use std::ops::Bound;
+        self.atoms.range((Bound::Included(lower), Bound::Unbounded))
+    }
+
     /// Candidate atoms that could match the given (possibly partially
     /// instantiated) pattern.
     ///
@@ -543,10 +556,14 @@ impl<'a> Iterator for Candidates<'a> {
 
 /// Extends the substitutions in `seeds` by matching `pattern` against the
 /// atoms of `store`, returning every successful extension.
+///
+/// Takes the store through the [`RelationStorage`] trait so one compiled
+/// join path serves every backend; the dynamic dispatch is one virtual call
+/// per *probe*, not per candidate.
 pub fn extend_by_matching(
     seeds: Vec<Substitution>,
     pattern: &Term,
-    store: &AtomStore,
+    store: &dyn RelationStorage,
 ) -> Vec<Substitution> {
     let mut out = Vec::new();
     for theta in seeds {
@@ -557,12 +574,12 @@ pub fn extend_by_matching(
             }
             continue;
         }
-        for candidate in store.candidates(&instantiated) {
+        store.for_each_candidate(&instantiated, &mut |candidate| {
             let mut extended = theta.clone();
             if match_with(&instantiated, candidate, &mut extended) {
                 out.push(extended);
             }
-        }
+        });
     }
     out
 }
@@ -577,8 +594,8 @@ pub fn extend_by_matching(
 /// delta store instead — the semi-naive restriction.
 pub fn join_body(
     rule: &Rule,
-    store: &AtomStore,
-    delta: Option<(&AtomStore, usize)>,
+    store: &dyn RelationStorage,
+    delta: Option<(&dyn RelationStorage, usize)>,
     mode: NegationMode,
 ) -> Result<Vec<Substitution>, EngineError> {
     let mut thetas = vec![Substitution::new()];
@@ -635,13 +652,26 @@ pub fn least_model(
     opts: EvalOptions,
 ) -> Result<AtomStore, EngineError> {
     let mut store = AtomStore::new();
+    least_model_into(program, mode, opts, &mut store)?;
+    Ok(store)
+}
+
+/// [`least_model`] evaluated *into* a caller-provided (empty) store — the
+/// backend-polymorphic entry point: pass a spill-backed store and the least
+/// model materialises with cold relations paged to disk.
+pub fn least_model_into(
+    program: &Program,
+    mode: NegationMode,
+    opts: EvalOptions,
+    store: &mut dyn RelationStorage,
+) -> Result<(), EngineError> {
     let mut delta = AtomStore::new();
 
     // Round 0: facts and rules whose positive body is empty.
     for rule in program.iter() {
         let positives = rule.positive_atoms().count();
         if positives == 0 {
-            for theta in join_body(rule, &store, None, mode)? {
+            for theta in join_body(rule, &*store, None, mode)? {
                 let head = theta.apply(&rule.head);
                 if !head.is_ground() {
                     return Err(EngineError::Floundering(format!(
@@ -666,7 +696,7 @@ pub fn least_model(
             )));
         }
         let mut next_delta = AtomStore::new();
-        if partition_count(&delta, opts) > 1 {
+        if partition_count(delta.len(), opts) > 1 {
             // Partitioned round: the frontier splits by hash of the first
             // bound argument and the partitions join concurrently against
             // the frozen store.  Sound because the frontier is already in
@@ -674,7 +704,7 @@ pub fn least_model(
             // fires in either one, drawing the other from `store`), and the
             // merge below deduplicates into the same sets the serial round
             // fills.
-            for head in consequence_round_partitioned(program, &store, &delta, mode, opts)? {
+            for head in consequence_round_partitioned(program, &*store, &delta, mode, opts)? {
                 if !store.contains(&head) {
                     if store.len() >= opts.max_atoms {
                         return Err(EngineError::LimitExceeded(format!(
@@ -690,7 +720,7 @@ pub fn least_model(
             for rule in program.iter() {
                 let positives = rule.positive_atoms().count();
                 for delta_idx in 0..positives {
-                    for theta in join_body(rule, &store, Some((&delta, delta_idx)), mode)? {
+                    for theta in join_body(rule, &*store, Some((&delta, delta_idx)), mode)? {
                         let head = theta.apply(&rule.head);
                         if !head.is_ground() {
                             return Err(EngineError::Floundering(format!(
@@ -713,7 +743,7 @@ pub fn least_model(
         }
         delta = next_delta;
     }
-    Ok(store)
+    Ok(())
 }
 
 /// A semi-naive evaluation frontier: the atoms added in the most recent
@@ -781,8 +811,8 @@ impl Delta {
 /// contains round 0 (see [`least_model`]).
 pub fn consequence_round(
     program: &Program,
-    store: &AtomStore,
-    frontier: &AtomStore,
+    store: &dyn RelationStorage,
+    frontier: &dyn RelationStorage,
     mode: NegationMode,
 ) -> Result<Vec<Term>, EngineError> {
     let mut out = Vec::new();
@@ -813,8 +843,8 @@ const PARTITION_MIN_FRONTIER: usize = 64;
 /// How many partitions a frontier should split into under `opts`: the
 /// thread count when the frontier is large enough to be worth splitting,
 /// otherwise 1 (serial).
-fn partition_count(frontier: &AtomStore, opts: EvalOptions) -> usize {
-    if opts.eval_threads > 1 && frontier.len() >= PARTITION_MIN_FRONTIER {
+fn partition_count(frontier_len: usize, opts: EvalOptions) -> usize {
+    if opts.eval_threads > 1 && frontier_len >= PARTITION_MIN_FRONTIER {
         opts.eval_threads
     } else {
         1
@@ -850,19 +880,19 @@ fn partition_of(atom: &Term, partitions: usize) -> usize {
 /// the thread count.
 pub fn consequence_round_partitioned(
     program: &Program,
-    store: &AtomStore,
-    frontier: &AtomStore,
+    store: &dyn RelationStorage,
+    frontier: &dyn RelationStorage,
     mode: NegationMode,
     opts: EvalOptions,
 ) -> Result<Vec<Term>, EngineError> {
-    let partitions = partition_count(frontier, opts);
+    let partitions = partition_count(frontier.len(), opts);
     if partitions <= 1 {
         return consequence_round(program, store, frontier, mode);
     }
     let mut parts: Vec<AtomStore> = (0..partitions).map(|_| AtomStore::new()).collect();
-    for atom in frontier.iter() {
+    frontier.for_each_atom(&mut |atom| {
         parts[partition_of(atom, partitions)].insert(atom.clone());
-    }
+    });
     parts.retain(|p| !p.is_empty());
     crate::pool::note_partitioned_round();
     let tasks: Vec<_> = parts
@@ -891,7 +921,7 @@ pub fn consequence_round_partitioned(
 /// scratch, as [`crate::session::HiLogDb`] does.
 pub fn extend_least_model(
     program: &Program,
-    store: &mut AtomStore,
+    store: &mut dyn RelationStorage,
     seeds: impl IntoIterator<Item = Term>,
     mode: NegationMode,
     opts: EvalOptions,
@@ -913,7 +943,8 @@ pub fn extend_least_model(
                 opts.max_rounds
             )));
         }
-        let derived = consequence_round_partitioned(program, store, delta.frontier(), mode, opts)?;
+        let derived =
+            consequence_round_partitioned(program, &*store, delta.frontier(), mode, opts)?;
         let mut next = AtomStore::new();
         for head in derived {
             if !store.contains(&head) {

@@ -53,7 +53,9 @@ pub mod plan;
 pub mod pool;
 pub mod session;
 pub mod snapshot;
+pub mod spill;
 pub mod stable;
+pub mod storage;
 pub mod wfs;
 
 pub use aggregate::{evaluate_aggregate_program, parts_explosion_program, AggregateModel};
@@ -65,8 +67,8 @@ pub use extension::{
 pub use ground::{GroundProgram, GroundRule};
 pub use grounder::{ground_delta, ground_over_universe, relevant_ground};
 pub use horn::{
-    consequence_round, extend_least_model, least_model, probe_counters, scan_only_guard, AtomStore,
-    Candidates, Delta, EvalOptions, NegationMode, ScanOnlyGuard,
+    consequence_round, extend_least_model, least_model, least_model_into, probe_counters,
+    scan_only_guard, AtomStore, Candidates, Delta, EvalOptions, NegationMode, ScanOnlyGuard,
 };
 pub use magic::{magic_transform, MagicProgram};
 pub use magic_eval::{EvalStats, ModelSource, QueryEvaluator};
@@ -75,7 +77,12 @@ pub use plan::{PlanStrategy, QueryPlan};
 pub use pool::{default_eval_threads, parallel_counters, run_tasks};
 pub use session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
 pub use snapshot::{DbSnapshot, DbWriter, SnapshotHandle};
+pub use spill::SpillStore;
 pub use stable::{stable_models_over_universe, StableOptions};
+pub use storage::{
+    storage_counters, FactStore, RelationStorage, RelationStorageStats, StorageConfig,
+    DEFAULT_SPILL_BUDGET,
+};
 pub use wfs::{
     well_founded_eval, well_founded_model_over_universe, well_founded_of_ground,
     well_founded_patch, well_founded_patch_with,
@@ -109,6 +116,7 @@ pub mod prelude {
     pub use crate::session::{HiLogDb, HiLogDbBuilder, QueryAnswer, QueryResult, Semantics};
     pub use crate::snapshot::{DbSnapshot, DbWriter, SnapshotHandle};
     pub use crate::stable::StableOptions;
+    pub use crate::storage::{FactStore, RelationStorage, StorageConfig};
     pub use crate::wfs::{
         well_founded_eval, well_founded_model_over_universe, well_founded_patch,
         well_founded_patch_with,

@@ -36,8 +36,9 @@
 //! information passing strategy.
 
 use crate::error::EngineError;
-use crate::horn::{AtomStore, EvalOptions};
+use crate::horn::EvalOptions;
 use crate::magic::DepSign;
+use crate::storage::{FactStore, StorageConfig};
 use hilog_core::literal::{AggregateFunc, Literal};
 use hilog_core::program::Program;
 use hilog_core::rule::{Query, Rule};
@@ -97,6 +98,12 @@ pub struct EvalStats {
     /// dependency closure of the mutated atoms) across the mutations since
     /// the previous query.
     pub tables_dropped: usize,
+    /// Number of derived subgoal tables the session *refilled eagerly*
+    /// instead of dropping: an asserted fact whose recorded dependency
+    /// closure is all-positive can only *add* answers, so the affected
+    /// tables are re-solved immediately, seeded with every surviving warm
+    /// table.  Always zero for a raw [`QueryEvaluator`].
+    pub tables_refilled: usize,
     /// Number of completed subgoal tables that survived into this query and
     /// were available for reuse when it started.
     pub tables_reused: usize,
@@ -133,6 +140,22 @@ pub struct EvalStats {
     /// worker threads while this query ran.  Inline serial fallbacks don't
     /// count, so a non-zero value certifies parallel execution happened.
     pub parallel_tasks: usize,
+    /// Facts resident in memory across the session's relation stores (the
+    /// possibly-true store plus every subgoal table) when this query
+    /// finished.  Under the in-memory backend this is the total fact count.
+    pub storage_resident_facts: usize,
+    /// Facts whose payloads currently live only in spill segment files
+    /// (always zero under the in-memory backend).
+    pub storage_spilled_facts: usize,
+    /// Bytes appended to spill segment files by the session's stores.
+    pub storage_segment_bytes: u64,
+    /// Residency faults (spilled rows decoded back into memory) while this
+    /// query ran.  Like the index and parallel counters this is a delta of
+    /// process-wide totals (see [`crate::storage::storage_counters`]).
+    pub storage_residency_faults: u64,
+    /// Rows paged out to spill segments while this query ran (same
+    /// process-wide delta convention).
+    pub storage_spill_writes: u64,
 }
 
 /// How a full-model plan obtained the model it answered from.
@@ -180,12 +203,14 @@ impl serde::Serialize for ModelSource {
 #[derive(Debug, Clone)]
 pub(crate) struct Table {
     pub(crate) pattern: Term,
-    /// Ground answers, held in an argument-indexed [`AtomStore`] so that
+    /// Ground answers, held in an argument-indexed [`FactStore`] so that
     /// joining a partially instantiated subgoal against a (large, warm)
     /// table probes an index on its bound argument positions instead of
     /// scanning every answer.  The indexes are maintained by the session's
-    /// in-place table patches, so they stay warm across mutations.
-    pub(crate) answers: AtomStore,
+    /// in-place table patches, so they stay warm across mutations; on the
+    /// spill backend a cold table's answer payloads page to disk while its
+    /// indexes stay resident.
+    pub(crate) answers: FactStore,
     pub(crate) complete: bool,
     /// Direct subgoal edges: normalised key of the dependency, strongest
     /// polarity it was selected under ([`DepSign::Neg`] dominates).
@@ -193,10 +218,10 @@ pub(crate) struct Table {
 }
 
 impl Table {
-    fn new(pattern: Term) -> Self {
+    fn new(pattern: Term, storage: &StorageConfig) -> Self {
         Table {
             pattern,
-            answers: AtomStore::new(),
+            answers: FactStore::new(storage),
             complete: false,
             deps: BTreeMap::new(),
         }
@@ -230,12 +255,15 @@ pub struct QueryEvaluator<'p> {
     /// Rules whose head outermost functor is a variable: candidates for every
     /// subgoal.
     wildcard_rules: Vec<usize>,
+    /// Backend configuration for tables this evaluator creates (seeded
+    /// tables keep whatever backend they were built on).
+    storage: StorageConfig,
 }
 
 impl<'p> QueryEvaluator<'p> {
     /// Creates an evaluator for the program.
     pub fn new(program: &'p Program, opts: EvalOptions) -> Self {
-        Self::with_tables(program, opts, HashMap::new())
+        Self::with_tables(program, opts, HashMap::new(), StorageConfig::default())
     }
 
     /// Creates an evaluator seeded with tables from a previous run over the
@@ -245,6 +273,7 @@ impl<'p> QueryEvaluator<'p> {
         program: &'p Program,
         opts: EvalOptions,
         tables: HashMap<Term, Arc<Table>>,
+        storage: StorageConfig,
     ) -> Self {
         let mut rules_by_head: HashMap<(Term, Option<usize>), Vec<usize>> = HashMap::new();
         let mut wildcard_rules = Vec::new();
@@ -268,6 +297,7 @@ impl<'p> QueryEvaluator<'p> {
             derived: 0,
             rules_by_head,
             wildcard_rules,
+            storage,
         }
     }
 
@@ -314,7 +344,7 @@ impl<'p> QueryEvaluator<'p> {
         }
         let key = self.normalize(pattern);
         let key = self.evaluate_completely(key, &mut Vec::new())?;
-        Ok(self.tables[&key].answers.iter().cloned().collect())
+        Ok(self.tables[&key].answers.collect_atoms())
     }
 
     /// Answers a query (a conjunction of literals), returning one
@@ -330,7 +360,8 @@ impl<'p> QueryEvaluator<'p> {
         let rule = Rule::new(head.clone(), query.literals.clone());
         let mut extended = self.program.clone();
         extended.push(rule);
-        let mut sub = QueryEvaluator::new(&extended, self.opts);
+        let mut sub =
+            QueryEvaluator::with_tables(&extended, self.opts, HashMap::new(), self.storage.clone());
         let answers = sub.solve_atom(&head)?;
         self.stats.rule_applications += sub.stats().rule_applications;
         let mut out = Vec::new();
@@ -479,8 +510,10 @@ impl<'p> QueryEvaluator<'p> {
                 return Err(self.not_modularly_stratified(&key));
             }
         } else {
-            self.tables
-                .insert(key.clone(), Arc::new(Table::new(key.clone())));
+            self.tables.insert(
+                key.clone(),
+                Arc::new(Table::new(key.clone(), &self.storage)),
+            );
         }
         in_progress.push(key.clone());
 
@@ -544,8 +577,10 @@ impl<'p> QueryEvaluator<'p> {
             }
             return Ok(key);
         }
-        self.tables
-            .insert(key.clone(), Arc::new(Table::new(key.clone())));
+        self.tables.insert(
+            key.clone(),
+            Arc::new(Table::new(key.clone(), &self.storage)),
+        );
         scope.push(key.clone());
         Ok(key)
     }
@@ -593,11 +628,8 @@ impl<'p> QueryEvaluator<'p> {
                             // Probe the table's argument indexes with the
                             // already-resolved subgoal: only answers agreeing
                             // with its bound argument positions are visited.
-                            let answers: Vec<Term> = self.tables[&key]
-                                .answers
-                                .candidates(&instantiated)
-                                .cloned()
-                                .collect();
+                            let answers: Vec<Term> =
+                                self.tables[&key].answers.collect_candidates(&instantiated);
                             for answer in answers {
                                 let mut extended = theta.clone();
                                 if unify_with(&instantiated, &answer, &mut extended) {
@@ -636,9 +668,7 @@ impl<'p> QueryEvaluator<'p> {
                             let key = self.evaluate_completely(target, in_progress)?;
                             let answers: Vec<Term> = self.tables[&key]
                                 .answers
-                                .candidates(&instantiated_pattern)
-                                .cloned()
-                                .collect();
+                                .collect_candidates(&instantiated_pattern);
                             // Group by the pattern variables that occur
                             // outside the aggregate literal.  All variable
                             // sets are taken *after* applying `theta`: the

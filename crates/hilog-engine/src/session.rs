@@ -33,13 +33,15 @@
 use crate::error::EngineError;
 use crate::ground::{GroundProgram, GroundRule};
 use crate::grounder::{ground_against, ground_delta};
-use crate::horn::{join_body, least_model, AtomStore, EvalOptions, NegationMode};
+use crate::horn::{join_body, least_model_into, AtomStore, EvalOptions, NegationMode};
+use crate::magic::DepSign;
 use crate::magic_eval::{
     normalize_pattern, EvalStats, ModelSource, QueryEvaluator, Table, QUERY_HEAD,
 };
 use crate::modular::{figure1_procedure, ModularOutcome};
 use crate::plan::{adornment, query_is_bound, PlanStrategy, QueryPlan};
 use crate::stable::{stable_models_of_ground, StableOptions};
+use crate::storage::{FactStore, RelationStorageStats, StorageConfig};
 use crate::wfs::{affected_closure, well_founded_eval, well_founded_patch_with};
 use hilog_core::interpretation::{Model, Truth};
 use hilog_core::literal::Literal;
@@ -188,6 +190,7 @@ pub struct HiLogDbBuilder {
     stable_opts: StableOptions,
     semantics: Semantics,
     warm_model: Option<Model>,
+    storage: StorageConfig,
 }
 
 impl HiLogDbBuilder {
@@ -239,6 +242,15 @@ impl HiLogDbBuilder {
         self
     }
 
+    /// Chooses the relation-storage backend for the session's long-lived
+    /// stores (the possibly-true store and the subgoal-table answers).  The
+    /// default is [`StorageConfig::from_env`]: in-memory unless
+    /// `HILOG_STORAGE=spill` flips the process-wide default.
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
+        self
+    }
+
     /// Builds the session.  No evaluation happens yet; every cache is filled
     /// lazily by the first query that needs it.
     pub fn build(self) -> HiLogDb {
@@ -260,6 +272,8 @@ impl HiLogDbBuilder {
             patches: 0,
             pending_patched: 0,
             pending_dropped: 0,
+            pending_refilled: 0,
+            storage: self.storage,
         }
     }
 }
@@ -304,7 +318,7 @@ pub struct HiLogDb {
     /// The over-approximated true-or-undefined store backing `ground` (the
     /// least model of the positive program).  Kept in lockstep with `ground`
     /// so the semi-naive continuation has a closed store to extend.
-    possibly: Option<Arc<AtomStore>>,
+    possibly: Option<Arc<FactStore>>,
     /// Cached full model under `semantics`.
     model: Option<Arc<Model>>,
     /// Pending fact-level deltas not yet folded into `model`: the **seed
@@ -340,6 +354,13 @@ pub struct HiLogDb {
     pending_patched: usize,
     /// Subgoal tables dropped by mutations since the last query.
     pending_dropped: usize,
+    /// Derived subgoal tables *refilled eagerly* (monotone delta: the
+    /// mutation reaches them through positive edges only, so their old
+    /// answers stay valid and only additions are derived) since the last
+    /// query.
+    pending_refilled: usize,
+    /// Relation-storage backend for the session's long-lived stores.
+    storage: StorageConfig,
 }
 
 impl HiLogDb {
@@ -552,6 +573,18 @@ impl HiLogDb {
         // bodyless route still derives it (a builtin-guarded twin) — the
         // same check the DRed path applies to the ground program.
         let spontaneous = !asserted && fact.is_ground() && spontaneous_fact(&self.program, fact);
+        // Classify before mutating the table map: the monotone check walks
+        // recorded edges into tables that may themselves be affected.
+        let monotone: BTreeSet<Term> = if asserted {
+            affected
+                .iter()
+                .filter(|key| self.positive_closure(key))
+                .cloned()
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
+        let mut refill = Vec::new();
         for key in affected {
             let table = self.tables.get_mut(&key).expect("affected keys exist");
             let mut theta = Substitution::new();
@@ -566,11 +599,70 @@ impl HiLogDb {
                     table.answers.remove(fact);
                 }
                 self.pending_patched += 1;
+            } else if monotone.contains(&key) {
+                // The assert reaches this derived table through positive
+                // edges only, so its answer delta is monotone: re-solve it
+                // now, seeded with every surviving warm table, instead of
+                // leaving a cold miss for the next query.
+                self.tables.remove(&key);
+                refill.push(key);
             } else {
                 self.tables.remove(&key);
                 self.pending_dropped += 1;
             }
         }
+        self.refill_tables(refill);
+    }
+
+    /// `true` when every recorded dependency edge in `key`'s transitive
+    /// downward closure is positive.  An asserted fact reaching such a table
+    /// can only add answers (the evaluation consulted no negated subgoal),
+    /// so the table can be rebuilt eagerly rather than dropped.  A dep whose
+    /// table is gone makes the answer conservatively `false`.
+    fn positive_closure(&self, key: &Term) -> bool {
+        let mut queue = vec![key.clone()];
+        let mut seen = BTreeSet::new();
+        while let Some(key) = queue.pop() {
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            let Some(table) = self.tables.get(&key) else {
+                return false;
+            };
+            for (dep, sign) in &table.deps {
+                if *sign == DepSign::Neg {
+                    return false;
+                }
+                queue.push(dep.clone());
+            }
+        }
+        true
+    }
+
+    /// Re-solves dropped-but-monotone table patterns against the updated
+    /// program.  The evaluator is seeded with every surviving table, so the
+    /// refill only re-derives the affected subtree; tables it completes
+    /// (including any fresh dependencies) flow back into the session.  A
+    /// pattern the evaluator cannot settle falls back to the drop counter —
+    /// the next query recovers exactly as it would have without the refill.
+    fn refill_tables(&mut self, keys: Vec<Term>) {
+        if keys.is_empty() {
+            return;
+        }
+        let tables = std::mem::take(&mut self.tables);
+        let mut evaluator =
+            QueryEvaluator::with_tables(&self.program, self.opts, tables, self.storage.clone());
+        let mut failed = 0usize;
+        for key in &keys {
+            if evaluator.solve_atom(key).is_err() {
+                failed += 1;
+            }
+        }
+        let mut tables = evaluator.into_tables();
+        tables.retain(|_, t| t.complete);
+        self.tables = tables;
+        self.pending_refilled += keys.len() - failed;
+        self.pending_dropped += failed;
     }
 
     /// Drops every table in the instance-level reverse closure of a rule
@@ -858,7 +950,7 @@ impl HiLogDb {
             .filter(|(_, r)| deleted.contains(&r.head))
             .map(|(i, _)| i)
             .collect();
-        let rederives = |rule: &GroundRule, possibly: &AtomStore| {
+        let rederives = |rule: &GroundRule, possibly: &FactStore| {
             rule.pos.iter().all(|a| possibly.contains(a))
                 && !(rule.is_fact() && rule.head == *fact && !spontaneous)
         };
@@ -918,8 +1010,16 @@ impl HiLogDb {
         if self.ground.is_none() {
             // Ground in two steps (rather than through `relevant_ground`) so
             // the possibly-true store is kept: it is the closed store the
-            // semi-naive continuation of `assert_fact` extends.
-            let possibly = least_model(&self.program, NegationMode::Ignore, self.opts)?;
+            // semi-naive continuation of `assert_fact` extends.  Built on the
+            // session's configured backend, so a spill session pages the
+            // possibly-true store's cold relations to disk from the start.
+            let mut possibly = FactStore::new(&self.storage);
+            least_model_into(
+                &self.program,
+                NegationMode::Ignore,
+                self.opts,
+                &mut possibly,
+            )?;
             self.ground = Some(Arc::new(ground_against(
                 &self.program,
                 &possibly,
@@ -1056,6 +1156,9 @@ impl HiLogDb {
         // Parallel observability: process-wide pool counters, read as deltas
         // around the query (see `pool::parallel_counters` for the caveats).
         let (waves_before, rounds_before, tasks_before) = crate::pool::parallel_counters();
+        // Storage observability: spill faults and page-outs, same
+        // process-wide delta convention as the probe/pool counters.
+        let (faults_before, spills_before) = crate::storage::storage_counters();
         let mut result = match plan.strategy {
             PlanStrategy::MagicSets => match self.query_magic(query) {
                 Ok((answers, stats)) => assemble(answers, stats, plan, None),
@@ -1079,6 +1182,7 @@ impl HiLogDb {
         // them) leaves the mutation window's counters for the next one.
         result.stats.tables_patched = std::mem::take(&mut self.pending_patched);
         result.stats.tables_dropped = std::mem::take(&mut self.pending_dropped);
+        result.stats.tables_refilled = std::mem::take(&mut self.pending_refilled);
         result.stats.tables_reused = tables_reused;
         let (probes_after, fallbacks_after) = crate::horn::probe_counters();
         result.stats.index_probes = probes_after - probes_before;
@@ -1088,7 +1192,29 @@ impl HiLogDb {
         result.stats.parallel_partitioned_rounds = rounds_after - rounds_before;
         result.stats.parallel_tasks = tasks_after - tasks_before;
         result.stats.live_symbols = hilog_core::symbol::symbol_pool_stats().live;
+        let (faults_after, spills_after) = crate::storage::storage_counters();
+        result.stats.storage_residency_faults = faults_after.saturating_sub(faults_before);
+        result.stats.storage_spill_writes = spills_after.saturating_sub(spills_before);
+        let storage = self.storage_stats();
+        result.stats.storage_resident_facts = storage.resident_facts;
+        result.stats.storage_spilled_facts = storage.spilled_facts;
+        result.stats.storage_segment_bytes = storage.segment_bytes;
         Ok(result)
+    }
+
+    /// Aggregate relation-storage statistics over the session's stores: the
+    /// possibly-true store (when grounding has run) and every subgoal
+    /// table's answer store.  Under [`StorageConfig::InMemory`] everything
+    /// is resident and the spill fields are zero.
+    pub fn storage_stats(&self) -> RelationStorageStats {
+        let mut total = RelationStorageStats::default();
+        if let Some(possibly) = &self.possibly {
+            total.merge(&possibly.storage_stats());
+        }
+        for table in self.tables.values() {
+            total.merge(&table.answers.storage_stats());
+        }
+        total
     }
 
     /// Three-valued truth of a single ground atom under the session's
@@ -1118,10 +1244,12 @@ impl HiLogDb {
                 if table.complete {
                     let answers = table
                         .answers
-                        .iter()
+                        .collect_atoms()
+                        .into_iter()
                         .filter_map(|answer| {
                             let mut theta = Substitution::new();
-                            match_with(atom, answer, &mut theta).then(|| true_answer(&theta, &vars))
+                            match_with(atom, &answer, &mut theta)
+                                .then(|| true_answer(&theta, &vars))
                         })
                         .collect();
                     let stats = EvalStats {
@@ -1147,7 +1275,8 @@ impl HiLogDb {
         if let [Literal::Pos(atom)] = query.literals.as_slice() {
             // Single-atom queries table the pattern itself — the second run
             // of the same query is a pure cache hit.
-            let mut evaluator = QueryEvaluator::with_tables(&self.program, self.opts, tables);
+            let mut evaluator =
+                QueryEvaluator::with_tables(&self.program, self.opts, tables, self.storage.clone());
             let solved = evaluator.solve_atom(atom);
             let stats = per_query(evaluator.stats());
             let mut tables = evaluator.into_tables();
@@ -1175,7 +1304,8 @@ impl HiLogDb {
             }
             let scratch = self.scratch.as_mut().expect("just cloned");
             scratch.push(Rule::new(head.clone(), query.literals.clone()));
-            let mut evaluator = QueryEvaluator::with_tables(scratch, self.opts, tables);
+            let mut evaluator =
+                QueryEvaluator::with_tables(scratch, self.opts, tables, self.storage.clone());
             let solved = evaluator.solve_atom(&head);
             let stats = per_query(evaluator.stats());
             let mut tables = evaluator.into_tables();
@@ -1275,6 +1405,7 @@ impl HiLogDb {
             stable: self.stable.clone(),
             modular: self.modular.clone(),
             tables: self.tables.clone(),
+            storage: self.storage.clone(),
         }
     }
 
@@ -1297,11 +1428,12 @@ pub(crate) struct SnapshotParts {
     pub(crate) stable_opts: StableOptions,
     pub(crate) semantics: Semantics,
     pub(crate) ground: Option<Arc<GroundProgram>>,
-    pub(crate) possibly: Option<Arc<AtomStore>>,
+    pub(crate) possibly: Option<Arc<FactStore>>,
     pub(crate) model: Option<Arc<Model>>,
     pub(crate) stable: Option<Arc<Vec<Model>>>,
     pub(crate) modular: Option<Arc<ModularOutcome>>,
     pub(crate) tables: HashMap<Term, Arc<Table>>,
+    pub(crate) storage: StorageConfig,
 }
 
 /// Builds the [`QueryPlan`] for a query given the cache state of whichever

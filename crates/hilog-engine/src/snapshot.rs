@@ -59,7 +59,7 @@
 use crate::error::EngineError;
 use crate::ground::GroundProgram;
 use crate::grounder::ground_against;
-use crate::horn::{least_model, AtomStore, EvalOptions, NegationMode};
+use crate::horn::{least_model_into, EvalOptions, NegationMode};
 use crate::magic_eval::{
     normalize_pattern, EvalStats, ModelSource, QueryEvaluator, Table, QUERY_HEAD,
 };
@@ -70,6 +70,7 @@ use crate::session::{
     QueryResult, Semantics, SnapshotParts,
 };
 use crate::stable::{stable_models_of_ground, StableOptions};
+use crate::storage::{FactStore, StorageConfig};
 use crate::wfs::well_founded_eval;
 use hilog_core::interpretation::{Model, Truth};
 use hilog_core::literal::Literal;
@@ -104,7 +105,7 @@ struct SnapCore {
     ground: Option<Arc<GroundProgram>>,
     /// The possibly-true store backing `ground`; kept alongside it so a
     /// snapshot-built grounding has the same shape a writer-built one has.
-    possibly: Option<Arc<AtomStore>>,
+    possibly: Option<Arc<FactStore>>,
     /// Full model under the snapshot's semantics.
     model: Option<Arc<Model>>,
     /// Stable models (filled by [`DbSnapshot::stable_models`]).
@@ -137,6 +138,8 @@ pub struct DbSnapshot {
     /// ever *added* here — the program is frozen, so a completed table can
     /// never go stale within a snapshot's lifetime.
     tables: RwLock<HashMap<Term, Arc<Table>>>,
+    /// Relation-storage backend for stores this snapshot builds lazily.
+    storage: StorageConfig,
 }
 
 impl DbSnapshot {
@@ -156,6 +159,7 @@ impl DbSnapshot {
                 modular: parts.modular,
             }),
             tables: RwLock::new(parts.tables),
+            storage: parts.storage,
         }
     }
 
@@ -187,6 +191,21 @@ impl DbSnapshot {
             .values()
             .filter(|t| t.complete)
             .count()
+    }
+
+    /// Aggregate relation-storage statistics over this snapshot's stores:
+    /// the lazily built possibly-true store and every subgoal table's answer
+    /// store (the snapshot-side mirror of
+    /// [`HiLogDb::storage_stats`](crate::session::HiLogDb::storage_stats)).
+    pub fn storage_stats(&self) -> crate::storage::RelationStorageStats {
+        let mut total = crate::storage::RelationStorageStats::default();
+        if let Some(possibly) = &read_lock(&self.core).possibly {
+            total.merge(&possibly.storage_stats());
+        }
+        for table in read_lock(&self.tables).values() {
+            total.merge(&table.answers.storage_stats());
+        }
+        total
     }
 
     /// Builds the plan [`query`](DbSnapshot::query) would execute, without
@@ -302,10 +321,11 @@ impl DbSnapshot {
             if let Some(table) = hit {
                 let answers = table
                     .answers
-                    .iter()
+                    .collect_atoms()
+                    .into_iter()
                     .filter_map(|answer| {
                         let mut theta = Substitution::new();
-                        match_with(atom, answer, &mut theta).then(|| true_answer(&theta, &vars))
+                        match_with(atom, &answer, &mut theta).then(|| true_answer(&theta, &vars))
                     })
                     .collect();
                 let stats = EvalStats {
@@ -326,7 +346,8 @@ impl DbSnapshot {
             stats
         };
         if let [Literal::Pos(atom)] = query.literals.as_slice() {
-            let mut evaluator = QueryEvaluator::with_tables(&self.program, self.opts, tables);
+            let mut evaluator =
+                QueryEvaluator::with_tables(&self.program, self.opts, tables, self.storage.clone());
             let solved = evaluator.solve_atom(atom);
             let stats = per_query(evaluator.stats());
             let mut fresh = evaluator.into_tables();
@@ -350,7 +371,8 @@ impl DbSnapshot {
             );
             let mut scratch = Program::clone(&self.program);
             scratch.push(Rule::new(head.clone(), query.literals.clone()));
-            let mut evaluator = QueryEvaluator::with_tables(&scratch, self.opts, tables);
+            let mut evaluator =
+                QueryEvaluator::with_tables(&scratch, self.opts, tables, self.storage.clone());
             let solved = evaluator.solve_atom(&head);
             let stats = per_query(evaluator.stats());
             let mut fresh = evaluator.into_tables();
@@ -434,7 +456,13 @@ impl DbSnapshot {
         if core.ground.is_some() {
             return Ok(0);
         }
-        let possibly = least_model(&self.program, NegationMode::Ignore, self.opts)?;
+        let mut possibly = FactStore::new(&self.storage);
+        least_model_into(
+            &self.program,
+            NegationMode::Ignore,
+            self.opts,
+            &mut possibly,
+        )?;
         core.ground = Some(Arc::new(ground_against(
             &self.program,
             &possibly,

@@ -1,0 +1,715 @@
+//! The spill-to-disk relation storage backend.
+//!
+//! A [`SpillStore`] holds the same logical content as an
+//! [`crate::horn::AtomStore`] but pages *cold relations' fact payloads* out
+//! to per-relation segment files: every relation keeps its bookkeeping —
+//! per-argument-position hash indexes, the structural-hash membership map,
+//! insertion order — in memory, while the decoded `Term` payloads of rows
+//! in relations that have not been probed recently are dropped after being
+//! appended (once) to the relation's segment file.  A later probe *faults*
+//! the rows it actually needs back in with positioned reads
+//! (`pread`-style `read_at`; the OS page cache is the paging layer — the
+//! build environment has no mmap crate, and positioned reads over a cached
+//! file are what a read-only mmap would give us without the unsafety).
+//!
+//! Consequences of the layout:
+//!
+//! * A bound probe (`for_each_candidate` with a ground argument) walks one
+//!   posting list and decodes only those rows — interactive latency even
+//!   when the fact base is much larger than the residency budget.
+//! * `contains` confirms a structural-hash hit by decoding at most the few
+//!   hash-colliding rows.
+//! * Full scans (unbound patterns over a cold relation) fault the whole
+//!   relation back in — correct, visible in the fault counters, and priced
+//!   exactly like the cold read it is.
+//!
+//! Segment files are append-only and process-lifetime: they are a *cache*,
+//! not durable state (durability is `hilog-store`'s WAL + checkpoints), so
+//! no fsync, no recovery, and clones of a store (the session publishes its
+//! possibly-store into snapshots via `Arc::make_mut`) share the same
+//! append-only segment files — offsets recorded by either clone stay valid
+//! because nothing is ever overwritten or truncated.
+//!
+//! Eviction is relation-LRU: when the decoded-payload count exceeds the
+//! budget, the least-recently-probed relations are paged out first, so hot
+//! relations stay resident end to end.
+
+use crate::storage::{note_residency_fault, note_spill_write, RelationStorage};
+use crate::storage::{RelationStorageStats, DEFAULT_SPILL_BUDGET};
+use hilog_core::codec::{PayloadReader, PayloadWriter};
+use hilog_core::term::Term;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::fs::{File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// Process-unique suffix for auto-created spill directories.
+static SPILL_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The spill directory, shared by every clone of a store; auto-created
+/// directories are removed when the last clone drops.
+#[derive(Debug)]
+struct SpillDir {
+    path: PathBuf,
+    owned: bool,
+}
+
+impl SpillDir {
+    fn auto() -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "hilog-spill-{}-{}",
+            std::process::id(),
+            SPILL_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        SpillDir { path, owned: true }
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        if self.owned {
+            // Best effort: the directory is a cache keyed by pid; a leak is
+            // harmless and reaped by the OS temp cleaner.
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// One relation's append-only segment file, shared by clones of the store.
+#[derive(Debug)]
+struct Segment {
+    file: File,
+    /// Logical end of the file.  Appends claim `[end, end + len)` with a
+    /// fetch-add, then write with `write_all_at`, so clones sharing the
+    /// segment never interleave within a record.
+    end: AtomicU64,
+}
+
+impl Segment {
+    fn append(&self, bytes: &[u8]) -> (u64, u32) {
+        let offset = self.end.fetch_add(bytes.len() as u64, Ordering::SeqCst);
+        #[cfg(unix)]
+        self.file
+            .write_all_at(bytes, offset)
+            .expect("spill segment append failed (disk full or cache dir removed?)");
+        #[cfg(not(unix))]
+        let _ = offset; // Spill requires positioned IO; unix-only for now.
+        (offset, bytes.len() as u32)
+    }
+
+    fn read(&self, offset: u64, len: u32) -> Vec<u8> {
+        let mut buf = vec![0u8; len as usize];
+        #[cfg(unix)]
+        self.file
+            .read_exact_at(&mut buf, offset)
+            .expect("spill segment read failed (cache file corrupted or removed)");
+        #[cfg(not(unix))]
+        let _ = offset;
+        buf
+    }
+}
+
+/// Row state: the decoded payload (when resident) and its on-disk location
+/// (once spilled).  Removed rows give up their slot bookkeeping but their
+/// segment bytes stay — segments are append-only, stale records are simply
+/// never read again.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    term: Option<Term>,
+    disk: Option<(u64, u32)>,
+}
+
+/// One `(predicate name, arity)` extension.
+#[derive(Debug, Clone, Default)]
+struct SpillRelation {
+    /// Live slot ids in insertion order (mirrors `AtomStore`'s row order).
+    order: Vec<u32>,
+    slots: Vec<Slot>,
+    /// Structural term hash → live slots (membership / removal path).
+    by_hash: HashMap<u64, Vec<u32>>,
+    /// Argument-position indexes, maintained eagerly on insert/remove so a
+    /// probe over a cold relation never faults rows in just to build an
+    /// index.  Keys are argument subterms (`Arc` bumps) — the "all indexes
+    /// stay in memory" half of the spill contract.
+    indexes: HashMap<usize, HashMap<Term, Vec<u32>>>,
+    /// Rows currently resident (decoded payload in memory).
+    resident: usize,
+    /// LRU clock of the last operation that touched this relation.
+    touch: u64,
+    /// Segment file, created on this relation's first eviction.
+    segment: Option<Arc<Segment>>,
+}
+
+impl SpillRelation {
+    /// Decodes slot `slot`, faulting it in from the segment when
+    /// non-resident.  Returns the term and `1` if a fault happened.
+    fn slot_term(&mut self, slot: u32) -> (Term, u64) {
+        let entry = &mut self.slots[slot as usize];
+        if let Some(term) = &entry.term {
+            return (term.clone(), 0);
+        }
+        let (offset, len) = entry
+            .disk
+            .expect("non-resident spill slot must have a disk location");
+        let segment = self
+            .segment
+            .as_ref()
+            .expect("spilled relation must have a segment");
+        let term = decode_row(&segment.read(offset, len));
+        self.slots[slot as usize].term = Some(term.clone());
+        self.resident += 1;
+        note_residency_fault();
+        (term, 1)
+    }
+
+    /// Locates the live slot holding `atom`, faulting colliding rows in to
+    /// confirm equality.  Returns the slot and the number of faults.
+    fn find_slot(&mut self, hash: u64, atom: &Term) -> (Option<u32>, u64) {
+        let Some(slots) = self.by_hash.get(&hash) else {
+            return (None, 0);
+        };
+        let slots = slots.clone();
+        let mut faults = 0u64;
+        for slot in slots {
+            let (term, f) = self.slot_term(slot);
+            faults += f;
+            if &term == atom {
+                return (Some(slot), faults);
+            }
+        }
+        (None, faults)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpillInner {
+    relations: HashMap<(Term, Option<usize>), SpillRelation>,
+    /// Total live atoms.
+    len: usize,
+    /// Total resident (decoded) rows across relations.
+    resident: usize,
+    clock: u64,
+    /// Lifetime counters for [`RelationStorageStats`].
+    faults: u64,
+    spill_writes: u64,
+    segment_bytes: u64,
+}
+
+impl SpillInner {
+    fn touch(&mut self, key: &(Term, Option<usize>)) -> Option<&mut SpillRelation> {
+        self.clock += 1;
+        let clock = self.clock;
+        let rel = self.relations.get_mut(key)?;
+        rel.touch = clock;
+        Some(rel)
+    }
+}
+
+/// Spill-to-disk [`RelationStorage`] backend; see the module docs.
+///
+/// Interior mutability (`Mutex`) because faulting rows in and updating the
+/// LRU clock happen under `&self` probes, and a shared store must stay
+/// `Sync` for snapshot readers and partitioned-join workers.  Probe results
+/// are collected under the lock and visited outside it.
+#[derive(Debug)]
+pub struct SpillStore {
+    inner: Mutex<SpillInner>,
+    dir: Arc<SpillDir>,
+    budget: usize,
+}
+
+impl Clone for SpillStore {
+    fn clone(&self) -> Self {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        SpillStore {
+            inner: Mutex::new(SpillInner {
+                relations: inner.relations.clone(),
+                len: inner.len,
+                resident: inner.resident,
+                clock: inner.clock,
+                faults: inner.faults,
+                spill_writes: inner.spill_writes,
+                segment_bytes: inner.segment_bytes,
+            }),
+            dir: Arc::clone(&self.dir),
+            budget: self.budget,
+        }
+    }
+}
+
+fn term_hash(term: &Term) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    term.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn encode_row(atom: &Term) -> Vec<u8> {
+    let mut writer = PayloadWriter::new();
+    writer.write_term(atom);
+    writer.finish()
+}
+
+fn decode_row(bytes: &[u8]) -> Term {
+    let mut reader = PayloadReader::new(bytes).expect("spill row payload parses");
+    reader.read_term().expect("spill row decodes to a term")
+}
+
+impl SpillStore {
+    /// An empty store spilling to `dir` (an auto-created temp directory
+    /// when `None`) with the given resident-payload budget.
+    pub fn new(dir: Option<PathBuf>, resident_budget: usize) -> Self {
+        let dir = match dir {
+            Some(path) => Arc::new(SpillDir { path, owned: false }),
+            None => Arc::new(SpillDir::auto()),
+        };
+        SpillStore {
+            inner: Mutex::new(SpillInner::default()),
+            dir,
+            budget: resident_budget.max(1),
+        }
+    }
+
+    /// An empty store with the default budget (tests, ad hoc use).
+    pub fn with_default_budget() -> Self {
+        SpillStore::new(None, DEFAULT_SPILL_BUDGET)
+    }
+
+    /// The resident-payload budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SpillInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Pages out every resident row of `rel`, appending rows not yet on
+    /// disk to the relation's segment file.  Returns `(evicted, writes,
+    /// bytes)`.
+    fn evict_relation(
+        dir: &SpillDir,
+        key: &(Term, Option<usize>),
+        rel: &mut SpillRelation,
+    ) -> (usize, u64, u64) {
+        if rel.resident == 0 {
+            return (0, 0, 0);
+        }
+        if rel.segment.is_none() {
+            std::fs::create_dir_all(&dir.path).expect("create spill directory");
+            let mut hasher = DefaultHasher::new();
+            key.hash(&mut hasher);
+            let path = dir.path.join(format!("rel-{:016x}.seg", hasher.finish()));
+            let file = OpenOptions::new()
+                .create(true)
+                .read(true)
+                .write(true)
+                .truncate(false)
+                .open(&path)
+                .expect("open spill segment file");
+            let end = file.metadata().map(|m| m.len()).unwrap_or(0);
+            rel.segment = Some(Arc::new(Segment {
+                file,
+                end: AtomicU64::new(end),
+            }));
+        }
+        let segment = Arc::clone(rel.segment.as_ref().expect("segment just ensured"));
+        let mut evicted = 0usize;
+        let mut writes = 0u64;
+        let mut bytes = 0u64;
+        for &slot in &rel.order {
+            let entry = &mut rel.slots[slot as usize];
+            let Some(term) = &entry.term else { continue };
+            if entry.disk.is_none() {
+                let encoded = encode_row(term);
+                entry.disk = Some(segment.append(&encoded));
+                writes += 1;
+                bytes += encoded.len() as u64;
+                note_spill_write();
+            }
+            entry.term = None;
+            evicted += 1;
+        }
+        rel.resident -= evicted;
+        (evicted, writes, bytes)
+    }
+
+    /// Enforces the residency budget by paging out the least recently
+    /// touched relations — never `hot_key`, which the caller is actively
+    /// working in, unless it is the only relation left with resident rows
+    /// (then it simply overshoots rather than thrash).
+    fn enforce_budget(&self, inner: &mut SpillInner, hot_key: Option<&(Term, Option<usize>)>) {
+        while inner.resident > self.budget {
+            let victim = inner
+                .relations
+                .iter()
+                .filter(|(key, rel)| rel.resident > 0 && Some(*key) != hot_key)
+                .min_by_key(|(_, rel)| rel.touch)
+                .map(|(key, _)| key.clone());
+            let Some(key) = victim else { break };
+            let rel = inner.relations.get_mut(&key).expect("victim exists");
+            let (evicted, writes, bytes) = Self::evict_relation(&self.dir, &key, rel);
+            inner.resident -= evicted;
+            inner.spill_writes += writes;
+            inner.segment_bytes += bytes;
+        }
+    }
+}
+
+impl RelationStorage for SpillStore {
+    fn insert(&mut self, atom: Term) -> bool {
+        debug_assert!(
+            atom.is_ground(),
+            "SpillStore::insert of non-ground atom {atom}"
+        );
+        let key = (atom.name().clone(), atom.arity());
+        let hash = term_hash(&atom);
+        let inner = &mut *self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let rel = inner.relations.entry(key.clone()).or_default();
+        rel.touch = clock;
+        let (found, faults) = rel.find_slot(hash, &atom);
+        if found.is_some() {
+            inner.resident += faults as usize;
+            inner.faults += faults;
+            self.enforce_budget(inner, Some(&key));
+            return false;
+        }
+        let slot = rel.slots.len() as u32;
+        for (pos, arg) in atom.args().iter().enumerate() {
+            rel.indexes
+                .entry(pos)
+                .or_default()
+                .entry(arg.clone())
+                .or_default()
+                .push(slot);
+        }
+        rel.slots.push(Slot {
+            term: Some(atom),
+            disk: None,
+        });
+        rel.order.push(slot);
+        rel.by_hash.entry(hash).or_default().push(slot);
+        rel.resident += 1;
+        inner.resident += 1 + faults as usize;
+        inner.faults += faults;
+        inner.len += 1;
+        self.enforce_budget(inner, Some(&key));
+        true
+    }
+
+    fn remove(&mut self, atom: &Term) -> bool {
+        let key = (atom.name().clone(), atom.arity());
+        let hash = term_hash(atom);
+        let inner = &mut *self.lock();
+        let Some(rel) = inner.touch(&key) else {
+            return false;
+        };
+        let (found, faults) = rel.find_slot(hash, atom);
+        let Some(slot) = found else {
+            inner.resident += faults as usize;
+            inner.faults += faults;
+            return false;
+        };
+        let entry = &mut rel.slots[slot as usize];
+        let was_resident = entry.term.take().is_some();
+        if was_resident {
+            rel.resident -= 1;
+        }
+        rel.order.retain(|&s| s != slot);
+        if let Some(bucket) = rel.by_hash.get_mut(&hash) {
+            bucket.retain(|&s| s != slot);
+            if bucket.is_empty() {
+                rel.by_hash.remove(&hash);
+            }
+        }
+        for (pos, index) in rel.indexes.iter_mut() {
+            if let Some(arg) = atom.args().get(*pos) {
+                if let Some(posting) = index.get_mut(arg) {
+                    posting.retain(|&s| s != slot);
+                }
+            }
+        }
+        // find_slot left the target row resident (faulting it in if it was
+        // spilled); taking its payload back out undoes exactly one unit,
+        // while the other colliding faults stay resident.
+        debug_assert!(was_resident, "find_slot leaves the found row resident");
+        inner.resident += faults as usize;
+        inner.resident -= 1;
+        inner.faults += faults;
+        inner.len -= 1;
+        true
+    }
+
+    fn contains(&self, atom: &Term) -> bool {
+        let key = (atom.name().clone(), atom.arity());
+        let hash = term_hash(atom);
+        let inner = &mut *self.lock();
+        let Some(rel) = inner.touch(&key) else {
+            return false;
+        };
+        let (found, faults) = rel.find_slot(hash, atom);
+        inner.resident += faults as usize;
+        inner.faults += faults;
+        if faults > 0 {
+            self.enforce_budget(inner, Some(&key));
+        }
+        found.is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len
+    }
+
+    fn for_each_candidate(&self, pattern: &Term, visit: &mut dyn FnMut(&Term)) {
+        let collected: Vec<Term> = {
+            let inner = &mut *self.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            let mut faults = 0u64;
+            let arity = pattern.arity();
+            let mut out: Vec<Term> = Vec::new();
+            if !pattern.name().is_ground() {
+                // Arity scan across every relation, in term order to mirror
+                // the in-memory backend's ordered fallback.
+                let mut sorted: BTreeSet<Term> = BTreeSet::new();
+                for (key, rel) in inner.relations.iter_mut() {
+                    if key.1 != arity {
+                        continue;
+                    }
+                    rel.touch = clock;
+                    for slot in rel.order.clone() {
+                        let (term, f) = rel.slot_term(slot);
+                        faults += f;
+                        sorted.insert(term);
+                    }
+                }
+                out.extend(sorted);
+            } else if let Some(rel) = inner.relations.get_mut(&(pattern.name().clone(), arity)) {
+                rel.touch = clock;
+                // Most selective posting list over the pattern's ground
+                // argument positions; indexes are maintained eagerly on
+                // insert, so an absent posting means no row can match.
+                let mut best: Option<&Vec<u32>> = None;
+                let mut impossible = false;
+                for (pos, arg) in pattern.args().iter().enumerate() {
+                    if !arg.is_ground() {
+                        continue;
+                    }
+                    match rel.indexes.get(&pos).and_then(|index| index.get(arg)) {
+                        None => {
+                            impossible = true;
+                            break;
+                        }
+                        Some(posting) => {
+                            if best.is_none_or(|b| posting.len() < b.len()) {
+                                best = Some(posting);
+                            }
+                        }
+                    }
+                }
+                if !impossible {
+                    let slots: Vec<u32> = match best {
+                        Some(posting) => posting.clone(),
+                        None => rel.order.clone(),
+                    };
+                    for slot in slots {
+                        let (term, f) = rel.slot_term(slot);
+                        faults += f;
+                        out.push(term);
+                    }
+                }
+            }
+            inner.resident += faults as usize;
+            inner.faults += faults;
+            self.enforce_budget(inner, None);
+            out
+        };
+        for term in &collected {
+            visit(term);
+        }
+    }
+
+    fn for_each_atom(&self, visit: &mut dyn FnMut(&Term)) {
+        let collected: BTreeSet<Term> = {
+            let inner = &mut *self.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            let mut faults = 0u64;
+            let mut sorted = BTreeSet::new();
+            for rel in inner.relations.values_mut() {
+                rel.touch = clock;
+                for slot in rel.order.clone() {
+                    let (term, f) = rel.slot_term(slot);
+                    faults += f;
+                    sorted.insert(term);
+                }
+            }
+            inner.resident += faults as usize;
+            inner.faults += faults;
+            self.enforce_budget(inner, None);
+            sorted
+        };
+        for term in &collected {
+            visit(term);
+        }
+    }
+
+    fn for_each_named(&self, name: &Term, arity: Option<usize>, visit: &mut dyn FnMut(&Term)) {
+        let collected: BTreeSet<Term> = {
+            let inner = &mut *self.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            let mut faults = 0u64;
+            let mut sorted = BTreeSet::new();
+            for (key, rel) in inner.relations.iter_mut() {
+                if &key.0 != name || (arity.is_some() && key.1 != arity) {
+                    continue;
+                }
+                rel.touch = clock;
+                for slot in rel.order.clone() {
+                    let (term, f) = rel.slot_term(slot);
+                    faults += f;
+                    sorted.insert(term);
+                }
+            }
+            inner.resident += faults as usize;
+            inner.faults += faults;
+            self.enforce_budget(inner, None);
+            sorted
+        };
+        for term in &collected {
+            visit(term);
+        }
+    }
+
+    fn storage_stats(&self) -> RelationStorageStats {
+        let inner = self.lock();
+        RelationStorageStats {
+            resident_facts: inner.resident,
+            spilled_facts: inner.len - inner.resident,
+            relations: inner.relations.len(),
+            spilled_relations: inner
+                .relations
+                .values()
+                .filter(|r| r.resident < r.order.len())
+                .count(),
+            segment_bytes: inner.segment_bytes,
+            residency_faults: inner.faults,
+            spill_writes: inner.spill_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(name: &str, a: &str, b: &str) -> Term {
+        Term::apps(name, vec![Term::sym(a), Term::sym(b)])
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut store = SpillStore::new(None, 4);
+        assert!(store.insert(atom("edge", "a", "b")));
+        assert!(!store.insert(atom("edge", "a", "b")));
+        assert!(store.contains(&atom("edge", "a", "b")));
+        assert!(!store.contains(&atom("edge", "b", "a")));
+        assert!(store.remove(&atom("edge", "a", "b")));
+        assert!(!store.remove(&atom("edge", "a", "b")));
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn eviction_pages_cold_relations_and_probes_fault_back() {
+        let mut store = SpillStore::new(None, 8);
+        // Two relations; the second relation's inserts make the first cold.
+        for i in 0..16 {
+            store.insert(atom("cold", &format!("a{i}"), "x"));
+        }
+        for i in 0..16 {
+            store.insert(atom("hot", &format!("b{i}"), "y"));
+        }
+        let stats = store.storage_stats();
+        assert!(
+            stats.spilled_facts > 0,
+            "expected spilled facts, got {stats:?}"
+        );
+        assert!(stats.spill_writes > 0);
+        assert!(stats.segment_bytes > 0);
+        // A bound probe on the cold relation faults exactly the posting
+        // list back in and still answers correctly.
+        let pattern = Term::apps("cold", vec![Term::sym("a3"), Term::var("Y")]);
+        let hits = store.collect_candidates(&pattern);
+        assert_eq!(hits, vec![atom("cold", "a3", "x")]);
+        assert!(store.storage_stats().residency_faults > 0);
+        assert!(store.contains(&atom("cold", "a7", "x")));
+    }
+
+    #[test]
+    fn resident_count_stays_within_budget_for_multiple_relations() {
+        let mut store = SpillStore::new(None, 10);
+        for r in 0..6 {
+            for i in 0..10 {
+                store.insert(atom(&format!("rel{r}"), &format!("k{i}"), "v"));
+            }
+        }
+        let stats = store.storage_stats();
+        assert_eq!(stats.resident_facts + stats.spilled_facts, 60);
+        assert!(
+            stats.resident_facts <= 20,
+            "budget 10 plus one hot relation, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn removal_of_spilled_rows_is_exact() {
+        let mut store = SpillStore::new(None, 2);
+        for i in 0..8 {
+            store.insert(atom("r", &format!("k{i}"), "v"));
+        }
+        assert!(store.remove(&atom("r", "k2", "v")));
+        assert!(!store.contains(&atom("r", "k2", "v")));
+        assert_eq!(store.len(), 7);
+        let pattern = Term::apps("r", vec![Term::var("X"), Term::var("Y")]);
+        assert_eq!(store.collect_candidates(&pattern).len(), 7);
+    }
+
+    #[test]
+    fn ordered_iteration_matches_term_order() {
+        let mut store = SpillStore::new(None, 2);
+        let mut expected = BTreeSet::new();
+        for i in [3, 1, 4, 1, 5, 9, 2, 6] {
+            let a = atom("z", &format!("n{i}"), "w");
+            store.insert(a.clone());
+            expected.insert(a.clone());
+            let b = atom("a", &format!("n{i}"), "w");
+            store.insert(b.clone());
+            expected.insert(b);
+        }
+        let collected = store.collect_atoms();
+        assert_eq!(collected, expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clones_share_segments_without_corruption() {
+        let mut store = SpillStore::new(None, 2);
+        for i in 0..12 {
+            store.insert(atom("s", &format!("k{i}"), "v"));
+        }
+        let mut clone = store.clone();
+        clone.insert(atom("s", "extra", "v"));
+        // Both clones keep answering from the shared (append-only) segment.
+        assert!(store.contains(&atom("s", "k1", "v")));
+        assert!(clone.contains(&atom("s", "k1", "v")));
+        assert!(clone.contains(&atom("s", "extra", "v")));
+        assert!(!store.contains(&atom("s", "extra", "v")));
+    }
+}

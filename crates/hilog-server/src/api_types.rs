@@ -133,6 +133,25 @@ pub struct StatsResponse {
     pub last_checkpoint_epoch: Option<u64>,
     /// Total on-disk size of the data directory, in bytes.
     pub data_dir_bytes: u64,
+    /// Segment files the most recent incremental checkpoint wrote (clean
+    /// relations reuse theirs; zero after a whole-store checkpoint).
+    pub last_checkpoint_segments: usize,
+    /// Bytes the most recent checkpoint added — the incremental delta.
+    pub last_checkpoint_bytes: u64,
+    /// Segments referenced by the current incremental manifest.
+    pub manifest_segments: usize,
+    /// Facts resident in memory across the published snapshot's relation
+    /// stores (possibly-true store + subgoal tables).
+    pub spill_resident_facts: usize,
+    /// Facts whose payloads live only in spill segment files (zero under
+    /// the in-memory relation backend).
+    pub spill_spilled_facts: usize,
+    /// Bytes in the snapshot's spill segment files.
+    pub spill_segment_bytes: u64,
+    /// Process-lifetime residency faults (spilled rows decoded back).
+    pub spill_residency_faults: u64,
+    /// Process-lifetime rows paged out to spill segments.
+    pub spill_writes: u64,
     /// Interned symbols still referenced outside the global pool.
     pub live_symbols: usize,
     /// Total entries in the global symbol pool (live plus pool-only, the
@@ -158,6 +177,34 @@ impl Serialize for StatsResponse {
             false,
         );
         serde::write_field(out, "data_dir_bytes", &self.data_dir_bytes, false);
+        serde::write_field(
+            out,
+            "last_checkpoint_segments",
+            &self.last_checkpoint_segments,
+            false,
+        );
+        serde::write_field(
+            out,
+            "last_checkpoint_bytes",
+            &self.last_checkpoint_bytes,
+            false,
+        );
+        serde::write_field(out, "manifest_segments", &self.manifest_segments, false);
+        serde::write_field(
+            out,
+            "spill_resident_facts",
+            &self.spill_resident_facts,
+            false,
+        );
+        serde::write_field(out, "spill_spilled_facts", &self.spill_spilled_facts, false);
+        serde::write_field(out, "spill_segment_bytes", &self.spill_segment_bytes, false);
+        serde::write_field(
+            out,
+            "spill_residency_faults",
+            &self.spill_residency_faults,
+            false,
+        );
+        serde::write_field(out, "spill_writes", &self.spill_writes, false);
         serde::write_field(out, "live_symbols", &self.live_symbols, false);
         serde::write_field(out, "interned_symbols", &self.interned_symbols, false);
         out.push('}');
@@ -169,10 +216,16 @@ impl Serialize for StatsResponse {
 pub struct CheckpointResponse {
     /// The epoch the checkpoint captured.
     pub epoch: u64,
+    /// `"full"` or `"incremental"`.
+    pub mode: String,
     /// `false` when the server runs in-memory (nothing was written).
     pub durable: bool,
-    /// Path of the checkpoint file, when one was written.
+    /// Path of the checkpoint (or manifest) file, when one was written.
     pub path: Option<String>,
+    /// Segment files written (incremental mode; 0 for full).
+    pub segments_written: usize,
+    /// Bytes this checkpoint added to the data directory.
+    pub bytes_written: u64,
     /// Symbol-pool entries reclaimed by the checkpoint-time GC.
     pub symbols_dropped: usize,
     /// Symbols still live after the GC.
@@ -183,8 +236,11 @@ impl Serialize for CheckpointResponse {
     fn write_json(&self, out: &mut String) {
         out.push('{');
         serde::write_field(out, "epoch", &self.epoch, true);
+        serde::write_field(out, "mode", &self.mode, false);
         serde::write_field(out, "durable", &self.durable, false);
         serde::write_field(out, "path", &self.path, false);
+        serde::write_field(out, "segments_written", &self.segments_written, false);
+        serde::write_field(out, "bytes_written", &self.bytes_written, false);
         serde::write_field(out, "symbols_dropped", &self.symbols_dropped, false);
         serde::write_field(out, "live_symbols", &self.live_symbols, false);
         out.push('}');

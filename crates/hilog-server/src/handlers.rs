@@ -29,7 +29,7 @@ pub fn handle_request(state: &ServerState, request: &Request) -> Response {
         ("POST", "/query") => query(state, &request.body),
         ("POST", "/assert") => mutate(state, &request.body, Mutation::Assert),
         ("POST", "/retract") => mutate(state, &request.body, Mutation::Retract),
-        ("POST", "/checkpoint") => checkpoint(state),
+        ("POST", "/checkpoint") => checkpoint(state, &request.body),
         ("GET", "/stats") => stats(state),
         (_, "/query" | "/assert" | "/retract" | "/checkpoint") => {
             Response::error(405, "use POST for this endpoint")
@@ -149,13 +149,42 @@ fn mutate(state: &ServerState, body: &[u8], mutation: Mutation) -> Response {
     }
 }
 
-fn checkpoint(state: &ServerState) -> Response {
+/// `POST /checkpoint` with an empty body (or `{"mode": "full"}`) writes a
+/// whole-store checkpoint; `{"mode": "incremental"}` rewrites only the
+/// relations dirtied since their segments were last persisted.
+fn checkpoint(state: &ServerState, body: &[u8]) -> Response {
+    let incremental = if body.iter().all(|b| b.is_ascii_whitespace()) {
+        false
+    } else {
+        let value = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        match value.get("mode").and_then(serde_json::Value::as_str) {
+            None | Some("full") => false,
+            Some("incremental") => true,
+            Some(other) => {
+                return Response::error(
+                    400,
+                    &format!("unknown checkpoint mode `{other}` (try full or incremental)"),
+                )
+            }
+        }
+    };
     let mut writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
-    match writer.checkpoint() {
+    let outcome = if incremental {
+        writer.checkpoint_incremental()
+    } else {
+        writer.checkpoint()
+    };
+    match outcome {
         Ok(outcome) => Response::ok(to_string(&CheckpointResponse {
             epoch: outcome.epoch,
+            mode: if incremental { "incremental" } else { "full" }.to_string(),
             durable: outcome.path.is_some(),
             path: outcome.path.map(|p| p.display().to_string()),
+            segments_written: outcome.segments_written,
+            bytes_written: outcome.bytes_written,
             symbols_dropped: outcome.symbols_dropped,
             live_symbols: outcome.live_symbols,
         })),
@@ -169,6 +198,8 @@ fn stats(state: &ServerState) -> Response {
         let writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
         writer.storage_stats()
     };
+    let spill = snapshot.storage_stats();
+    let (spill_residency_faults, spill_writes) = hilog_engine::storage_counters();
     let symbols = hilog_core::symbol_pool_stats();
     Response::ok(to_string(&StatsResponse {
         epoch: snapshot.epoch(),
@@ -181,6 +212,14 @@ fn stats(state: &ServerState) -> Response {
         wal_bytes: storage.wal_bytes,
         last_checkpoint_epoch: storage.last_checkpoint_epoch,
         data_dir_bytes: storage.data_dir_bytes,
+        last_checkpoint_segments: storage.last_checkpoint_segments,
+        last_checkpoint_bytes: storage.last_checkpoint_bytes,
+        manifest_segments: storage.manifest_segments,
+        spill_resident_facts: spill.resident_facts,
+        spill_spilled_facts: spill.spilled_facts,
+        spill_segment_bytes: spill.segment_bytes,
+        spill_residency_faults,
+        spill_writes,
         live_symbols: symbols.live,
         interned_symbols: symbols.interned,
     }))

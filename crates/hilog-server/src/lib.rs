@@ -13,7 +13,7 @@
 //! | `POST /query`   | `{"query": "?- winning(X)."}`             | Answers against the pinned snapshot; returns `{epoch, result}` |
 //! | `POST /assert`  | `{"facts": [...], "rules": [...]}`        | One batch: WAL-append, apply, publish, return `{epoch, applied, missing}` |
 //! | `POST /retract` | `{"facts": [...], "rules": [...]}`        | Same, removing entries; absent ones land in `missing` |
-//! | `POST /checkpoint` | —                                      | Writes a checkpoint, truncates the WAL, GCs the symbol pool |
+//! | `POST /checkpoint` | `{"mode": "incremental"}` (optional)   | Writes a checkpoint (whole-store by default, per-relation segments + manifest when incremental), truncates the WAL, GCs the symbol pool |
 //! | `GET /stats`    | —                                         | Serving + storage counters (epoch, rules, WAL, checkpoints, symbols) |
 //!
 //! ## Concurrency model

@@ -13,11 +13,16 @@
 //! ```
 
 use crate::checkpoint::{
-    load_latest_checkpoint, prune_checkpoints, save_checkpoint, CheckpointData,
+    load_checkpoint, load_latest_checkpoint, prune_checkpoints, save_checkpoint, CheckpointData,
 };
 use crate::error::StoreError;
+use crate::manifest::{
+    build_manifest, load_manifest, load_manifest_program, manifest_candidates, prune_incremental,
+    save_manifest, Manifest, RelKey,
+};
 use crate::ops::Op;
 use crate::wal::{FsyncPolicy, Wal, WalRecord, WAL_FILE};
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -65,6 +70,18 @@ pub struct StorageStats {
     pub last_checkpoint_epoch: Option<u64>,
     /// Total size of the data directory (WAL + checkpoints), in bytes.
     pub data_dir_bytes: u64,
+    /// Segment files the most recent *incremental* checkpoint wrote (clean
+    /// relations reuse their old segments and don't count).  Zero after a
+    /// whole-store checkpoint.
+    pub last_checkpoint_segments: usize,
+    /// Bytes the most recent checkpoint added: the whole `.hsnp` file for a
+    /// full one, new segments + manifest for an incremental one — the
+    /// observable "delta size" an incremental checkpoint is supposed to
+    /// shrink.
+    pub last_checkpoint_bytes: u64,
+    /// Segments the current manifest references (0 when the newest recovery
+    /// point is a whole-store checkpoint).
+    pub manifest_segments: usize,
 }
 
 /// What the serving layer asks of storage.  Object-safe so the server holds
@@ -80,11 +97,37 @@ pub trait StorageBackend: std::fmt::Debug + Send {
     /// or `None` for backends that store nothing.
     fn write_checkpoint(&mut self, data: &CheckpointData) -> Result<Option<PathBuf>, StoreError>;
 
+    /// Persists an *incremental* checkpoint: fresh segment files for the
+    /// relations in `dirty` (and any relation without a segment yet), a
+    /// manifest copying every clean relation's entry forward, then truncates
+    /// the WAL.  `data.model` is ignored — incremental checkpoints persist
+    /// the program only.  Backends that store nothing return the default
+    /// outcome.
+    fn write_incremental(
+        &mut self,
+        data: &CheckpointData,
+        dirty: &BTreeSet<RelKey>,
+    ) -> Result<IncrementalOutcome, StoreError>;
+
     /// Forces everything buffered to stable storage (graceful shutdown).
     fn flush(&mut self) -> Result<(), StoreError>;
 
     /// Current storage counters.
     fn stats(&self) -> StorageStats;
+}
+
+/// What one incremental checkpoint did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalOutcome {
+    /// The manifest's path (`None` for backends that store nothing).
+    pub path: Option<PathBuf>,
+    /// Segment files written (dirty or previously unsegmented relations).
+    pub segments_written: usize,
+    /// Segments the manifest references in total, reused ones included.
+    pub segments_total: usize,
+    /// Bytes this checkpoint added to the directory (new segments + the
+    /// manifest file) — the incremental delta.
+    pub bytes_written: u64,
 }
 
 /// The zero-overhead backend: nothing is stored, every call succeeds.
@@ -100,6 +143,14 @@ impl StorageBackend for InMemory {
         Ok(None)
     }
 
+    fn write_incremental(
+        &mut self,
+        _data: &CheckpointData,
+        _dirty: &BTreeSet<RelKey>,
+    ) -> Result<IncrementalOutcome, StoreError> {
+        Ok(IncrementalOutcome::default())
+    }
+
     fn flush(&mut self) -> Result<(), StoreError> {
         Ok(())
     }
@@ -112,8 +163,12 @@ impl StorageBackend for InMemory {
 /// What [`Durable::open`] found on disk, for the recovery path to replay.
 #[derive(Debug)]
 pub struct Recovered {
-    /// The newest valid checkpoint, if any.
+    /// The newest valid recovery point (whole-store checkpoint *or*
+    /// incremental manifest), if any.  A manifest recovery carries
+    /// `model: None` — incremental checkpoints persist the program only.
     pub checkpoint: Option<CheckpointData>,
+    /// `true` when `checkpoint` came from an incremental manifest.
+    pub from_manifest: bool,
     /// Every valid WAL record, oldest first (the torn tail is already
     /// truncated).  May include records at or below the checkpoint epoch if
     /// the process died between writing a checkpoint and truncating the log;
@@ -121,29 +176,90 @@ pub struct Recovered {
     pub wal_records: Vec<WalRecord>,
 }
 
-/// WAL + checkpoints under one data directory.
+/// WAL + checkpoints (whole-store and incremental) under one data
+/// directory.
 #[derive(Debug)]
 pub struct Durable {
     dir: PathBuf,
     wal: Wal,
     last_checkpoint_epoch: Option<u64>,
     keep_checkpoints: usize,
+    /// The manifest whose segments the next incremental checkpoint may copy
+    /// forward.  `None` until a manifest is written or recovered from this
+    /// run's recovery point — a manifest *older* than the recovery point
+    /// must not seed reuse (mutations between the two are not in any dirty
+    /// set), so recovery through a whole-store checkpoint resets this.
+    manifest: Option<Manifest>,
+    last_checkpoint_segments: usize,
+    last_checkpoint_bytes: u64,
+}
+
+/// The newest recovery point that validates end-to-end: walks whole-store
+/// checkpoints and manifests together, newest epoch first, skipping any
+/// candidate that is torn, stale, or (for a manifest) missing a segment.
+fn load_latest_recovery(
+    dir: &Path,
+) -> Result<Option<(CheckpointData, Option<Manifest>)>, StoreError> {
+    enum Candidate {
+        Full(PathBuf),
+        Incremental(PathBuf),
+    }
+    let mut candidates: Vec<(u64, Candidate)> = Vec::new();
+    if let Some((data, path)) = load_latest_checkpoint(dir)? {
+        candidates.push((data.epoch, Candidate::Full(path)));
+    }
+    for (epoch, path) in manifest_candidates(dir)? {
+        candidates.push((epoch, Candidate::Incremental(path)));
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (_, candidate) in candidates {
+        match candidate {
+            Candidate::Full(path) => match load_checkpoint(&path) {
+                Ok(data) => return Ok(Some((data, None))),
+                Err(StoreError::Corrupt(_) | StoreError::Codec(_)) => continue,
+                Err(e) => return Err(e),
+            },
+            Candidate::Incremental(path) => {
+                let manifest = match load_manifest(&path) {
+                    Ok(manifest) => manifest,
+                    Err(StoreError::Corrupt(_) | StoreError::Codec(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                match load_manifest_program(dir, &manifest) {
+                    Ok(program) => {
+                        let data = CheckpointData {
+                            epoch: manifest.epoch,
+                            semantics: manifest.semantics,
+                            program,
+                            model: None,
+                        };
+                        return Ok(Some((data, Some(manifest))));
+                    }
+                    Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                    Err(StoreError::Corrupt(_) | StoreError::Codec(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    Ok(None)
 }
 
 impl Durable {
     /// Opens (creating if needed) the data directory, validating the WAL and
-    /// locating the newest valid checkpoint.  The caller replays
-    /// [`Recovered`] before serving.
+    /// locating the newest valid recovery point (whole-store checkpoint or
+    /// incremental manifest, whichever validates at the highest epoch).  The
+    /// caller replays [`Recovered`] before serving.
     pub fn open(config: &StoreConfig) -> Result<(Durable, Recovered), StoreError> {
         fs::create_dir_all(&config.data_dir)?;
-        let checkpoint = load_latest_checkpoint(&config.data_dir)?;
+        let recovery = load_latest_recovery(&config.data_dir)?;
         let (wal, wal_records) = Wal::open(config.data_dir.join(WAL_FILE), config.fsync)?;
-        let (checkpoint, last_checkpoint_epoch) = match checkpoint {
-            Some((data, _path)) => {
+        let (checkpoint, manifest, last_checkpoint_epoch) = match recovery {
+            Some((data, manifest)) => {
                 let epoch = data.epoch;
-                (Some(data), Some(epoch))
+                (Some(data), manifest, Some(epoch))
             }
-            None => (None, None),
+            None => (None, None, None),
         };
         if checkpoint.is_none() && !wal_records.is_empty() {
             // The protocol writes checkpoint-0 before the first append, so a
@@ -154,15 +270,20 @@ impl Durable {
                 config.data_dir.display()
             )));
         }
+        let from_manifest = manifest.is_some();
         Ok((
             Durable {
                 dir: config.data_dir.clone(),
                 wal,
                 last_checkpoint_epoch,
                 keep_checkpoints: config.keep_checkpoints,
+                manifest,
+                last_checkpoint_segments: 0,
+                last_checkpoint_bytes: 0,
             },
             Recovered {
                 checkpoint,
+                from_manifest,
                 wal_records,
             },
         ))
@@ -182,11 +303,50 @@ impl StorageBackend for Durable {
     fn write_checkpoint(&mut self, data: &CheckpointData) -> Result<Option<PathBuf>, StoreError> {
         let path = save_checkpoint(&self.dir, data)?;
         self.last_checkpoint_epoch = Some(data.epoch);
+        self.last_checkpoint_segments = 0;
+        self.last_checkpoint_bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         prune_checkpoints(&self.dir, self.keep_checkpoints)?;
         // Truncate last: if we die before this, recovery loads the new
         // checkpoint and skips the stale records by epoch.
         self.wal.truncate()?;
         Ok(Some(path))
+    }
+
+    fn write_incremental(
+        &mut self,
+        data: &CheckpointData,
+        dirty: &BTreeSet<RelKey>,
+    ) -> Result<IncrementalOutcome, StoreError> {
+        // Segments first (each temp + fsync + rename), manifest last: a
+        // crash anywhere in between leaves the previous manifest — whose
+        // segments are only pruned after a newer manifest commits — fully
+        // loadable.
+        let (manifest, segments_written, mut bytes_written) = build_manifest(
+            &self.dir,
+            data.epoch,
+            data.semantics,
+            &data.program,
+            dirty,
+            self.manifest.as_ref(),
+        )?;
+        let (path, manifest_bytes) = save_manifest(&self.dir, &manifest)?;
+        bytes_written += manifest_bytes;
+        let segments_total = manifest.entries.len();
+        self.manifest = Some(manifest);
+        self.last_checkpoint_epoch = Some(data.epoch);
+        self.last_checkpoint_segments = segments_written;
+        self.last_checkpoint_bytes = bytes_written;
+        prune_incremental(&self.dir, self.keep_checkpoints)?;
+        // Truncate last, same as the whole-store path: dying before this
+        // replays records the manifest already subsumes, which is idempotent
+        // by epoch.
+        self.wal.truncate()?;
+        Ok(IncrementalOutcome {
+            path: Some(path),
+            segments_written,
+            segments_total,
+            bytes_written,
+        })
     }
 
     fn flush(&mut self) -> Result<(), StoreError> {
@@ -210,6 +370,9 @@ impl StorageBackend for Durable {
             wal_bytes: self.wal.bytes(),
             last_checkpoint_epoch: self.last_checkpoint_epoch,
             data_dir_bytes,
+            last_checkpoint_segments: self.last_checkpoint_segments,
+            last_checkpoint_bytes: self.last_checkpoint_bytes,
+            manifest_segments: self.manifest.as_ref().map_or(0, |m| m.entries.len()),
         }
     }
 }

@@ -56,7 +56,7 @@ pub struct CheckpointData {
     pub model: Option<Model>,
 }
 
-fn semantics_tag(semantics: Semantics) -> u8 {
+pub(crate) fn semantics_tag(semantics: Semantics) -> u8 {
     match semantics {
         Semantics::WellFounded => SEM_WELL_FOUNDED,
         Semantics::Stable => SEM_STABLE,
@@ -64,7 +64,7 @@ fn semantics_tag(semantics: Semantics) -> u8 {
     }
 }
 
-fn semantics_from_tag(tag: u8) -> Result<Semantics, StoreError> {
+pub(crate) fn semantics_from_tag(tag: u8) -> Result<Semantics, StoreError> {
     Ok(match tag {
         SEM_WELL_FOUNDED => Semantics::WellFounded,
         SEM_STABLE => Semantics::Stable,

@@ -7,14 +7,20 @@
 //! * a **write-ahead log** ([`wal`]) of mutation batches — length-prefixed,
 //!   CRC-32-checksummed records, one per published epoch, appended *before*
 //!   the batch is applied;
-//! * **binary checkpoints** ([`checkpoint`]) of the store — program rules
-//!   plus (when warm) the full model, interned through the payload-local
-//!   symbol/term tables of [`hilog_core::codec`] and stamped with the epoch
-//!   they capture;
+//! * **binary checkpoints** of the store, in two granularities: whole-store
+//!   ([`checkpoint`]) — program rules plus (when warm) the full model,
+//!   interned through the payload-local symbol/term tables of
+//!   [`hilog_core::codec`] and stamped with the epoch they capture — and
+//!   **incremental** ([`manifest`]) — one segment file per relation plus a
+//!   manifest naming the full state, where only relations dirtied since
+//!   the last manifest are rewritten and clean ones reuse their previous
+//!   segment byte-for-byte;
 //! * **recovery** ([`serving::PersistentWriter::open`]) — load the newest
-//!   valid checkpoint, replay the WAL tail through the same incremental
-//!   mutation path the live server uses (torn final record truncated,
-//!   checksums verified), resume serving at the recovered epoch.
+//!   valid recovery point (whole-store checkpoint or manifest, torn or
+//!   stale candidates skipped), replay the WAL tail through the same
+//!   incremental mutation path the live server uses (torn final record
+//!   truncated, checksums verified), resume serving at the recovered
+//!   epoch.
 //!
 //! The [`backend::StorageBackend`] trait hides all of it from the serving
 //! layer: [`backend::InMemory`] is today's behaviour at zero overhead,
@@ -36,13 +42,17 @@
 pub mod backend;
 pub mod checkpoint;
 pub mod error;
+pub mod manifest;
 pub mod ops;
 pub mod serving;
 pub mod wal;
 
-pub use backend::{Durable, InMemory, StorageBackend, StorageStats, StoreConfig};
+pub use backend::{
+    Durable, InMemory, IncrementalOutcome, StorageBackend, StorageStats, StoreConfig,
+};
 pub use checkpoint::CheckpointData;
 pub use error::StoreError;
+pub use manifest::{rel_key, Manifest, RelKey, SegmentEntry};
 pub use ops::Op;
 pub use serving::{BatchOutcome, CheckpointOutcome, PersistentWriter, RecoveryReport};
 pub use wal::{FsyncPolicy, Wal, WalRecord};

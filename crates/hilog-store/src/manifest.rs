@@ -1,0 +1,653 @@
+//! Incremental checkpoints: per-relation segment files + a manifest.
+//!
+//! A whole-store checkpoint ([`crate::checkpoint`]) rewrites every fact the
+//! program holds, so its cost grows with the store, not with the change —
+//! at 10^6 facts a one-relation update still pays for all of them.  The
+//! incremental format splits the fact payload by relation:
+//!
+//! * **Segment** (`rel-<hash:016x>-<epoch:020>.hseg`) — the facts of *one*
+//!   relation (one predicate key: name term + arity), self-validating
+//!   (`[magic "HSEG"][version][crc32][payload]`) and immutable once
+//!   renamed into place.
+//! * **Manifest** (`manifest-<epoch:020>.hman`) — the recovery point: the
+//!   epoch, the semantics, every *non-fact* rule (always rewritten — the
+//!   rules blob is tiny next to the fact payload), and one entry per
+//!   relation naming the segment that holds its facts.
+//!
+//! A checkpoint writes new segments only for relations *dirtied* since the
+//! last manifest; clean relations' entries are copied forward, re-pointing
+//! at segments written by earlier checkpoints.  Crash safety follows the
+//! same discipline as the whole-store path: segments are temp-written,
+//! fsynced and renamed *before* the manifest commits (temp + fsync +
+//! rename + directory fsync), so a crash leaves either the old manifest —
+//! whose segments are never deleted until a newer manifest commits — or
+//! the new one with every segment it names already durable.  Loading takes
+//! the newest recovery point (manifest *or* whole-store checkpoint) that
+//! validates end-to-end, falling back to older ones when a manifest, or
+//! any segment it names, is torn or stale.
+//!
+//! Incremental checkpoints persist the **program only** — the model
+//! deliberately stays out (it rebuilds lazily, which is always sound) so a
+//! small fact delta never forces a model-sized write.
+
+use crate::checkpoint::{semantics_from_tag, semantics_tag};
+use crate::error::StoreError;
+use hilog_core::codec::{crc32, PayloadReader, PayloadWriter};
+use hilog_core::{Program, Rule, Term};
+use hilog_engine::Semantics;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const SEGMENT_MAGIC: &[u8; 4] = b"HSEG";
+const MANIFEST_MAGIC: &[u8; 4] = b"HMAN";
+const VERSION: u32 = 1;
+
+/// The unit of incremental persistence: one relation, identified the way
+/// [`hilog_engine::AtomStore`] buckets atoms — the predicate-position name
+/// term (for a HiLog atom like `winning(g)(x)` that is the *instance*
+/// `winning(g)`) plus the arity (`None` for a bare symbol asserted as a
+/// fact).
+pub type RelKey = (Term, Option<usize>);
+
+/// The relation key of a ground fact.
+pub fn rel_key(fact: &Term) -> RelKey {
+    (fact.name().clone(), fact.arity())
+}
+
+fn key_hash(key: &RelKey) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// One manifest entry: where a relation's facts live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// The relation this segment holds.
+    pub key: RelKey,
+    /// Structural hash of `key`, fixed into the segment file name.
+    pub hash: u64,
+    /// The checkpoint epoch that wrote the segment (part of the file name,
+    /// so a rewrite never clobbers a file an older manifest still names).
+    pub epoch: u64,
+    /// Facts in the segment.
+    pub facts: u32,
+    /// File size in bytes (observability: the reused-vs-rewritten split).
+    pub bytes: u64,
+}
+
+impl SegmentEntry {
+    /// The segment's file name inside the data directory.
+    pub fn file_name(&self) -> String {
+        segment_file_name(self.hash, self.epoch)
+    }
+}
+
+/// The canonical segment file name for a relation-hash at a checkpoint
+/// epoch.
+pub fn segment_file_name(hash: u64, epoch: u64) -> String {
+    format!("rel-{hash:016x}-{epoch:020}.hseg")
+}
+
+/// The canonical manifest file name (zero-padded: lexicographic order is
+/// numeric order, like the whole-store checkpoints).
+pub fn manifest_file_name(epoch: u64) -> String {
+    format!("manifest-{epoch:020}.hman")
+}
+
+fn parse_manifest_epoch(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("manifest-")?.strip_suffix(".hman")?;
+    digits.parse().ok()
+}
+
+/// An incremental recovery point: what one manifest file carries, plus the
+/// entries needed to *extend* it (the next incremental checkpoint copies
+/// clean entries forward from here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The published epoch this recovery point corresponds to.
+    pub epoch: u64,
+    /// The semantics the session answers under.
+    pub semantics: Semantics,
+    /// Every non-fact rule of the program (facts live in the segments).
+    pub rules: Vec<Rule>,
+    /// One entry per non-empty relation.
+    pub entries: Vec<SegmentEntry>,
+}
+
+/// Fsyncs a directory so a rename inside it is durable (best-effort,
+/// mirroring the whole-store checkpoint path).
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+fn write_framed(
+    dir: &Path,
+    name: &str,
+    magic: &[u8; 4],
+    payload: &[u8],
+) -> Result<u64, StoreError> {
+    let mut bytes = Vec::with_capacity(payload.len() + 12);
+    bytes.extend_from_slice(magic);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let final_path = dir.join(name);
+    let tmp_path = dir.join(format!("{name}.tmp"));
+    {
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(&bytes)?;
+        tmp.sync_data()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    Ok(bytes.len() as u64)
+}
+
+fn read_framed(path: &Path, magic: &[u8; 4]) -> Result<Vec<u8>, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 12 || &bytes[..4] != magic {
+        return Err(StoreError::Corrupt(format!(
+            "{} is not a {} file",
+            path.display(),
+            String::from_utf8_lossy(magic)
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported version {version} in {}",
+            path.display()
+        )));
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if crc32(&bytes[12..]) != crc {
+        return Err(StoreError::Corrupt(format!(
+            "checksum mismatch in {}",
+            path.display()
+        )));
+    }
+    bytes.drain(..12);
+    Ok(bytes)
+}
+
+fn write_key(writer: &mut PayloadWriter, key: &RelKey) {
+    writer.write_term(&key.0);
+    match key.1 {
+        None => writer.write_u8(0),
+        Some(arity) => {
+            writer.write_u8(1);
+            writer.write_u32(arity as u32);
+        }
+    }
+}
+
+fn read_key(reader: &mut PayloadReader<'_>) -> Result<RelKey, StoreError> {
+    let name = reader.read_term()?;
+    let arity = match reader.read_u8()? {
+        0 => None,
+        1 => Some(reader.read_u32()? as usize),
+        other => {
+            return Err(StoreError::Corrupt(format!("unknown arity flag {other}")));
+        }
+    };
+    Ok((name, arity))
+}
+
+/// Writes one relation's segment for checkpoint `epoch` and returns its
+/// manifest entry.  Temp + fsync + rename: the file is durable (modulo the
+/// directory fsync the manifest commit performs) before the manifest that
+/// names it can exist.
+pub fn write_segment(
+    dir: &Path,
+    key: &RelKey,
+    epoch: u64,
+    facts: &[Term],
+) -> Result<SegmentEntry, StoreError> {
+    let mut writer = PayloadWriter::new();
+    write_key(&mut writer, key);
+    writer.write_u32(facts.len() as u32);
+    for fact in facts {
+        writer.write_term(fact);
+    }
+    let payload = writer.finish();
+    let hash = key_hash(key);
+    let bytes = write_framed(
+        dir,
+        &segment_file_name(hash, epoch),
+        SEGMENT_MAGIC,
+        &payload,
+    )?;
+    Ok(SegmentEntry {
+        key: key.clone(),
+        hash,
+        epoch,
+        facts: facts.len() as u32,
+        bytes,
+    })
+}
+
+/// Reads and validates one segment, checking it holds the relation its
+/// manifest entry claims (count included — a stale same-name file from a
+/// different run fails here instead of silently changing the program).
+pub fn load_segment(dir: &Path, entry: &SegmentEntry) -> Result<Vec<Term>, StoreError> {
+    let path = dir.join(entry.file_name());
+    let payload = read_framed(&path, SEGMENT_MAGIC)?;
+    let mut reader = PayloadReader::new(&payload)?;
+    let key = read_key(&mut reader)?;
+    if key != entry.key {
+        return Err(StoreError::Corrupt(format!(
+            "{} holds relation `{}` but the manifest expects `{}`",
+            path.display(),
+            key.0,
+            entry.key.0
+        )));
+    }
+    let count = reader.read_u32()?;
+    if count != entry.facts {
+        return Err(StoreError::Corrupt(format!(
+            "{} holds {count} fact(s) but the manifest expects {}",
+            path.display(),
+            entry.facts
+        )));
+    }
+    let mut facts = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        facts.push(reader.read_term()?);
+    }
+    if !reader.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing byte(s) in segment payload",
+            reader.remaining()
+        )));
+    }
+    Ok(facts)
+}
+
+/// Writes the manifest for `manifest.epoch` atomically and returns its path
+/// and size.  Every segment it names must already be durable.
+pub fn save_manifest(dir: &Path, manifest: &Manifest) -> Result<(PathBuf, u64), StoreError> {
+    let mut writer = PayloadWriter::new();
+    writer.write_u64(manifest.epoch);
+    writer.write_u8(semantics_tag(manifest.semantics));
+    writer.write_u32(manifest.rules.len() as u32);
+    for rule in &manifest.rules {
+        writer.write_rule(rule);
+    }
+    writer.write_u32(manifest.entries.len() as u32);
+    for entry in &manifest.entries {
+        write_key(&mut writer, &entry.key);
+        writer.write_u64(entry.hash);
+        writer.write_u64(entry.epoch);
+        writer.write_u32(entry.facts);
+        writer.write_u64(entry.bytes);
+    }
+    let payload = writer.finish();
+    let name = manifest_file_name(manifest.epoch);
+    let bytes = write_framed(dir, &name, MANIFEST_MAGIC, &payload)?;
+    sync_dir(dir);
+    Ok((dir.join(name), bytes))
+}
+
+/// Reads and validates one manifest file (not its segments — see
+/// [`load_manifest_program`] for the end-to-end load).
+pub fn load_manifest(path: &Path) -> Result<Manifest, StoreError> {
+    let payload = read_framed(path, MANIFEST_MAGIC)?;
+    let mut reader = PayloadReader::new(&payload)?;
+    let epoch = reader.read_u64()?;
+    let semantics = semantics_from_tag(reader.read_u8()?)?;
+    let rule_count = reader.read_u32()? as usize;
+    let mut rules = Vec::with_capacity(rule_count);
+    for _ in 0..rule_count {
+        rules.push(reader.read_rule()?);
+    }
+    let entry_count = reader.read_u32()? as usize;
+    let mut entries = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        let key = read_key(&mut reader)?;
+        let hash = reader.read_u64()?;
+        let epoch = reader.read_u64()?;
+        let facts = reader.read_u32()?;
+        let bytes = reader.read_u64()?;
+        entries.push(SegmentEntry {
+            key,
+            hash,
+            epoch,
+            facts,
+            bytes,
+        });
+    }
+    if !reader.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing byte(s) in manifest payload",
+            reader.remaining()
+        )));
+    }
+    Ok(Manifest {
+        epoch,
+        semantics,
+        rules,
+        entries,
+    })
+}
+
+/// Loads the full program a manifest describes: its rules, then every
+/// segment's facts.  Fails if *any* segment is missing, torn, or holds a
+/// different relation than the manifest claims — the caller then falls back
+/// to an older recovery point.
+pub fn load_manifest_program(dir: &Path, manifest: &Manifest) -> Result<Program, StoreError> {
+    let mut program = Program::new();
+    for rule in &manifest.rules {
+        program.push(rule.clone());
+    }
+    for entry in &manifest.entries {
+        for fact in load_segment(dir, entry)? {
+            program.push(Rule::fact(fact));
+        }
+    }
+    Ok(program)
+}
+
+/// Every manifest in `dir`, newest epoch first.
+pub fn manifest_candidates(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(epoch) = parse_manifest_epoch(name) {
+            candidates.push((epoch, entry.path()));
+        }
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    Ok(candidates)
+}
+
+/// Builds the next manifest: clean relations copy their entry forward from
+/// `previous`, dirty (or new) relations get fresh segments at `epoch`.
+/// Returns the manifest plus how many segments were written and the bytes
+/// they (and the manifest file) will add — the incremental delta.
+pub fn build_manifest(
+    dir: &Path,
+    epoch: u64,
+    semantics: Semantics,
+    program: &Program,
+    dirty: &BTreeSet<RelKey>,
+    previous: Option<&Manifest>,
+) -> Result<(Manifest, usize, u64), StoreError> {
+    let mut rules = Vec::new();
+    let mut facts: BTreeMap<RelKey, Vec<Term>> = BTreeMap::new();
+    for rule in &program.rules {
+        if rule.is_fact() {
+            facts
+                .entry(rel_key(&rule.head))
+                .or_default()
+                .push(rule.head.clone());
+        } else {
+            rules.push(rule.clone());
+        }
+    }
+    let reusable: HashMap<&RelKey, &SegmentEntry> = previous
+        .map(|m| m.entries.iter().map(|e| (&e.key, e)).collect())
+        .unwrap_or_default();
+    let mut entries = Vec::with_capacity(facts.len());
+    let mut written = 0usize;
+    let mut delta_bytes = 0u64;
+    for (key, relation_facts) in &facts {
+        match reusable.get(key).filter(|_| !dirty.contains(key)) {
+            Some(entry) => entries.push((*entry).clone()),
+            None => {
+                let entry = write_segment(dir, key, epoch, relation_facts)?;
+                written += 1;
+                delta_bytes += entry.bytes;
+                entries.push(entry);
+            }
+        }
+    }
+    Ok((
+        Manifest {
+            epoch,
+            semantics,
+            rules,
+            entries,
+        },
+        written,
+        delta_bytes,
+    ))
+}
+
+/// Deletes all but the newest `keep` manifests, every segment no retained
+/// manifest references, and stray `.tmp` files.  A manifest that fails to
+/// parse is *kept* (deleting it could orphan the fallback chain the loader
+/// walks); its segments stay pinned only if a parsable manifest names them.
+pub fn prune_incremental(dir: &Path, keep: usize) -> Result<usize, StoreError> {
+    let candidates = manifest_candidates(dir)?;
+    let keep = keep.max(1);
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for (index, (_, path)) in candidates.iter().enumerate() {
+        if index >= keep {
+            break;
+        }
+        if let Ok(manifest) = load_manifest(path) {
+            for entry in &manifest.entries {
+                referenced.insert(entry.file_name());
+            }
+        }
+    }
+    let mut removed = 0usize;
+    for (_, path) in candidates.into_iter().skip(keep) {
+        fs::remove_file(path)?;
+        removed += 1;
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_stray_tmp =
+            (name.starts_with("rel-") || name.starts_with("manifest-")) && name.ends_with(".tmp");
+        let is_orphan_segment =
+            name.starts_with("rel-") && name.ends_with(".hseg") && !referenced.contains(name);
+        if is_stray_tmp || is_orphan_segment {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilog_syntax::{parse_program, parse_term};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("hilog-man-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_program() -> Program {
+        parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+             edge(a, b). edge(b, c). colour(a, red).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let dir = temp_dir("seg");
+        let key = rel_key(&parse_term("edge(a, b)").unwrap());
+        let facts = vec![
+            parse_term("edge(a, b)").unwrap(),
+            parse_term("edge(b, c)").unwrap(),
+        ];
+        let entry = write_segment(&dir, &key, 3, &facts).unwrap();
+        assert_eq!(entry.facts, 2);
+        assert_eq!(load_segment(&dir, &entry).unwrap(), facts);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrip_reconstructs_program() {
+        let dir = temp_dir("roundtrip");
+        let program = sample_program();
+        let (manifest, written, _) = build_manifest(
+            &dir,
+            5,
+            Semantics::WellFounded,
+            &program,
+            &BTreeSet::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(written, 2, "edge and colour each get a segment");
+        let (path, _) = save_manifest(&dir, &manifest).unwrap();
+        let loaded = load_manifest(&path).unwrap();
+        assert_eq!(loaded, manifest);
+        let rebuilt = load_manifest_program(&dir, &loaded).unwrap();
+        let mut original: Vec<String> = program.rules.iter().map(|r| r.to_string()).collect();
+        let mut recovered: Vec<String> = rebuilt.rules.iter().map(|r| r.to_string()).collect();
+        original.sort();
+        recovered.sort();
+        assert_eq!(original, recovered);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_relations_reuse_segments() {
+        let dir = temp_dir("reuse");
+        let program = sample_program();
+        let (first, _, _) = build_manifest(
+            &dir,
+            1,
+            Semantics::WellFounded,
+            &program,
+            &BTreeSet::new(),
+            None,
+        )
+        .unwrap();
+        save_manifest(&dir, &first).unwrap();
+        // Dirty only `colour`: the edge segment must be copied forward.
+        let mut program = program;
+        program.push(Rule::fact(parse_term("colour(b, blue)").unwrap()));
+        let dirty: BTreeSet<RelKey> = [rel_key(&parse_term("colour(b, blue)").unwrap())].into();
+        let (second, written, _) = build_manifest(
+            &dir,
+            2,
+            Semantics::WellFounded,
+            &program,
+            &dirty,
+            Some(&first),
+        )
+        .unwrap();
+        assert_eq!(written, 1, "only the dirty relation is rewritten");
+        let edge_key = rel_key(&parse_term("edge(a, b)").unwrap());
+        let edge = second.entries.iter().find(|e| e.key == edge_key).unwrap();
+        assert_eq!(edge.epoch, 1, "clean segment reused from the old epoch");
+        let colour_key = rel_key(&parse_term("colour(a, red)").unwrap());
+        let colour = second.entries.iter().find(|e| e.key == colour_key).unwrap();
+        assert_eq!(colour.epoch, 2);
+        assert_eq!(colour.facts, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_drops_unreferenced_segments_and_old_manifests() {
+        let dir = temp_dir("prune");
+        let mut program = sample_program();
+        let (first, _, _) = build_manifest(
+            &dir,
+            1,
+            Semantics::WellFounded,
+            &program,
+            &BTreeSet::new(),
+            None,
+        )
+        .unwrap();
+        save_manifest(&dir, &first).unwrap();
+        // Dirty `edge` twice so two superseded edge segments accumulate.
+        let dirty: BTreeSet<RelKey> = [rel_key(&parse_term("edge(a, b)").unwrap())].into();
+        program.push(Rule::fact(parse_term("edge(c, d)").unwrap()));
+        let (second, _, _) = build_manifest(
+            &dir,
+            2,
+            Semantics::WellFounded,
+            &program,
+            &dirty,
+            Some(&first),
+        )
+        .unwrap();
+        save_manifest(&dir, &second).unwrap();
+        program.push(Rule::fact(parse_term("edge(d, e)").unwrap()));
+        let (third, _, _) = build_manifest(
+            &dir,
+            3,
+            Semantics::WellFounded,
+            &program,
+            &dirty,
+            Some(&second),
+        )
+        .unwrap();
+        save_manifest(&dir, &third).unwrap();
+        fs::write(dir.join("rel-junk.tmp"), b"junk").unwrap();
+        prune_incremental(&dir, 1).unwrap();
+        // Only the newest manifest and exactly its segments survive.
+        let segs: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.ends_with(".hseg"))
+            .collect();
+        assert_eq!(segs.len(), third.entries.len());
+        for entry in &third.entries {
+            assert!(segs.contains(&entry.file_name()));
+        }
+        assert!(!dir.join(manifest_file_name(1)).exists());
+        assert!(!dir.join(manifest_file_name(2)).exists());
+        assert!(dir.join(manifest_file_name(3)).exists());
+        assert!(!dir.join("rel-junk.tmp").exists());
+        // The surviving manifest still loads end-to-end.
+        let loaded = load_manifest(&dir.join(manifest_file_name(3))).unwrap();
+        load_manifest_program(&dir, &loaded).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_segment_fails_manifest_load() {
+        let dir = temp_dir("torn");
+        let program = sample_program();
+        let (manifest, _, _) = build_manifest(
+            &dir,
+            1,
+            Semantics::WellFounded,
+            &program,
+            &BTreeSet::new(),
+            None,
+        )
+        .unwrap();
+        save_manifest(&dir, &manifest).unwrap();
+        // Truncate one segment mid-payload.
+        let victim = dir.join(manifest.entries[0].file_name());
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            load_manifest_program(&dir, &manifest),
+            Err(StoreError::Corrupt(_) | StoreError::Codec(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -21,7 +21,10 @@
 //!   concurrency oracle;
 //! * [`durability`] — EDB-heavy ingest streams (large batched fact loads
 //!   plus cheap bound probes) for the durable storage layer's bench and the
-//!   crash/recovery CI job.
+//!   crash/recovery CI job;
+//! * [`storage`] — sharded multi-relation streams (many small HiLog
+//!   relations tied together by the generic guarded rules of Example 5.2)
+//!   for the spill backend and incremental-checkpoint benches.
 //!
 //! All generators take explicit `u64` seeds and are deterministic, so test
 //! failures and benchmark runs are reproducible.
@@ -36,6 +39,7 @@ pub mod graphs;
 pub mod parts;
 pub mod random_programs;
 pub mod serving;
+pub mod storage;
 
 pub use closure::{generic_closure_program, specialized_closure_program};
 pub use durability::{durability_workload, DurabilityWorkload, DurabilityWorkloadConfig};
@@ -50,3 +54,4 @@ pub use random_programs::{
     ExtensionConfig, HilogProgramConfig, NormalProgramConfig,
 };
 pub use serving::{serving_workload, ServingWorkload, ServingWorkloadConfig, WriteBatch};
+pub use storage::{shard_name, storage_workload, StorageWorkload, StorageWorkloadConfig};

@@ -61,6 +61,19 @@ fn assert_results_agree(recovered: &QueryResult, reference: &QueryResult, contex
     );
 }
 
+/// Rules as a sorted multiset: manifest recovery reconstructs the program
+/// as non-fact rules followed by facts grouped per relation, so recovered
+/// programs are order-permuted (never gaining or losing an occurrence —
+/// duplicates back retract-one-occurrence semantics and must survive
+/// exactly).  Rule order is semantically neutral, so equality up to
+/// permutation is the right cross-recovery program check; the query
+/// differential below covers semantics.
+fn program_multiset(program: &hilog_core::Program) -> Vec<String> {
+    let mut rules: Vec<String> = program.rules.iter().map(|r| r.to_string()).collect();
+    rules.sort();
+    rules
+}
+
 /// Draws one mutation batch from the `session_api` distribution, using the
 /// writer's current program to aim retractions at entries that exist.
 fn random_batch(rng: &mut StdRng, program: &hilog_core::Program) -> Vec<Op> {
@@ -129,10 +142,10 @@ fn random_batch(rng: &mut StdRng, program: &hilog_core::Program) -> Vec<Op> {
 }
 
 /// One randomized crash/replay case.  Applies a batch stream with a
-/// checkpoint at a random point, crashes (drops the writer cold), optionally
-/// damages the WAL tail the way a real torn write would, reopens, and
-/// compares the recovered store against fresh evaluation of the expected
-/// program.
+/// checkpoint at a random point (whole-store or incremental, randomly),
+/// crashes (drops the writer cold), optionally damages the WAL tail the way
+/// a real torn write would, reopens, and compares the recovered store
+/// against fresh evaluation of the expected program.
 fn run_recovery_case(seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE);
     let dir = temp_dir("case", seed);
@@ -146,6 +159,10 @@ fn run_recovery_case(seed: u64) {
 
     let batches = rng.gen_range(3..=8usize);
     let checkpoint_after = rng.gen_range(0..=batches);
+    // Half the cases checkpoint incrementally, so the manifest + segments +
+    // WAL-tail recovery route runs under the same differential oracle (and
+    // the same torn tails) as the whole-store route.
+    let incremental = rng.gen_bool(0.5);
     // Torn tail: half the cases append a partial frame (a crash mid-append
     // of a batch that was never acknowledged); recovery must discard it and
     // keep everything acknowledged.
@@ -164,7 +181,13 @@ fn run_recovery_case(seed: u64) {
             writer.apply_batch(&ops).expect("batch applies");
             programs.push(writer.program().clone());
             if k + 1 == checkpoint_after {
-                writer.checkpoint().expect("mid-stream checkpoint");
+                if incremental {
+                    writer
+                        .checkpoint_incremental()
+                        .expect("mid-stream incremental checkpoint");
+                } else {
+                    writer.checkpoint().expect("mid-stream checkpoint");
+                }
             }
         }
         expected_epoch = writer.epoch();
@@ -194,9 +217,10 @@ fn run_recovery_case(seed: u64) {
         "seed {seed}: recovered epoch"
     );
     assert_eq!(
-        recovered_writer.program(),
-        expected,
-        "seed {seed}: recovered program (checkpoint after {checkpoint_after}, torn={tear_tail})"
+        program_multiset(recovered_writer.program()),
+        program_multiset(expected),
+        "seed {seed}: recovered program (checkpoint after {checkpoint_after}, \
+         incremental={incremental}, torn={tear_tail})"
     );
 
     // The differential oracle: every plan route against fresh evaluation.
@@ -219,7 +243,11 @@ fn run_recovery_case(seed: u64) {
     let (again, _, report) = PersistentWriter::open(&config, seed_db()).expect("second reopen");
     assert!(report.recovered);
     assert_eq!(again.epoch(), expected_epoch, "seed {seed}: second reopen");
-    assert_eq!(again.program(), expected, "seed {seed}: second reopen");
+    assert_eq!(
+        program_multiset(again.program()),
+        program_multiset(expected),
+        "seed {seed}: second reopen"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -295,6 +323,147 @@ fn corrupted_final_record_recovers_the_previous_epoch() {
     let recovered = handle.current().query(&query).unwrap();
     let reference = fresh.query(&query).unwrap();
     assert_results_agree(&recovered, &reference, "(torn final record)");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A torn *segment* file (media corruption under an otherwise-committed
+/// manifest) must not fail recovery: the manifest that references it
+/// becomes unloadable, and the store falls back to the newest recovery
+/// point that still loads — here the fresh-open baseline checkpoint.  State
+/// acknowledged after that point and compacted out of the WAL by the
+/// incremental checkpoint is gone (corruption ate its only copy), but the
+/// store comes up consistent at the older epoch rather than refusing to
+/// open.
+#[test]
+fn torn_segment_falls_back_to_an_older_recovery_point() {
+    let dir = temp_dir("torn-segment", 0);
+    let config = StoreConfig::new(&dir);
+    let rules = parse_program(
+        "reach(X, Y) :- move(X, Y).\n\
+         reach(X, Z) :- move(X, Y), reach(Y, Z).",
+    )
+    .unwrap();
+
+    {
+        let (mut writer, _, report) =
+            PersistentWriter::open(&config, HiLogDb::new(rules.clone())).expect("fresh open");
+        assert!(!report.recovered);
+        writer
+            .apply_batch(&[
+                Op::AssertFact(parse_term("move(a, b)").unwrap()),
+                Op::AssertFact(parse_term("colour(a, red)").unwrap()),
+            ])
+            .expect("batch applies");
+        let outcome = writer
+            .checkpoint_incremental()
+            .expect("incremental checkpoint");
+        assert!(outcome.segments_written > 0);
+        // Simulated crash right after the checkpoint (WAL now empty).
+    }
+
+    // Tear the first segment file in half — a torn write that fsync never
+    // acknowledged, discovered only at recovery time.
+    let segment = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|ext| ext == "hseg"))
+        .expect("incremental checkpoint left a segment");
+    let len = std::fs::metadata(&segment).unwrap().len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .unwrap();
+    file.set_len(len / 2).unwrap();
+    drop(file);
+
+    let (writer, handle, report) =
+        PersistentWriter::open(&config, HiLogDb::new(rules.clone())).expect("reopen succeeds");
+    assert!(report.recovered, "baseline checkpoint still loads");
+    assert!(!report.from_manifest, "the torn manifest must be skipped");
+    assert_eq!(
+        writer.epoch(),
+        0,
+        "recovery lands on the baseline epoch (the WAL was compacted)"
+    );
+    assert_eq!(writer.program(), &rules);
+
+    // The recovered (older) state answers exactly like fresh evaluation.
+    let mut fresh = HiLogDb::new(rules);
+    let query = parse_query("?- reach(a, X).").unwrap();
+    let recovered = handle.current().query(&query).unwrap();
+    let reference = fresh.query(&query).unwrap();
+    assert_results_agree(&recovered, &reference, "(torn segment)");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A *stale* manifest — older than the newest whole-store checkpoint — must
+/// neither win recovery nor seed segment reuse afterwards: the first
+/// incremental checkpoint after recovering through the newer whole-store
+/// file has no manifest to reuse from and rewrites every relation, because
+/// mutations between the stale manifest and the recovery point are in no
+/// dirty set.
+#[test]
+fn stale_manifest_neither_wins_recovery_nor_seeds_reuse() {
+    let dir = temp_dir("stale-manifest", 0);
+    let config = StoreConfig::new(&dir);
+    let rules = parse_program(
+        "reach(X, Y) :- move(X, Y).\n\
+         reach(X, Z) :- move(X, Y), reach(Y, Z).",
+    )
+    .unwrap();
+    let batch = |fact: &str| vec![Op::AssertFact(parse_term(fact).unwrap())];
+
+    {
+        let (mut writer, _, _) =
+            PersistentWriter::open(&config, HiLogDb::new(rules.clone())).expect("fresh open");
+        writer.apply_batch(&batch("move(a, b)")).unwrap(); // epoch 1
+        writer
+            .checkpoint_incremental()
+            .expect("manifest at epoch 1 (becomes stale)");
+        writer.apply_batch(&batch("colour(a, red)")).unwrap(); // epoch 2
+        writer
+            .checkpoint()
+            .expect("whole-store checkpoint, epoch 2");
+        writer.apply_batch(&batch("move(b, c)")).unwrap(); // epoch 3, WAL tail
+                                                           // Simulated crash: epoch 3 exists only as a WAL record.
+    }
+
+    let (mut writer, handle, report) =
+        PersistentWriter::open(&config, HiLogDb::new(rules.clone())).expect("reopen");
+    assert!(report.recovered);
+    assert!(
+        !report.from_manifest,
+        "the epoch-2 whole-store checkpoint outranks the epoch-1 manifest"
+    );
+    assert_eq!(report.replayed_records, 1, "the epoch-3 batch replays");
+    assert_eq!(writer.epoch(), 3);
+
+    // Recovery came through the whole-store file, so the stale manifest
+    // must not be reused: move/2 changed at epoch 3, colour/2 at epoch 2,
+    // and the epoch-1 manifest knows about neither.  Everything rewrites.
+    let outcome = writer
+        .checkpoint_incremental()
+        .expect("post-recovery incremental checkpoint");
+    assert_eq!(
+        outcome.segments_written, 2,
+        "both relations rewrite — no reuse from the stale manifest"
+    );
+
+    // And the rewritten manifest is a valid recovery point for the full
+    // recovered state.
+    drop((writer, handle));
+    let (writer, handle, report) =
+        PersistentWriter::open(&config, HiLogDb::new(rules.clone())).expect("second reopen");
+    assert!(report.recovered && report.from_manifest);
+    assert_eq!(writer.epoch(), 3);
+    let mut fresh = HiLogDb::new(writer.program().clone());
+    let query = parse_query("?- reach(a, X).").unwrap();
+    let recovered = handle.current().query(&query).unwrap();
+    let reference = fresh.query(&query).unwrap();
+    assert_results_agree(&recovered, &reference, "(stale manifest)");
+    assert_eq!(recovered.answers.len(), 2, "a reaches b and c");
 
     std::fs::remove_dir_all(&dir).ok();
 }

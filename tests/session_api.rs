@@ -439,6 +439,50 @@ fn pure_edb_asserts_drop_zero_tables_and_patch_in_place() {
     );
 }
 
+/// Monotone table maintenance: a fact asserted into a negation-free reach
+/// of the recorded dependency graph *refills* the affected derived tables
+/// eagerly (their delta can only add answers) instead of dropping them —
+/// the follow-up query is a pure cache hit that already sees the new
+/// answers, and nothing is reported dropped.
+#[test]
+fn monotone_asserts_refill_derived_tables_eagerly() {
+    let mut db = HiLogDb::new(
+        parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+             edge(a, b). edge(b, c).",
+        )
+        .unwrap(),
+    );
+    let query = parse_query("?- path(a, X).").unwrap();
+    db.query(&query).unwrap();
+    db.assert_fact(parse_term("edge(c, d)").unwrap()).unwrap();
+    let second = db.query(&query).unwrap();
+    assert!(
+        second.stats.tables_refilled > 0,
+        "derived path tables must refill eagerly on a monotone assert"
+    );
+    assert_eq!(
+        second.stats.tables_dropped, 0,
+        "a monotone assert must not drop tables"
+    );
+    assert_eq!(
+        second.stats.rule_applications, 0,
+        "the refilled table should answer straight from cache"
+    );
+    let xs: BTreeSet<String> = second
+        .answers
+        .iter()
+        .map(|a| a.binding("X").unwrap().to_string())
+        .collect();
+    assert_eq!(
+        xs,
+        ["b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+        "the refilled table must already contain the extended chain"
+    );
+    check_against_fresh(&mut db, &query, "monotone eager refill");
+}
+
 #[test]
 fn retract_rule_is_exposed_end_to_end() {
     let mut db = HiLogDb::new(
