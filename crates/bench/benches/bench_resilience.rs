@@ -1,0 +1,287 @@
+//! Resilience overhead and recovery latency.
+//!
+//! Two questions, one bench:
+//!
+//! * **What do the guardrails cost?**  The same mixed HTTP read/write load
+//!   as `bench_serving`, once with the resilience layer on (query
+//!   deadlines, socket timeouts, bounded backlog) and once with every
+//!   guard disabled.  The two rows should be within noise of each other —
+//!   deadline checks are a counter bump per derivation wave and the
+//!   backlog gate is one atomic load per accept.
+//! * **How fast is recovery after a disk failure?**  A durable store
+//!   absorbs a batch stream, the "disk" runs out of space mid-checkpoint
+//!   (injected `ENOSPC` via a byte quota), the writer drops cold, and the
+//!   bench measures the time from a clean reopen to the *first answered
+//!   query* over the recovered snapshot.
+//!
+//! Run with `cargo bench -p hilog-bench --bench bench_resilience`; besides
+//! the markdown table on stdout it records the measurements in
+//! `BENCH_resilience.json` at the repository root.  `HILOG_BENCH_SMOKE=1`
+//! runs a reduced load and does not overwrite the committed numbers.
+
+use hilog_bench::{to_markdown, Measurement};
+use hilog_engine::session::HiLogDb;
+use hilog_server::{client, Server, ServerConfig};
+use hilog_store::{FaultIo, FaultPlan, Op, PersistentWriter, StoreConfig};
+use hilog_syntax::{parse_query, parse_term};
+use hilog_workloads::serving::{serving_workload, ServingWorkload, ServingWorkloadConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct LoadSummary {
+    queries: usize,
+    wall: Duration,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn push_rows(rows: &mut Vec<Measurement>, workload: String, summary: &LoadSummary) {
+    let secs = summary.wall.as_secs_f64().max(f64::EPSILON);
+    rows.push(Measurement::new(
+        "RESILIENCE",
+        workload.clone(),
+        "qps",
+        summary.queries as f64 / secs,
+        "1/s",
+    ));
+    rows.push(Measurement::new(
+        "RESILIENCE",
+        workload.clone(),
+        "p50_latency",
+        summary.p50.as_secs_f64() * 1e6,
+        "us",
+    ));
+    rows.push(Measurement::new(
+        "RESILIENCE",
+        workload,
+        "p99_latency",
+        summary.p99.as_secs_f64() * 1e6,
+        "us",
+    ));
+}
+
+/// The `bench_serving` HTTP load with the resilience layer on or off.
+fn http_load(
+    workload: &ServingWorkload,
+    readers: usize,
+    queries_per_reader: usize,
+    guarded: bool,
+) -> LoadSummary {
+    let mut config = ServerConfig::ephemeral().workers(readers.max(2) * 2);
+    if guarded {
+        // The defaults: 30s deadline, 10s socket timeout, backlog 256.
+    } else {
+        config = config
+            .default_timeout_ms(None)
+            .socket_timeout(None)
+            .max_backlog(usize::MAX);
+    }
+    let db = HiLogDb::new(workload.program.clone());
+    let server = Server::bind(config, db).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.handle();
+    let serving = std::thread::spawn(move || server.serve());
+
+    let query_bodies: Vec<String> = workload
+        .queries
+        .iter()
+        .map(|q| {
+            let mut body = String::from("{\"query\":");
+            serde::write_json_string(&mut body, q);
+            body.push('}');
+            body
+        })
+        .collect();
+    let batch_bodies: Vec<(&'static str, String)> = workload
+        .batches
+        .iter()
+        .map(|batch| {
+            let route = if batch.assert { "/assert" } else { "/retract" };
+            let mut body = String::from("{\"facts\":");
+            serde::Serialize::write_json(&batch.facts, &mut body);
+            body.push('}');
+            (route, body)
+        })
+        .collect();
+
+    let readers_done = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for reader in 0..readers {
+            let bodies = &query_bodies;
+            let readers_done = &readers_done;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::with_capacity(queries_per_reader);
+                for i in 0..queries_per_reader {
+                    let body = &bodies[(reader * queries_per_reader + i) % bodies.len()];
+                    let t = Instant::now();
+                    let response = client::post(addr, "/query", body).expect("query round-trip");
+                    local.push(t.elapsed());
+                    assert_eq!(response.status, 200, "{}", response.body);
+                }
+                readers_done.fetch_add(1, Ordering::SeqCst);
+                local
+            }));
+        }
+        let mut round = 0usize;
+        while readers_done.load(Ordering::SeqCst) < readers {
+            let (route, body) = &batch_bodies[round % batch_bodies.len()];
+            round += 1;
+            let response = client::post(addr, route, body).expect("mutation round-trip");
+            assert_eq!(response.status, 200, "{}", response.body);
+            std::thread::yield_now();
+        }
+        for h in handles {
+            latencies.extend(h.join().expect("reader thread joins"));
+        }
+    });
+    let wall = start.elapsed();
+    shutdown.shutdown();
+    serving.join().expect("server thread exits");
+    latencies.sort_unstable();
+    LoadSummary {
+        queries: latencies.len(),
+        wall,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hilog-bench-resilience-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Builds a durable store from the workload's batch stream, kills the disk
+/// with `ENOSPC` mid-checkpoint, crashes, and times a clean reopen up to
+/// the first answered query.
+fn recovery_after_enospc(workload: &ServingWorkload, batches: usize) -> Duration {
+    let dir = temp_dir(&format!("enospc-{batches}"));
+    let io = FaultIo::over_real();
+    let config = StoreConfig::new(&dir).io(Arc::new(io.clone()));
+    {
+        let (mut writer, _handle, _) =
+            PersistentWriter::open(&config, HiLogDb::new(workload.program.clone()))
+                .expect("fresh open");
+        for batch in workload.batches.iter().cycle().take(batches) {
+            let ops: Vec<Op> = batch
+                .facts
+                .iter()
+                .map(|f| {
+                    let term = parse_term(f).expect("workload fact parses");
+                    if batch.assert {
+                        Op::AssertFact(term)
+                    } else {
+                        Op::RetractFact(term)
+                    }
+                })
+                .collect();
+            writer.apply_batch(&ops).expect("batch applies");
+        }
+        // The disk fills up: every write from here on is ENOSPC, so the
+        // checkpoint fails partway and the writer degrades.
+        io.set_plan(FaultPlan {
+            byte_quota: Some(0),
+            ..FaultPlan::default()
+        });
+        let _ = writer.checkpoint();
+        // Crash: dropped cold, mid-fault.
+    }
+
+    let query = parse_query(&workload.queries[0]).expect("workload query parses");
+    let clean = StoreConfig::new(&dir);
+    let start = Instant::now();
+    let (_writer, handle, report) =
+        PersistentWriter::open(&clean, HiLogDb::new(workload.program.clone()))
+            .expect("clean reopen after ENOSPC");
+    assert!(report.recovered, "the store recovers");
+    handle
+        .current()
+        .query(&query)
+        .expect("recovered snapshot answers");
+    let elapsed = start.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+    elapsed
+}
+
+fn main() {
+    let smoke = std::env::var("HILOG_BENCH_SMOKE").is_ok();
+    let config = if smoke {
+        ServingWorkloadConfig {
+            nodes: 24,
+            churn_pool: 12,
+            write_batches: 8,
+            queries: 64,
+            ..ServingWorkloadConfig::default()
+        }
+    } else {
+        ServingWorkloadConfig::default()
+    };
+    let queries_per_reader = if smoke { 40 } else { 400 };
+    let workload = serving_workload(&config, 0xBEEF);
+
+    let mut rows = Vec::new();
+    for readers in [1usize, 4] {
+        for guarded in [true, false] {
+            let summary = http_load(&workload, readers, queries_per_reader, guarded);
+            push_rows(
+                &mut rows,
+                format!(
+                    "http n={} readers={readers} guards={}",
+                    config.nodes,
+                    if guarded { "on" } else { "off" }
+                ),
+                &summary,
+            );
+        }
+    }
+
+    for batches in if smoke {
+        vec![8usize]
+    } else {
+        vec![8usize, 32]
+    } {
+        // Median of a few rounds: recovery is one cold file scan + replay,
+        // noisy at the millisecond scale.
+        let mut runs: Vec<Duration> = (0..5)
+            .map(|_| recovery_after_enospc(&workload, batches))
+            .collect();
+        runs.sort_unstable();
+        rows.push(Measurement::new(
+            "RESILIENCE",
+            format!(
+                "recovery-to-first-answer n={} batches={batches}",
+                config.nodes
+            ),
+            "latency",
+            runs[runs.len() / 2].as_secs_f64() * 1e3,
+            "ms",
+        ));
+    }
+
+    print!("{}", to_markdown(&rows));
+    if smoke {
+        // CI smoke: exercise every path but keep the committed numbers.
+        return;
+    }
+    let json = serde_json::to_string_pretty(&rows).expect("measurements serialise");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
+    std::fs::write(path, json + "\n").expect("BENCH_resilience.json written");
+    println!("wrote {path}");
+}

@@ -27,6 +27,7 @@
 //! (cyclic) hierarchy is reported as not modularly stratified when the round
 //! limit is exceeded.
 
+use crate::deadline::check_deadline;
 use crate::error::EngineError;
 use crate::horn::{join_body, AtomStore, EvalOptions, NegationMode};
 use hilog_core::interpretation::Model;
@@ -136,6 +137,7 @@ fn evaluate_aggregate_rule(
         rule.head.clone(),
         rest.iter().map(|l| (*l).clone()).collect(),
     );
+    check_deadline()?;
     let contexts = join_body(&context_rule, derived, None, NegationMode::Forbid)?;
     if contexts.len() > opts.max_atoms {
         return Err(EngineError::LimitExceeded(format!(

@@ -1,0 +1,135 @@
+//! Per-query deadlines, checked at the resource-limit hook sites.
+//!
+//! HiLog Herbrand universes are infinite, so the engine already refuses to
+//! run unbounded: every fixpoint, grounding and search loop consults the
+//! `EvalOptions` limits and returns [`EngineError::LimitExceeded`] when a
+//! count is blown.  A *deadline* is the wall-clock analogue — a serving
+//! system cannot let one pathological query pin a worker for seconds even
+//! when its atom counts stay legal.  [`check_deadline`] piggybacks on the
+//! exact same hook sites the limits use (fixpoint rounds, grounding passes,
+//! magic-settle iterations, stable search nodes), so the cost is one
+//! thread-local read per hook and a runaway query surfaces
+//! [`EngineError::DeadlineExceeded`] within one loop iteration of the
+//! deadline passing.
+//!
+//! The deadline is scoped, not ambient: [`with_deadline`] installs it for
+//! the duration of one closure (one query) and restores the previous value
+//! on exit, panic included, so nested evaluations and pooled worker threads
+//! that never install one are unaffected.  It lives in a thread-local
+//! because queries evaluate on the calling thread (the parallel pool's
+//! tasks are bounded per-wave and re-checked between waves by the caller);
+//! threading an `Instant` through every evaluator signature would touch
+//! dozens of call sites for the same effect.
+//!
+//! The per-thread counters mirror [`crate::horn::probe_counters`]: they are
+//! cumulative, and callers report per-query values by differencing around
+//! the query.
+
+use crate::error::EngineError;
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+    static CHECKS: Cell<u64> = const { Cell::new(0) };
+    static EXCEEDED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the calling thread's evaluation deadline set to
+/// `deadline` (`None` disables checking), restoring the previous deadline
+/// afterwards — panic-safe, so a poisoned query cannot leak its deadline
+/// into the next one served on the same worker thread.
+pub fn with_deadline<T>(deadline: Option<Instant>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Instant>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEADLINE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(DEADLINE.with(|cell| cell.replace(deadline)));
+    f()
+}
+
+/// Returns `Err(EngineError::DeadlineExceeded)` when the calling thread's
+/// deadline has passed; a no-op (not even a clock read) when none is set.
+/// Evaluation loops call this exactly where they check resource limits.
+pub fn check_deadline() -> Result<(), EngineError> {
+    let Some(deadline) = DEADLINE.with(|cell| cell.get()) else {
+        return Ok(());
+    };
+    CHECKS.with(|cell| cell.set(cell.get() + 1));
+    if Instant::now() >= deadline {
+        EXCEEDED.with(|cell| cell.set(cell.get() + 1));
+        return Err(EngineError::DeadlineExceeded(
+            "query deadline passed during evaluation".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Cumulative `(checks, exceeded)` counters for the calling thread, in the
+/// style of [`crate::horn::probe_counters`] — difference around a query to
+/// get its per-query values.  Exact, not sampled: the deadline is
+/// thread-local, so every check a query performs happens on the thread
+/// that installed it.
+pub fn deadline_counters() -> (u64, u64) {
+    (
+        CHECKS.with(|cell| cell.get()),
+        EXCEEDED.with(|cell| cell.get()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn no_deadline_means_no_checks_counted() {
+        let (before, _) = deadline_counters();
+        check_deadline().unwrap();
+        check_deadline().unwrap();
+        let (after, _) = deadline_counters();
+        assert_eq!(after, before, "unset deadline costs no counted check");
+    }
+
+    #[test]
+    fn future_deadline_passes_and_counts() {
+        let (checks_before, exceeded_before) = deadline_counters();
+        with_deadline(Some(Instant::now() + Duration::from_secs(60)), || {
+            check_deadline().unwrap();
+            check_deadline().unwrap();
+        });
+        let (checks_after, exceeded_after) = deadline_counters();
+        assert_eq!(checks_after - checks_before, 2);
+        assert_eq!(exceeded_after, exceeded_before);
+    }
+
+    #[test]
+    fn past_deadline_fails_with_deadline_exceeded() {
+        let (_, exceeded_before) = deadline_counters();
+        let result = with_deadline(Some(Instant::now() - Duration::from_millis(1)), || {
+            check_deadline()
+        });
+        assert!(matches!(result, Err(EngineError::DeadlineExceeded(_))));
+        let (_, exceeded_after) = deadline_counters();
+        assert_eq!(exceeded_after - exceeded_before, 1);
+    }
+
+    #[test]
+    fn deadline_is_scoped_and_restored() {
+        let outer = Instant::now() + Duration::from_secs(60);
+        with_deadline(Some(outer), || {
+            with_deadline(Some(Instant::now() - Duration::from_millis(1)), || {
+                assert!(check_deadline().is_err());
+            });
+            // Back under the outer (future) deadline.
+            check_deadline().unwrap();
+        });
+        // No deadline outside.
+        let (before, _) = deadline_counters();
+        check_deadline().unwrap();
+        let (after, _) = deadline_counters();
+        assert_eq!(after, before);
+    }
+}

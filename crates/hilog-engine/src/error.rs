@@ -24,6 +24,11 @@ pub enum EngineError {
     /// session facade when queries are asked under
     /// [`Semantics::Stable`](crate::session::Semantics).
     NoStableModels,
+    /// The query's deadline passed while evaluation was still running.  The
+    /// deadline is checked at the same hook sites as the resource limits, so
+    /// a runaway query returns instead of pinning a worker; see
+    /// [`crate::deadline`].
+    DeadlineExceeded(String),
     /// A construct is not supported by the invoked evaluation path (e.g. an
     /// aggregate literal reaching the plain grounder instead of the
     /// aggregation evaluator).
@@ -45,6 +50,7 @@ impl fmt::Display for EngineError {
                 "no stable models: the stable-model semantics (Definition 3.7) is undefined \
                  for this program"
             ),
+            EngineError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Core(e) => write!(f, "{e}"),
         }

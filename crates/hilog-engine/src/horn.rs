@@ -7,6 +7,7 @@
 //! computed bottom-up by semi-naive iteration; the same join machinery drives
 //! the *relevant instantiation* used to ground programs with negation.
 
+use crate::deadline::check_deadline;
 use crate::error::EngineError;
 use crate::storage::RelationStorage;
 use hilog_core::intern::{AtomId, TermInterner};
@@ -689,6 +690,7 @@ pub fn least_model_into(
     let mut rounds = 0usize;
     while !delta.is_empty() {
         rounds += 1;
+        check_deadline()?;
         if rounds > opts.max_rounds {
             return Err(EngineError::LimitExceeded(format!(
                 "least-model computation exceeded {} rounds",
@@ -937,6 +939,7 @@ pub fn extend_least_model(
     let mut rounds = 0usize;
     while !delta.is_settled() {
         rounds += 1;
+        check_deadline()?;
         if rounds > opts.max_rounds {
             return Err(EngineError::LimitExceeded(format!(
                 "incremental least-model continuation exceeded {} rounds",

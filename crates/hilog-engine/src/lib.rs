@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod deadline;
 pub mod error;
 pub mod extension;
 pub mod ground;
@@ -59,6 +60,7 @@ pub mod storage;
 pub mod wfs;
 
 pub use aggregate::{evaluate_aggregate_program, parts_explosion_program, AggregateModel};
+pub use deadline::{check_deadline, deadline_counters, with_deadline};
 pub use error::EngineError;
 pub use extension::{
     domain_independent_wfs_with_constants, preserved_by_extension_stable,
@@ -80,8 +82,8 @@ pub use snapshot::{DbSnapshot, DbWriter, SnapshotHandle};
 pub use spill::SpillStore;
 pub use stable::{stable_models_over_universe, StableOptions};
 pub use storage::{
-    storage_counters, FactStore, RelationStorage, RelationStorageStats, StorageConfig,
-    DEFAULT_SPILL_BUDGET,
+    clear_spill_faults, inject_spill_faults, spill_io_errors, storage_counters, FactStore,
+    RelationStorage, RelationStorageStats, StorageConfig, DEFAULT_SPILL_BUDGET,
 };
 pub use wfs::{
     well_founded_eval, well_founded_model_over_universe, well_founded_of_ground,

@@ -35,6 +35,7 @@
 //! left-to-right subgoal order of the source rules is the sideways
 //! information passing strategy.
 
+use crate::deadline::check_deadline;
 use crate::error::EngineError;
 use crate::horn::EvalOptions;
 use crate::magic::DepSign;
@@ -156,6 +157,15 @@ pub struct EvalStats {
     /// Rows paged out to spill segments while this query ran (same
     /// process-wide delta convention).
     pub storage_spill_writes: u64,
+    /// Deadline checks performed while this query ran (one per resource-
+    /// limit hook visit when a deadline was installed; zero when the query
+    /// carried no deadline).  A thread-local delta, exact per query — see
+    /// [`crate::deadline::deadline_counters`].
+    pub deadline_checks: u64,
+    /// Deadline checks that found the deadline already passed while this
+    /// query ran (0 or 1 in practice: the first hit aborts evaluation with
+    /// [`crate::EngineError::DeadlineExceeded`]).
+    pub deadline_exceeded: u64,
 }
 
 /// How a full-model plan obtained the model it answered from.
@@ -529,6 +539,7 @@ impl<'p> QueryEvaluator<'p> {
         // negative cycles behind them.
         let mut scope: Vec<Term> = vec![key.clone()];
         loop {
+            check_deadline()?;
             let before = self.scope_answers(&scope);
             let mut i = 0;
             while i < scope.len() {

@@ -29,6 +29,7 @@
 //! the sense of Definition 6.4 (Lemma 6.2); [`modularly_stratified_normal`]
 //! exposes that entry point.
 
+use crate::deadline::check_deadline;
 use crate::error::EngineError;
 use crate::grounder::relevant_ground;
 use crate::horn::EvalOptions;
@@ -109,6 +110,7 @@ pub(crate) fn figure1_procedure(
 
     while !remaining.is_empty() {
         guard += 1;
+        check_deadline()?;
         if guard > opts.max_rounds {
             return Err(EngineError::LimitExceeded(format!(
                 "Figure 1 procedure exceeded {} rounds",

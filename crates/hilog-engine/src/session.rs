@@ -1159,6 +1159,8 @@ impl HiLogDb {
         // Storage observability: spill faults and page-outs, same
         // process-wide delta convention as the probe/pool counters.
         let (faults_before, spills_before) = crate::storage::storage_counters();
+        // Deadline observability: thread-local, so the delta is exact.
+        let (dl_checks_before, dl_exceeded_before) = crate::deadline::deadline_counters();
         let mut result = match plan.strategy {
             PlanStrategy::MagicSets => match self.query_magic(query) {
                 Ok((answers, stats)) => assemble(answers, stats, plan, None),
@@ -1195,6 +1197,9 @@ impl HiLogDb {
         let (faults_after, spills_after) = crate::storage::storage_counters();
         result.stats.storage_residency_faults = faults_after.saturating_sub(faults_before);
         result.stats.storage_spill_writes = spills_after.saturating_sub(spills_before);
+        let (dl_checks_after, dl_exceeded_after) = crate::deadline::deadline_counters();
+        result.stats.deadline_checks = dl_checks_after - dl_checks_before;
+        result.stats.deadline_exceeded = dl_exceeded_after - dl_exceeded_before;
         let storage = self.storage_stats();
         result.stats.storage_resident_facts = storage.resident_facts;
         result.stats.storage_spilled_facts = storage.spilled_facts;
@@ -1767,6 +1772,33 @@ mod tests {
             )
             .unwrap(),
         )
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_query_and_counts_in_stats() {
+        use std::time::{Duration, Instant};
+        let mut db = game_db();
+        let query = parse_query("?- winning(X).").unwrap();
+        let err =
+            crate::deadline::with_deadline(Some(Instant::now() - Duration::from_millis(1)), || {
+                db.query(&query).unwrap_err()
+            });
+        assert!(matches!(err, EngineError::DeadlineExceeded(_)));
+        // The session stays usable: without a deadline the same query
+        // answers, and its stats carry the (zero) per-query deadline deltas.
+        let result = db.query(&query).unwrap();
+        assert_eq!(result.answers.len(), 1);
+        assert_eq!(result.stats.deadline_checks, 0);
+        assert_eq!(result.stats.deadline_exceeded, 0);
+        // A generous deadline passes while still being checked.
+        let result =
+            crate::deadline::with_deadline(Some(Instant::now() + Duration::from_secs(60)), || {
+                let mut fresh = game_db();
+                fresh.query(&query).unwrap()
+            });
+        assert_eq!(result.answers.len(), 1);
+        assert!(result.stats.deadline_checks > 0);
+        assert_eq!(result.stats.deadline_exceeded, 0);
     }
 
     #[test]

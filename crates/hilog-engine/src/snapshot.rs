@@ -237,6 +237,8 @@ impl DbSnapshot {
         // reader's thread-locals), so with concurrent readers the deltas may
         // include each other's pool work — observability, not answers.
         let (waves_before, rounds_before, tasks_before) = crate::pool::parallel_counters();
+        // Deadline counters are thread-local like the probe counters.
+        let (dl_checks_before, dl_exceeded_before) = crate::deadline::deadline_counters();
         let mut result = match plan.strategy {
             PlanStrategy::MagicSets => match self.query_magic(query) {
                 Ok((answers, stats)) => assemble(answers, stats, plan, None),
@@ -265,6 +267,9 @@ impl DbSnapshot {
         result.stats.parallel_waves = waves_after - waves_before;
         result.stats.parallel_partitioned_rounds = rounds_after - rounds_before;
         result.stats.parallel_tasks = tasks_after - tasks_before;
+        let (dl_checks_after, dl_exceeded_after) = crate::deadline::deadline_counters();
+        result.stats.deadline_checks = dl_checks_after - dl_checks_before;
+        result.stats.deadline_exceeded = dl_exceeded_after - dl_exceeded_before;
         result.stats.live_symbols = hilog_core::symbol::symbol_pool_stats().live;
         Ok(result)
     }

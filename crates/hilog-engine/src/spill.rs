@@ -34,7 +34,8 @@
 //! budget, the least-recently-probed relations are paged out first, so hot
 //! relations stay resident end to end.
 
-use crate::storage::{note_residency_fault, note_spill_write, RelationStorage};
+use crate::storage::{note_residency_fault, note_spill_io_error, note_spill_write};
+use crate::storage::{spill_fault_due, RelationStorage};
 use crate::storage::{RelationStorageStats, DEFAULT_SPILL_BUDGET};
 use hilog_core::codec::{PayloadReader, PayloadWriter};
 use hilog_core::term::Term;
@@ -92,26 +93,54 @@ struct Segment {
 }
 
 impl Segment {
-    fn append(&self, bytes: &[u8]) -> (u64, u32) {
+    /// Appends `bytes`, claiming its offset first so clones sharing the
+    /// segment never interleave within a record.  A failed write (injected
+    /// or real — disk full, cache dir removed) is reported to the caller,
+    /// which keeps the row resident; the claimed byte range is simply never
+    /// referenced again (segments are append-only caches, holes are fine).
+    fn append(&self, bytes: &[u8]) -> std::io::Result<(u64, u32)> {
+        if spill_fault_due() {
+            return Err(std::io::Error::other(
+                "injected fault: spill segment write failed (ENOSPC)",
+            ));
+        }
         let offset = self.end.fetch_add(bytes.len() as u64, Ordering::SeqCst);
         #[cfg(unix)]
-        self.file
-            .write_all_at(bytes, offset)
-            .expect("spill segment append failed (disk full or cache dir removed?)");
+        self.file.write_all_at(bytes, offset)?;
         #[cfg(not(unix))]
         let _ = offset; // Spill requires positioned IO; unix-only for now.
-        (offset, bytes.len() as u32)
+        Ok((offset, bytes.len() as u32))
     }
 
     fn read(&self, offset: u64, len: u32) -> Vec<u8> {
         let mut buf = vec![0u8; len as usize];
         #[cfg(unix)]
-        self.file
-            .read_exact_at(&mut buf, offset)
-            .expect("spill segment read failed (cache file corrupted or removed)");
+        {
+            // Bounded retry for transient read hiccups; a fault that
+            // persists means the cache lost rows the store already evicted —
+            // unrecoverable by construction (the payload exists nowhere
+            // else), so panicking with a pointed message beats corrupting
+            // answers.
+            let mut last = None;
+            for attempt in 0..3 {
+                match self.file.read_exact_at(&mut buf, offset) {
+                    Ok(()) => return buf,
+                    Err(error) => {
+                        last = Some(error);
+                        std::thread::sleep(std::time::Duration::from_millis(attempt + 1));
+                    }
+                }
+            }
+            panic!(
+                "spill segment read failed after retries (cache file corrupted or removed): {}",
+                last.expect("loop recorded an error")
+            );
+        }
         #[cfg(not(unix))]
-        let _ = offset;
-        buf
+        {
+            let _ = offset;
+            buf
+        }
     }
 }
 
@@ -292,6 +321,13 @@ impl SpillStore {
     /// Pages out every resident row of `rel`, appending rows not yet on
     /// disk to the relation's segment file.  Returns `(evicted, writes,
     /// bytes)`.
+    ///
+    /// Resilience contract: a failed segment write (disk full, cache dir
+    /// removed, injected fault) **keeps the affected rows resident** and
+    /// stops this eviction attempt — the store overshoots its residency
+    /// budget rather than lose a payload that exists nowhere else.  The
+    /// next budget enforcement retries naturally; persistent failures show
+    /// up in [`crate::storage::spill_io_errors`].
     fn evict_relation(
         dir: &SpillDir,
         key: &(Term, Option<usize>),
@@ -301,22 +337,32 @@ impl SpillStore {
             return (0, 0, 0);
         }
         if rel.segment.is_none() {
-            std::fs::create_dir_all(&dir.path).expect("create spill directory");
-            let mut hasher = DefaultHasher::new();
-            key.hash(&mut hasher);
-            let path = dir.path.join(format!("rel-{:016x}.seg", hasher.finish()));
-            let file = OpenOptions::new()
-                .create(true)
-                .read(true)
-                .write(true)
-                .truncate(false)
-                .open(&path)
-                .expect("open spill segment file");
-            let end = file.metadata().map(|m| m.len()).unwrap_or(0);
-            rel.segment = Some(Arc::new(Segment {
-                file,
-                end: AtomicU64::new(end),
-            }));
+            let segment = (|| -> std::io::Result<Segment> {
+                std::fs::create_dir_all(&dir.path)?;
+                let mut hasher = DefaultHasher::new();
+                key.hash(&mut hasher);
+                let path = dir.path.join(format!("rel-{:016x}.seg", hasher.finish()));
+                let file = OpenOptions::new()
+                    .create(true)
+                    .read(true)
+                    .write(true)
+                    .truncate(false)
+                    .open(&path)?;
+                let end = file.metadata().map(|m| m.len()).unwrap_or(0);
+                Ok(Segment {
+                    file,
+                    end: AtomicU64::new(end),
+                })
+            })();
+            match segment {
+                Ok(segment) => rel.segment = Some(Arc::new(segment)),
+                Err(_) => {
+                    // Can't create the cache file: nothing pages out, all
+                    // rows stay resident and correct.
+                    note_spill_io_error();
+                    return (0, 0, 0);
+                }
+            }
         }
         let segment = Arc::clone(rel.segment.as_ref().expect("segment just ensured"));
         let mut evicted = 0usize;
@@ -327,10 +373,20 @@ impl SpillStore {
             let Some(term) = &entry.term else { continue };
             if entry.disk.is_none() {
                 let encoded = encode_row(term);
-                entry.disk = Some(segment.append(&encoded));
-                writes += 1;
-                bytes += encoded.len() as u64;
-                note_spill_write();
+                match segment.append(&encoded) {
+                    Ok(location) => {
+                        entry.disk = Some(location);
+                        writes += 1;
+                        bytes += encoded.len() as u64;
+                        note_spill_write();
+                    }
+                    Err(_) => {
+                        // The row's only copy is the in-memory one: keep it
+                        // resident and abandon this eviction pass.
+                        note_spill_io_error();
+                        break;
+                    }
+                }
             }
             entry.term = None;
             evicted += 1;
@@ -357,6 +413,13 @@ impl SpillStore {
             inner.resident -= evicted;
             inner.spill_writes += writes;
             inner.segment_bytes += bytes;
+            if evicted == 0 {
+                // The eviction attempt failed (I/O error on the victim):
+                // stop rather than spin on the same victim; the budget is
+                // overshot until a later attempt succeeds, which is the
+                // documented degraded-cache behaviour, never wrong answers.
+                break;
+            }
         }
     }
 }
@@ -696,6 +759,63 @@ mod tests {
         }
         let collected = store.collect_atoms();
         assert_eq!(collected, expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_write_fault_keeps_rows_resident_and_answers_correct() {
+        use crate::storage::{clear_spill_faults, inject_spill_faults, spill_io_errors};
+        let mut store = SpillStore::new(None, 4);
+        // Fill one relation past the budget with the disk dead: every
+        // eviction attempt fails, so all rows must stay resident and every
+        // answer must stay correct.
+        inject_spill_faults(0, u64::MAX);
+        for i in 0..12 {
+            store.insert(atom("f", &format!("k{i}"), "v"));
+        }
+        for i in 0..4 {
+            store.insert(atom("g", &format!("k{i}"), "v"));
+        }
+        let stats = store.storage_stats();
+        assert_eq!(stats.spilled_facts, 0, "failed evictions spill nothing");
+        assert_eq!(stats.resident_facts, 16, "rows survive in memory");
+        assert!(spill_io_errors() > 0, "the failures were counted");
+        for i in 0..12 {
+            assert!(store.contains(&atom("f", &format!("k{i}"), "v")));
+        }
+        // The disk comes back: the next budget enforcement pages out again.
+        clear_spill_faults();
+        for i in 0..4 {
+            store.insert(atom("h", &format!("k{i}"), "v"));
+        }
+        let stats = store.storage_stats();
+        assert!(stats.spilled_facts > 0, "healed disk spills again");
+        for i in 0..12 {
+            assert!(store.contains(&atom("f", &format!("k{i}"), "v")));
+        }
+        assert_eq!(store.len(), 20);
+    }
+
+    #[test]
+    fn one_shot_write_fault_is_survived_mid_eviction() {
+        use crate::storage::{clear_spill_faults, inject_spill_faults};
+        let mut store = SpillStore::new(None, 4);
+        // Fail exactly the third segment write this thread performs: the
+        // eviction pass stops there, rows before it are spilled, rows from
+        // it on stay resident, and everything keeps answering.
+        inject_spill_faults(2, 1);
+        for r in 0..4 {
+            for i in 0..6 {
+                store.insert(atom(&format!("rel{r}"), &format!("k{i}"), "v"));
+            }
+        }
+        clear_spill_faults();
+        let stats = store.storage_stats();
+        assert_eq!(stats.resident_facts + stats.spilled_facts, 24);
+        for r in 0..4 {
+            for i in 0..6 {
+                assert!(store.contains(&atom(&format!("rel{r}"), &format!("k{i}"), "v")));
+            }
+        }
     }
 
     #[test]

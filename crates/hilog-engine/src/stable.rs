@@ -14,6 +14,7 @@
 //! consequences that hold in every stable model extending them and prunes the
 //! search soundly.
 
+use crate::deadline::check_deadline;
 use crate::error::EngineError;
 use crate::ground::{GroundProgram, GroundRule};
 use crate::grounder::ground_over_universe;
@@ -159,6 +160,7 @@ impl Solver<'_> {
             return Ok(());
         }
         self.nodes += 1;
+        check_deadline()?;
         if self.nodes > self.opts.max_nodes {
             return Err(EngineError::LimitExceeded(format!(
                 "stable-model search exceeded {} nodes",

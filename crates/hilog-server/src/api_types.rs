@@ -7,11 +7,15 @@ use hilog_engine::session::QueryResult;
 use serde::Serialize;
 use serde_json::Value;
 
-/// `POST /query` body: `{"query": "?- winning(X)."}`.
+/// `POST /query` body: `{"query": "?- winning(X).", "timeout_ms": 250}`
+/// (`timeout_ms` optional; overrides the server's default deadline).
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
     /// The query in concrete HiLog syntax (with or without the `?-` prefix).
     pub query: String,
+    /// Per-request evaluation deadline in milliseconds; `None` falls back
+    /// to [`ServerConfig::default_timeout_ms`](crate::ServerConfig).
+    pub timeout_ms: Option<u64>,
 }
 
 impl QueryRequest {
@@ -21,8 +25,17 @@ impl QueryRequest {
             .get("query")
             .and_then(Value::as_str)
             .ok_or("expected a JSON object with a string `query` member")?;
+        let timeout_ms = match value.get("timeout_ms") {
+            None => None,
+            Some(raw) => Some(
+                raw.as_u64()
+                    .filter(|&ms| ms > 0)
+                    .ok_or("`timeout_ms` must be a positive integer (milliseconds)")?,
+            ),
+        };
         Ok(QueryRequest {
             query: query.to_string(),
+            timeout_ms,
         })
     }
 }
@@ -157,6 +170,39 @@ pub struct StatsResponse {
     /// Total entries in the global symbol pool (live plus pool-only, the
     /// latter reclaimed by the checkpoint-time GC).
     pub interned_symbols: usize,
+    /// Set while the store is in read-only degraded mode (a non-transient
+    /// storage failure stopped mutations); `null` when healthy.  A
+    /// successful `POST /checkpoint` re-arms the writer and clears this.
+    pub degraded: Option<DegradedStats>,
+    /// Filesystem operations issued by the durable store.
+    pub io_ops: u64,
+    /// Transient storage faults absorbed by retry.
+    pub io_retries: u64,
+    /// Faults injected by a fault-injecting I/O backend (0 in production).
+    pub injected_faults: u64,
+    /// Connections shed with `429` because the accept backlog was full.
+    pub shed_requests: u64,
+    /// Queries aborted at their deadline (`504` responses).
+    pub query_timeouts: u64,
+}
+
+/// The `degraded` member of [`StatsResponse`]: why and since when the store
+/// has been read-only.
+#[derive(Debug, Clone)]
+pub struct DegradedStats {
+    /// The storage failure that triggered degradation.
+    pub reason: String,
+    /// Epoch of the last successfully published batch.
+    pub since_epoch: u64,
+}
+
+impl Serialize for DegradedStats {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        serde::write_field(out, "reason", &self.reason, true);
+        serde::write_field(out, "since_epoch", &self.since_epoch, false);
+        out.push('}');
+    }
 }
 
 impl Serialize for StatsResponse {
@@ -207,6 +253,12 @@ impl Serialize for StatsResponse {
         serde::write_field(out, "spill_writes", &self.spill_writes, false);
         serde::write_field(out, "live_symbols", &self.live_symbols, false);
         serde::write_field(out, "interned_symbols", &self.interned_symbols, false);
+        serde::write_field(out, "degraded", &self.degraded, false);
+        serde::write_field(out, "io_ops", &self.io_ops, false);
+        serde::write_field(out, "io_retries", &self.io_retries, false);
+        serde::write_field(out, "injected_faults", &self.injected_faults, false);
+        serde::write_field(out, "shed_requests", &self.shed_requests, false);
+        serde::write_field(out, "query_timeouts", &self.query_timeouts, false);
         out.push('}');
     }
 }

@@ -12,6 +12,8 @@ pub struct ClientResponse {
     pub status: u16,
     /// Raw response body (JSON for every route of this server).
     pub body: String,
+    /// Parsed `Retry-After` header (load-shed `429` responses carry it).
+    pub retry_after: Option<u64>,
 }
 
 impl ClientResponse {
@@ -21,21 +23,58 @@ impl ClientResponse {
     }
 }
 
-fn exchange(addr: SocketAddr, request: &str) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.write_all(request.as_bytes())?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
+fn parse_raw(raw: &str) -> std::io::Result<ClientResponse> {
     let status = raw
         .split_whitespace()
         .nth(1)
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| std::io::Error::other("malformed status line"))?;
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, body)| body.to_string())
-        .unwrap_or_default();
-    Ok(ClientResponse { status, body })
+        .map(|(head, body)| (head, body.to_string()))
+        .unwrap_or((raw, String::new()));
+    let retry_after = head
+        .lines()
+        .find_map(|line| line.strip_prefix("Retry-After: "))
+        .and_then(|v| v.trim().parse().ok());
+    Ok(ClientResponse {
+        status,
+        body,
+        retry_after,
+    })
+}
+
+fn exchange(addr: SocketAddr, request: &str) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_raw(&raw)
+}
+
+/// Sends `POST path` but stalls between the headers and the body for
+/// `stall` — the shape of a slow-client attack.  A server with a socket
+/// timeout answers `408` instead of pinning a worker; the error cases
+/// (server already hung up) surface as `Err`.
+pub fn post_stalled(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    stall: std::time::Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: hilog\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    std::thread::sleep(stall);
+    // The server may have timed out and responded already; a failed body
+    // write is then expected, and the response is still readable.
+    let _ = stream.write_all(body.as_bytes());
+    let mut raw = String::new();
+    let _ = stream.read_to_string(&mut raw);
+    parse_raw(&raw)
 }
 
 /// Sends `POST path` with a JSON body.

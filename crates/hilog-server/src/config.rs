@@ -1,7 +1,9 @@
 //! Server configuration.
 
-use hilog_store::FsyncPolicy;
+use hilog_store::{FsyncPolicy, RetryPolicy, StoreIo};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration for [`Server::bind`](crate::Server::bind).
 #[derive(Debug, Clone)]
@@ -34,6 +36,29 @@ pub struct ServerConfig {
     /// the exact serial evaluation path; the default follows the engine
     /// (`HILOG_EVAL_THREADS` or the machine's available parallelism).
     pub eval_threads: usize,
+    /// Default per-query deadline in milliseconds, used when a `/query`
+    /// body carries no `timeout_ms`.  `None` disables the server-side
+    /// default (per-request deadlines still apply).  A query past its
+    /// deadline aborts at the engine's resource-limit hooks and answers
+    /// `504 Gateway Timeout`.
+    pub default_timeout_ms: Option<u64>,
+    /// Maximum accepted-but-unserved connections.  Arrivals beyond this are
+    /// shed immediately with `429 Too Many Requests` and `Retry-After: 1`
+    /// instead of growing an unbounded queue in front of the worker pool.
+    pub max_backlog: usize,
+    /// Per-socket read/write timeout applied to every accepted connection,
+    /// so a client that dribbles its request (or never drains the response)
+    /// cannot pin a worker forever.  A stalled read answers
+    /// `408 Request Timeout`.  `None` disables the guard.
+    pub socket_timeout: Option<Duration>,
+    /// Filesystem backend handed to the durable store (ignored without
+    /// `data_dir`).  `None` uses the real filesystem; resilience tests pass
+    /// a [`hilog_store::FaultIo`] here to inject disk faults under a live
+    /// server.
+    pub store_io: Option<Arc<dyn StoreIo>>,
+    /// Retry policy for transient storage faults (ignored without
+    /// `data_dir`).
+    pub store_retry: RetryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +71,11 @@ impl Default for ServerConfig {
             fsync: FsyncPolicy::PerBatch,
             checkpoint_on_shutdown: true,
             eval_threads: hilog_engine::default_eval_threads(),
+            default_timeout_ms: Some(30_000),
+            max_backlog: 256,
+            socket_timeout: Some(Duration::from_secs(10)),
+            store_io: None,
+            store_retry: RetryPolicy::default(),
         }
     }
 }
@@ -88,6 +118,37 @@ impl ServerConfig {
     /// the exact serial path).
     pub fn eval_threads(mut self, eval_threads: usize) -> Self {
         self.eval_threads = eval_threads.max(1);
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the default query deadline.
+    pub fn default_timeout_ms(mut self, timeout_ms: Option<u64>) -> Self {
+        self.default_timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Sets the load-shedding backlog bound (clamped to at least 1).
+    pub fn max_backlog(mut self, max_backlog: usize) -> Self {
+        self.max_backlog = max_backlog.max(1);
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the per-socket read/write timeout.
+    pub fn socket_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.socket_timeout = timeout;
+        self
+    }
+
+    /// Routes the durable store's filesystem access through `io` — the hook
+    /// resilience tests use to inject disk faults under a live server.
+    pub fn store_io(mut self, io: Arc<dyn StoreIo>) -> Self {
+        self.store_io = Some(io);
+        self
+    }
+
+    /// Sets the storage retry policy for transient I/O faults.
+    pub fn store_retry(mut self, retry: RetryPolicy) -> Self {
+        self.store_retry = retry;
         self
     }
 }

@@ -9,14 +9,18 @@
 //! observe whole batches and a crash never loses an acknowledged one.
 
 use crate::api_types::{
-    CheckpointResponse, MutateRequest, MutateResponse, QueryRequest, QueryResponse, StatsResponse,
+    CheckpointResponse, DegradedStats, MutateRequest, MutateResponse, QueryRequest, QueryResponse,
+    StatsResponse,
 };
 use crate::http::{Request, Response};
 use crate::ServerState;
+use hilog_engine::{with_deadline, EngineError};
 use hilog_store::{Op, StoreError};
 use hilog_syntax::{parse_query, parse_rule, parse_term};
 use serde::Serialize;
+use std::sync::atomic::Ordering;
 use std::sync::PoisonError;
+use std::time::{Duration, Instant};
 
 /// Serialises a response body (infallible with the vendored serde stub).
 fn to_string<T: Serialize>(value: &T) -> String {
@@ -65,11 +69,20 @@ fn query(state: &ServerState, body: &[u8]) -> Response {
     // Pin the published snapshot: the query runs against exactly this epoch
     // even if the writer publishes mid-evaluation.
     let snapshot = state.snapshots.current();
-    match snapshot.query(&parsed) {
+    // The request's deadline wins over the server default; either installs
+    // a thread-local deadline the engine's resource-limit hooks check.
+    let timeout_ms = request.timeout_ms.or(state.default_timeout_ms);
+    let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    match with_deadline(deadline, || snapshot.query(&parsed)) {
         Ok(result) => Response::ok(to_string(&QueryResponse {
             epoch: snapshot.epoch(),
             result,
         })),
+        Err(EngineError::DeadlineExceeded(m)) => {
+            state.query_timeouts.fetch_add(1, Ordering::Relaxed);
+            let ms = timeout_ms.unwrap_or(0);
+            Response::error(504, &format!("query exceeded its {ms}ms deadline: {m}"))
+        }
         Err(e) => Response::error(422, &format!("query failed: {e}")),
     }
 }
@@ -143,9 +156,20 @@ fn mutate(state: &ServerState, body: &[u8], mutation: Mutation) -> Response {
             let entry = texts.get(applied).map(String::as_str).unwrap_or("?");
             Response::error(500, &format!("assert `{entry}` failed: {error}"))
         }
+        // The store refused the batch because it is already read-only:
+        // tell the client to read (and the operator to checkpoint).
+        Err(e @ StoreError::Degraded { .. }) => Response::error(503, &e.to_string()),
         // Storage failures happen before anything is applied: the batch is
-        // rejected whole and the published snapshot is unchanged.
-        Err(e) => Response::error(500, &format!("storage error, batch not applied: {e}")),
+        // rejected whole and the published snapshot is unchanged.  A
+        // non-transient I/O failure has just degraded the writer, so this
+        // request too answers 503 rather than a generic 500.
+        Err(e) => {
+            if writer.degraded().is_some() {
+                Response::error(503, &format!("storage failed, store is now read-only: {e}"))
+            } else {
+                Response::error(500, &format!("storage error, batch not applied: {e}"))
+            }
+        }
     }
 }
 
@@ -194,9 +218,13 @@ fn checkpoint(state: &ServerState, body: &[u8]) -> Response {
 
 fn stats(state: &ServerState) -> Response {
     let snapshot = state.snapshots.current();
-    let storage = {
+    let (storage, degraded) = {
         let writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        writer.storage_stats()
+        let degraded = writer.degraded().map(|d| DegradedStats {
+            reason: d.reason.clone(),
+            since_epoch: d.since_epoch,
+        });
+        (writer.storage_stats(), degraded)
     };
     let spill = snapshot.storage_stats();
     let (spill_residency_faults, spill_writes) = hilog_engine::storage_counters();
@@ -222,5 +250,11 @@ fn stats(state: &ServerState) -> Response {
         spill_writes,
         live_symbols: symbols.live,
         interned_symbols: symbols.interned,
+        degraded,
+        io_ops: storage.io_ops,
+        io_retries: storage.io_retries,
+        injected_faults: storage.injected_faults,
+        shed_requests: state.shed_requests.load(Ordering::Relaxed),
+        query_timeouts: state.query_timeouts.load(Ordering::Relaxed),
     }))
 }

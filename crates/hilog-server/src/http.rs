@@ -25,12 +25,19 @@ pub struct Response {
     pub status: u16,
     /// Response body; always serialised JSON in this server.
     pub body: String,
+    /// Seconds for a `Retry-After` header (load shedding sends `1` with
+    /// `429`); `None` omits the header.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     /// A `200 OK` JSON response.
     pub fn ok(body: String) -> Self {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            body,
+            retry_after: None,
+        }
     }
 
     /// An error response with a JSON `{"error": ...}` body.
@@ -38,7 +45,19 @@ impl Response {
         let mut body = String::from("{\"error\":");
         serde::write_json_string(&mut body, message);
         body.push('}');
-        Response { status, body }
+        Response {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// An error response that also advertises `Retry-After: {seconds}` —
+    /// the shape of the `429` shed response.
+    pub fn error_retry_after(status: u16, message: &str, seconds: u64) -> Self {
+        let mut response = Response::error(status, message);
+        response.retry_after = Some(seconds);
+        response
     }
 }
 
@@ -48,10 +67,33 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
+    }
+}
+
+/// `true` for the error kinds a socket read/write timeout produces
+/// (platforms disagree on which of the two is reported).
+fn is_timeout(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Maps a request-reading failure to the right client-facing response:
+/// `408` when the socket timed out (slow-client guard), `400` otherwise.
+fn read_failure(what: &str, error: &std::io::Error) -> Response {
+    if is_timeout(error) {
+        Response::error(408, &format!("timed out reading {what}"))
+    } else {
+        Response::error(400, &format!("failed to read {what}: {error}"))
     }
 }
 
@@ -62,7 +104,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let mut line = String::new();
     reader
         .read_line(&mut line)
-        .map_err(|e| Response::error(400, &format!("failed to read request line: {e}")))?;
+        .map_err(|e| read_failure("request line", &e))?;
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
@@ -73,7 +115,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         let mut header = String::new();
         reader
             .read_line(&mut header)
-            .map_err(|e| Response::error(400, &format!("failed to read header: {e}")))?;
+            .map_err(|e| read_failure("header", &e))?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -96,18 +138,23 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|e| Response::error(400, &format!("failed to read body: {e}")))?;
+        .map_err(|e| read_failure("body", &e))?;
     Ok(Request { method, path, body })
 }
 
 /// Writes the response and flushes; the caller drops the stream afterwards
 /// (`Connection: close`).
 pub fn write_response(stream: &mut TcpStream, response: &Response) {
+    let retry_after = match response.retry_after {
+        Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
         response.status,
         status_text(response.status),
         response.body.len(),
+        retry_after,
     );
     // A peer that hung up mid-write is not an error worth surfacing.
     let _ = stream.write_all(head.as_bytes());

@@ -35,6 +35,19 @@
 //! crate).  Graceful shutdown flushes the log and, by default, writes a
 //! final checkpoint so the next boot skips replay.
 //!
+//! ## Resilience
+//!
+//! Queries carry an optional `timeout_ms` deadline (server default in
+//! [`ServerConfig::default_timeout_ms`]) and answer `504` when evaluation
+//! exceeds it.  Arrivals beyond [`ServerConfig::max_backlog`] are shed with
+//! `429` + `Retry-After`; sockets carry read/write timeouts (`408` for
+//! stalled clients).  A non-transient storage failure flips the store into
+//! read-only degraded mode: mutations answer `503` while queries keep
+//! serving the last published snapshot, and a successful
+//! `POST /checkpoint` re-arms the writer.  `GET /stats` reports all of it
+//! (`degraded`, `io_retries`, `injected_faults`, `shed_requests`,
+//! `query_timeouts`).
+//!
 //! ```no_run
 //! use hilog_engine::HiLogDb;
 //! use hilog_server::{Server, ServerConfig};
@@ -64,8 +77,9 @@ use hilog_engine::SnapshotHandle;
 use hilog_store::{PersistentWriter, RecoveryReport, StoreConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 /// Shared state the worker threads operate on: the read side (lock-free
 /// snapshot pinning) and the write side (mutex-serialised batches).
@@ -80,6 +94,18 @@ pub struct ServerState {
     pub workers: usize,
     /// Maximum accepted request-body size.
     pub max_body_bytes: usize,
+    /// Default query deadline applied when a request carries no
+    /// `timeout_ms` (see [`ServerConfig::default_timeout_ms`]).
+    pub default_timeout_ms: Option<u64>,
+    /// Queries aborted at their deadline (`504` responses).
+    pub query_timeouts: AtomicU64,
+    /// Connections shed with `429` because the backlog was full.
+    pub shed_requests: AtomicU64,
+    /// Accepted connections not yet fully served; bounded by
+    /// [`ServerConfig::max_backlog`].
+    backlog: AtomicUsize,
+    max_backlog: usize,
+    socket_timeout: Option<Duration>,
     checkpoint_on_shutdown: bool,
     shutdown: AtomicBool,
 }
@@ -124,11 +150,12 @@ impl Server {
                 (writer, snapshots, RecoveryReport::default())
             }
             Some(dir) => {
-                let store = StoreConfig {
-                    data_dir: dir.clone(),
-                    fsync: config.fsync,
-                    keep_checkpoints: 2,
-                };
+                let mut store = StoreConfig::new(dir.clone())
+                    .fsync(config.fsync)
+                    .retry(config.store_retry);
+                if let Some(io) = &config.store_io {
+                    store = store.io(Arc::clone(io));
+                }
                 PersistentWriter::open(&store, db)
                     .map_err(|e| io::Error::other(format!("cannot open {}: {e}", dir.display())))?
             }
@@ -141,6 +168,12 @@ impl Server {
                 writer: Mutex::new(writer),
                 workers: config.workers.max(1),
                 max_body_bytes: config.max_body_bytes,
+                default_timeout_ms: config.default_timeout_ms,
+                query_timeouts: AtomicU64::new(0),
+                shed_requests: AtomicU64::new(0),
+                backlog: AtomicUsize::new(0),
+                max_backlog: config.max_backlog.max(1),
+                socket_timeout: config.socket_timeout,
                 checkpoint_on_shutdown: config.checkpoint_on_shutdown,
                 shutdown: AtomicBool::new(false),
             }),
@@ -176,6 +209,12 @@ impl Server {
     /// Runs the accept loop, dispatching connections to the worker pool.
     /// Blocks until [`ServerHandle::shutdown`] is called, then flushes the
     /// write-ahead log and (when configured) writes a final checkpoint.
+    ///
+    /// Two overload guards run in the loop itself: arrivals beyond
+    /// `max_backlog` accepted-but-unserved connections are shed with
+    /// `429 Too Many Requests` + `Retry-After: 1` (never queued), and every
+    /// dispatched socket carries the configured read/write timeout so a
+    /// slow client cannot pin a worker.
     pub fn serve(self) {
         let state = &self.state;
         let (sender, receiver) = mpsc::channel::<TcpStream>();
@@ -187,6 +226,7 @@ impl Server {
                         Err(error_response) => error_response,
                     };
                     http::write_response(&mut stream, &response);
+                    state.backlog.fetch_sub(1, Ordering::SeqCst);
                 });
             });
             for incoming in self.listener.incoming() {
@@ -195,7 +235,40 @@ impl Server {
                 if state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                if let Ok(stream) = incoming {
+                if let Ok(mut stream) = incoming {
+                    // Slowloris guard: a worker blocked on this socket gives
+                    // up after the timeout (408) instead of forever.
+                    if let Some(timeout) = state.socket_timeout {
+                        let _ = stream.set_read_timeout(Some(timeout));
+                        let _ = stream.set_write_timeout(Some(timeout));
+                    }
+                    // Load shedding: answer 429 inline (cheap — one write on
+                    // a fresh socket) rather than queueing without bound.
+                    if state.backlog.load(Ordering::SeqCst) >= state.max_backlog {
+                        state.shed_requests.fetch_add(1, Ordering::Relaxed);
+                        http::write_response(
+                            &mut stream,
+                            &http::Response::error_retry_after(
+                                429,
+                                "server overloaded, request shed",
+                                1,
+                            ),
+                        );
+                        // Closing with the request still unread raises RST,
+                        // which can destroy the 429 before the client reads
+                        // it; drain briefly (bounded — this runs on the
+                        // accept loop) so the close is clean.
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                        let mut sink = [0u8; 4096];
+                        for _ in 0..4 {
+                            match io::Read::read(&mut stream, &mut sink) {
+                                Ok(n) if n > 0 => {}
+                                _ => break,
+                            }
+                        }
+                        continue;
+                    }
+                    state.backlog.fetch_add(1, Ordering::SeqCst);
                     // Workers exit when the sender drops; a send can only
                     // fail after that, i.e. never while the loop runs.
                     let _ = sender.send(stream);

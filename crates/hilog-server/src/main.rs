@@ -4,7 +4,8 @@
 //! hilog-server [--addr HOST:PORT] [--workers N] [--eval-threads N]
 //!              [--semantics wfs|stable|modular] [--program FILE]
 //!              [--data-dir DIR] [--fsync batch|interval|never]
-//!              [--no-final-checkpoint]
+//!              [--no-final-checkpoint] [--timeout-ms N|none]
+//!              [--max-backlog N] [--socket-timeout-ms N|none]
 //! ```
 //!
 //! Without `--program` the server starts on an empty program; populate it
@@ -25,7 +26,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hilog-server [--addr HOST:PORT] [--workers N] [--eval-threads N] \
          [--semantics wfs|stable|modular] [--program FILE] \
-         [--data-dir DIR] [--fsync batch|interval|never] [--no-final-checkpoint]"
+         [--data-dir DIR] [--fsync batch|interval|never] [--no-final-checkpoint] \
+         [--timeout-ms N|none] [--max-backlog N] [--socket-timeout-ms N|none]"
     );
     ExitCode::FAILURE
 }
@@ -89,6 +91,37 @@ fn main() -> ExitCode {
                 }
             },
             "--no-final-checkpoint" => config.checkpoint_on_shutdown = false,
+            "--timeout-ms" => match value("--timeout-ms").as_deref() {
+                Ok("none") => config.default_timeout_ms = None,
+                Ok(raw) => match raw.parse::<u64>() {
+                    Ok(ms) if ms > 0 => config.default_timeout_ms = Some(ms),
+                    _ => {
+                        eprintln!("--timeout-ms requires a positive integer or `none`");
+                        return usage();
+                    }
+                },
+                Err(()) => return usage(),
+            },
+            "--max-backlog" => match value("--max-backlog").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => config.max_backlog = n,
+                _ => {
+                    eprintln!("--max-backlog requires a positive integer");
+                    return usage();
+                }
+            },
+            "--socket-timeout-ms" => match value("--socket-timeout-ms").as_deref() {
+                Ok("none") => config.socket_timeout = None,
+                Ok(raw) => match raw.parse::<u64>() {
+                    Ok(ms) if ms > 0 => {
+                        config.socket_timeout = Some(Duration::from_millis(ms));
+                    }
+                    _ => {
+                        eprintln!("--socket-timeout-ms requires a positive integer or `none`");
+                        return usage();
+                    }
+                },
+                Err(()) => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;

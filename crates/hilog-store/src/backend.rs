@@ -16,6 +16,7 @@ use crate::checkpoint::{
     load_checkpoint, load_latest_checkpoint, prune_checkpoints, save_checkpoint, CheckpointData,
 };
 use crate::error::StoreError;
+use crate::io::{with_retry, RealIo, RetryPolicy, StoreIo};
 use crate::manifest::{
     build_manifest, load_manifest, load_manifest_program, manifest_candidates, prune_incremental,
     save_manifest, Manifest, RelKey,
@@ -23,8 +24,9 @@ use crate::manifest::{
 use crate::ops::Op;
 use crate::wal::{FsyncPolicy, Wal, WalRecord, WAL_FILE};
 use std::collections::BTreeSet;
-use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of a [`Durable`] backend.
@@ -37,6 +39,12 @@ pub struct StoreConfig {
     /// Checkpoints retained after each new one (older files are pruned).
     /// The newest is always kept; 2 keeps one fallback behind it.
     pub keep_checkpoints: usize,
+    /// The filesystem backend every durability operation goes through.
+    /// [`RealIo`] in production; a [`crate::io::FaultIo`] in resilience
+    /// tests.
+    pub io: Arc<dyn StoreIo>,
+    /// How transient I/O failures are retried before escalating.
+    pub retry: RetryPolicy,
 }
 
 impl StoreConfig {
@@ -46,12 +54,32 @@ impl StoreConfig {
             data_dir: data_dir.into(),
             fsync: FsyncPolicy::PerBatch,
             keep_checkpoints: 2,
+            io: Arc::new(RealIo::new()),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Sets the WAL fsync policy.
+    pub fn fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
     }
 
     /// Switches to interval fsync (the `<10%` serving-overhead setting).
     pub fn fsync_interval(mut self, window: Duration) -> Self {
         self.fsync = FsyncPolicy::Interval(window);
+        self
+    }
+
+    /// Replaces the filesystem backend (fault injection hooks in here).
+    pub fn io(mut self, io: Arc<dyn StoreIo>) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Replaces the transient-failure retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -82,6 +110,12 @@ pub struct StorageStats {
     /// Segments the current manifest references (0 when the newest recovery
     /// point is a whole-store checkpoint).
     pub manifest_segments: usize,
+    /// Filesystem operations the backend has performed.
+    pub io_ops: u64,
+    /// Transient I/O failures absorbed by retry (each retry attempt counts).
+    pub io_retries: u64,
+    /// Faults injected by a fault-injecting I/O backend (0 in production).
+    pub injected_faults: u64,
 }
 
 /// What the serving layer asks of storage.  Object-safe so the server holds
@@ -181,6 +215,9 @@ pub struct Recovered {
 #[derive(Debug)]
 pub struct Durable {
     dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+    retry: RetryPolicy,
+    retries: AtomicU64,
     wal: Wal,
     last_checkpoint_epoch: Option<u64>,
     keep_checkpoints: usize,
@@ -198,6 +235,7 @@ pub struct Durable {
 /// checkpoints and manifests together, newest epoch first, skipping any
 /// candidate that is torn, stale, or (for a manifest) missing a segment.
 fn load_latest_recovery(
+    io: &dyn StoreIo,
     dir: &Path,
 ) -> Result<Option<(CheckpointData, Option<Manifest>)>, StoreError> {
     enum Candidate {
@@ -205,27 +243,27 @@ fn load_latest_recovery(
         Incremental(PathBuf),
     }
     let mut candidates: Vec<(u64, Candidate)> = Vec::new();
-    if let Some((data, path)) = load_latest_checkpoint(dir)? {
+    if let Some((data, path)) = load_latest_checkpoint(io, dir)? {
         candidates.push((data.epoch, Candidate::Full(path)));
     }
-    for (epoch, path) in manifest_candidates(dir)? {
+    for (epoch, path) in manifest_candidates(io, dir)? {
         candidates.push((epoch, Candidate::Incremental(path)));
     }
     candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
     for (_, candidate) in candidates {
         match candidate {
-            Candidate::Full(path) => match load_checkpoint(&path) {
+            Candidate::Full(path) => match load_checkpoint(io, &path) {
                 Ok(data) => return Ok(Some((data, None))),
                 Err(StoreError::Corrupt(_) | StoreError::Codec(_)) => continue,
                 Err(e) => return Err(e),
             },
             Candidate::Incremental(path) => {
-                let manifest = match load_manifest(&path) {
+                let manifest = match load_manifest(io, &path) {
                     Ok(manifest) => manifest,
                     Err(StoreError::Corrupt(_) | StoreError::Codec(_)) => continue,
                     Err(e) => return Err(e),
                 };
-                match load_manifest_program(dir, &manifest) {
+                match load_manifest_program(io, dir, &manifest) {
                     Ok(program) => {
                         let data = CheckpointData {
                             epoch: manifest.epoch,
@@ -251,9 +289,10 @@ impl Durable {
     /// incremental manifest, whichever validates at the highest epoch).  The
     /// caller replays [`Recovered`] before serving.
     pub fn open(config: &StoreConfig) -> Result<(Durable, Recovered), StoreError> {
-        fs::create_dir_all(&config.data_dir)?;
-        let recovery = load_latest_recovery(&config.data_dir)?;
-        let (wal, wal_records) = Wal::open(config.data_dir.join(WAL_FILE), config.fsync)?;
+        let io = Arc::clone(&config.io);
+        io.create_dir_all(&config.data_dir)?;
+        let recovery = load_latest_recovery(&*io, &config.data_dir)?;
+        let (wal, wal_records) = Wal::open(&*io, config.data_dir.join(WAL_FILE), config.fsync)?;
         let (checkpoint, manifest, last_checkpoint_epoch) = match recovery {
             Some((data, manifest)) => {
                 let epoch = data.epoch;
@@ -274,6 +313,9 @@ impl Durable {
         Ok((
             Durable {
                 dir: config.data_dir.clone(),
+                io,
+                retry: config.retry,
+                retries: AtomicU64::new(0),
                 wal,
                 last_checkpoint_epoch,
                 keep_checkpoints: config.keep_checkpoints,
@@ -297,18 +339,29 @@ impl Durable {
 
 impl StorageBackend for Durable {
     fn append_batch(&mut self, epoch: u64, ops: &[Op]) -> Result<(), StoreError> {
-        self.wal.append(epoch, ops)
+        // Safe to retry: a failed append rolls its partial frame back before
+        // returning (and poisons the log if even the rollback fails, which
+        // makes the retry fail too rather than corrupt the tail).
+        let wal = &mut self.wal;
+        with_retry(self.retry, &self.retries, || wal.append(epoch, ops))
     }
 
     fn write_checkpoint(&mut self, data: &CheckpointData) -> Result<Option<PathBuf>, StoreError> {
-        let path = save_checkpoint(&self.dir, data)?;
+        // Safe to retry: the checkpoint goes through a temp file + rename,
+        // so a failed attempt never clobbers the previous candidate.
+        let io = &*self.io;
+        let dir = &self.dir;
+        let path = with_retry(self.retry, &self.retries, || save_checkpoint(io, dir, data))?;
         self.last_checkpoint_epoch = Some(data.epoch);
         self.last_checkpoint_segments = 0;
-        self.last_checkpoint_bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-        prune_checkpoints(&self.dir, self.keep_checkpoints)?;
+        self.last_checkpoint_bytes = self.io.file_len(&path).unwrap_or(0);
+        prune_checkpoints(&*self.io, &self.dir, self.keep_checkpoints)?;
         // Truncate last: if we die before this, recovery loads the new
-        // checkpoint and skips the stale records by epoch.
-        self.wal.truncate()?;
+        // checkpoint and skips the stale records by epoch.  Retried because
+        // a partial truncation poisons the log against appends until a full
+        // one lands (truncation is idempotent).
+        let wal = &mut self.wal;
+        with_retry(self.retry, &self.retries, || wal.truncate())?;
         Ok(Some(path))
     }
 
@@ -321,26 +374,45 @@ impl StorageBackend for Durable {
         // crash anywhere in between leaves the previous manifest — whose
         // segments are only pruned after a newer manifest commits — fully
         // loadable.
-        let (manifest, segments_written, mut bytes_written) = build_manifest(
-            &self.dir,
-            data.epoch,
-            data.semantics,
-            &data.program,
-            dirty,
-            self.manifest.as_ref(),
-        )?;
-        let (path, manifest_bytes) = save_manifest(&self.dir, &manifest)?;
+        // Retried as a unit: segments and manifest all go through temp
+        // files, so a failed attempt leaves only stray `.tmp`/orphan files
+        // that the next prune sweeps up — the previous manifest stays the
+        // recovery point until `save_manifest` renames the new one in.
+        let io = &*self.io;
+        let dir = &self.dir;
+        let previous = self.manifest.as_ref();
+        let (manifest, segments_written, mut bytes_written, path, manifest_bytes) =
+            with_retry(self.retry, &self.retries, || {
+                let (manifest, segments_written, bytes_written) = build_manifest(
+                    io,
+                    dir,
+                    data.epoch,
+                    data.semantics,
+                    &data.program,
+                    dirty,
+                    previous,
+                )?;
+                let (path, manifest_bytes) = save_manifest(io, dir, &manifest)?;
+                Ok((
+                    manifest,
+                    segments_written,
+                    bytes_written,
+                    path,
+                    manifest_bytes,
+                ))
+            })?;
         bytes_written += manifest_bytes;
         let segments_total = manifest.entries.len();
         self.manifest = Some(manifest);
         self.last_checkpoint_epoch = Some(data.epoch);
         self.last_checkpoint_segments = segments_written;
         self.last_checkpoint_bytes = bytes_written;
-        prune_incremental(&self.dir, self.keep_checkpoints)?;
+        prune_incremental(&*self.io, &self.dir, self.keep_checkpoints)?;
         // Truncate last, same as the whole-store path: dying before this
         // replays records the manifest already subsumes, which is idempotent
-        // by epoch.
-        self.wal.truncate()?;
+        // by epoch.  Retried for the same reason as the whole-store path.
+        let wal = &mut self.wal;
+        with_retry(self.retry, &self.retries, || wal.truncate())?;
         Ok(IncrementalOutcome {
             path: Some(path),
             segments_written,
@@ -350,20 +422,22 @@ impl StorageBackend for Durable {
     }
 
     fn flush(&mut self) -> Result<(), StoreError> {
-        self.wal.flush()
+        let wal = &mut self.wal;
+        with_retry(self.retry, &self.retries, || wal.flush())
     }
 
     fn stats(&self) -> StorageStats {
-        let data_dir_bytes = fs::read_dir(&self.dir)
-            .map(|entries| {
-                entries
-                    .filter_map(|e| e.ok())
-                    .filter_map(|e| e.metadata().ok())
-                    .filter(|m| m.is_file())
-                    .map(|m| m.len())
+        let data_dir_bytes = self
+            .io
+            .list_dir(&self.dir)
+            .map(|names| {
+                names
+                    .iter()
+                    .filter_map(|name| self.io.file_len(&self.dir.join(name)).ok())
                     .sum()
             })
             .unwrap_or(0);
+        let io_stats = self.io.io_stats();
         StorageStats {
             durable: true,
             wal_records: self.wal.records(),
@@ -373,6 +447,9 @@ impl StorageBackend for Durable {
             last_checkpoint_segments: self.last_checkpoint_segments,
             last_checkpoint_bytes: self.last_checkpoint_bytes,
             manifest_segments: self.manifest.as_ref().map_or(0, |m| m.entries.len()),
+            io_ops: io_stats.ops,
+            io_retries: self.retries.load(Ordering::Relaxed),
+            injected_faults: io_stats.injected_faults,
         }
     }
 }

@@ -27,11 +27,10 @@
 //! takes the newest file that validates, skipping corrupt ones.
 
 use crate::error::StoreError;
+use crate::io::{OpenMode, StoreIo};
 use hilog_core::codec::{crc32, PayloadReader, PayloadWriter};
 use hilog_core::{Model, Program};
 use hilog_engine::Semantics;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"HSNP";
@@ -163,17 +162,15 @@ fn decode(payload: &[u8]) -> Result<CheckpointData, StoreError> {
     })
 }
 
-/// Fsyncs a directory so a rename inside it is durable.  Best-effort on
-/// platforms where directories cannot be opened for sync.
-fn sync_dir(dir: &Path) {
-    if let Ok(handle) = File::open(dir) {
-        let _ = handle.sync_all();
-    }
-}
-
 /// Writes the checkpoint for `data.epoch` into `dir` atomically (temp file,
-/// fsync, rename, directory fsync) and returns its path.
-pub fn save_checkpoint(dir: &Path, data: &CheckpointData) -> Result<PathBuf, StoreError> {
+/// fsync, rename, directory fsync) and returns its path.  A failure at any
+/// step leaves at worst a stale `.tmp` file (pruned later) — the previous
+/// checkpoints are untouched, so recovery still has its candidates.
+pub fn save_checkpoint(
+    io: &dyn StoreIo,
+    dir: &Path,
+    data: &CheckpointData,
+) -> Result<PathBuf, StoreError> {
     let payload = encode(data);
     let mut bytes = Vec::with_capacity(payload.len() + 12);
     bytes.extend_from_slice(MAGIC);
@@ -184,23 +181,20 @@ pub fn save_checkpoint(dir: &Path, data: &CheckpointData) -> Result<PathBuf, Sto
     let final_path = dir.join(checkpoint_file_name(data.epoch));
     let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(data.epoch)));
     {
-        let mut tmp = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp_path)?;
+        let mut tmp = io.open(&tmp_path, OpenMode::Truncate)?;
         tmp.write_all(&bytes)?;
         tmp.sync_data()?;
     }
-    fs::rename(&tmp_path, &final_path)?;
-    sync_dir(dir);
+    io.rename(&tmp_path, &final_path)?;
+    // Best-effort, like the pre-VFS path: a lost directory entry after a
+    // crash re-runs recovery from the previous checkpoint, never corrupts.
+    let _ = io.sync_dir(dir);
     Ok(final_path)
 }
 
 /// Reads and validates one checkpoint file.
-pub fn load_checkpoint(path: &Path) -> Result<CheckpointData, StoreError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+pub fn load_checkpoint(io: &dyn StoreIo, path: &Path) -> Result<CheckpointData, StoreError> {
+    let bytes = io.read(path)?;
     if bytes.len() < 12 || &bytes[..4] != MAGIC {
         return Err(StoreError::Corrupt(format!(
             "{} is not a checkpoint file",
@@ -226,19 +220,19 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointData, StoreError> {
 
 /// Loads the newest checkpoint in `dir` that validates, skipping (but not
 /// deleting) corrupt or torn files.  `Ok(None)` when none exists.
-pub fn load_latest_checkpoint(dir: &Path) -> Result<Option<(CheckpointData, PathBuf)>, StoreError> {
+pub fn load_latest_checkpoint(
+    io: &dyn StoreIo,
+    dir: &Path,
+) -> Result<Option<(CheckpointData, PathBuf)>, StoreError> {
     let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if let Some(epoch) = parse_checkpoint_epoch(name) {
-            candidates.push((epoch, entry.path()));
+    for name in io.list_dir(dir)? {
+        if let Some(epoch) = parse_checkpoint_epoch(&name) {
+            candidates.push((epoch, dir.join(name)));
         }
     }
     candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
     for (_, path) in candidates {
-        match load_checkpoint(&path) {
+        match load_checkpoint(io, &path) {
             Ok(data) => return Ok(Some((data, path))),
             // A corrupt newer file falls back to the previous checkpoint —
             // with its WAL already truncated the fallback can lose epochs,
@@ -253,23 +247,20 @@ pub fn load_latest_checkpoint(dir: &Path) -> Result<Option<(CheckpointData, Path
 
 /// Deletes all but the newest `keep` checkpoints (and any leftover `.tmp`
 /// files).  Returns how many files were removed.
-pub fn prune_checkpoints(dir: &Path, keep: usize) -> Result<usize, StoreError> {
+pub fn prune_checkpoints(io: &dyn StoreIo, dir: &Path, keep: usize) -> Result<usize, StoreError> {
     let mut checkpoints: Vec<(u64, PathBuf)> = Vec::new();
     let mut removed = 0;
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in io.list_dir(dir)? {
         if name.starts_with("checkpoint-") && name.ends_with(".tmp") {
-            fs::remove_file(entry.path())?;
+            io.remove_file(&dir.join(name))?;
             removed += 1;
-        } else if let Some(epoch) = parse_checkpoint_epoch(name) {
-            checkpoints.push((epoch, entry.path()));
+        } else if let Some(epoch) = parse_checkpoint_epoch(&name) {
+            checkpoints.push((epoch, dir.join(name)));
         }
     }
     checkpoints.sort_by_key(|c| std::cmp::Reverse(c.0));
     for (_, path) in checkpoints.into_iter().skip(keep.max(1)) {
-        fs::remove_file(path)?;
+        io.remove_file(&path)?;
         removed += 1;
     }
     Ok(removed)
@@ -278,8 +269,14 @@ pub fn prune_checkpoints(dir: &Path, keep: usize) -> Result<usize, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::RealIo;
     use hilog_syntax::parse_program;
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn real() -> RealIo {
+        RealIo::new()
+    }
 
     fn temp_dir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -311,8 +308,8 @@ mod tests {
     fn save_load_roundtrip_with_model() {
         let dir = temp_dir("roundtrip");
         let data = sample(17, true);
-        let path = save_checkpoint(&dir, &data).unwrap();
-        let loaded = load_checkpoint(&path).unwrap();
+        let path = save_checkpoint(&real(), &dir, &data).unwrap();
+        let loaded = load_checkpoint(&real(), &path).unwrap();
         assert_eq!(loaded, data);
         fs::remove_dir_all(&dir).ok();
     }
@@ -321,22 +318,22 @@ mod tests {
     fn save_load_roundtrip_without_model() {
         let dir = temp_dir("nomodel");
         let data = sample(0, false);
-        let path = save_checkpoint(&dir, &data).unwrap();
-        assert_eq!(load_checkpoint(&path).unwrap(), data);
+        let path = save_checkpoint(&real(), &dir, &data).unwrap();
+        assert_eq!(load_checkpoint(&real(), &path).unwrap(), data);
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn latest_skips_corrupt_files() {
         let dir = temp_dir("corrupt");
-        save_checkpoint(&dir, &sample(1, false)).unwrap();
-        let newer = save_checkpoint(&dir, &sample(2, true)).unwrap();
+        save_checkpoint(&real(), &dir, &sample(1, false)).unwrap();
+        let newer = save_checkpoint(&real(), &dir, &sample(2, true)).unwrap();
         // Corrupt the newer file's payload.
         let mut bytes = fs::read(&newer).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         fs::write(&newer, &bytes).unwrap();
-        let (data, path) = load_latest_checkpoint(&dir).unwrap().unwrap();
+        let (data, path) = load_latest_checkpoint(&real(), &dir).unwrap().unwrap();
         assert_eq!(data.epoch, 1);
         assert!(path.to_string_lossy().contains("00000000000000000001"));
         fs::remove_dir_all(&dir).ok();
@@ -346,13 +343,13 @@ mod tests {
     fn prune_keeps_newest() {
         let dir = temp_dir("prune");
         for epoch in 1..=4 {
-            save_checkpoint(&dir, &sample(epoch, false)).unwrap();
+            save_checkpoint(&real(), &dir, &sample(epoch, false)).unwrap();
         }
         // A stray tmp file is cleaned up too.
         fs::write(dir.join("checkpoint-x.tmp"), b"junk").unwrap();
-        let removed = prune_checkpoints(&dir, 2).unwrap();
+        let removed = prune_checkpoints(&real(), &dir, 2).unwrap();
         assert_eq!(removed, 3);
-        let (data, _) = load_latest_checkpoint(&dir).unwrap().unwrap();
+        let (data, _) = load_latest_checkpoint(&real(), &dir).unwrap().unwrap();
         assert_eq!(data.epoch, 4);
         assert!(!dir.join(checkpoint_file_name(1)).exists());
         assert!(dir.join(checkpoint_file_name(3)).exists());
@@ -362,7 +359,7 @@ mod tests {
     #[test]
     fn empty_dir_has_no_checkpoint() {
         let dir = temp_dir("empty");
-        assert!(load_latest_checkpoint(&dir).unwrap().is_none());
+        assert!(load_latest_checkpoint(&real(), &dir).unwrap().is_none());
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -27,6 +27,15 @@ pub enum StoreError {
         /// The engine's verdict.
         error: EngineError,
     },
+    /// The writer is in read-only degraded mode after a non-transient
+    /// storage failure: mutations are refused until a checkpoint succeeds
+    /// (the re-arm), but the last good snapshot keeps serving queries.
+    Degraded {
+        /// The storage failure that triggered degradation.
+        reason: String,
+        /// The epoch of the last successfully published batch.
+        since_epoch: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -39,6 +48,13 @@ impl fmt::Display for StoreError {
                 f,
                 "engine rejected a WAL-committed batch after {applied} applied operation(s): {error}"
             ),
+            StoreError::Degraded {
+                reason,
+                since_epoch,
+            } => write!(
+                f,
+                "store is read-only (degraded since epoch {since_epoch}): {reason}"
+            ),
         }
     }
 }
@@ -50,6 +66,7 @@ impl std::error::Error for StoreError {
             StoreError::Codec(e) => Some(e),
             StoreError::Corrupt(_) => None,
             StoreError::Engine { error, .. } => Some(error),
+            StoreError::Degraded { .. } => None,
         }
     }
 }

@@ -42,6 +42,7 @@
 pub mod backend;
 pub mod checkpoint;
 pub mod error;
+pub mod io;
 pub mod manifest;
 pub mod ops;
 pub mod serving;
@@ -52,7 +53,10 @@ pub use backend::{
 };
 pub use checkpoint::CheckpointData;
 pub use error::StoreError;
+pub use io::{FaultIo, FaultPlan, IoStats, OpenMode, RealIo, RetryPolicy, StoreFile, StoreIo};
 pub use manifest::{rel_key, Manifest, RelKey, SegmentEntry};
 pub use ops::Op;
-pub use serving::{BatchOutcome, CheckpointOutcome, PersistentWriter, RecoveryReport};
+pub use serving::{
+    BatchOutcome, CheckpointOutcome, DegradedState, PersistentWriter, RecoveryReport,
+};
 pub use wal::{FsyncPolicy, Wal, WalRecord};

@@ -32,13 +32,12 @@
 
 use crate::checkpoint::{semantics_from_tag, semantics_tag};
 use crate::error::StoreError;
+use crate::io::{OpenMode, StoreIo};
 use hilog_core::codec::{crc32, PayloadReader, PayloadWriter};
 use hilog_core::{Program, Rule, Term};
 use hilog_engine::Semantics;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::fs::{self, File, OpenOptions};
 use std::hash::{Hash, Hasher};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 const SEGMENT_MAGIC: &[u8; 4] = b"HSEG";
@@ -118,15 +117,8 @@ pub struct Manifest {
     pub entries: Vec<SegmentEntry>,
 }
 
-/// Fsyncs a directory so a rename inside it is durable (best-effort,
-/// mirroring the whole-store checkpoint path).
-fn sync_dir(dir: &Path) {
-    if let Ok(handle) = File::open(dir) {
-        let _ = handle.sync_all();
-    }
-}
-
 fn write_framed(
+    io: &dyn StoreIo,
     dir: &Path,
     name: &str,
     magic: &[u8; 4],
@@ -140,21 +132,16 @@ fn write_framed(
     let final_path = dir.join(name);
     let tmp_path = dir.join(format!("{name}.tmp"));
     {
-        let mut tmp = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp_path)?;
+        let mut tmp = io.open(&tmp_path, OpenMode::Truncate)?;
         tmp.write_all(&bytes)?;
         tmp.sync_data()?;
     }
-    fs::rename(&tmp_path, &final_path)?;
+    io.rename(&tmp_path, &final_path)?;
     Ok(bytes.len() as u64)
 }
 
-fn read_framed(path: &Path, magic: &[u8; 4]) -> Result<Vec<u8>, StoreError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+fn read_framed(io: &dyn StoreIo, path: &Path, magic: &[u8; 4]) -> Result<Vec<u8>, StoreError> {
+    let mut bytes = io.read(path)?;
     if bytes.len() < 12 || &bytes[..4] != magic {
         return Err(StoreError::Corrupt(format!(
             "{} is not a {} file",
@@ -208,6 +195,7 @@ fn read_key(reader: &mut PayloadReader<'_>) -> Result<RelKey, StoreError> {
 /// directory fsync the manifest commit performs) before the manifest that
 /// names it can exist.
 pub fn write_segment(
+    io: &dyn StoreIo,
     dir: &Path,
     key: &RelKey,
     epoch: u64,
@@ -222,6 +210,7 @@ pub fn write_segment(
     let payload = writer.finish();
     let hash = key_hash(key);
     let bytes = write_framed(
+        io,
         dir,
         &segment_file_name(hash, epoch),
         SEGMENT_MAGIC,
@@ -239,9 +228,13 @@ pub fn write_segment(
 /// Reads and validates one segment, checking it holds the relation its
 /// manifest entry claims (count included — a stale same-name file from a
 /// different run fails here instead of silently changing the program).
-pub fn load_segment(dir: &Path, entry: &SegmentEntry) -> Result<Vec<Term>, StoreError> {
+pub fn load_segment(
+    io: &dyn StoreIo,
+    dir: &Path,
+    entry: &SegmentEntry,
+) -> Result<Vec<Term>, StoreError> {
     let path = dir.join(entry.file_name());
-    let payload = read_framed(&path, SEGMENT_MAGIC)?;
+    let payload = read_framed(io, &path, SEGMENT_MAGIC)?;
     let mut reader = PayloadReader::new(&payload)?;
     let key = read_key(&mut reader)?;
     if key != entry.key {
@@ -275,7 +268,11 @@ pub fn load_segment(dir: &Path, entry: &SegmentEntry) -> Result<Vec<Term>, Store
 
 /// Writes the manifest for `manifest.epoch` atomically and returns its path
 /// and size.  Every segment it names must already be durable.
-pub fn save_manifest(dir: &Path, manifest: &Manifest) -> Result<(PathBuf, u64), StoreError> {
+pub fn save_manifest(
+    io: &dyn StoreIo,
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<(PathBuf, u64), StoreError> {
     let mut writer = PayloadWriter::new();
     writer.write_u64(manifest.epoch);
     writer.write_u8(semantics_tag(manifest.semantics));
@@ -293,15 +290,15 @@ pub fn save_manifest(dir: &Path, manifest: &Manifest) -> Result<(PathBuf, u64), 
     }
     let payload = writer.finish();
     let name = manifest_file_name(manifest.epoch);
-    let bytes = write_framed(dir, &name, MANIFEST_MAGIC, &payload)?;
-    sync_dir(dir);
+    let bytes = write_framed(io, dir, &name, MANIFEST_MAGIC, &payload)?;
+    let _ = io.sync_dir(dir);
     Ok((dir.join(name), bytes))
 }
 
 /// Reads and validates one manifest file (not its segments — see
 /// [`load_manifest_program`] for the end-to-end load).
-pub fn load_manifest(path: &Path) -> Result<Manifest, StoreError> {
-    let payload = read_framed(path, MANIFEST_MAGIC)?;
+pub fn load_manifest(io: &dyn StoreIo, path: &Path) -> Result<Manifest, StoreError> {
+    let payload = read_framed(io, path, MANIFEST_MAGIC)?;
     let mut reader = PayloadReader::new(&payload)?;
     let epoch = reader.read_u64()?;
     let semantics = semantics_from_tag(reader.read_u8()?)?;
@@ -344,13 +341,17 @@ pub fn load_manifest(path: &Path) -> Result<Manifest, StoreError> {
 /// segment's facts.  Fails if *any* segment is missing, torn, or holds a
 /// different relation than the manifest claims — the caller then falls back
 /// to an older recovery point.
-pub fn load_manifest_program(dir: &Path, manifest: &Manifest) -> Result<Program, StoreError> {
+pub fn load_manifest_program(
+    io: &dyn StoreIo,
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<Program, StoreError> {
     let mut program = Program::new();
     for rule in &manifest.rules {
         program.push(rule.clone());
     }
     for entry in &manifest.entries {
-        for fact in load_segment(dir, entry)? {
+        for fact in load_segment(io, dir, entry)? {
             program.push(Rule::fact(fact));
         }
     }
@@ -358,14 +359,14 @@ pub fn load_manifest_program(dir: &Path, manifest: &Manifest) -> Result<Program,
 }
 
 /// Every manifest in `dir`, newest epoch first.
-pub fn manifest_candidates(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+pub fn manifest_candidates(
+    io: &dyn StoreIo,
+    dir: &Path,
+) -> Result<Vec<(u64, PathBuf)>, StoreError> {
     let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if let Some(epoch) = parse_manifest_epoch(name) {
-            candidates.push((epoch, entry.path()));
+    for name in io.list_dir(dir)? {
+        if let Some(epoch) = parse_manifest_epoch(&name) {
+            candidates.push((epoch, dir.join(name)));
         }
     }
     candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
@@ -377,6 +378,7 @@ pub fn manifest_candidates(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError
 /// Returns the manifest plus how many segments were written and the bytes
 /// they (and the manifest file) will add — the incremental delta.
 pub fn build_manifest(
+    io: &dyn StoreIo,
     dir: &Path,
     epoch: u64,
     semantics: Semantics,
@@ -406,7 +408,7 @@ pub fn build_manifest(
         match reusable.get(key).filter(|_| !dirty.contains(key)) {
             Some(entry) => entries.push((*entry).clone()),
             None => {
-                let entry = write_segment(dir, key, epoch, relation_facts)?;
+                let entry = write_segment(io, dir, key, epoch, relation_facts)?;
                 written += 1;
                 delta_bytes += entry.bytes;
                 entries.push(entry);
@@ -429,15 +431,15 @@ pub fn build_manifest(
 /// manifest references, and stray `.tmp` files.  A manifest that fails to
 /// parse is *kept* (deleting it could orphan the fallback chain the loader
 /// walks); its segments stay pinned only if a parsable manifest names them.
-pub fn prune_incremental(dir: &Path, keep: usize) -> Result<usize, StoreError> {
-    let candidates = manifest_candidates(dir)?;
+pub fn prune_incremental(io: &dyn StoreIo, dir: &Path, keep: usize) -> Result<usize, StoreError> {
+    let candidates = manifest_candidates(io, dir)?;
     let keep = keep.max(1);
     let mut referenced: BTreeSet<String> = BTreeSet::new();
     for (index, (_, path)) in candidates.iter().enumerate() {
         if index >= keep {
             break;
         }
-        if let Ok(manifest) = load_manifest(path) {
+        if let Ok(manifest) = load_manifest(io, path) {
             for entry in &manifest.entries {
                 referenced.insert(entry.file_name());
             }
@@ -445,19 +447,16 @@ pub fn prune_incremental(dir: &Path, keep: usize) -> Result<usize, StoreError> {
     }
     let mut removed = 0usize;
     for (_, path) in candidates.into_iter().skip(keep) {
-        fs::remove_file(path)?;
+        io.remove_file(&path)?;
         removed += 1;
     }
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in io.list_dir(dir)? {
         let is_stray_tmp =
             (name.starts_with("rel-") || name.starts_with("manifest-")) && name.ends_with(".tmp");
         let is_orphan_segment =
-            name.starts_with("rel-") && name.ends_with(".hseg") && !referenced.contains(name);
+            name.starts_with("rel-") && name.ends_with(".hseg") && !referenced.contains(&name);
         if is_stray_tmp || is_orphan_segment {
-            fs::remove_file(entry.path())?;
+            io.remove_file(&dir.join(name))?;
             removed += 1;
         }
     }
@@ -467,8 +466,14 @@ pub fn prune_incremental(dir: &Path, keep: usize) -> Result<usize, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::RealIo;
     use hilog_syntax::{parse_program, parse_term};
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn real() -> RealIo {
+        RealIo::new()
+    }
 
     fn temp_dir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -495,9 +500,9 @@ mod tests {
             parse_term("edge(a, b)").unwrap(),
             parse_term("edge(b, c)").unwrap(),
         ];
-        let entry = write_segment(&dir, &key, 3, &facts).unwrap();
+        let entry = write_segment(&real(), &dir, &key, 3, &facts).unwrap();
         assert_eq!(entry.facts, 2);
-        assert_eq!(load_segment(&dir, &entry).unwrap(), facts);
+        assert_eq!(load_segment(&real(), &dir, &entry).unwrap(), facts);
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -506,6 +511,7 @@ mod tests {
         let dir = temp_dir("roundtrip");
         let program = sample_program();
         let (manifest, written, _) = build_manifest(
+            &real(),
             &dir,
             5,
             Semantics::WellFounded,
@@ -515,10 +521,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(written, 2, "edge and colour each get a segment");
-        let (path, _) = save_manifest(&dir, &manifest).unwrap();
-        let loaded = load_manifest(&path).unwrap();
+        let (path, _) = save_manifest(&real(), &dir, &manifest).unwrap();
+        let loaded = load_manifest(&real(), &path).unwrap();
         assert_eq!(loaded, manifest);
-        let rebuilt = load_manifest_program(&dir, &loaded).unwrap();
+        let rebuilt = load_manifest_program(&real(), &dir, &loaded).unwrap();
         let mut original: Vec<String> = program.rules.iter().map(|r| r.to_string()).collect();
         let mut recovered: Vec<String> = rebuilt.rules.iter().map(|r| r.to_string()).collect();
         original.sort();
@@ -532,6 +538,7 @@ mod tests {
         let dir = temp_dir("reuse");
         let program = sample_program();
         let (first, _, _) = build_manifest(
+            &real(),
             &dir,
             1,
             Semantics::WellFounded,
@@ -540,12 +547,13 @@ mod tests {
             None,
         )
         .unwrap();
-        save_manifest(&dir, &first).unwrap();
+        save_manifest(&real(), &dir, &first).unwrap();
         // Dirty only `colour`: the edge segment must be copied forward.
         let mut program = program;
         program.push(Rule::fact(parse_term("colour(b, blue)").unwrap()));
         let dirty: BTreeSet<RelKey> = [rel_key(&parse_term("colour(b, blue)").unwrap())].into();
         let (second, written, _) = build_manifest(
+            &real(),
             &dir,
             2,
             Semantics::WellFounded,
@@ -570,6 +578,7 @@ mod tests {
         let dir = temp_dir("prune");
         let mut program = sample_program();
         let (first, _, _) = build_manifest(
+            &real(),
             &dir,
             1,
             Semantics::WellFounded,
@@ -578,11 +587,12 @@ mod tests {
             None,
         )
         .unwrap();
-        save_manifest(&dir, &first).unwrap();
+        save_manifest(&real(), &dir, &first).unwrap();
         // Dirty `edge` twice so two superseded edge segments accumulate.
         let dirty: BTreeSet<RelKey> = [rel_key(&parse_term("edge(a, b)").unwrap())].into();
         program.push(Rule::fact(parse_term("edge(c, d)").unwrap()));
         let (second, _, _) = build_manifest(
+            &real(),
             &dir,
             2,
             Semantics::WellFounded,
@@ -591,9 +601,10 @@ mod tests {
             Some(&first),
         )
         .unwrap();
-        save_manifest(&dir, &second).unwrap();
+        save_manifest(&real(), &dir, &second).unwrap();
         program.push(Rule::fact(parse_term("edge(d, e)").unwrap()));
         let (third, _, _) = build_manifest(
+            &real(),
             &dir,
             3,
             Semantics::WellFounded,
@@ -602,9 +613,9 @@ mod tests {
             Some(&second),
         )
         .unwrap();
-        save_manifest(&dir, &third).unwrap();
+        save_manifest(&real(), &dir, &third).unwrap();
         fs::write(dir.join("rel-junk.tmp"), b"junk").unwrap();
-        prune_incremental(&dir, 1).unwrap();
+        prune_incremental(&real(), &dir, 1).unwrap();
         // Only the newest manifest and exactly its segments survive.
         let segs: Vec<String> = fs::read_dir(&dir)
             .unwrap()
@@ -621,8 +632,8 @@ mod tests {
         assert!(dir.join(manifest_file_name(3)).exists());
         assert!(!dir.join("rel-junk.tmp").exists());
         // The surviving manifest still loads end-to-end.
-        let loaded = load_manifest(&dir.join(manifest_file_name(3))).unwrap();
-        load_manifest_program(&dir, &loaded).unwrap();
+        let loaded = load_manifest(&real(), &dir.join(manifest_file_name(3))).unwrap();
+        load_manifest_program(&real(), &dir, &loaded).unwrap();
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -631,6 +642,7 @@ mod tests {
         let dir = temp_dir("torn");
         let program = sample_program();
         let (manifest, _, _) = build_manifest(
+            &real(),
             &dir,
             1,
             Semantics::WellFounded,
@@ -639,13 +651,13 @@ mod tests {
             None,
         )
         .unwrap();
-        save_manifest(&dir, &manifest).unwrap();
+        save_manifest(&real(), &dir, &manifest).unwrap();
         // Truncate one segment mid-payload.
         let victim = dir.join(manifest.entries[0].file_name());
         let bytes = fs::read(&victim).unwrap();
         fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
         assert!(matches!(
-            load_manifest_program(&dir, &manifest),
+            load_manifest_program(&real(), &dir, &manifest),
             Err(StoreError::Corrupt(_) | StoreError::Codec(_))
         ));
         fs::remove_dir_all(&dir).ok();

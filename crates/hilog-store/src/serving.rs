@@ -76,11 +76,26 @@ pub struct RecoveryReport {
     pub from_manifest: bool,
 }
 
+/// Why (and since when) a writer stopped accepting mutations.  Reported
+/// through `GET /stats` as `degraded: {reason, since_epoch}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedState {
+    /// The storage failure that triggered degradation.
+    pub reason: String,
+    /// Epoch of the last successfully published batch — queries keep
+    /// answering from this state.
+    pub since_epoch: u64,
+}
+
 /// A [`DbWriter`] whose batches are durable before they are visible.
 #[derive(Debug)]
 pub struct PersistentWriter {
     writer: DbWriter,
     backend: Box<dyn StorageBackend>,
+    /// `Some` once a non-transient storage failure put the writer in
+    /// read-only degraded mode: mutations are refused, the last good
+    /// snapshot keeps serving, and a successful checkpoint re-arms.
+    degraded: Option<DegradedState>,
     /// Relations mutated since their segments were last written — exactly
     /// the set the next incremental checkpoint must rewrite.  Accumulated
     /// from applied batches (and recovery replay) and cleared only when an
@@ -156,6 +171,7 @@ impl PersistentWriter {
                 writer,
                 backend: Box::new(InMemory),
                 dirty: BTreeSet::new(),
+                degraded: None,
             },
             handle,
         )
@@ -185,6 +201,7 @@ impl PersistentWriter {
                     writer,
                     backend,
                     dirty: BTreeSet::new(),
+                    degraded: None,
                 };
                 this.checkpoint()?;
                 Ok((this, handle, RecoveryReport::default()))
@@ -234,6 +251,7 @@ impl PersistentWriter {
                         writer,
                         backend,
                         dirty,
+                        degraded: None,
                     },
                     handle,
                     RecoveryReport {
@@ -252,9 +270,31 @@ impl PersistentWriter {
     /// through the incremental path, publish.  On an engine error the
     /// already-applied prefix is still published — the same state replay
     /// reproduces — and the error is surfaced.
+    ///
+    /// In degraded mode the batch is refused up front with
+    /// [`StoreError::Degraded`] — nothing is appended or applied.  A WAL
+    /// append that still fails after the backend's bounded retries is
+    /// treated as non-transient: the batch is *not* applied (the commit
+    /// point stays atomic — an unlogged batch must never be visible), the
+    /// writer drops into read-only degraded mode, and a later successful
+    /// [`Self::checkpoint`] / [`Self::checkpoint_incremental`] re-arms it.
     pub fn apply_batch(&mut self, ops: &[Op]) -> Result<BatchOutcome, StoreError> {
+        if let Some(state) = &self.degraded {
+            return Err(StoreError::Degraded {
+                reason: state.reason.clone(),
+                since_epoch: state.since_epoch,
+            });
+        }
         let epoch = self.writer.epoch() + 1;
-        self.backend.append_batch(epoch, ops)?;
+        if let Err(error) = self.backend.append_batch(epoch, ops) {
+            if matches!(error, StoreError::Io(_)) {
+                self.degraded = Some(DegradedState {
+                    reason: error.to_string(),
+                    since_epoch: self.writer.epoch(),
+                });
+            }
+            return Err(error);
+        }
         mark_dirty(&mut self.dirty, ops);
         let (applied, missing, failure) = apply_ops(&mut self.writer, ops);
         let snapshot = self.writer.publish();
@@ -280,6 +320,9 @@ impl PersistentWriter {
             model: self.writer.cached_model().map(|m| (*m).clone()),
         };
         let path = self.backend.write_checkpoint(&data)?;
+        // A checkpoint that reached disk proves storage is writable again:
+        // leave degraded mode.
+        self.degraded = None;
         let bytes_written = self.backend.stats().last_checkpoint_bytes;
         let symbols_dropped = gc_symbol_pool();
         let live_symbols = symbol_pool_stats().live;
@@ -309,6 +352,7 @@ impl PersistentWriter {
             model: None,
         };
         let outcome = self.backend.write_incremental(&data, &self.dirty)?;
+        self.degraded = None;
         self.dirty.clear();
         let symbols_dropped = gc_symbol_pool();
         let live_symbols = symbol_pool_stats().live;
@@ -340,6 +384,11 @@ impl PersistentWriter {
     /// Storage counters for `GET /stats`.
     pub fn storage_stats(&self) -> StorageStats {
         self.backend.stats()
+    }
+
+    /// `Some` while the writer is in read-only degraded mode.
+    pub fn degraded(&self) -> Option<&DegradedState> {
+        self.degraded.as_ref()
     }
 
     /// Epoch of the most recently published snapshot.
@@ -618,6 +667,80 @@ mod tests {
         drop(handle);
         let (_writer, handle, _) = PersistentWriter::open(&config, game_db()).unwrap();
         assert_true(&handle, "?- move(c, d).");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_transient_append_failure_degrades_and_checkpoint_rearms() {
+        use crate::io::{FaultIo, RetryPolicy};
+        let dir = temp_dir("degraded");
+        let io = FaultIo::over_real();
+        let config = StoreConfig::new(&dir)
+            .io(std::sync::Arc::new(io.clone()))
+            .retry(RetryPolicy::none());
+        let (mut writer, handle, _) = PersistentWriter::open(&config, game_db()).unwrap();
+        writer
+            .apply_batch(&[Op::AssertFact(parse_term("move(c, d)").unwrap())])
+            .unwrap();
+        let epoch = writer.epoch();
+        // The disk dies mid-serving: the next batch must fail, not apply,
+        // and drop the writer into read-only degraded mode.
+        io.fail_from(io.ops());
+        let err = writer
+            .apply_batch(&[Op::AssertFact(parse_term("move(d, e)").unwrap())])
+            .unwrap_err();
+        assert!(
+            matches!(err, StoreError::Io(_)),
+            "first failure is the I/O error"
+        );
+        assert_eq!(writer.epoch(), epoch, "unlogged batch was not applied");
+        let state = writer.degraded().expect("writer is degraded").clone();
+        assert_eq!(state.since_epoch, epoch);
+        // Further mutations are refused up front with the structured error.
+        let err = writer
+            .apply_batch(&[Op::AssertFact(parse_term("move(d, e)").unwrap())])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Degraded { .. }));
+        // Queries keep answering from the last good snapshot.
+        assert_true(&handle, "?- winning(c).");
+        // Operator frees space; a checkpoint that reaches disk re-arms.
+        io.heal();
+        writer.checkpoint().unwrap();
+        assert!(writer.degraded().is_none(), "successful checkpoint re-arms");
+        writer
+            .apply_batch(&[Op::AssertFact(parse_term("move(d, e)").unwrap())])
+            .unwrap();
+        assert_true(&handle, "?- move(d, e).");
+        // The whole history survives a reopen with a clean backend.
+        drop(writer);
+        drop(handle);
+        let (_writer, handle, report) =
+            PersistentWriter::open(&StoreConfig::new(&dir), game_db()).unwrap();
+        assert!(report.recovered);
+        assert_true(&handle, "?- move(c, d).");
+        assert_true(&handle, "?- move(d, e).");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_fault_is_absorbed_by_retry_and_counted() {
+        use crate::io::FaultIo;
+        let dir = temp_dir("retry");
+        let io = FaultIo::over_real();
+        let config = StoreConfig::new(&dir).io(std::sync::Arc::new(io.clone()));
+        let (mut writer, handle, _) = PersistentWriter::open(&config, game_db()).unwrap();
+        // One-shot fault on the next WAL write: the default retry policy
+        // must absorb it without the caller noticing.
+        io.fail_nth(io.ops());
+        writer
+            .apply_batch(&[Op::AssertFact(parse_term("move(c, d)").unwrap())])
+            .unwrap();
+        assert!(writer.degraded().is_none());
+        assert_true(&handle, "?- winning(c).");
+        let stats = writer.storage_stats();
+        assert!(stats.io_retries >= 1, "the retry was counted");
+        assert!(stats.injected_faults >= 1, "the fault was counted");
+        assert!(stats.io_ops > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,13 +15,14 @@
 //! Scaled up in CI via `HILOG_RECOVERY_CASES` (randomized cases to run).
 
 use hilog_repro::prelude::*;
-use hilog_store::{Op, PersistentWriter, StoreConfig};
+use hilog_store::{FaultIo, FaultPlan, Op, PersistentWriter, StoreConfig};
 use hilog_workloads::random_programs::{random_range_restricted_normal, NormalProgramConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -260,6 +261,110 @@ fn recovered_stores_answer_like_fresh_sessions() {
     for case in 0..cases {
         run_recovery_case(0xD0_0D + case as u64);
     }
+}
+
+/// One fsync-fault drill: the disk's sync intermittently lies (seeded,
+/// probabilistic, fsync-only faults) while a random batch stream applies
+/// under the default retry policy.  A batch whose fsync never lands rolls
+/// back and is refused — unacknowledged — and the writer may drop into
+/// read-only degraded mode, which a later successful checkpoint re-arms.
+/// After a crash, a *clean* reopen must land exactly on the last
+/// acknowledged program and answer queries like fresh evaluation of it.
+/// Returns how many faults the plan actually injected.
+fn run_fsync_fault_case(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF5C);
+    let dir = temp_dir("fsync-fault", seed);
+    let io = FaultIo::over_real();
+    let config = StoreConfig::new(&dir).io(Arc::new(io.clone()));
+    let seed_db = || {
+        HiLogDb::new(random_range_restricted_normal(
+            NormalProgramConfig::default(),
+            seed,
+        ))
+    };
+
+    let (last_acked, expected_epoch) = {
+        let (mut writer, _handle, report) =
+            PersistentWriter::open(&config, seed_db()).expect("fresh open");
+        assert!(!report.recovered);
+        // Arm the faults only once the store is up: the drill targets the
+        // batch/checkpoint stream, not directory creation.
+        io.set_plan(FaultPlan {
+            probability: 0.3,
+            seed,
+            fsync_only: true,
+            ..FaultPlan::default()
+        });
+        let mut last_acked = writer.program().clone();
+        let mut expected_epoch = writer.epoch();
+        for _ in 0..8 {
+            let ops = random_batch(&mut rng, writer.program());
+            match writer.apply_batch(&ops) {
+                Ok(_) => {
+                    last_acked = writer.program().clone();
+                    expected_epoch = writer.epoch();
+                }
+                // Roll-backed or refused-degraded: either way the batch is
+                // unacknowledged.  A checkpoint attempt (itself allowed to
+                // fail) is the operator move that re-arms a degraded
+                // writer.
+                Err(_) => {
+                    if writer.checkpoint().is_ok() {
+                        last_acked = writer.program().clone();
+                        expected_epoch = writer.epoch();
+                    }
+                }
+            }
+        }
+        (last_acked, expected_epoch)
+        // Crash: writer dropped cold mid-fault-storm.
+    };
+
+    let injected = io.injected();
+    let clean = StoreConfig::new(&dir);
+    let (recovered_writer, handle, _report) =
+        PersistentWriter::open(&clean, seed_db()).expect("clean reopen after fsync faults");
+    assert_eq!(
+        recovered_writer.epoch(),
+        expected_epoch,
+        "seed {seed}: recovery lands on the last acknowledged epoch"
+    );
+    assert_eq!(
+        program_multiset(recovered_writer.program()),
+        program_multiset(&last_acked),
+        "seed {seed}: recovery keeps exactly the acknowledged batches"
+    );
+
+    let mut fresh = HiLogDb::new(last_acked);
+    let snapshot = handle.current();
+    for query_text in ["?- idb0(X).", "?- idb1(X).", "?- idb2(X).", "?- P(X)."] {
+        let query = parse_query(query_text).unwrap();
+        let recovered = snapshot.query(&query).expect("recovered store answers");
+        let reference = fresh.query(&query).expect("fresh session answers");
+        assert_results_agree(
+            &recovered,
+            &reference,
+            &format!("(fsync-fault seed {seed}, query {query_text})"),
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    injected
+}
+
+/// The recovery oracle under an fsync-fault storm; scales in CI via
+/// `HILOG_RECOVERY_CASES`.
+#[test]
+fn recovery_oracle_survives_injected_fsync_faults() {
+    let cases = env_usize("HILOG_RECOVERY_CASES", 8);
+    let mut injected = 0;
+    for case in 0..cases {
+        injected += run_fsync_fault_case(0xF5C0 + case as u64);
+    }
+    assert!(
+        injected > 0,
+        "a 30% per-sync fault probability must actually fire across {cases} cases"
+    );
 }
 
 /// Losing the *final acknowledged* record to corruption truncates recovery
